@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablations of the runtime's design choices (beyond the paper's own
+ * figures, but directly probing its parameters):
+ *   1. the offload-coverage target x of the candidate selector
+ *      (the paper fixes x = 90);
+ *   2. the host-driven feed depth for complex ops without RC
+ *      (why RC matters);
+ *   3. the in-bank operand reuse of the fixed-function units
+ *      (why frequency scaling saturates).
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmt;
+
+    nn::Graph vgg = nn::buildVgg19();
+
+    harness::banner(std::cout,
+                    "Ablation 1: offload coverage target x "
+                    "(paper: x = 90)");
+    harness::TablePrinter coverage({"x (%)", "candidates",
+                                    "VGG-19 step (ms)",
+                                    "energy (J/step)"});
+    for (double x : {30.0, 50.0, 70.0, 90.0, 99.0}) {
+        auto config =
+            baseline::makeConfig(baseline::SystemKind::HeteroPim);
+        config.offloadCoveragePct = x;
+        config.steps = 3;
+        rt::HeteroRuntime runtime(config);
+        auto result = runtime.train(vgg);
+        coverage.addRow(
+            {fmt(x, 0),
+             std::to_string(result.selection.candidates.size()),
+             fmt(result.execution.stepSec * 1e3, 1),
+             fmt(result.execution.energyPerStepJ, 1)});
+    }
+    coverage.print(std::cout);
+
+    harness::banner(std::cout,
+                    "Ablation 2: host-driven feed depth without RC "
+                    "(units a complex op can hold)");
+    harness::TablePrinter feed({"max units", "VGG-19 step (ms)",
+                                "fixed util"});
+    for (std::uint32_t units : {16u, 48u, 96u, 192u, 444u}) {
+        auto config = baseline::makeHetero(true, false, true);
+        config.hostDrivenMaxUnits = units;
+        config.steps = 3;
+        rt::HeteroRuntime runtime(config);
+        auto rep = runtime.train(vgg).execution;
+        feed.addRow({std::to_string(units), fmt(rep.stepSec * 1e3, 1),
+                     harness::fmtPct(rep.fixedUtilization * 100.0)});
+    }
+    feed.print(std::cout);
+
+    harness::banner(std::cout,
+                    "Ablation 3: in-bank operand reuse "
+                    "(flops per DRAM byte) at 4x frequency");
+    harness::TablePrinter reuse({"reuse (flop/B)", "VGG-19 step (ms)",
+                                 "speedup vs 1x-frequency"});
+    auto base_config =
+        baseline::makeConfig(baseline::SystemKind::HeteroPim);
+    base_config.steps = 3;
+    double base =
+        rt::HeteroRuntime(base_config).train(vgg).execution.stepSec;
+    for (double r : {10.0, 25.0, 45.0, 90.0}) {
+        auto config =
+            baseline::makeConfig(baseline::SystemKind::HeteroPim, 4.0);
+        config.fixedOperandReuse = r;
+        config.steps = 3;
+        rt::HeteroRuntime runtime(config);
+        auto rep = runtime.train(vgg).execution;
+        reuse.addRow({fmt(r, 0), fmt(rep.stepSec * 1e3, 1),
+                      harness::fmtRatio(base / rep.stepSec)});
+    }
+    reuse.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Substrate validation tables for the 3D-stacked memory model:
+ * idle-latency ladder (row hit / miss / conflict), per-vault and
+ * whole-stack streaming bandwidth, refresh overhead, FR-FCFS gain,
+ * and interleave sensitivity. These are the numbers the device
+ * roofline models assume; run this to sanity-check them.
+ */
+
+#include <iostream>
+
+#include "harness/table_printer.hh"
+#include "mem/hmc_stack.hh"
+#include "sim/rng.hh"
+
+using namespace hpim;
+using harness::fmt;
+
+namespace {
+
+/** Stream @p requests sequential reads through a fresh stack. */
+double
+streamBandwidth(mem::HmcConfig config, std::uint64_t requests,
+                std::uint32_t bytes)
+{
+    mem::HmcStack stack{config};
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        mem::MemoryRequest req;
+        req.id = i;
+        req.addr = i * bytes;
+        req.bytes = bytes;
+        stack.enqueue(req);
+    }
+    auto done = stack.drainAll();
+    double seconds = sim::ticksToSeconds(done.back().completion);
+    return requests * double(bytes) / seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::banner(std::cout,
+                    "HMC-2.0-like stack: latency ladder (312.5 MHz)");
+    {
+        auto timing = mem::hmc2Timing();
+        harness::TablePrinter table({"access", "latency (ns)"});
+        table.addRow({"row hit",
+                      fmt(sim::ticksToSeconds(timing.rowHitLatency())
+                              * 1e9,
+                          1)});
+        table.addRow(
+            {"row closed (ACT+CAS)",
+             fmt(sim::ticksToSeconds(timing.rowClosedLatency()) * 1e9,
+                 1)});
+        table.addRow(
+            {"row conflict (PRE+ACT+CAS)",
+             fmt(sim::ticksToSeconds(timing.rowConflictLatency())
+                     * 1e9,
+                 1)});
+        table.print(std::cout);
+    }
+
+    harness::banner(std::cout, "Streaming bandwidth");
+    {
+        harness::TablePrinter table(
+            {"scope", "measured (GB/s)", "peak (GB/s)"});
+        mem::HmcConfig config;
+        mem::HmcStack probe{config};
+        // One vault: restrict the stream to vault 0 addresses.
+        mem::HmcStack one{config};
+        std::uint64_t n = 4096;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            mem::MemoryRequest req;
+            req.id = i;
+            // Stay in vault 0: row chunks are 256 B x 32 vaults apart.
+            req.addr = (i / 8) * (256ULL * 32) + (i % 8) * 32;
+            req.bytes = 32;
+            one.enqueue(req);
+        }
+        auto done = one.drainAll();
+        double vault_bw =
+            n * 32.0 / sim::ticksToSeconds(done.back().completion);
+        table.addRow({"one vault", fmt(vault_bw / 1e9, 2),
+                      fmt(probe.perVaultBandwidth() / 1e9, 2)});
+        double stack_bw = streamBandwidth(config, 32768, 64);
+        table.addRow({"whole stack (32 vaults)",
+                      fmt(stack_bw / 1e9, 2),
+                      fmt(probe.peakInternalBandwidth() / 1e9, 2)});
+        table.addRow({"external links", "-",
+                      fmt(probe.peakExternalBandwidth() / 1e9, 2)});
+        table.print(std::cout);
+    }
+
+    harness::banner(std::cout,
+                    "Frequency scaling of streaming bandwidth");
+    {
+        harness::TablePrinter table({"PIM frequency", "GB/s"});
+        for (double scale : {1.0, 2.0, 4.0}) {
+            mem::HmcConfig config;
+            config.frequencyScale = scale;
+            table.addRow({fmt(scale, 0) + "x",
+                          fmt(streamBandwidth(config, 16384, 64) / 1e9,
+                              2)});
+        }
+        table.print(std::cout);
+    }
+
+    harness::banner(std::cout, "Scheduling policy and interleaving");
+    {
+        harness::TablePrinter table({"variant", "random-access GB/s"});
+        sim::Rng rng(11);
+        auto random_bw = [&rng](mem::HmcConfig config) {
+            mem::HmcStack stack{config};
+            const std::uint64_t n = 16384;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                mem::MemoryRequest req;
+                req.id = i;
+                req.addr = rng.next() % stack.capacity();
+                req.bytes = 64;
+                stack.enqueue(req);
+            }
+            auto done = stack.drainAll();
+            return n * 64.0
+                   / sim::ticksToSeconds(done.back().completion);
+        };
+        mem::HmcConfig frfcfs;
+        mem::HmcConfig fcfs;
+        fcfs.policy = mem::SchedulingPolicy::FCFS;
+        mem::HmcConfig vabarow;
+        vabarow.interleave = mem::Interleave::VaBaRoCo;
+        table.addRow({"FR-FCFS + RoBaVaCo (default)",
+                      fmt(random_bw(frfcfs) / 1e9, 2)});
+        table.addRow({"FCFS + RoBaVaCo",
+                      fmt(random_bw(fcfs) / 1e9, 2)});
+        table.addRow({"FR-FCFS + VaBaRoCo",
+                      fmt(random_bw(vabarow) / 1e9, 2)});
+        table.print(std::cout);
+    }
+
+    harness::banner(std::cout, "Refresh overhead on a long stream");
+    {
+        // Spread a stream across ~8 refresh intervals of one vault.
+        mem::HmcStack stack{mem::HmcConfig{}};
+        auto timing = stack.timing();
+        sim::Tick refi = sim::Tick(timing.tREFI) * timing.tCK;
+        const std::uint64_t n = 2048;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            mem::MemoryRequest req;
+            req.id = i;
+            req.addr = (i % 8) * 32; // vault 0
+            req.bytes = 32;
+            req.arrival = i * refi / 256;
+            stack.enqueue(req);
+        }
+        stack.drainAll();
+        std::uint64_t refreshes = stack.vault(0).stats().refreshRounds;
+        std::cout << "refresh rounds during the stream: " << refreshes
+                  << " (one per "
+                  << fmt(sim::ticksToSeconds(refi) * 1e6, 2)
+                  << " us)\n";
+    }
+    return 0;
+}

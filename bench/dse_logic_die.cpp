@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Design-space exploration of the logic die (paper SectionIV-D):
+ * derives the 444-unit fixed-function budget from area/power limits,
+ * sweeps the ARM-core count (Fig. 12 variants), and validates the
+ * thermally-aware edge/corner placement against a uniform one.
+ */
+
+#include <iostream>
+
+#include "harness/table_printer.hh"
+#include "model/area_power.hh"
+#include "model/thermal.hh"
+#include "pim/fixed_pim.hh"
+#include "pim/placement.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmt;
+
+    model::LogicDieBudget budget;
+    model::UnitCosts costs;
+
+    harness::banner(std::cout,
+                    "Logic-die design space: fixed units vs ARM cores");
+    harness::TablePrinter dse({"ARM cores", "fixed units",
+                               "area (mm^2)", "peak power (W)",
+                               "feasible"});
+    for (std::uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+        auto point = model::exploreDesign(budget, costs, cores);
+        dse.addRow({std::to_string(cores),
+                    std::to_string(point.fixedUnits),
+                    fmt(point.areaUsedMm2, 2),
+                    fmt(point.peakPowerW, 2),
+                    point.feasible() ? "yes" : "no"});
+    }
+    dse.print(std::cout);
+    std::cout << "(paper: 444 fixed-function PIMs beside 1 ARM core)\n";
+
+    harness::banner(std::cout,
+                    "Thermally-aware placement (edge/corner biased)");
+    pim::BankGrid grid;
+    pim::FixedPimParams fixed;
+    auto biased = pim::placeUnits(grid, fixed.totalUnits, 0.35);
+    auto uniform = pim::placeUnits(grid, fixed.totalUnits, 0.0);
+
+    auto biased_t = model::solveThermal(grid, biased, fixed.unitPowerW());
+    auto uniform_t =
+        model::solveThermal(grid, uniform, fixed.unitPowerW());
+
+    harness::TablePrinter thermal({"placement", "min units/bank",
+                                   "max units/bank", "peak temp (C)",
+                                   "under 85C limit"});
+    thermal.addRow({"edge-biased (paper)",
+                    std::to_string(biased.minPerBank()),
+                    std::to_string(biased.maxPerBank()),
+                    fmt(biased_t.maxC, 2),
+                    biased_t.maxC < 85.0 ? "yes" : "no"});
+    thermal.addRow({"uniform", std::to_string(uniform.minPerBank()),
+                    std::to_string(uniform.maxPerBank()),
+                    fmt(uniform_t.maxC, 2),
+                    uniform_t.maxC < 85.0 ? "yes" : "no"});
+    thermal.print(std::cout);
+
+    std::cout << "\nPer-bank unit placement (8x4 grid, edge-biased):\n";
+    for (std::uint32_t r = 0; r < grid.rows; ++r) {
+        for (std::uint32_t c = 0; c < grid.cols; ++c) {
+            std::cout << "  "
+                      << biased.unitsPerBank[r * grid.cols + c];
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Fig. 10: performance and energy versus Neurocube (a prior
+ * programmable-PE PIM design). Expectation: Hetero PIM is at least 3x
+ * better in both metrics on every model, with larger gaps on highly
+ * compute-intensive models (VGG-19, Inception-v3).
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 10: Neurocube vs Hetero PIM "
+                    "(ratios normalized to Hetero PIM; paper: >=3x)");
+
+    harness::TablePrinter table(
+        {"model", "Neurocube step (ms)", "Hetero step (ms)",
+         "perf ratio [>=3x]", "energy ratio [>=3x]"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto neuro = baseline::runSystem(SystemKind::Neurocube, model);
+        auto hetero = baseline::runSystem(SystemKind::HeteroPim, model);
+        table.addRow({nn::modelName(model),
+                      fmt(neuro.stepSec * 1e3, 1),
+                      fmt(hetero.stepSec * 1e3, 1),
+                      fmtRatio(neuro.stepSec / hetero.stepSec),
+                      fmtRatio(neuro.energyPerStepJ
+                               / hetero.energyPerStepJ)});
+    }
+    table.print(std::cout);
+    return 0;
+}

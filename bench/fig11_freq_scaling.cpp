@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper Fig. 11: execution-time breakdown of Hetero PIM with the PIM
+ * clocks at 1x, 2x and 4x (PLL scaling), against the GPU reference.
+ * Expectations: at 2x Hetero beats the GPU by 36% (VGG-19) / 17%
+ * (AlexNet); at 4x by 37% / 60%; synchronization and data-movement
+ * overheads shrink with frequency.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 11: Hetero PIM with 1x/2x/4x PIM frequency");
+
+    harness::TablePrinter table(
+        {"model", "freq", "step (ms)", "op (ms)", "data mv (ms)",
+         "sync (ms)", "GPU/Hetero"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto gpu = baseline::runSystem(SystemKind::Gpu, model);
+        for (double scale : {1.0, 2.0, 4.0}) {
+            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
+                                           4, scale);
+            table.addRow({nn::modelName(model),
+                          fmt(scale, 0) + "x",
+                          fmt(rep.stepSec * 1e3, 1),
+                          fmt(rep.opSec * 1e3, 1),
+                          fmt(rep.dataMovementSec * 1e3, 1),
+                          fmt(rep.syncSec * 1e3, 1),
+                          fmtRatio(gpu.stepSec / rep.stepSec)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "(paper: 2x -> +36%/+17% vs GPU for VGG-19/AlexNet; "
+                 "4x -> +37%/+60%)\n";
+    return 0;
+}

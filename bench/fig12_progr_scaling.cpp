@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Paper Fig. 12: scaling the number of programmable PIMs (1P/4P/16P)
+ * at constant logic-die area -- extra ARM processors displace
+ * fixed-function units. Expectation: the three configurations differ
+ * by only 12-14% (one programmable PIM suffices; more cores cost
+ * fixed-function parallelism).
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+
+    harness::banner(std::cout,
+                    "Fig. 12: programmable-PIM scaling (1P/4P/16P) at "
+                    "constant die area");
+
+    harness::TablePrinter table({"model", "config", "fixed units",
+                                 "step (ms)", "vs 1P"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        double base = 0.0;
+        for (std::uint32_t pims : {1u, 4u, 16u}) {
+            auto config =
+                baseline::makeConfig(SystemKind::HeteroPim, 1.0, pims);
+            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
+                                           4, 1.0, pims);
+            if (pims == 1)
+                base = rep.stepSec;
+            table.addRow(
+                {nn::modelName(model), std::to_string(pims) + "P",
+                 std::to_string(config.fixed.totalUnits),
+                 fmt(rep.stepSec * 1e3, 1),
+                 harness::fmtPct(100.0 * (rep.stepSec - base) / base,
+                                 1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "(paper: 16P vs 1P differs by 12%-14%)\n";
+    return 0;
+}

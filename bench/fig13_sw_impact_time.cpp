@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Fig. 13: isolating the software (runtime) impact on execution
+ * time. Compares Progr PIM, Fixed PIM, and Hetero PIM hardware without
+ * RC/OP, then adds RC, OP, and RC+OP. Expectations: Hetero hardware
+ * alone beats Progr/Fixed by up to 8.5x but only 7%-30% over Fixed;
+ * RC+OP improves Hetero by up to 3.8x.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+namespace {
+
+hpim::rt::ExecutionReport
+runHetero(bool sched, bool rc, bool op, hpim::nn::ModelId model)
+{
+    auto config = hpim::baseline::makeHetero(sched, rc, op);
+    config.steps = 4;
+    hpim::rt::HeteroRuntime runtime(config);
+    return runtime.train(hpim::nn::buildModel(model)).execution;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 13: execution time w/ and w/o RC and OP");
+
+    harness::TablePrinter table(
+        {"model", "Progr PIM", "Fixed PIM", "Hetero (no RC/OP)",
+         "Hetero +RC", "Hetero +OP", "Hetero +RC+OP",
+         "Fixed/no-RC-OP [1.07-1.3x]", "no-RC-OP/full [<=3.8x]"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto progr =
+            baseline::runSystem(SystemKind::ProgrPimOnly, model);
+        auto fixed =
+            baseline::runSystem(SystemKind::FixedPimOnly, model);
+        auto none = runHetero(true, false, false, model);
+        auto rc = runHetero(true, true, false, model);
+        auto op = runHetero(true, false, true, model);
+        auto both = runHetero(true, true, true, model);
+        table.addRow({nn::modelName(model),
+                      fmt(progr.stepSec * 1e3, 1),
+                      fmt(fixed.stepSec * 1e3, 1),
+                      fmt(none.stepSec * 1e3, 1),
+                      fmt(rc.stepSec * 1e3, 1),
+                      fmt(op.stepSec * 1e3, 1),
+                      fmt(both.stepSec * 1e3, 1),
+                      fmtRatio(fixed.stepSec / none.stepSec),
+                      fmtRatio(none.stepSec / both.stepSec)});
+    }
+    table.print(std::cout);
+    return 0;
+}

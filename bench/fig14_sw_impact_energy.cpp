@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Fig. 14: energy with and without RC and OP, normalized to
+ * Hetero PIM with both. Expectations: Hetero hardware without runtime
+ * scheduling beats Progr/Fixed PIM by up to 2.7x; RC+OP reduce Hetero
+ * energy by up to 3.9x more.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+namespace {
+
+hpim::rt::ExecutionReport
+runHetero(bool rc, bool op, hpim::nn::ModelId model)
+{
+    auto config = hpim::baseline::makeHetero(true, rc, op);
+    config.steps = 4;
+    hpim::rt::HeteroRuntime runtime(config);
+    return runtime.train(hpim::nn::buildModel(model)).execution;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 14: energy normalized to Hetero PIM w/ RC+OP");
+
+    harness::TablePrinter table(
+        {"model", "Progr PIM", "Fixed PIM", "Hetero (no RC/OP)",
+         "Hetero +RC", "Hetero +OP", "Hetero +RC+OP",
+         "no-RC-OP/full [<=3.9x]"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto progr =
+            baseline::runSystem(SystemKind::ProgrPimOnly, model);
+        auto fixed =
+            baseline::runSystem(SystemKind::FixedPimOnly, model);
+        auto none = runHetero(false, false, model);
+        auto rc = runHetero(true, false, model);
+        auto op = runHetero(false, true, model);
+        auto both = runHetero(true, true, model);
+        double base = both.energyPerStepJ;
+        table.addRow({nn::modelName(model),
+                      fmtRatio(progr.energyPerStepJ / base),
+                      fmtRatio(fixed.energyPerStepJ / base),
+                      fmtRatio(none.energyPerStepJ / base),
+                      fmtRatio(rc.energyPerStepJ / base),
+                      fmtRatio(op.energyPerStepJ / base), "1.00x",
+                      fmtRatio(none.energyPerStepJ / base)});
+    }
+    table.print(std::cout);
+    return 0;
+}

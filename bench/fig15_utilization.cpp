@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Fig. 15: fixed-function PIM utilization with and without RC
+ * and OP. Expectations: +RC improves utilization by up to 66%
+ * (VGG-19); +OP adds up to 18% (AlexNet); with RC+OP utilization is
+ * close to 100%.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+namespace {
+
+double
+utilization(bool rc, bool op, hpim::nn::ModelId model)
+{
+    auto config = hpim::baseline::makeHetero(true, rc, op);
+    config.steps = 4;
+    hpim::rt::HeteroRuntime runtime(config);
+    return runtime.train(hpim::nn::buildModel(model))
+        .execution.fixedUtilization;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmtPct;
+
+    harness::banner(std::cout,
+                    "Fig. 15: fixed-PIM utilization w/ and w/o RC & OP");
+
+    harness::TablePrinter table({"model", "no RC/OP", "+RC", "+OP",
+                                 "+RC+OP [~100%]"});
+    for (nn::ModelId model : nn::cnnModels()) {
+        table.addRow({nn::modelName(model),
+                      fmtPct(100 * utilization(false, false, model)),
+                      fmtPct(100 * utilization(true, false, model)),
+                      fmtPct(100 * utilization(false, true, model)),
+                      fmtPct(100 * utilization(true, true, model))});
+    }
+    table.print(std::cout);
+    std::cout << "(paper: RC adds up to +66% on VGG-19, OP up to +18% "
+                 "on AlexNet, RC+OP ~100%)\n";
+    return 0;
+}

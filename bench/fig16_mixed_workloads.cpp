@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Fig. 16: mixed-workload analysis. A CNN model co-runs with a
+ * non-CNN model (LSTM or Word2vec); the CNN uses the full runtime
+ * while the guest executes on the CPU / programmable PIM when idle.
+ * Expectation: 69%-83% improvement over sequential execution.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmt;
+    using harness::fmtPct;
+
+    harness::banner(std::cout,
+                    "Fig. 16: co-run vs sequential execution "
+                    "(paper: 69%-83% improvement)");
+
+    const std::vector<std::pair<nn::ModelId, nn::ModelId>> pairs = {
+        {nn::ModelId::Vgg19, nn::ModelId::Lstm},
+        {nn::ModelId::Vgg19, nn::ModelId::Word2vec},
+        {nn::ModelId::AlexNet, nn::ModelId::Lstm},
+        {nn::ModelId::AlexNet, nn::ModelId::Word2vec},
+        {nn::ModelId::ResNet50, nn::ModelId::Lstm},
+        {nn::ModelId::InceptionV3, nn::ModelId::Word2vec},
+    };
+
+    auto config = baseline::makeConfig(baseline::SystemKind::HeteroPim);
+    config.steps = 4;
+    rt::HeteroRuntime runtime(config);
+
+    harness::TablePrinter table({"co-run pair", "sequential (ms)",
+                                 "co-run (ms)", "improvement"});
+    for (auto [cnn, guest] : pairs) {
+        nn::Graph primary = nn::buildModel(cnn);
+        nn::Graph secondary = nn::buildModel(guest);
+        auto seq = runtime.corunSequential(primary, secondary);
+        auto co = runtime.corun(primary, secondary);
+        double improvement = (seq.execution.makespanSec
+                              - co.execution.makespanSec)
+                             / co.execution.makespanSec;
+        table.addRow({nn::modelName(cnn) + " + " + nn::modelName(guest),
+                      fmt(seq.execution.makespanSec * 1e3, 1),
+                      fmt(co.execution.makespanSec * 1e3, 1),
+                      fmtPct(100.0 * improvement)});
+    }
+    table.print(std::cout);
+    return 0;
+}

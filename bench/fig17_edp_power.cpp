@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Fig. 17: (a) energy-delay product of Hetero PIM at 1x/2x/4x
+ * PIM frequency -- expectation: 4x is the most energy-efficient point
+ * for all five models; (b) full-system power of the GPU vs Hetero PIM
+ * -- expectation: the GPU draws 1.5x-2.6x more power than Hetero at
+ * 4x frequency.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 17(a): EDP vs PIM frequency "
+                    "(normalized to 1x; lower is better)");
+    harness::TablePrinter edp({"model", "1x", "2x", "4x",
+                               "best point [paper: 4x]"});
+    for (nn::ModelId model : nn::cnnModels()) {
+        double e1 = 0.0;
+        std::vector<double> values;
+        for (double scale : {1.0, 2.0, 4.0}) {
+            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
+                                           4, scale);
+            if (scale == 1.0)
+                e1 = rep.edp;
+            values.push_back(rep.edp);
+        }
+        const char *labels[] = {"1x", "2x", "4x"};
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < values.size(); ++i) {
+            if (values[i] < values[best])
+                best = i;
+        }
+        edp.addRow({nn::modelName(model), fmt(values[0] / e1, 3),
+                    fmt(values[1] / e1, 3), fmt(values[2] / e1, 3),
+                    labels[best]});
+    }
+    edp.print(std::cout);
+
+    harness::banner(std::cout,
+                    "Fig. 17(b): full-system power, GPU vs Hetero PIM "
+                    "(paper: GPU 1.5x-2.6x of Hetero@4x)");
+    harness::TablePrinter power(
+        {"model", "GPU (W)", "Hetero 1x (W)", "Hetero 2x (W)",
+         "Hetero 4x (W)", "GPU / Hetero@4x"});
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto gpu = baseline::runSystem(SystemKind::Gpu, model);
+        std::vector<double> watts;
+        for (double scale : {1.0, 2.0, 4.0}) {
+            watts.push_back(baseline::runSystem(SystemKind::HeteroPim,
+                                                model, 4, scale)
+                                .averagePowerW);
+        }
+        power.addRow({nn::modelName(model), fmt(gpu.averagePowerW, 1),
+                      fmt(watts[0], 1), fmt(watts[1], 1),
+                      fmt(watts[2], 1),
+                      fmtRatio(gpu.averagePowerW / watts[2])});
+    }
+    power.print(std::cout);
+    return 0;
+}

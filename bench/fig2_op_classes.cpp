@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper Fig. 2: the four operation classes, by compute intensity and
+ * memory intensity quadrants:
+ *   (1) compute-intensive & not memory-intensive -- may offload when
+ *       PIMs idle;
+ *   (2) compute- & memory-intensive -- the offload targets;
+ *   (3) memory-intensive only -- unusual;
+ *   (4) neither -- negligible impact.
+ * Classifies every op type of the three profiled CNNs by whether its
+ * share of step time / memory accesses exceeds its fair share.
+ */
+
+#include <iostream>
+
+#include "cpu/cpu_model.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/profiler.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmt;
+
+    cpu::CpuModel cpu;
+    rt::Profiler profiler(cpu);
+
+    const std::vector<nn::ModelId> models = {
+        nn::ModelId::Vgg19, nn::ModelId::AlexNet, nn::ModelId::Dcgan};
+
+    for (nn::ModelId model : models) {
+        nn::Graph graph = nn::buildModel(model);
+        rt::ProfileReport report = profiler.profile(graph);
+
+        harness::banner(std::cout, "Fig. 2 classes ("
+                                       + nn::modelName(model) + ")");
+        harness::TablePrinter table({"op type", "time %", "mem %",
+                                     "class", "disposition"});
+
+        double fair = 100.0 / double(report.byType.size());
+        for (const rt::TypeProfile &t : report.topByTime()) {
+            bool ci = t.timePct >= fair;
+            bool mi = t.accessPct >= fair;
+            int cls = ci ? (mi ? 2 : 1) : (mi ? 3 : 4);
+            const char *disposition =
+                cls == 2   ? "offload target"
+                : cls == 1 ? "offload when PIMs idle"
+                : cls == 3 ? "unusual"
+                           : "negligible";
+            table.addRow({nn::opName(t.type), fmt(t.timePct, 2),
+                          fmt(t.accessPct, 2), std::to_string(cls),
+                          disposition});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Paper Fig. 8: execution-time breakdown of five NN training models on
+ * the five system configurations (CPU, GPU, Progr PIM, Fixed PIM,
+ * Hetero PIM). Prints per-step time split into operation time, data
+ * movement time, and synchronization time, plus the speedup ratios the
+ * paper quotes in SectionVI-A.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 8: execution time breakdown (per step)");
+
+    const std::vector<SystemKind> systems = {
+        SystemKind::CpuOnly, SystemKind::Gpu, SystemKind::ProgrPimOnly,
+        SystemKind::FixedPimOnly, SystemKind::HeteroPim};
+
+    std::map<nn::ModelId, std::map<SystemKind, rt::ExecutionReport>>
+        results;
+
+    harness::TablePrinter table(
+        {"model", "config", "step (ms)", "op (ms)", "data mv (ms)",
+         "sync (ms)", "cpu busy", "progr busy", "fixed util"});
+    for (nn::ModelId model : nn::cnnModels()) {
+        for (SystemKind kind : systems) {
+            auto report = baseline::runSystem(kind, model);
+            results[model][kind] = report;
+            table.addRow(
+                {nn::modelName(model), baseline::systemName(kind),
+                 fmt(report.stepSec * 1e3, 1),
+                 fmt(report.opSec * 1e3, 1),
+                 fmt(report.dataMovementSec * 1e3, 1),
+                 fmt(report.syncSec * 1e3, 1),
+                 fmt(report.cpuBusySec * 1e3, 1),
+                 fmt(report.progrBusySec * 1e3, 1),
+                 harness::fmtPct(report.fixedUtilization * 100.0)});
+        }
+    }
+    table.print(std::cout);
+
+    harness::banner(std::cout,
+                    "SectionVI-A headline ratios (paper expectations "
+                    "in brackets)");
+    harness::TablePrinter ratios(
+        {"model", "CPU/Hetero [19%-28x]", "Progr/Hetero [2.5-23x]",
+         "Fixed/Hetero [1.4-5.7x]", "GPU/Hetero [~1x; DCGAN<1]"});
+    for (nn::ModelId model : nn::cnnModels()) {
+        auto &r = results[model];
+        double hetero = r[SystemKind::HeteroPim].stepSec;
+        ratios.addRow(
+            {nn::modelName(model),
+             fmtRatio(r[SystemKind::CpuOnly].stepSec / hetero),
+             fmtRatio(r[SystemKind::ProgrPimOnly].stepSec / hetero),
+             fmtRatio(r[SystemKind::FixedPimOnly].stepSec / hetero),
+             fmtRatio(r[SystemKind::Gpu].stepSec / hetero)});
+    }
+    ratios.print(std::cout);
+    return 0;
+}

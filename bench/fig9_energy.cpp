@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Paper Fig. 9: dynamic energy of the five NN models on the five
+ * configurations, normalized to Hetero PIM. Paper expectations:
+ * Hetero consumes 3-24x less than CPU and 1.3-5x less than GPU;
+ * Progr PIM's dynamic energy is the highest of all configurations.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    harness::banner(std::cout,
+                    "Fig. 9: dynamic energy normalized to Hetero PIM");
+
+    const std::vector<SystemKind> systems = {
+        SystemKind::CpuOnly, SystemKind::Gpu, SystemKind::ProgrPimOnly,
+        SystemKind::FixedPimOnly, SystemKind::HeteroPim};
+
+    harness::TablePrinter table(
+        {"model", "CPU [3-24x]", "GPU [1.3-5x]", "Progr PIM [highest]",
+         "Fixed PIM", "Hetero PIM", "Hetero J/step"});
+
+    for (nn::ModelId model : nn::cnnModels()) {
+        std::map<SystemKind, rt::ExecutionReport> reports;
+        for (SystemKind kind : systems)
+            reports[kind] = baseline::runSystem(kind, model);
+        double hetero = reports[SystemKind::HeteroPim].energyPerStepJ;
+        table.addRow(
+            {nn::modelName(model),
+             fmtRatio(reports[SystemKind::CpuOnly].energyPerStepJ
+                      / hetero),
+             fmtRatio(reports[SystemKind::Gpu].energyPerStepJ / hetero),
+             fmtRatio(reports[SystemKind::ProgrPimOnly].energyPerStepJ
+                      / hetero),
+             fmtRatio(reports[SystemKind::FixedPimOnly].energyPerStepJ
+                      / hetero),
+             "1.00x", fmt(hetero, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

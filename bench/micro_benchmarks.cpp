@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrates:
+ * event-queue throughput, DRAM bank/vault service, cache hierarchy
+ * walks, placement solving, graph construction and a full scheduled
+ * training step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/presets.hh"
+#include "cache/hierarchy.hh"
+#include "mem/hmc_stack.hh"
+#include "model/thermal.hh"
+#include "nn/models.hh"
+#include "pim/placement.hh"
+#include "rt/hetero_runtime.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        hpim::sim::EventQueue queue;
+        for (int i = 0; i < 1000; ++i) {
+            queue.scheduleCallback(static_cast<hpim::sim::Tick>(i) * 100,
+                                   [] {});
+        }
+        queue.runAll();
+        benchmark::DoNotOptimize(queue.processedCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_HmcStackDrain(benchmark::State &state)
+{
+    hpim::sim::Rng rng(7);
+    for (auto _ : state) {
+        hpim::mem::HmcStack stack{hpim::mem::HmcConfig{}};
+        for (int i = 0; i < 2048; ++i) {
+            hpim::mem::MemoryRequest req;
+            req.id = static_cast<std::uint64_t>(i);
+            req.addr = rng.next() % stack.capacity();
+            req.type = (i & 3) ? hpim::mem::AccessType::Read
+                               : hpim::mem::AccessType::Write;
+            stack.enqueue(req);
+        }
+        auto done = stack.drainAll();
+        benchmark::DoNotOptimize(done.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_HmcStackDrain);
+
+void
+BM_CacheHierarchy(benchmark::State &state)
+{
+    auto hierarchy = hpim::cache::CacheHierarchy::xeonLike();
+    hpim::sim::Rng rng(13);
+    for (auto _ : state) {
+        for (int i = 0; i < 4096; ++i) {
+            hierarchy.access(rng.next() % (1ULL << 30),
+                             hpim::mem::AccessType::Read);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CacheHierarchy);
+
+void
+BM_Placement(benchmark::State &state)
+{
+    hpim::pim::BankGrid grid;
+    for (auto _ : state) {
+        auto placement = hpim::pim::placeUnits(grid, 444, 0.35);
+        benchmark::DoNotOptimize(placement.totalUnits());
+    }
+}
+BENCHMARK(BM_Placement);
+
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    hpim::pim::BankGrid grid;
+    auto placement = hpim::pim::placeUnits(grid, 444, 0.35);
+    for (auto _ : state) {
+        auto result =
+            hpim::model::solveThermal(grid, placement, 0.015);
+        benchmark::DoNotOptimize(result.maxC);
+    }
+}
+BENCHMARK(BM_ThermalSolve);
+
+void
+BM_BuildVgg19(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto graph = hpim::nn::buildVgg19();
+        benchmark::DoNotOptimize(graph.size());
+    }
+}
+BENCHMARK(BM_BuildVgg19);
+
+void
+BM_ScheduledStep_AlexNet(benchmark::State &state)
+{
+    auto config =
+        hpim::baseline::makeConfig(hpim::baseline::SystemKind::HeteroPim);
+    config.steps = 2;
+    hpim::rt::HeteroRuntime runtime(config);
+    auto graph = hpim::nn::buildAlexNet();
+    for (auto _ : state) {
+        auto result = runtime.train(graph);
+        benchmark::DoNotOptimize(result.execution.stepSec);
+    }
+}
+BENCHMARK(BM_ScheduledStep_AlexNet);
+
+} // namespace
+
+BENCHMARK_MAIN();

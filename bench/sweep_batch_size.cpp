@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Batch-size sensitivity sweep (an extension beyond the paper's
+ * figures): where does the GPU-vs-Hetero crossover move as the batch
+ * -- and with it the resident working set -- grows? The paper's
+ * ResNet-50 result (Hetero wins at batch 128) is one point on this
+ * curve; this bench draws the whole curve for ResNet-50 and VGG-19.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "gpu/gpu_model.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+namespace {
+
+using namespace hpim;
+
+rt::ExecutionReport
+heteroAt(const nn::Graph &graph)
+{
+    auto config = baseline::makeConfig(baseline::SystemKind::HeteroPim);
+    config.steps = 3;
+    rt::HeteroRuntime runtime(config);
+    return runtime.train(graph).execution;
+}
+
+double
+gpuAt(const nn::Graph &graph, nn::ModelId model, int batch)
+{
+    gpu::GpuModel gpu(baseline::gpuParams());
+    double input = baseline::gpuInputBytes(model)
+                   * double(batch)
+                   / double(nn::defaultBatchSize(model));
+    return gpu.runStep(graph, baseline::gpuUtilization(model), input)
+        .totalSec();
+}
+
+} // namespace
+
+int
+main()
+{
+    using harness::fmt;
+    using harness::fmtRatio;
+
+    for (auto model : {nn::ModelId::ResNet50, nn::ModelId::Vgg19}) {
+        harness::banner(std::cout,
+                        "Batch sweep (" + nn::modelName(model)
+                            + "): GPU vs Hetero PIM");
+        harness::TablePrinter table(
+            {"batch", "GPU ws (GB)", "GPU step (ms)",
+             "Hetero step (ms)", "GPU/Hetero"});
+        for (int batch : {8, 16, 32, 64, 128}) {
+            nn::Graph graph = nn::buildModel(model, batch);
+            double ws = gpu::GpuModel::workingSetBytes(graph);
+            double gpu_t = gpuAt(graph, model, batch);
+            double het_t = heteroAt(graph).stepSec;
+            table.addRow({std::to_string(batch), fmt(ws / 1e9, 2),
+                          fmt(gpu_t * 1e3, 1), fmt(het_t * 1e3, 1),
+                          fmtRatio(gpu_t / het_t)});
+        }
+        table.print(std::cout);
+    }
+    std::cout << "(the ratio crosses 1.0 where the working set "
+                 "outgrows the GPU's 11 GB device memory)\n";
+    return 0;
+}

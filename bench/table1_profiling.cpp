@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Paper Table I: per-operation profiling of VGG-19, AlexNet and DCGAN
+ * training steps -- top-5 compute-intensive ops by execution time and
+ * top-5 memory-intensive ops by main-memory accesses, with invocation
+ * counts, plus the "other ops" residual row.
+ */
+
+#include <iostream>
+
+#include "cpu/cpu_model.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "rt/profiler.hh"
+
+int
+main()
+{
+    using namespace hpim;
+    using harness::fmt;
+
+    cpu::CpuModel cpu;
+    rt::Profiler profiler(cpu);
+
+    const std::vector<nn::ModelId> models = {
+        nn::ModelId::Vgg19, nn::ModelId::AlexNet, nn::ModelId::Dcgan};
+
+    for (nn::ModelId model : models) {
+        nn::Graph graph = nn::buildModel(model);
+        rt::ProfileReport report = profiler.profile(graph);
+
+        harness::banner(std::cout,
+                        "Table I (" + nn::modelName(model)
+                            + "): top-5 CI ops / top-5 MI ops");
+
+        auto emit = [&](const std::vector<rt::TypeProfile> &sorted,
+                        bool by_time) {
+            harness::TablePrinter table(
+                {by_time ? "Top CI op" : "Top MI op",
+                 by_time ? "Execution Time(%)"
+                         : "#Main Memory Access(%)",
+                 "#Invocation"});
+            double residual_pct = 0.0;
+            std::uint64_t residual_inv = 0;
+            for (std::size_t i = 0; i < sorted.size(); ++i) {
+                double pct = by_time ? sorted[i].timePct
+                                     : sorted[i].accessPct;
+                if (i < 5) {
+                    table.addRow({std::to_string(i + 1) + ". "
+                                      + nn::opName(sorted[i].type),
+                                  fmt(pct, 2),
+                                  std::to_string(
+                                      sorted[i].invocations)});
+                } else {
+                    residual_pct += pct;
+                    residual_inv += sorted[i].invocations;
+                }
+            }
+            if (sorted.size() > 5) {
+                table.addRow({"Other "
+                                  + std::to_string(sorted.size() - 5)
+                                  + " op types",
+                              fmt(residual_pct, 2),
+                              std::to_string(residual_inv)});
+            }
+            table.print(std::cout);
+        };
+
+        emit(report.topByTime(), true);
+        emit(report.topByAccesses(), false);
+
+        std::cout << "total ops: " << graph.size()
+                  << ", step time on CPU: "
+                  << fmt(report.totalTimeSec * 1e3, 1) << " ms, "
+                  << "main-memory accesses: "
+                  << fmt(report.totalAccesses / 1e6, 1) << "M\n";
+    }
+    return 0;
+}

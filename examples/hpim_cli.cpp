@@ -1,0 +1,152 @@
+/**
+ * @file
+ * hpim_cli -- argument-driven simulation runner.
+ *
+ * Usage:
+ *   hpim_cli [--model NAME] [--system NAME] [--steps N]
+ *            [--freq-scale F] [--progr-pims N] [--no-rc] [--no-op]
+ *            [--csv] [--json] [--summary] [--dot]
+ *
+ * Models : vgg19 alexnet dcgan resnet50 inception3 lstm word2vec
+ * Systems: cpu gpu progr fixed hetero neurocube
+ *
+ * Examples:
+ *   hpim_cli --model resnet50 --system hetero --steps 8 --json
+ *   hpim_cli --model vgg19 --system hetero --freq-scale 4 --csv
+ *   hpim_cli --model alexnet --summary --dot > alexnet.dot
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baseline/presets.hh"
+#include "harness/report_io.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+#include "nn/summary.hh"
+#include "rt/hetero_runtime.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace hpim;
+
+nn::ModelId
+parseModel(const std::string &name)
+{
+    if (name == "vgg19") return nn::ModelId::Vgg19;
+    if (name == "alexnet") return nn::ModelId::AlexNet;
+    if (name == "dcgan") return nn::ModelId::Dcgan;
+    if (name == "resnet50") return nn::ModelId::ResNet50;
+    if (name == "inception3") return nn::ModelId::InceptionV3;
+    if (name == "lstm") return nn::ModelId::Lstm;
+    if (name == "word2vec") return nn::ModelId::Word2vec;
+    fatal("unknown model '", name, "'");
+}
+
+baseline::SystemKind
+parseSystem(const std::string &name)
+{
+    if (name == "cpu") return baseline::SystemKind::CpuOnly;
+    if (name == "gpu") return baseline::SystemKind::Gpu;
+    if (name == "progr") return baseline::SystemKind::ProgrPimOnly;
+    if (name == "fixed") return baseline::SystemKind::FixedPimOnly;
+    if (name == "hetero") return baseline::SystemKind::HeteroPim;
+    if (name == "neurocube") return baseline::SystemKind::Neurocube;
+    fatal("unknown system '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    nn::ModelId model = nn::ModelId::AlexNet;
+    baseline::SystemKind system = baseline::SystemKind::HeteroPim;
+    std::uint32_t steps = 4;
+    double freq_scale = 1.0;
+    std::uint32_t progr_pims = 1;
+    bool rc = true, op = true;
+    bool csv = false, json = false, summary = false, dot = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model") model = parseModel(next());
+        else if (arg == "--system") system = parseSystem(next());
+        else if (arg == "--steps")
+            steps = static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "--freq-scale")
+            freq_scale = std::stod(next());
+        else if (arg == "--progr-pims")
+            progr_pims =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "--no-rc") rc = false;
+        else if (arg == "--no-op") op = false;
+        else if (arg == "--csv") csv = true;
+        else if (arg == "--json") json = true;
+        else if (arg == "--summary") summary = true;
+        else if (arg == "--dot") dot = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: hpim_cli [--model NAME] [--system NAME]\n"
+                << "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
+                << "  [--no-rc] [--no-op] [--csv] [--json]\n"
+                << "  [--summary] [--dot]\n";
+            return 0;
+        } else {
+            fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+
+    nn::Graph graph = nn::buildModel(model);
+
+    if (summary)
+        nn::summarize(graph).print(std::cout);
+    if (dot) {
+        nn::exportDot(graph, std::cout);
+        if (!csv && !json && !summary)
+            return 0;
+    }
+
+    rt::ExecutionReport report;
+    if (system == baseline::SystemKind::Gpu) {
+        report = baseline::runSystem(system, model, steps);
+    } else if (system == baseline::SystemKind::HeteroPim
+               && (!rc || !op)) {
+        auto config =
+            baseline::makeHetero(true, rc, op, freq_scale, progr_pims);
+        config.steps = steps;
+        rt::HeteroRuntime runtime(config);
+        report = runtime.train(graph).execution;
+    } else {
+        report = baseline::runSystem(system, model, steps, freq_scale,
+                                     progr_pims);
+    }
+
+    if (csv) {
+        harness::writeCsv(std::cout, {report});
+    } else if (json) {
+        harness::writeJson(std::cout, report);
+        std::cout << '\n';
+    } else {
+        harness::TablePrinter table(
+            {"config", "workload", "step (ms)", "op", "data mv",
+             "sync", "J/step", "avg W", "fixed util"});
+        table.addRow({report.configName, report.workloadName,
+                      harness::fmt(report.stepSec * 1e3, 2),
+                      harness::fmt(report.opSec * 1e3, 2),
+                      harness::fmt(report.dataMovementSec * 1e3, 2),
+                      harness::fmt(report.syncSec * 1e3, 2),
+                      harness::fmt(report.energyPerStepJ, 2),
+                      harness::fmt(report.averagePowerW, 1),
+                      harness::fmtPct(report.fixedUtilization
+                                      * 100.0)});
+        table.print(std::cout);
+    }
+    return 0;
+}

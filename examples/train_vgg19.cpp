@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Train VGG-19 (the paper's flagship workload) on every evaluated
+ * system and print the full comparison: time breakdown, energy,
+ * power, placements, launches -- everything SectionVI reports.
+ *
+ *   $ ./examples/train_vgg19 [steps]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/table_printer.hh"
+#include "nn/models.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+    using harness::fmt;
+
+    std::uint32_t steps = 4;
+    if (argc > 1)
+        steps = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    if (steps == 0)
+        steps = 4;
+
+    nn::Graph graph = nn::buildVgg19();
+    std::cout << "VGG-19 training step: " << graph.size() << " ops, "
+              << fmt(graph.totalCost().flops() / 1e12, 2)
+              << " TFLOP, "
+              << fmt(graph.totalCost().bytes() / 1e9, 2)
+              << " GB of tensor traffic (batch 32)\n";
+
+    const std::vector<SystemKind> systems = {
+        SystemKind::CpuOnly, SystemKind::Gpu, SystemKind::ProgrPimOnly,
+        SystemKind::FixedPimOnly, SystemKind::HeteroPim,
+        SystemKind::Neurocube};
+
+    harness::TablePrinter table(
+        {"system", "step (ms)", "op", "data mv", "sync",
+         "J/step", "avg W", "fixed util", "host launches"});
+    double hetero_step = 0.0;
+    for (SystemKind kind : systems) {
+        auto rep = baseline::runSystem(kind, nn::ModelId::Vgg19, steps);
+        if (kind == SystemKind::HeteroPim)
+            hetero_step = rep.stepSec;
+        table.addRow(
+            {baseline::systemName(kind), fmt(rep.stepSec * 1e3, 1),
+             fmt(rep.opSec * 1e3, 1),
+             fmt(rep.dataMovementSec * 1e3, 1),
+             fmt(rep.syncSec * 1e3, 2), fmt(rep.energyPerStepJ, 1),
+             fmt(rep.averagePowerW, 1),
+             kind == SystemKind::Gpu
+                 ? "-"
+                 : harness::fmtPct(rep.fixedUtilization * 100.0),
+             std::to_string(rep.hostLaunches)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nHetero PIM trains one VGG-19 step in "
+              << fmt(hetero_step * 1e3, 1) << " ms; at 10k steps "
+              << "that is " << fmt(hetero_step * 10000.0 / 60.0, 1)
+              << " minutes of simulated training.\n";
+    return 0;
+}

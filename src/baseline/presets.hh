@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The evaluated system configurations (paper SectionVI).
+ *
+ *  - CPU          : all ops on the host CPU, DDR4 main memory.
+ *  - GPU          : GTX-1080-Ti-class accelerator (analytic model).
+ *  - Progr PIM    : programmable cores only, "as many as needed"
+ *                   within the logic-die area, no runtime scheduling.
+ *  - Fixed PIM    : fixed-function pool; everything else on the CPU,
+ *                   no runtime scheduling.
+ *  - Hetero PIM   : the proposed design w/ dynamic scheduling, RC, OP.
+ *  - Neurocube    : prior-work comparator (programmable PE array in
+ *                   3D DRAM, no fixed-function units, no scheduling).
+ *
+ * All calibration constants live here with their rationale; see
+ * DESIGN.md SectionV and EXPERIMENTS.md for the paper-vs-measured
+ * comparison they produce.
+ */
+
+#ifndef HPIM_BASELINE_PRESETS_HH
+#define HPIM_BASELINE_PRESETS_HH
+
+#include <string>
+
+#include "gpu/gpu_model.hh"
+#include "nn/models.hh"
+#include "rt/execution_report.hh"
+#include "rt/system_config.hh"
+
+namespace hpim::baseline {
+
+/** The comparison systems. */
+enum class SystemKind
+{
+    CpuOnly,
+    Gpu,
+    ProgrPimOnly,
+    FixedPimOnly,
+    HeteroPim,
+    Neurocube,
+};
+
+/** @return printable configuration name as used in the figures. */
+std::string systemName(SystemKind kind);
+
+/**
+ * Build the SystemConfig for a (non-GPU) configuration.
+ *
+ * @param kind which system
+ * @param freq_scale PIM frequency multiplier (Fig. 11/17)
+ * @param progr_pims programmable PIM count for Hetero (Fig. 12)
+ */
+hpim::rt::SystemConfig makeConfig(SystemKind kind,
+                                  double freq_scale = 1.0,
+                                  std::uint32_t progr_pims = 1);
+
+/**
+ * Hetero PIM with explicit runtime-feature flags (Figs. 13-15).
+ */
+hpim::rt::SystemConfig makeHetero(bool dynamic_scheduling,
+                                  bool recursive_kernels,
+                                  bool operation_pipeline,
+                                  double freq_scale = 1.0,
+                                  std::uint32_t progr_pims = 1);
+
+/** GPU model parameters used by the GPU configuration. */
+hpim::gpu::GpuParams gpuParams();
+
+/** Paper SectionV-D average GPU utilization per model. */
+double gpuUtilization(hpim::nn::ModelId model);
+
+/** Host->GPU minibatch bytes per training step. */
+double gpuInputBytes(hpim::nn::ModelId model);
+
+/**
+ * Run @p model on @p kind for @p steps training steps and produce a
+ * uniform report (GPU runs through the analytic GpuModel; all other
+ * systems through the heterogeneous executor).
+ */
+hpim::rt::ExecutionReport runSystem(SystemKind kind,
+                                    hpim::nn::ModelId model,
+                                    std::uint32_t steps = 4,
+                                    double freq_scale = 1.0,
+                                    std::uint32_t progr_pims = 1);
+
+} // namespace hpim::baseline
+
+#endif // HPIM_BASELINE_PRESETS_HH

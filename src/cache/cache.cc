@@ -1,0 +1,99 @@
+#include "cache/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::cache {
+
+using hpim::mem::AccessType;
+using hpim::mem::Addr;
+
+Cache::Cache(const CacheConfig &config, const std::string &name)
+    : Named(name), _config(config)
+{
+    fatal_if(config.lineBytes == 0
+                 || (config.lineBytes & (config.lineBytes - 1)) != 0,
+             "cache line size must be a power of two");
+    fatal_if(config.ways == 0, "cache needs at least one way");
+    std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    fatal_if(lines == 0 || lines % config.ways != 0,
+             "cache size ", config.sizeBytes, " not divisible into ",
+             config.ways, "-way sets of ", config.lineBytes, "B lines");
+    _sets = static_cast<std::uint32_t>(lines / config.ways);
+    fatal_if((_sets & (_sets - 1)) != 0,
+             "cache set count must be a power of two, got ", _sets);
+    _lines.assign(std::size_t(_sets) * config.ways, Line{});
+    _policy = makePolicy(config.policy, _sets, config.ways);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t line = lineAddr(addr);
+    std::uint32_t set = static_cast<std::uint32_t>(line % _sets);
+    std::uint64_t tag = line / _sets;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        const Line &l = _lines[std::size_t(set) * _config.ways + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+AccessResult
+Cache::access(Addr addr, AccessType type)
+{
+    ++_stats.accesses;
+    std::uint64_t line = lineAddr(addr);
+    std::uint32_t set = static_cast<std::uint32_t>(line % _sets);
+    std::uint64_t tag = line / _sets;
+
+    Line *ways = &_lines[std::size_t(set) * _config.ways];
+
+    // Hit path.
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ++_stats.hits;
+            _policy->touch(set, w);
+            if (type == AccessType::Write)
+                ways[w].dirty = true;
+            return AccessResult{true, false, 0};
+        }
+    }
+
+    // Miss: find an invalid way or evict a victim.
+    ++_stats.misses;
+    AccessResult result{false, false, 0};
+    std::uint32_t way = _config.ways;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        if (!ways[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == _config.ways) {
+        way = _policy->victim(set);
+        panic_if(way >= _config.ways, "victim way out of range");
+        ++_stats.evictions;
+        if (ways[way].dirty) {
+            ++_stats.writebacks;
+            result.writeback = true;
+            result.writebackAddr = (ways[way].tag * _sets + set)
+                                   * _config.lineBytes;
+        }
+    }
+
+    ways[way].valid = true;
+    ways[way].tag = tag;
+    ways[way].dirty = (type == AccessType::Write);
+    _policy->install(set, way);
+    return result;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : _lines)
+        line = Line{};
+}
+
+} // namespace hpim::cache

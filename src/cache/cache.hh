@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A set-associative, write-back/write-allocate cache model.
+ *
+ * Functional + counting: tracks tags and dirty bits, returns hit/miss
+ * outcomes and counts evictions/writebacks. Used standalone in tests
+ * and stacked into a CacheHierarchy for the host CPU model.
+ */
+
+#ifndef HPIM_CACHE_CACHE_HH
+#define HPIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "mem/memory_request.hh"
+#include "sim/named.hh"
+
+namespace hpim::cache {
+
+/** Cache geometry and behaviour parameters. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+    std::string policy = "lru";
+    std::uint32_t hitLatencyCycles = 4;
+};
+
+/** Outcome of a single cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** True when a dirty line was evicted (writeback to next level). */
+    bool writeback = false;
+    /** Address of the written-back line (valid if writeback). */
+    hpim::mem::Addr writebackAddr = 0;
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses)
+                         / static_cast<double>(accesses);
+    }
+};
+
+/** One cache level. */
+class Cache : public hpim::sim::Named
+{
+  public:
+    Cache(const CacheConfig &config, const std::string &name);
+
+    /**
+     * Access one byte-addressable location; the whole containing line
+     * is affected. Misses allocate (write-allocate for writes too).
+     */
+    AccessResult access(hpim::mem::Addr addr, hpim::mem::AccessType type);
+
+    /** Invalidate everything (keeps statistics). */
+    void flush();
+
+    const CacheConfig &config() const { return _config; }
+    const CacheStats &stats() const { return _stats; }
+    std::uint32_t sets() const { return _sets; }
+
+    /** @return true if the line containing @p addr is present. */
+    bool probe(hpim::mem::Addr addr) const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t lineAddr(hpim::mem::Addr addr) const
+    { return addr / _config.lineBytes; }
+
+    CacheConfig _config;
+    std::uint32_t _sets;
+    std::vector<Line> _lines; ///< sets x ways
+    std::unique_ptr<ReplacementPolicy> _policy;
+    CacheStats _stats;
+};
+
+} // namespace hpim::cache
+
+#endif // HPIM_CACHE_CACHE_HH

@@ -1,0 +1,73 @@
+#include "cache/hierarchy.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::cache {
+
+using hpim::mem::AccessType;
+using hpim::mem::Addr;
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &levels)
+{
+    fatal_if(levels.empty(), "hierarchy needs at least one level");
+    std::uint32_t idx = 1;
+    for (const auto &cfg : levels) {
+        _levels.push_back(
+            std::make_unique<Cache>(cfg, "L" + std::to_string(idx)));
+        ++idx;
+    }
+}
+
+CacheHierarchy
+CacheHierarchy::xeonLike()
+{
+    CacheConfig l1{32 * 1024, 64, 8, "lru", 4};
+    CacheConfig l2{256 * 1024, 64, 8, "lru", 12};
+    // 20 MiB LLC; true-LRU stand-in since the 20-way tree PLRU needs
+    // power-of-two associativity.
+    CacheConfig l3{20 * 1024 * 1024, 64, 20, "lru", 40};
+    return CacheHierarchy({l1, l2, l3});
+}
+
+const Cache &
+CacheHierarchy::level(std::uint32_t i) const
+{
+    panic_if(i >= _levels.size(), "cache level ", i, " out of range");
+    return *_levels[i];
+}
+
+HierarchyResult
+CacheHierarchy::access(Addr addr, AccessType type)
+{
+    HierarchyResult result{};
+    for (std::uint32_t i = 0; i < _levels.size(); ++i) {
+        result.latencyCycles += _levels[i]->config().hitLatencyCycles;
+        AccessResult r = _levels[i]->access(addr, type);
+        if (r.writeback) {
+            // Dirty eviction: push the victim line to the next level,
+            // or count a main-memory write from the last level.
+            if (i + 1 < _levels.size()) {
+                _levels[i + 1]->access(r.writebackAddr, AccessType::Write);
+            } else {
+                ++_mm_writebacks;
+            }
+        }
+        if (r.hit) {
+            result.hitLevel = i;
+            return result;
+        }
+    }
+    result.hitLevel = levels();
+    result.mainMemory = true;
+    ++_mm_accesses;
+    return result;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (auto &level : _levels)
+        level->flush();
+}
+
+} // namespace hpim::cache

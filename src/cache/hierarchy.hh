@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A multi-level cache hierarchy (inclusive-ish counting model).
+ *
+ * Accesses walk L1 -> L2 -> ... ; a miss in the last level counts as a
+ * main-memory access -- exactly the quantity the paper's profiler
+ * collects per operation ("number of main memory accesses").
+ */
+
+#ifndef HPIM_CACHE_HIERARCHY_HH
+#define HPIM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace hpim::cache {
+
+/** Result of an access through the whole hierarchy. */
+struct HierarchyResult
+{
+    /** Level that hit: 0 = L1, ...; levels() = main memory. */
+    std::uint32_t hitLevel = 0;
+    /** Total lookup latency in CPU cycles (excl. DRAM). */
+    std::uint32_t latencyCycles = 0;
+    /** True if the access reached main memory. */
+    bool mainMemory = false;
+};
+
+/** Stacked cache levels. */
+class CacheHierarchy
+{
+  public:
+    /** Build from per-level configs, L1 first. */
+    explicit CacheHierarchy(const std::vector<CacheConfig> &levels);
+
+    /** Xeon-E5-2630-v3-like hierarchy (paper Table IV host). */
+    static CacheHierarchy xeonLike();
+
+    HierarchyResult access(hpim::mem::Addr addr,
+                           hpim::mem::AccessType type);
+
+    std::uint32_t levels() const
+    { return static_cast<std::uint32_t>(_levels.size()); }
+    const Cache &level(std::uint32_t i) const;
+
+    /** Main-memory accesses observed so far. */
+    std::uint64_t mainMemoryAccesses() const { return _mm_accesses; }
+    /** Writebacks that reached main memory. */
+    std::uint64_t mainMemoryWritebacks() const { return _mm_writebacks; }
+
+    void flushAll();
+
+  private:
+    std::vector<std::unique_ptr<Cache>> _levels;
+    std::uint64_t _mm_accesses = 0;
+    std::uint64_t _mm_writebacks = 0;
+};
+
+} // namespace hpim::cache
+
+#endif // HPIM_CACHE_HIERARCHY_HH

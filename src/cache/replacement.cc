@@ -1,0 +1,127 @@
+#include "cache/replacement.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace hpim::cache {
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ReplacementPolicy(ways), _stamps(std::size_t(sets) * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    _stamps[std::size_t(set) * _ways + way] = ++_clock;
+}
+
+void
+LruPolicy::install(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = ~std::uint64_t(0);
+    for (std::uint32_t w = 0; w < _ways; ++w) {
+        std::uint64_t stamp = _stamps[std::size_t(set) * _ways + w];
+        if (stamp < best_stamp) {
+            best_stamp = stamp;
+            best = w;
+        }
+    }
+    return best;
+}
+
+TreePlruPolicy::TreePlruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ReplacementPolicy(ways)
+{
+    fatal_if(ways < 2 || (ways & (ways - 1)) != 0,
+             "tree PLRU needs power-of-two ways >= 2, got ", ways);
+    _bits.assign(std::size_t(sets) * (ways - 1), 0);
+}
+
+void
+TreePlruPolicy::updatePath(std::uint32_t set, std::uint32_t way)
+{
+    // Walk from the root, flipping bits to point *away* from `way`.
+    std::uint8_t *bits = &_bits[std::size_t(set) * (_ways - 1)];
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0, hi = _ways;
+    while (hi - lo > 1) {
+        std::uint32_t mid = lo + (hi - lo) / 2;
+        if (way < mid) {
+            bits[node] = 1; // next victim search goes right
+            node = 2 * node + 1;
+            hi = mid;
+        } else {
+            bits[node] = 0; // next victim search goes left
+            node = 2 * node + 2;
+            lo = mid;
+        }
+    }
+}
+
+void
+TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    updatePath(set, way);
+}
+
+void
+TreePlruPolicy::install(std::uint32_t set, std::uint32_t way)
+{
+    updatePath(set, way);
+}
+
+std::uint32_t
+TreePlruPolicy::victim(std::uint32_t set)
+{
+    const std::uint8_t *bits = &_bits[std::size_t(set) * (_ways - 1)];
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0, hi = _ways;
+    while (hi - lo > 1) {
+        std::uint32_t mid = lo + (hi - lo) / 2;
+        if (bits[node] == 0) {
+            node = 2 * node + 1;
+            hi = mid;
+        } else {
+            node = 2 * node + 2;
+            lo = mid;
+        }
+    }
+    return lo;
+}
+
+RandomPolicy::RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+                           std::uint64_t seed)
+    : ReplacementPolicy(ways), _rng(seed)
+{
+    (void)sets;
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t set)
+{
+    (void)set;
+    return static_cast<std::uint32_t>(_rng.below(_ways));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name, std::uint32_t sets, std::uint32_t ways)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>(sets, ways);
+    if (name == "plru")
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(sets, ways);
+    fatal("unknown replacement policy '", name, "'");
+}
+
+} // namespace hpim::cache

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * A policy tracks per-way metadata inside one set and picks a victim.
+ */
+
+#ifndef HPIM_CACHE_REPLACEMENT_HH
+#define HPIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace hpim::cache {
+
+/** Per-set replacement state and victim selection. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** @param ways associativity this instance will manage. */
+    explicit ReplacementPolicy(std::uint32_t ways) : _ways(ways) {}
+
+    /** Called on every hit to way @p way of set @p set. */
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Called when a line is installed in way @p way of set @p set. */
+    virtual void install(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** @return victim way for set @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** @return policy name for reporting. */
+    virtual std::string policyName() const = 0;
+
+    std::uint32_t ways() const { return _ways; }
+
+  protected:
+    std::uint32_t _ways;
+};
+
+/** True LRU via per-set recency stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void install(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string policyName() const override { return "LRU"; }
+
+  private:
+    std::vector<std::uint64_t> _stamps; ///< sets x ways recency stamps
+    std::uint64_t _clock = 0;
+};
+
+/** Tree pseudo-LRU (power-of-two ways). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void install(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string policyName() const override { return "TreePLRU"; }
+
+  private:
+    void updatePath(std::uint32_t set, std::uint32_t way);
+
+    std::vector<std::uint8_t> _bits; ///< sets x (ways-1) tree bits
+};
+
+/** Random replacement (deterministic via seeded Rng). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+                 std::uint64_t seed = 1);
+
+    void touch(std::uint32_t, std::uint32_t) override {}
+    void install(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string policyName() const override { return "Random"; }
+
+  private:
+    hpim::sim::Rng _rng;
+};
+
+/** Factory: "lru" | "plru" | "random". */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name, std::uint32_t sets, std::uint32_t ways);
+
+} // namespace hpim::cache
+
+#endif // HPIM_CACHE_REPLACEMENT_HH

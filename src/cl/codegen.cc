@@ -1,0 +1,207 @@
+#include "cl/codegen.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+using hpim::nn::OffloadClass;
+using hpim::nn::opName;
+using hpim::nn::OpType;
+using hpim::nn::opTraits;
+
+namespace {
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return out;
+}
+
+/** The multiply/add inner loop every extractable region shares. */
+std::string
+macRegion(const std::string &acc, const std::string &a,
+          const std::string &b, const std::string &bound)
+{
+    std::ostringstream os;
+    os << "    float " << acc << " = 0.0f;\n"
+       << "    for (int r = 0; r < " << bound << "; ++r) {\n"
+       << "        " << acc << " += " << a << "[r] * " << b
+       << "[r];\n"
+       << "    }\n";
+    return os.str();
+}
+
+KernelSource
+fullKernel(OpType type)
+{
+    std::string fn = sanitize(opName(type));
+    std::ostringstream os;
+    os << "#include \"hpim_cl_ext.h\"\n\n"
+       << "__kernel void " << fn << "(\n"
+       << "    __global const float *in0,\n"
+       << "    __global const float *in1,\n"
+       << "    __global float *out,\n"
+       << "    const int n, const int reduction)\n"
+       << "{\n"
+       << "    const int gid = get_global_id(0);\n"
+       << "    if (gid >= n) return;\n";
+
+    switch (opTraits(type).offloadClass) {
+      case OffloadClass::FixedFunction:
+        os << macRegion("acc", "(in0 + gid * reduction)",
+                        "(in1 + gid * reduction)", "reduction")
+           << "    out[gid] = acc;\n";
+        break;
+      case OffloadClass::Recursive:
+        os << "    /* phase 1: index setup / control (stays on the "
+              "programmable device) */\n"
+           << "    int base = hpim_region_base(gid, reduction);\n"
+           << macRegion("acc", "(in0 + base)", "(in1 + base)",
+                        "reduction")
+           << "    /* phase 2: accumulation control */\n"
+           << "    out[gid] = hpim_accumulate(out[gid], acc);\n";
+        break;
+      case OffloadClass::ProgrammableOnly:
+        os << "    float v = in0[gid];\n"
+           << "    out[gid] = v > 0.0f ? v : hpim_special(v);\n";
+        break;
+      case OffloadClass::DataMovement:
+        os << "    out[gid] = in0[hpim_gather_index(gid)];\n";
+        break;
+    }
+    os << "}\n";
+    return KernelSource{fn, os.str()};
+}
+
+KernelSource
+fixedSubKernel(OpType type)
+{
+    std::string fn = sanitize(opName(type)) + "_fixed_sub";
+    std::ostringstream os;
+    os << "#include \"hpim_cl_ext.h\"\n\n"
+       << "/* Loadable on the fixed-function PIMs: pure "
+          "multiply/add reduction tree. */\n"
+       << "__kernel void " << fn << "(\n"
+       << "    __global const float *a,\n"
+       << "    __global const float *b,\n"
+       << "    __global float *partial,\n"
+       << "    const int reduction)\n"
+       << "{\n"
+       << "    const int lane = get_global_id(0);\n"
+       << macRegion("acc", "(a + lane * reduction)",
+                    "(b + lane * reduction)", "reduction")
+       << "    partial[lane] = acc;\n"
+       << "}\n";
+    return KernelSource{fn, os.str()};
+}
+
+KernelSource
+progrKernel(OpType type)
+{
+    std::string fn = sanitize(opName(type)) + "_progr";
+    std::ostringstream os;
+    os << "#include \"hpim_cl_ext.h\"\n\n"
+       << "/* Runs on the programmable PIM; the extracted region is\n"
+       << " * replaced by a recursive launch onto the fixed-function\n"
+       << " * PIMs (paper Fig. 6). */\n"
+       << "__kernel void " << fn << "(\n"
+       << "    __global const float *in0,\n"
+       << "    __global const float *in1,\n"
+       << "    __global float *out,\n"
+       << "    const int n, const int reduction)\n"
+       << "{\n"
+       << "    const int gid = get_global_id(0);\n"
+       << "    if (gid >= n) return;\n"
+       << "    /* phase 1 */\n"
+       << "    int base = hpim_region_base(gid, reduction);\n"
+       << "    /* extracted region -> recursive kernel call */\n"
+       << "    hpim_launch_fixed(" << sanitize(opName(type))
+       << "_fixed_sub, in0 + base, in1 + base, out + gid, "
+          "reduction);\n"
+       << "    hpim_wait_fixed();\n"
+       << "    /* phase 2 */\n"
+       << "    out[gid] = hpim_accumulate(out[gid], 0.0f);\n"
+       << "}\n";
+    return KernelSource{fn, os.str()};
+}
+
+} // namespace
+
+std::string
+extensionHeader()
+{
+    return
+        "/* hpim_cl_ext.h -- extended-OpenCL intrinsics for the\n"
+        " * heterogeneous PIM platform (paper Tables II & III). */\n"
+        "#pragma once\n"
+        "int   hpim_region_base(int gid, int reduction);\n"
+        "float hpim_accumulate(float current, float value);\n"
+        "float hpim_special(float value);\n"
+        "int   hpim_gather_index(int gid);\n"
+        "/* Recursive kernel invocation: accelerator -> accelerator "
+        "(execution model extension). */\n"
+        "void  hpim_launch_fixed(/* kernel symbol + args */ ...);\n"
+        "void  hpim_wait_fixed(void);\n"
+        "/* Explicit synchronization across PIMs and CPU (memory "
+        "model extension). */\n"
+        "void  hpim_barrier_all(void);\n"
+        "void  hpim_lock_global(__global int *lock_var);\n"
+        "void  hpim_unlock_global(__global int *lock_var);\n";
+}
+
+KernelSourceSet
+generateKernelSources(OpType type)
+{
+    KernelSourceSet set;
+    set.full = fullKernel(type);
+    switch (opTraits(type).offloadClass) {
+      case OffloadClass::FixedFunction:
+        // The whole kernel is the extractable region.
+        set.fixedSubKernels.push_back(fixedSubKernel(type));
+        set.progrKernel = progrKernel(type);
+        break;
+      case OffloadClass::Recursive:
+        set.fixedSubKernels.push_back(fixedSubKernel(type));
+        set.progrKernel = progrKernel(type);
+        break;
+      case OffloadClass::ProgrammableOnly:
+      case OffloadClass::DataMovement:
+        // Nothing to extract: the full kernel is the progr binary.
+        set.progrKernel = set.full;
+        break;
+    }
+    return set;
+}
+
+bool
+validateKernelSource(const std::string &source)
+{
+    int braces = 0, parens = 0;
+    for (char c : source) {
+        switch (c) {
+          case '{': ++braces; break;
+          case '}': --braces; break;
+          case '(': ++parens; break;
+          case ')': --parens; break;
+          default: break;
+        }
+        if (braces < 0 || parens < 0)
+            return false;
+    }
+    if (braces != 0 || parens != 0)
+        return false;
+    if (source.find("__kernel") == std::string::npos)
+        return false;
+    if (source.find("$") != std::string::npos)
+        return false;
+    return true;
+}
+
+} // namespace hpim::cl

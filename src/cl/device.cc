@@ -1,0 +1,34 @@
+#include "cl/device.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+using hpim::nn::OffloadClass;
+
+std::string
+deviceKindName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::HostCpu:  return "host-cpu";
+      case DeviceKind::FixedPim: return "fixed-pim";
+      case DeviceKind::ProgrPim: return "progr-pim";
+    }
+    panic("unknown device kind");
+}
+
+bool
+ComputeDevice::supports(OffloadClass cls) const
+{
+    switch (_kind) {
+      case DeviceKind::HostCpu:
+        return true;
+      case DeviceKind::ProgrPim:
+        return true;
+      case DeviceKind::FixedPim:
+        return cls == OffloadClass::FixedFunction;
+    }
+    panic("unknown device kind");
+}
+
+} // namespace hpim::cl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The platform model's compute devices (paper Fig. 5b).
+ *
+ * Fixed-function PIMs: every unit is a PE, a bank of units is a
+ * compute unit, all banks together form one compute device.
+ * The programmable PIM is its own compute device; each ARM core a PE.
+ * The host CPU is the platform host and can also execute kernels.
+ */
+
+#ifndef HPIM_CL_DEVICE_HH
+#define HPIM_CL_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nn/op_type.hh"
+#include "sim/named.hh"
+
+namespace hpim::cl {
+
+/** Kinds of compute devices in the extended platform model. */
+enum class DeviceKind
+{
+    HostCpu,
+    FixedPim,
+    ProgrPim,
+};
+
+/** @return printable device-kind name. */
+std::string deviceKindName(DeviceKind kind);
+
+/** A compute device in the platform model. */
+class ComputeDevice : public hpim::sim::Named
+{
+  public:
+    /**
+     * @param name device name
+     * @param kind device kind
+     * @param compute_units number of compute units (banks / core
+     *        clusters)
+     * @param pes_per_unit processing elements per compute unit
+     */
+    ComputeDevice(const std::string &name, DeviceKind kind,
+                  std::uint32_t compute_units,
+                  std::uint32_t pes_per_unit)
+        : Named(name), _kind(kind), _compute_units(compute_units),
+          _pes_per_unit(pes_per_unit)
+    {}
+
+    DeviceKind kind() const { return _kind; }
+    std::uint32_t computeUnits() const { return _compute_units; }
+    std::uint32_t pesPerUnit() const { return _pes_per_unit; }
+    std::uint32_t totalPes() const
+    { return _compute_units * _pes_per_unit; }
+
+    /**
+     * Capability check: can a kernel for op class @p cls run here?
+     * (Execution model: "If the task includes instructions that cannot
+     * be executed on the fixed-function PIM, then the task will not be
+     * scheduled ... to run on the fixed-function PIM.")
+     */
+    bool supports(hpim::nn::OffloadClass cls) const;
+
+  private:
+    DeviceKind _kind;
+    std::uint32_t _compute_units;
+    std::uint32_t _pes_per_unit;
+};
+
+} // namespace hpim::cl
+
+#endif // HPIM_CL_DEVICE_HH

@@ -1,0 +1,81 @@
+#include "cl/kernel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+using hpim::nn::OffloadClass;
+
+bool
+BinarySet::hasTarget(BinaryTarget target) const
+{
+    return std::any_of(binaries.begin(), binaries.end(),
+                       [target](const Binary &b) {
+                           return b.target == target;
+                       });
+}
+
+const Binary &
+BinarySet::get(BinaryTarget target) const
+{
+    for (const Binary &b : binaries) {
+        if (b.target == target)
+            return b;
+    }
+    fatal("binary set lacks the requested target");
+}
+
+BinarySet
+compileKernel(const Kernel &kernel)
+{
+    BinarySet set;
+    const double fixed_work = kernel.cost.flops();
+    const double special_work = kernel.cost.specials;
+
+    // #1: the CPU binary always exists.
+    set.binaries.push_back(Binary{BinaryTarget::Cpu,
+                                  kernel.name + ".cpu",
+                                  fixed_work + special_work, 0});
+
+    switch (kernel.offloadClass()) {
+      case OffloadClass::FixedFunction: {
+        set.binaries.push_back(Binary{BinaryTarget::FixedWhole,
+                                      kernel.name + ".fixed",
+                                      fixed_work, 0});
+        set.binaries.push_back(Binary{BinaryTarget::FixedExtract,
+                                      kernel.name + ".fixed_sub",
+                                      fixed_work, 0});
+        set.binaries.push_back(Binary{BinaryTarget::ProgrRecursive,
+                                      kernel.name + ".progr", 0.0, 1});
+        break;
+      }
+      case OffloadClass::Recursive: {
+        // The extractable portion is the mul/add core; phases that
+        // cannot move (paper Fig. 6 phases 1 & 2) stay in #4.
+        set.binaries.push_back(Binary{BinaryTarget::FixedExtract,
+                                      kernel.name + ".fixed_sub",
+                                      fixed_work, 0});
+        // One recursive call per extracted region; model one region
+        // per 2^20 lanes, at least one.
+        auto calls = static_cast<std::uint32_t>(std::max(
+            1.0, std::ceil(kernel.parallelism.lanes / 1048576.0)));
+        set.binaries.push_back(Binary{BinaryTarget::ProgrRecursive,
+                                      kernel.name + ".progr",
+                                      special_work, calls});
+        break;
+      }
+      case OffloadClass::ProgrammableOnly:
+      case OffloadClass::DataMovement: {
+        set.binaries.push_back(Binary{BinaryTarget::ProgrRecursive,
+                                      kernel.name + ".progr",
+                                      fixed_work + special_work, 0});
+        break;
+      }
+    }
+    return set;
+}
+
+} // namespace hpim::cl

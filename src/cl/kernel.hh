@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Kernels and the four-binary compilation scheme (paper Fig. 4).
+ *
+ * From one OpenCL kernel source our "compiler" produces:
+ *   #1 a CPU binary,
+ *   #2 a fixed-function binary (only if the whole kernel is mul/add),
+ *   #3 extracted small kernels loadable on fixed-function PIMs,
+ *   #4 a programmable-PIM binary whose extracted regions are replaced
+ *      by recursive kernel calls to #3.
+ */
+
+#ifndef HPIM_CL_KERNEL_HH
+#define HPIM_CL_KERNEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cl/device.hh"
+#include "nn/op_cost.hh"
+#include "nn/op_type.hh"
+
+namespace hpim::cl {
+
+/** A kernel: one NN training operation expressed for the platform. */
+struct Kernel
+{
+    std::string name;
+    hpim::nn::OpType opType = hpim::nn::OpType::MatMul;
+    hpim::nn::CostStructure cost;
+    hpim::nn::FixedParallelism parallelism;
+
+    /** Offload class (derived from the op type). */
+    hpim::nn::OffloadClass
+    offloadClass() const
+    {
+        return hpim::nn::opTraits(opType).offloadClass;
+    }
+};
+
+/** Compilation target of one binary. */
+enum class BinaryTarget
+{
+    Cpu,          ///< #1
+    FixedWhole,   ///< #2 -- whole kernel on fixed-function PIMs
+    FixedExtract, ///< #3 -- extracted small kernels
+    ProgrRecursive, ///< #4 -- progr kernel w/ recursive calls to #3
+};
+
+/** One produced binary. */
+struct Binary
+{
+    BinaryTarget target;
+    std::string symbol;
+    /** Work carried by this binary (flops or special ops). */
+    double workOps = 0.0;
+    /** Recursive sub-kernel launches embedded (target #4 only). */
+    std::uint32_t recursiveCalls = 0;
+};
+
+/** The binary set produced for a kernel. */
+struct BinarySet
+{
+    std::vector<Binary> binaries;
+
+    bool hasTarget(BinaryTarget target) const;
+    const Binary &get(BinaryTarget target) const;
+};
+
+/**
+ * Compile @p kernel into its binary set.
+ *
+ * FixedFunction-class kernels get #1, #2, #3, #4.
+ * Recursive-class kernels get #1, #3, #4 (no #2: the kernel contains
+ * instructions the fixed-function PIM cannot execute).
+ * Everything else gets #1 and #4 (with no recursive calls).
+ */
+BinarySet compileKernel(const Kernel &kernel);
+
+} // namespace hpim::cl
+
+#endif // HPIM_CL_KERNEL_HH

@@ -1,0 +1,111 @@
+#include "cl/lowlevel_api.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+using hpim::mem::Addr;
+
+std::vector<std::uint32_t>
+PimApi::dataBanks(Addr base, std::uint64_t bytes) const
+{
+    std::vector<std::uint32_t> banks;
+    // Sample the range at row granularity; vault == bank slice.
+    std::uint64_t row_bytes = _mapping.rowBytes();
+    std::uint64_t steps =
+        std::min<std::uint64_t>((bytes + row_bytes - 1) / row_bytes, 256);
+    steps = std::max<std::uint64_t>(steps, 1);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        Addr probe = base + i * row_bytes;
+        std::uint32_t vault = _mapping.decompose(probe).vault;
+        if (std::find(banks.begin(), banks.end(), vault) == banks.end())
+            banks.push_back(vault);
+    }
+    std::sort(banks.begin(), banks.end());
+    return banks;
+}
+
+PimOpHandle
+PimApi::offloadFixed(Addr data_base, std::uint64_t data_bytes,
+                     std::uint32_t units_needed)
+{
+    fatal_if(units_needed == 0, "offloading zero units");
+    if (_regs.totalFreeUnits() < units_needed)
+        return 0;
+
+    LiveOp op;
+    op.location.dataBanks = dataBanks(data_base, data_bytes);
+
+    std::uint32_t remaining = units_needed;
+    // First pass: banks that hold the data (compute near data).
+    auto try_bank = [&](std::uint32_t bank) {
+        if (remaining == 0 || bank >= _regs.banks())
+            return;
+        std::uint32_t take = std::min(remaining, _regs.freeUnits(bank));
+        if (take > 0 && _regs.acquire(bank, take)) {
+            op.grants.emplace_back(bank, take);
+            op.location.fixedBanks.push_back(bank);
+            remaining -= take;
+        }
+    };
+    for (std::uint32_t bank : op.location.dataBanks)
+        try_bank(bank);
+    // Second pass: spill to any bank (buffering mechanisms).
+    for (std::uint32_t bank = 0; bank < _regs.banks(); ++bank)
+        try_bank(bank);
+
+    if (remaining > 0) {
+        // Could not gather enough units; roll back.
+        for (auto &[bank, units] : op.grants)
+            _regs.release(bank, units);
+        return 0;
+    }
+
+    PimOpHandle handle = _next_handle++;
+    _live.emplace(handle, std::move(op));
+    return handle;
+}
+
+PimOpHandle
+PimApi::offloadProgr()
+{
+    if (_regs.progrBusy())
+        return 0;
+    _regs.setProgrBusy(true);
+    LiveOp op;
+    op.location.onProgrPim = true;
+    PimOpHandle handle = _next_handle++;
+    _live.emplace(handle, std::move(op));
+    return handle;
+}
+
+void
+PimApi::complete(PimOpHandle handle)
+{
+    auto it = _live.find(handle);
+    panic_if(it == _live.end(), "completing unknown PIM op ", handle);
+    for (auto &[bank, units] : it->second.grants)
+        _regs.release(bank, units);
+    if (it->second.location.onProgrPim)
+        _regs.setProgrBusy(false);
+    _live.erase(it);
+}
+
+bool
+PimApi::queryComplete(PimOpHandle handle) const
+{
+    return _live.find(handle) == _live.end();
+}
+
+PimLocation
+PimApi::queryLocation(PimOpHandle handle) const
+{
+    auto it = _live.find(handle);
+    fatal_if(it == _live.end(), "querying location of completed op ",
+             handle);
+    return it->second.location;
+}
+
+} // namespace hpim::cl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Low-level PIM control API (paper Table III, SectionIV-A).
+ *
+ * Functions for: (1) offloading an operation to specific PIM(s),
+ * (2) tracking PIM busy status, (3) querying operation completion,
+ * (4) querying computation and data location (which banks).
+ * The runtime builds on these; examples can call them directly.
+ */
+
+#ifndef HPIM_CL_LOWLEVEL_API_HH
+#define HPIM_CL_LOWLEVEL_API_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/address_mapping.hh"
+#include "pim/status_registers.hh"
+
+namespace hpim::cl {
+
+/** Handle returned by pimOffload. */
+using PimOpHandle = std::uint64_t;
+
+/** Where an offloaded operation runs and lives. */
+struct PimLocation
+{
+    bool onProgrPim = false;
+    std::vector<std::uint32_t> fixedBanks; ///< banks running units
+    std::vector<std::uint32_t> dataBanks;  ///< banks holding the data
+};
+
+/**
+ * The low-level PIM API over the hardware status registers.
+ * All functions are host-side and non-blocking.
+ */
+class PimApi
+{
+  public:
+    /**
+     * @param regs the hardware status register file
+     * @param mapping stack address mapping (for data location queries)
+     */
+    PimApi(hpim::pim::StatusRegisterFile &regs,
+           const hpim::mem::AddressMapping &mapping)
+        : _regs(regs), _mapping(mapping)
+    {}
+
+    /**
+     * Offload an operation to fixed-function units near its data.
+     *
+     * Tries to acquire @p units_needed units starting with the banks
+     * that hold [data_base, data_base + data_bytes); spills to other
+     * banks when the local ones are full (buffering mechanisms,
+     * SectionIV-D).
+     *
+     * @return handle, or 0 when not enough units anywhere
+     */
+    PimOpHandle offloadFixed(hpim::mem::Addr data_base,
+                             std::uint64_t data_bytes,
+                             std::uint32_t units_needed);
+
+    /** Offload an operation to the programmable PIM.
+     *  @return handle, or 0 when it is busy. */
+    PimOpHandle offloadProgr();
+
+    /** @return true if the given fixed bank has any busy unit. */
+    bool fixedBankBusy(std::uint32_t bank) const
+    { return _regs.bankBusy(bank); }
+
+    /** @return true if the programmable PIM is busy. */
+    bool progrBusy() const { return _regs.progrBusy(); }
+
+    /** Mark an operation complete, releasing its resources. */
+    void complete(PimOpHandle handle);
+
+    /** @return true once complete() was called on the handle. */
+    bool queryComplete(PimOpHandle handle) const;
+
+    /** @return location info for a live operation. */
+    PimLocation queryLocation(PimOpHandle handle) const;
+
+    /** Banks covering [base, base+bytes) in the stack. */
+    std::vector<std::uint32_t>
+    dataBanks(hpim::mem::Addr base, std::uint64_t bytes) const;
+
+  private:
+    struct LiveOp
+    {
+        PimLocation location;
+        /** (bank, units) acquisitions to release on completion. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> grants;
+    };
+
+    hpim::pim::StatusRegisterFile &_regs;
+    const hpim::mem::AddressMapping &_mapping;
+    std::map<PimOpHandle, LiveOp> _live;
+    std::uint64_t _next_handle = 1;
+};
+
+} // namespace hpim::cl
+
+#endif // HPIM_CL_LOWLEVEL_API_HH

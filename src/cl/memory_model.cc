@@ -1,0 +1,86 @@
+#include "cl/memory_model.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+SharedGlobalMemory::SharedGlobalMemory(std::uint64_t capacity_bytes)
+    : _capacity(capacity_bytes)
+{
+    fatal_if(capacity_bytes == 0, "global memory capacity is zero");
+}
+
+GlobalBuffer
+SharedGlobalMemory::alloc(std::uint64_t bytes, const std::string &label)
+{
+    fatal_if(_brk + bytes > _capacity, "global memory exhausted: ",
+             _brk + bytes, " > ", _capacity, " allocating '", label, "'");
+    GlobalBuffer buf;
+    buf.id = _next_id++;
+    buf.base = _brk;
+    buf.bytes = bytes;
+    buf.label = label;
+    _brk += bytes;
+    return buf;
+}
+
+void
+SharedGlobalMemory::freeTo(const GlobalBuffer &buffer)
+{
+    panic_if(buffer.base > _brk, "freeTo target beyond the break");
+    _brk = buffer.base;
+    // Pending writes to freed buffers are dropped.
+    for (auto it = _pending.begin(); it != _pending.end();) {
+        if (it->first >= buffer.id)
+            it = _pending.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+SharedGlobalMemory::recordWrite(Agent agent, const GlobalBuffer &buffer)
+{
+    _pending[buffer.id] = agent;
+}
+
+void
+SharedGlobalMemory::kernelEpochEnd(Agent agent)
+{
+    for (auto it = _pending.begin(); it != _pending.end();) {
+        if (it->second == agent) {
+            it = _pending.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    ++_flushes;
+}
+
+bool
+SharedGlobalMemory::visible(const GlobalBuffer &buffer) const
+{
+    return _pending.find(buffer.id) == _pending.end();
+}
+
+bool
+GlobalLock::tryAcquire(Agent agent)
+{
+    if (_held) {
+        ++_contention;
+        return false;
+    }
+    _held = true;
+    _owner = agent;
+    return true;
+}
+
+void
+GlobalLock::release(Agent agent)
+{
+    panic_if(!_held, "releasing an unheld lock");
+    panic_if(_owner != agent, "lock released by a non-owner agent");
+    _held = false;
+}
+
+} // namespace hpim::cl

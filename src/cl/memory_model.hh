@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The extended memory model (paper Table II, SectionIII-B).
+ *
+ * A single global memory shared by the host and all PIMs in one
+ * physical address space -- no data copies around kernel calls.
+ * Consistency is relaxed: a fixed-function PIM's updates become
+ * visible to other agents only at the end of the kernel call
+ * (epoch boundaries). Explicit synchronization objects (barriers and
+ * global lock variables) order accesses between CPU and PIMs.
+ */
+
+#ifndef HPIM_CL_MEMORY_MODEL_HH
+#define HPIM_CL_MEMORY_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/address_mapping.hh"
+
+namespace hpim::cl {
+
+/** A buffer allocated in the shared global memory. */
+struct GlobalBuffer
+{
+    std::uint64_t id = 0;
+    hpim::mem::Addr base = 0;
+    std::uint64_t bytes = 0;
+    std::string label;
+};
+
+/** Memory agents for visibility tracking. */
+enum class Agent { Host, ProgrPim, FixedPim };
+
+/**
+ * The shared global memory: a bump allocator over the stack's address
+ * space plus epoch-based visibility tracking for the relaxed
+ * consistency model.
+ */
+class SharedGlobalMemory
+{
+  public:
+    explicit SharedGlobalMemory(std::uint64_t capacity_bytes);
+
+    /** Allocate @p bytes; fatal on exhaustion. */
+    GlobalBuffer alloc(std::uint64_t bytes, const std::string &label);
+
+    /** Free the most recent allocations down to @p buffer (stack-like). */
+    void freeTo(const GlobalBuffer &buffer);
+
+    std::uint64_t allocatedBytes() const { return _brk; }
+    std::uint64_t capacity() const { return _capacity; }
+
+    // --- Relaxed consistency -------------------------------------
+    /** Record a write by @p agent to @p buffer (pending this epoch). */
+    void recordWrite(Agent agent, const GlobalBuffer &buffer);
+
+    /**
+     * End a fixed-function / programmable kernel: the agent's pending
+     * writes become globally visible (paper: "the local view ... is
+     * only guaranteed to be consistent right after the kernel call").
+     */
+    void kernelEpochEnd(Agent agent);
+
+    /** @return true if @p buffer's latest write is visible to all. */
+    bool visible(const GlobalBuffer &buffer) const;
+
+    /** Number of epoch flushes performed (sync accounting). */
+    std::uint64_t epochFlushes() const { return _flushes; }
+
+  private:
+    std::uint64_t _capacity;
+    std::uint64_t _brk = 0;
+    std::uint64_t _next_id = 1;
+    /** buffer id -> pending-writer agent (if not yet visible). */
+    std::map<std::uint64_t, Agent> _pending;
+    std::uint64_t _flushes = 0;
+};
+
+/** A global lock variable shared between CPU and PIMs. */
+class GlobalLock
+{
+  public:
+    /** Try to take the lock for @p agent. */
+    bool tryAcquire(Agent agent);
+    /** Release; panics when not held by @p agent. */
+    void release(Agent agent);
+    bool held() const { return _held; }
+    std::uint64_t contentionCount() const { return _contention; }
+
+  private:
+    bool _held = false;
+    Agent _owner = Agent::Host;
+    std::uint64_t _contention = 0;
+};
+
+} // namespace hpim::cl
+
+#endif // HPIM_CL_MEMORY_MODEL_HH

@@ -1,0 +1,83 @@
+#include "cl/platform.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hpim::cl {
+
+CommandQueue::CommandQueue(Platform &platform, ComputeDevice &device)
+    : _platform(platform), _device(device)
+{
+}
+
+std::shared_ptr<ClEvent>
+CommandQueue::enqueue(const Kernel &kernel,
+                      std::vector<std::shared_ptr<ClEvent>> wait_list)
+{
+    fatal_if(!_device.supports(kernel.offloadClass()),
+             "device '", _device.name(), "' cannot run kernel '",
+             kernel.name, "' of class ",
+             static_cast<int>(kernel.offloadClass()));
+    auto event = std::make_shared<ClEvent>();
+    event->id = _platform.nextEventId();
+    _pending.push_back(PendingCmd{kernel, event, std::move(wait_list)});
+    return event;
+}
+
+void
+CommandQueue::finish(const KernelTimingFn &timing)
+{
+    // In-order queue: each command starts when the device is free and
+    // all its wait-list events have completed.
+    for (PendingCmd &cmd : _pending) {
+        double ready = _device_time;
+        for (const auto &wait : cmd.waits) {
+            panic_if(wait->status != EventStatus::Complete,
+                     "wait-list event ", wait->id,
+                     " not complete; cross-queue finish ordering bug");
+            ready = std::max(ready, wait->endSec);
+        }
+        double dur = timing(cmd.kernel, _device);
+        cmd.event->status = EventStatus::Complete;
+        cmd.event->startSec = ready;
+        cmd.event->endSec = ready + dur;
+        _device_time = cmd.event->endSec;
+    }
+    _pending.clear();
+}
+
+Platform::Platform(std::uint64_t global_memory_bytes)
+    : _memory(global_memory_bytes)
+{
+}
+
+ComputeDevice &
+Platform::addDevice(const std::string &name, DeviceKind kind,
+                    std::uint32_t compute_units,
+                    std::uint32_t pes_per_unit)
+{
+    _devices.push_back(std::make_unique<ComputeDevice>(
+        name, kind, compute_units, pes_per_unit));
+    return *_devices.back();
+}
+
+CommandQueue &
+Platform::createQueue(ComputeDevice &device)
+{
+    _queues.push_back(std::make_unique<CommandQueue>(*this, device));
+    return *_queues.back();
+}
+
+std::vector<ComputeDevice *>
+Platform::devicesByKind(DeviceKind kind)
+{
+    std::vector<ComputeDevice *> out;
+    for (auto &dev : _devices) {
+        if (dev->kind() == kind)
+            out.push_back(dev.get());
+    }
+    return out;
+}
+
+} // namespace hpim::cl

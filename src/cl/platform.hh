@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Platform + command queues + events for the extended OpenCL model.
+ *
+ * The Platform owns the device list (host CPU, fixed-function PIM
+ * device, programmable PIM device). CommandQueues record kernel
+ * enqueues with dependences; finish() resolves a per-device serial
+ * timeline using a caller-supplied timing function, filling events.
+ * The full heterogeneous runtime (hpim::rt) supersedes this simple
+ * in-order execution, but this layer is what user programs see.
+ */
+
+#ifndef HPIM_CL_PLATFORM_HH
+#define HPIM_CL_PLATFORM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cl/device.hh"
+#include "cl/kernel.hh"
+#include "cl/memory_model.hh"
+
+namespace hpim::cl {
+
+/** Completion state of an enqueued command. */
+enum class EventStatus { Queued, Running, Complete };
+
+/** An OpenCL-style event. */
+struct ClEvent
+{
+    std::uint64_t id = 0;
+    EventStatus status = EventStatus::Queued;
+    double startSec = 0.0;
+    double endSec = 0.0;
+};
+
+/** Timing oracle: seconds a kernel takes on a device. */
+using KernelTimingFn =
+    std::function<double(const Kernel &, const ComputeDevice &)>;
+
+class Platform;
+
+/** A command queue attached to one device. */
+class CommandQueue
+{
+  public:
+    CommandQueue(Platform &platform, ComputeDevice &device);
+
+    /**
+     * Enqueue a kernel after the given events complete.
+     * @return the completion event handle
+     */
+    std::shared_ptr<ClEvent>
+    enqueue(const Kernel &kernel,
+            std::vector<std::shared_ptr<ClEvent>> wait_list = {});
+
+    /** Resolve all queued kernels to completion times. */
+    void finish(const KernelTimingFn &timing);
+
+    /** Device time after the last finished command. */
+    double deviceTimeSec() const { return _device_time; }
+
+    const ComputeDevice &device() const { return _device; }
+    std::size_t pending() const { return _pending.size(); }
+
+  private:
+    struct PendingCmd
+    {
+        Kernel kernel;
+        std::shared_ptr<ClEvent> event;
+        std::vector<std::shared_ptr<ClEvent>> waits;
+    };
+
+    Platform &_platform;
+    ComputeDevice &_device;
+    std::vector<PendingCmd> _pending;
+    double _device_time = 0.0;
+};
+
+/** The platform: host + heterogeneous accelerator devices. */
+class Platform
+{
+  public:
+    /**
+     * @param global_memory_bytes capacity of the shared global memory
+     */
+    explicit Platform(std::uint64_t global_memory_bytes);
+
+    /** Register a device; the platform owns it. */
+    ComputeDevice &addDevice(const std::string &name, DeviceKind kind,
+                             std::uint32_t compute_units,
+                             std::uint32_t pes_per_unit);
+
+    /** Create a command queue on @p device. */
+    CommandQueue &createQueue(ComputeDevice &device);
+
+    /** Devices of a given kind. */
+    std::vector<ComputeDevice *> devicesByKind(DeviceKind kind);
+
+    const std::vector<std::unique_ptr<ComputeDevice>> &devices() const
+    { return _devices; }
+    SharedGlobalMemory &globalMemory() { return _memory; }
+
+    std::uint64_t nextEventId() { return _next_event_id++; }
+
+  private:
+    std::vector<std::unique_ptr<ComputeDevice>> _devices;
+    std::vector<std::unique_ptr<CommandQueue>> _queues;
+    SharedGlobalMemory _memory;
+    std::uint64_t _next_event_id = 1;
+};
+
+} // namespace hpim::cl
+
+#endif // HPIM_CL_PLATFORM_HH

@@ -1,0 +1,19 @@
+#include "cpu/cpu_model.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::cpu {
+
+OpTiming
+CpuModel::opTiming(const hpim::nn::CostStructure &cost) const
+{
+    OpTiming t;
+    double flop_time = cost.flops() / _params.flopsPerSec;
+    double special_time = cost.specials / _params.specialsPerSec;
+    t.computeSec = flop_time + special_time;
+    t.memorySec = cost.bytes() / _params.memBandwidth;
+    t.overheadSec = _params.opOverheadSec;
+    return t;
+}
+
+} // namespace hpim::cpu

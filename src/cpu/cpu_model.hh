@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Analytic host-CPU timing/power model (Xeon E5-2630 v3-like,
+ * paper Table IV).
+ *
+ * Per-op time follows a roofline: max(compute, special-op, memory)
+ * plus a fixed framework dispatch overhead. Memory time uses the
+ * effective main-memory bandwidth -- DDR4 when the host owns its own
+ * DIMMs, or the stack's external links when main memory is the cube
+ * (PIM system configurations).
+ */
+
+#ifndef HPIM_CPU_CPU_MODEL_HH
+#define HPIM_CPU_CPU_MODEL_HH
+
+#include "nn/op_cost.hh"
+
+namespace hpim::cpu {
+
+/** CPU model parameters. */
+struct CpuParams
+{
+    double frequencyHz = 2.4e9;
+    int cores = 8;
+    /** Sustained FP32 multiply/add throughput (whole socket;
+     *  8 Haswell cores x AVX2 FMA at ~50% efficiency). */
+    double flopsPerSec = 180e9;
+    /** Sustained special-op (compare/exp/gather) throughput. */
+    double specialsPerSec = 40e9;
+    /** Effective main-memory bandwidth, bytes/s. */
+    double memBandwidth = 50e9;
+    /** Per-operation framework dispatch overhead, seconds. */
+    double opOverheadSec = 25e-6;
+    /** Dynamic power under load (socket + DIMM I/O), watts. */
+    double dynamicPowerW = 65.0;
+    /** Idle power: package + uncore + DIMM refresh while the host
+     *  waits on accelerators. Counted against every configuration
+     *  because the paper evaluates full-system power. */
+    double idlePowerW = 35.0;
+};
+
+/** Time components of one op execution. */
+struct OpTiming
+{
+    double computeSec = 0.0;  ///< FP + special work at full throughput
+    double memorySec = 0.0;   ///< DRAM traffic at effective bandwidth
+    double overheadSec = 0.0; ///< dispatch overhead
+
+    /** Total wall time: overlapped compute/memory + overhead. */
+    double
+    totalSec() const
+    {
+        double core = computeSec > memorySec ? computeSec : memorySec;
+        return core + overheadSec;
+    }
+
+    /** Memory stall time not hidden by compute. */
+    double
+    exposedMemorySec() const
+    {
+        return memorySec > computeSec ? memorySec - computeSec : 0.0;
+    }
+};
+
+/** The host CPU. */
+class CpuModel
+{
+  public:
+    explicit CpuModel(const CpuParams &params = CpuParams{})
+        : _params(params)
+    {}
+
+    /** @return timing of @p cost executed with full-socket resources. */
+    OpTiming opTiming(const hpim::nn::CostStructure &cost) const;
+
+    /** Convenience: total seconds for @p cost. */
+    double opSeconds(const hpim::nn::CostStructure &cost) const
+    { return opTiming(cost).totalSec(); }
+
+    /**
+     * Main-memory accesses (64B lines) an op generates -- the
+     * profiler's second metric (paper SectionIII-C step 1).
+     */
+    double mainMemoryAccesses(const hpim::nn::CostStructure &cost) const
+    { return cost.bytes() / 64.0; }
+
+    const CpuParams &params() const { return _params; }
+
+    /** Replace the memory bandwidth (PIM systems: external links). */
+    void setMemBandwidth(double bytes_per_sec)
+    { _params.memBandwidth = bytes_per_sec; }
+
+  private:
+    CpuParams _params;
+};
+
+} // namespace hpim::cpu
+
+#endif // HPIM_CPU_CPU_MODEL_HH

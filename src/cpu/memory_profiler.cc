@@ -1,0 +1,82 @@
+#include "cpu/memory_profiler.hh"
+
+namespace hpim::cpu {
+
+using hpim::nn::Graph;
+using hpim::nn::Operation;
+
+MemoryProfile
+MemoryProfiler::profileOp(const Operation &op,
+                          hpim::cache::CacheHierarchy &hierarchy)
+{
+    MemoryProfile profile;
+    profile.id = op.id;
+    profile.type = op.type;
+
+    TraceGenerator gen(_trace_config);
+    // Each op works on its own region of the address space so that
+    // consecutive ops interact only through shared cache capacity.
+    auto trace = gen.generate(op.type, op.cost,
+                              _next_base);
+    _next_base += 1ULL << 32;
+
+    std::uint64_t misses = 0;
+    mem::HmcStack *stack = nullptr;
+    mem::HmcStack replay_stack{mem::HmcConfig{}};
+    if (_replay_dram)
+        stack = &replay_stack;
+
+    for (const auto &req : trace) {
+        auto result = hierarchy.access(req.addr, req.type);
+        if (result.mainMemory) {
+            ++misses;
+            if (stack) {
+                mem::MemoryRequest miss = req;
+                miss.addr %= stack->capacity();
+                stack->enqueue(miss);
+            }
+        }
+    }
+
+    double scale = gen.scale();
+    profile.issuedAccesses =
+        static_cast<double>(trace.size()) * scale;
+    profile.mainMemoryAccesses = static_cast<double>(misses) * scale;
+    profile.missFactor =
+        trace.empty() ? 0.0
+                      : static_cast<double>(misses)
+                            / static_cast<double>(trace.size());
+
+    if (stack && misses > 0) {
+        stack->drainAll();
+        std::uint64_t hits = 0, opens = 0;
+        for (std::uint32_t v = 0; v < stack->vaultCount(); ++v) {
+            for (std::uint32_t b = 0;
+                 b < stack->vault(v).bankCount(); ++b) {
+                const auto &c = stack->vault(v).bank(b).counters();
+                hits += c.rowHits;
+                opens += c.rowHits + c.rowMisses + c.rowConflicts;
+            }
+        }
+        profile.rowHitRate =
+            opens == 0 ? 0.0
+                       : static_cast<double>(hits)
+                             / static_cast<double>(opens);
+    }
+    return profile;
+}
+
+MemoryProfileReport
+MemoryProfiler::profileGraph(const Graph &graph)
+{
+    MemoryProfileReport report;
+    auto hierarchy = hpim::cache::CacheHierarchy::xeonLike();
+    for (const Operation &op : graph.ops()) {
+        MemoryProfile p = profileOp(op, hierarchy);
+        report.totalMainMemoryAccesses += p.mainMemoryAccesses;
+        report.ops.push_back(p);
+    }
+    return report;
+}
+
+} // namespace hpim::cpu

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Empirical (trace-driven) per-operation memory profiling.
+ *
+ * The analytic cost model charges each op its compulsory traffic.
+ * This profiler measures instead: it replays a synthetic trace of the
+ * op through the host cache hierarchy (as the paper's Pin-based flow
+ * measured real runs through real caches) and reports the observed
+ * main-memory accesses, the cache-filtering factor, and -- optionally
+ * -- the DRAM row-buffer behaviour by draining the misses through an
+ * HMC stack.
+ */
+
+#ifndef HPIM_CPU_MEMORY_PROFILER_HH
+#define HPIM_CPU_MEMORY_PROFILER_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "cpu/trace_generator.hh"
+#include "mem/hmc_stack.hh"
+#include "nn/graph.hh"
+
+namespace hpim::cpu {
+
+/** Measured memory behaviour of one op. */
+struct MemoryProfile
+{
+    hpim::nn::OpId id = hpim::nn::invalidOp;
+    hpim::nn::OpType type = hpim::nn::OpType::MatMul;
+    /** Trace lines issued (after sampling rescale). */
+    double issuedAccesses = 0.0;
+    /** Accesses that missed the whole hierarchy (rescaled). */
+    double mainMemoryAccesses = 0.0;
+    /** mainMemory / issued: 1.0 = caches filter nothing. */
+    double missFactor = 0.0;
+    /** Fraction of DRAM requests that hit an open row (when the
+     *  stack replay is enabled; 0 otherwise). */
+    double rowHitRate = 0.0;
+};
+
+/** Whole-graph measurement. */
+struct MemoryProfileReport
+{
+    std::vector<MemoryProfile> ops;
+    double totalMainMemoryAccesses = 0.0;
+};
+
+/** Trace-driven memory profiler. */
+class MemoryProfiler
+{
+  public:
+    /**
+     * @param trace_config sampling configuration
+     * @param replay_dram when true, misses are drained through an
+     *        HMC stack to measure row-buffer locality (slower)
+     */
+    explicit MemoryProfiler(const TraceConfig &trace_config =
+                                TraceConfig{},
+                            bool replay_dram = false)
+        : _trace_config(trace_config), _replay_dram(replay_dram)
+    {}
+
+    /**
+     * Measure one op.
+     * @param op the operation
+     * @param hierarchy cache hierarchy to filter through (state is
+     *        carried across calls, like a real run)
+     */
+    MemoryProfile profileOp(const hpim::nn::Operation &op,
+                            hpim::cache::CacheHierarchy &hierarchy);
+
+    /** Measure every op of a step, one by one on a fresh hierarchy
+     *  (inter-op parallelism disabled, paper SectionII-A). */
+    MemoryProfileReport profileGraph(const hpim::nn::Graph &graph);
+
+  private:
+    TraceConfig _trace_config;
+    bool _replay_dram;
+    std::uint64_t _next_base = 0;
+};
+
+} // namespace hpim::cpu
+
+#endif // HPIM_CPU_MEMORY_PROFILER_HH

@@ -1,0 +1,97 @@
+#include "cpu/trace_generator.hh"
+
+#include <algorithm>
+
+namespace hpim::cpu {
+
+using hpim::mem::AccessType;
+using hpim::mem::Addr;
+using hpim::mem::MemoryRequest;
+using hpim::nn::OpType;
+
+AccessPattern
+accessPattern(OpType type)
+{
+    switch (type) {
+      case OpType::MatMul:
+      case OpType::Conv2D:
+      case OpType::Conv2DBackpropFilter:
+      case OpType::Conv2DBackpropInput:
+      case OpType::MatMulGradWeights:
+      case OpType::MatMulGradInputs:
+      case OpType::LstmCell:
+      case OpType::LstmCellGrad:
+        return AccessPattern::Strided;
+      case OpType::EmbeddingLookup:
+      case OpType::EmbeddingGrad:
+      case OpType::Dropout:
+      case OpType::DropoutGrad:
+      case OpType::NceLoss:
+      case OpType::MaxPoolGrad:
+        return AccessPattern::Random;
+      default:
+        return AccessPattern::Streaming;
+    }
+}
+
+std::vector<MemoryRequest>
+TraceGenerator::generate(OpType type, const hpim::nn::CostStructure &cost,
+                         Addr base)
+{
+    AccessPattern pattern = accessPattern(type);
+
+    auto total_lines = static_cast<std::uint64_t>(
+        cost.bytes() / _config.lineBytes);
+    total_lines = std::max<std::uint64_t>(total_lines, 1);
+    std::uint64_t emit = std::min<std::uint64_t>(total_lines,
+                                                 _config.maxRequests);
+    _scale = static_cast<double>(total_lines)
+             / static_cast<double>(emit);
+
+    double write_fraction =
+        cost.bytes() > 0.0 ? cost.bytesWritten / cost.bytes() : 0.0;
+
+    std::vector<MemoryRequest> out;
+    out.reserve(emit);
+
+    Addr cursor = base;
+    const Addr stride = _config.lineBytes;
+    // Strided patterns revisit a tile: jump back every `tile` lines.
+    const std::uint64_t tile = 512;
+    const Addr region = total_lines * stride;
+
+    for (std::uint64_t i = 0; i < emit; ++i) {
+        MemoryRequest req;
+        req.id = _next_id++;
+        req.bytes = _config.lineBytes;
+        req.type = _rng.chance(write_fraction) ? AccessType::Write
+                                               : AccessType::Read;
+        req.arrival = 0;
+
+        switch (pattern) {
+          case AccessPattern::Streaming:
+            req.addr = cursor;
+            cursor += stride;
+            break;
+          case AccessPattern::Strided:
+            if (i % tile == tile - 1) {
+                // Jump to a new tile start.
+                cursor = base + (_rng.below(std::max<std::uint64_t>(
+                             total_lines / tile, 1)))
+                             * tile * stride;
+            } else {
+                cursor += stride;
+            }
+            req.addr = cursor;
+            break;
+          case AccessPattern::Random:
+            req.addr = base + _rng.below(std::max<Addr>(region, stride));
+            req.addr -= req.addr % stride;
+            break;
+        }
+        out.push_back(req);
+    }
+    return out;
+}
+
+} // namespace hpim::cpu

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic memory-trace generation.
+ *
+ * Substitutes for the paper's Pin-based trace collector: given an op's
+ * cost structure, emits a deterministic address stream with the op's
+ * streaming/strided/random mix, suitable for driving the cache
+ * hierarchy and the HMC stack in trace-driven mode.
+ */
+
+#ifndef HPIM_CPU_TRACE_GENERATOR_HH
+#define HPIM_CPU_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_request.hh"
+#include "nn/op_cost.hh"
+#include "nn/op_type.hh"
+#include "sim/rng.hh"
+
+namespace hpim::cpu {
+
+/** Access-pattern class of an op's traffic. */
+enum class AccessPattern
+{
+    Streaming, ///< unit-stride over the tensors (elementwise, bias)
+    Strided,   ///< blocked walks (conv/matmul tiles)
+    Random,    ///< gather/scatter (embedding, dropout masks)
+};
+
+/** @return the dominant pattern for an op type. */
+AccessPattern accessPattern(hpim::nn::OpType type);
+
+/** Configuration of the trace generator. */
+struct TraceConfig
+{
+    std::uint32_t lineBytes = 64;
+    /** Cap on generated requests per op (sampling factor applied). */
+    std::size_t maxRequests = 100000;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Generates a memory request stream for one op.
+ *
+ * The stream is a *sample* of the op's true traffic: when the op
+ * touches more lines than maxRequests, a proportional sample is
+ * produced and `scale()` reports the ratio so counts can be rescaled.
+ */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceConfig &config = TraceConfig{})
+        : _config(config), _rng(config.seed)
+    {}
+
+    /**
+     * @param type op type (selects the pattern)
+     * @param cost traffic volume
+     * @param base base address of the op's working set
+     * @return sampled request stream with arrival tick 0
+     */
+    std::vector<hpim::mem::MemoryRequest>
+    generate(hpim::nn::OpType type, const hpim::nn::CostStructure &cost,
+             hpim::mem::Addr base = 0);
+
+    /** @return 1/sampling-rate of the last generate() call. */
+    double scale() const { return _scale; }
+
+  private:
+    TraceConfig _config;
+    hpim::sim::Rng _rng;
+    double _scale = 1.0;
+    std::uint64_t _next_id = 0;
+};
+
+} // namespace hpim::cpu
+
+#endif // HPIM_CPU_TRACE_GENERATOR_HH

@@ -1,0 +1,61 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hpim::gpu {
+
+using hpim::nn::Graph;
+using hpim::nn::Operation;
+
+double
+GpuModel::workingSetBytes(const Graph &graph)
+{
+    // Activations + gradients kept resident for the backward pass:
+    // approximate with ~40% of the bytes written across the whole
+    // step (forward activations are retained; transients are not).
+    return graph.totalCost().bytesWritten * 0.36;
+}
+
+GpuStepReport
+GpuModel::runStep(const Graph &graph, double utilization,
+                  double input_bytes) const
+{
+    fatal_if(utilization <= 0.0 || utilization > 1.0,
+             "GPU utilization must be in (0, 1], got ", utilization);
+
+    GpuStepReport report;
+    double eff_flops =
+        _params.peakFlops * utilization * _params.kernelEfficiency;
+    double eff_specials =
+        _params.peakFlops * _params.specialsFraction * utilization;
+
+    for (const Operation &op : graph.ops()) {
+        double comp = op.cost.flops() / eff_flops
+                      + op.cost.specials / eff_specials;
+        double mem = op.cost.bytes() / _params.memBandwidth;
+        report.opSec += std::max(comp, mem);
+        report.syncSec += _params.launchOverheadSec;
+    }
+
+    // Minibatch input transfer, partially hidden by compute.
+    report.dataMovementSec +=
+        (input_bytes / _params.pcieBandwidth)
+        * (1.0 - _params.transferOverlap);
+
+    // Capacity spills: working set beyond device memory crosses PCIe
+    // twice (evict + refetch) per step and is not hidden.
+    double ws = workingSetBytes(graph);
+    if (ws > _params.memCapacityBytes) {
+        double spill = ws - _params.memCapacityBytes;
+        report.dataMovementSec += 2.0 * spill / _params.pcieBandwidth;
+    }
+
+    double total = report.totalSec();
+    report.powerW = _params.dynamicPowerW + _params.hostPowerW;
+    report.energyJ = report.powerW * total;
+    return report;
+}
+
+} // namespace hpim::gpu

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic GPU baseline (GTX 1080 Ti-like, paper Table IV / SectionV-D).
+ *
+ * Models per-op kernel time from peak throughput derated by the
+ * per-model utilization the paper measured (SectionV-D), kernel launch
+ * overheads, PCIe minibatch transfer with partial compute overlap, and
+ * device-memory capacity: working sets beyond 11 GB spill over PCIe
+ * every step (this is why Hetero PIM beats the GPU on ResNet-50).
+ */
+
+#ifndef HPIM_GPU_GPU_MODEL_HH
+#define HPIM_GPU_GPU_MODEL_HH
+
+#include "nn/graph.hh"
+
+namespace hpim::gpu {
+
+/** GPU hardware/system parameters. */
+struct GpuParams
+{
+    double peakFlops = 11.3e12;       ///< FP32 peak
+    /** Kernel efficiency: fraction of (peak x utilization) cuDNN
+     *  kernels sustain on training layers. */
+    double kernelEfficiency = 0.75;
+    double specialsFraction = 0.125;  ///< SFU throughput vs FP peak
+    double memBandwidth = 400e9;      ///< effective GDDR5X
+    double pcieBandwidth = 12e9;      ///< effective x16 Gen3
+    double launchOverheadSec = 5e-6;  ///< per kernel
+    double memCapacityBytes = 11.0e9; ///< 11 GB GDDR5X
+    /** Fraction of input-transfer time hidden under compute. */
+    double transferOverlap = 0.70;
+    double dynamicPowerW = 185.0;     ///< board under training load
+    double hostPowerW = 30.0;         ///< host feeding the GPU
+};
+
+/** Step-time breakdown for a GPU run (paper Fig. 8 categories). */
+struct GpuStepReport
+{
+    double opSec = 0.0;           ///< kernel compute time
+    double dataMovementSec = 0.0; ///< unhidden PCIe + spills
+    double syncSec = 0.0;         ///< kernel launches / host sync
+    double totalSec() const { return opSec + dataMovementSec + syncSec; }
+    double energyJ = 0.0;         ///< full-system dynamic energy
+    double powerW = 0.0;          ///< average full-system power
+};
+
+/** The GPU device model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuParams &params = GpuParams{})
+        : _params(params)
+    {}
+
+    /**
+     * Simulate one training step.
+     *
+     * @param graph the step graph
+     * @param utilization achieved SM utilization in (0, 1]
+     *        (paper SectionV-D per-model averages)
+     * @param input_bytes minibatch bytes moved host->device per step
+     */
+    GpuStepReport runStep(const hpim::nn::Graph &graph,
+                          double utilization,
+                          double input_bytes) const;
+
+    /** Working-set estimate used for the capacity/spill model. */
+    static double workingSetBytes(const hpim::nn::Graph &graph);
+
+    const GpuParams &params() const { return _params; }
+
+  private:
+    GpuParams _params;
+};
+
+} // namespace hpim::gpu
+
+#endif // HPIM_GPU_GPU_MODEL_HH

@@ -1,0 +1,69 @@
+#include "harness/report_io.hh"
+
+#include <iomanip>
+
+namespace hpim::harness {
+
+using hpim::rt::ExecutionReport;
+using hpim::rt::placedOnName;
+
+void
+writeCsvHeader(std::ostream &os)
+{
+    os << "config,workload,steps,step_s,op_s,data_movement_s,sync_s,"
+          "cpu_busy_s,progr_busy_s,fixed_unit_s,fixed_utilization,"
+          "host_launches,recursive_launches,link_bytes,"
+          "internal_bytes,energy_per_step_j,avg_power_w,edp\n";
+}
+
+void
+writeCsvRow(std::ostream &os, const ExecutionReport &report)
+{
+    os << std::setprecision(9) << report.configName << ','
+       << report.workloadName << ',' << report.stepsSimulated << ','
+       << report.stepSec << ',' << report.opSec << ','
+       << report.dataMovementSec << ',' << report.syncSec << ','
+       << report.cpuBusySec << ',' << report.progrBusySec << ','
+       << report.fixedUnitSeconds << ',' << report.fixedUtilization
+       << ',' << report.hostLaunches << ','
+       << report.recursiveLaunches << ',' << report.linkBytes << ','
+       << report.internalBytes << ',' << report.energyPerStepJ << ','
+       << report.averagePowerW << ',' << report.edp << '\n';
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<ExecutionReport> &reports)
+{
+    writeCsvHeader(os);
+    for (const auto &report : reports)
+        writeCsvRow(os, report);
+}
+
+void
+writeJson(std::ostream &os, const ExecutionReport &report)
+{
+    os << std::setprecision(9) << "{"
+       << "\"config\":\"" << report.configName << "\","
+       << "\"workload\":\"" << report.workloadName << "\","
+       << "\"steps\":" << report.stepsSimulated << ","
+       << "\"step_s\":" << report.stepSec << ","
+       << "\"breakdown\":{"
+       << "\"op_s\":" << report.opSec << ","
+       << "\"data_movement_s\":" << report.dataMovementSec << ","
+       << "\"sync_s\":" << report.syncSec << "},"
+       << "\"fixed_utilization\":" << report.fixedUtilization << ","
+       << "\"energy_per_step_j\":" << report.energyPerStepJ << ","
+       << "\"avg_power_w\":" << report.averagePowerW << ","
+       << "\"edp\":" << report.edp << ","
+       << "\"placements\":{";
+    bool first = true;
+    for (const auto &[placement, count] : report.opsByPlacement) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\"" << placedOnName(placement) << "\":" << count;
+    }
+    os << "}}";
+}
+
+} // namespace hpim::harness

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ExecutionReport serialization: CSV rows (for plotting scripts) and
+ * a small JSON object (for dashboards / regression tracking).
+ */
+
+#ifndef HPIM_HARNESS_REPORT_IO_HH
+#define HPIM_HARNESS_REPORT_IO_HH
+
+#include <ostream>
+#include <vector>
+
+#include "rt/execution_report.hh"
+
+namespace hpim::harness {
+
+/** Write the CSV header matching reportToCsvRow(). */
+void writeCsvHeader(std::ostream &os);
+
+/** Write one report as a CSV row. */
+void writeCsvRow(std::ostream &os,
+                 const hpim::rt::ExecutionReport &report);
+
+/** Write a batch of reports as one CSV document. */
+void writeCsv(std::ostream &os,
+              const std::vector<hpim::rt::ExecutionReport> &reports);
+
+/** Write one report as a JSON object. */
+void writeJson(std::ostream &os,
+               const hpim::rt::ExecutionReport &report);
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_REPORT_IO_HH

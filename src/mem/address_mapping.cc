@@ -1,0 +1,80 @@
+#include "mem/address_mapping.hh"
+
+#include <bit>
+
+namespace hpim::mem {
+
+std::string
+interleaveName(Interleave il)
+{
+    switch (il) {
+      case Interleave::RoBaVaCo: return "RoBaVaCo";
+      case Interleave::RoVaBaCo: return "RoVaBaCo";
+      case Interleave::VaBaRoCo: return "VaBaRoCo";
+    }
+    return "?";
+}
+
+std::uint32_t
+AddressMapping::log2Exact(std::uint32_t v, const char *what)
+{
+    fatal_if(v == 0 || (v & (v - 1)) != 0,
+             what, " must be a power of two, got ", v);
+    return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+AddressMapping::AddressMapping(std::uint32_t vaults, std::uint32_t banks,
+                               std::uint32_t rows, std::uint32_t row_bytes,
+                               Interleave il)
+    : _vaults(vaults), _banks(banks), _rows(rows), _row_bytes(row_bytes),
+      _il(il)
+{
+    _vault_bits = log2Exact(vaults, "vault count");
+    _bank_bits = log2Exact(banks, "bank count");
+    _row_bits = log2Exact(rows, "row count");
+    _col_bits = log2Exact(row_bytes, "row byte size");
+}
+
+std::uint64_t
+AddressMapping::capacity() const
+{
+    return std::uint64_t(_vaults) * _banks * _rows * _row_bytes;
+}
+
+DramCoord
+AddressMapping::decompose(Addr addr) const
+{
+    Addr a = addr % capacity();
+
+    auto take = [&a](std::uint32_t bits) {
+        std::uint32_t field =
+            static_cast<std::uint32_t>(a & ((1ULL << bits) - 1));
+        a >>= bits;
+        return field;
+    };
+
+    DramCoord c{};
+    switch (_il) {
+      case Interleave::RoBaVaCo:
+        c.column = take(_col_bits);
+        c.vault = take(_vault_bits);
+        c.bank = take(_bank_bits);
+        c.row = take(_row_bits);
+        break;
+      case Interleave::RoVaBaCo:
+        c.column = take(_col_bits);
+        c.bank = take(_bank_bits);
+        c.vault = take(_vault_bits);
+        c.row = take(_row_bits);
+        break;
+      case Interleave::VaBaRoCo:
+        c.column = take(_col_bits);
+        c.row = take(_row_bits);
+        c.bank = take(_bank_bits);
+        c.vault = take(_vault_bits);
+        break;
+    }
+    return c;
+}
+
+} // namespace hpim::mem

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Decomposes a flat physical address into (vault, bank, row, column)
+ * using power-of-two field widths. The interleaving order determines
+ * how sequential streams spread across vaults -- PIM locality (mapping
+ * operations next to their input banks, paper SectionIV-D) depends on it.
+ */
+
+#ifndef HPIM_MEM_ADDRESS_MAPPING_HH
+#define HPIM_MEM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace hpim::mem {
+
+/** Physical memory address. */
+using Addr = std::uint64_t;
+
+/** Coordinates of one DRAM access. */
+struct DramCoord
+{
+    std::uint32_t vault;
+    std::uint32_t bank;
+    std::uint32_t row;
+    std::uint32_t column;
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return vault == o.vault && bank == o.bank && row == o.row
+               && column == o.column;
+    }
+};
+
+/** Field interleaving order, lowest-order field first. */
+enum class Interleave
+{
+    /** row : bank : vault : column -- sequential data stripes vaults. */
+    RoBaVaCo,
+    /** row : vault : bank : column -- stripes banks within a vault. */
+    RoVaBaCo,
+    /** vault : bank : row : column -- keeps whole rows per vault. */
+    VaBaRoCo,
+};
+
+/** Parses/formats the interleave name ("RoBaVaCo" etc.). */
+std::string interleaveName(Interleave il);
+
+/**
+ * Address decomposer with power-of-two geometry.
+ */
+class AddressMapping
+{
+  public:
+    /**
+     * @param vaults number of vaults (power of two)
+     * @param banks banks per vault (power of two)
+     * @param rows rows per bank (power of two)
+     * @param row_bytes bytes per row (power of two)
+     * @param il interleaving order
+     */
+    AddressMapping(std::uint32_t vaults, std::uint32_t banks,
+                   std::uint32_t rows, std::uint32_t row_bytes,
+                   Interleave il);
+
+    /** @return coordinates for the given address (wraps over capacity). */
+    DramCoord decompose(Addr addr) const;
+
+    /** @return total capacity in bytes. */
+    std::uint64_t capacity() const;
+
+    std::uint32_t vaults() const { return _vaults; }
+    std::uint32_t banks() const { return _banks; }
+    std::uint32_t rows() const { return _rows; }
+    std::uint32_t rowBytes() const { return _row_bytes; }
+    Interleave interleave() const { return _il; }
+
+  private:
+    static std::uint32_t log2Exact(std::uint32_t v, const char *what);
+
+    std::uint32_t _vaults, _banks, _rows, _row_bytes;
+    std::uint32_t _vault_bits, _bank_bits, _row_bits, _col_bits;
+    Interleave _il;
+};
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_ADDRESS_MAPPING_HH

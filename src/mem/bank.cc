@@ -1,0 +1,81 @@
+#include "mem/bank.hh"
+
+#include <algorithm>
+
+namespace hpim::mem {
+
+using hpim::sim::Tick;
+
+Bank::Bank(const DramTiming &timing)
+    : _timing(timing)
+{
+}
+
+void
+Bank::precharge(Tick now)
+{
+    if (!_row_open)
+        return;
+    Tick pre_at = std::max(now, _next_precharge);
+    _row_open = false;
+    _next_activate = std::max(_next_activate,
+                              pre_at + Tick(_timing.tRP) * _timing.tCK);
+    ++_counters.precharges;
+}
+
+void
+Bank::refresh(Tick now)
+{
+    precharge(now);
+    Tick done = now + Tick(_timing.tRFC) * _timing.tCK;
+    _next_activate = std::max(_next_activate, done);
+    _next_column = std::max(_next_column, done);
+    ++_counters.refreshes;
+}
+
+Tick
+Bank::access(std::uint32_t row, AccessType type, Tick earliest)
+{
+    Tick t = earliest;
+
+    if (_row_open && _open_row == row) {
+        ++_counters.rowHits;
+    } else {
+        if (_row_open) {
+            ++_counters.rowConflicts;
+            // Precharge the wrong row first.
+            Tick pre_at = std::max(t, _next_precharge);
+            ++_counters.precharges;
+            _next_activate = std::max(
+                _next_activate, pre_at + Tick(_timing.tRP) * _timing.tCK);
+        } else {
+            ++_counters.rowMisses;
+        }
+        // Activate the target row.
+        Tick act_at = std::max(t, _next_activate);
+        ++_counters.activates;
+        _row_open = true;
+        _open_row = row;
+        _next_column = std::max(
+            _next_column, act_at + Tick(_timing.tRCD) * _timing.tCK);
+        _next_precharge = std::max(
+            _next_precharge, act_at + Tick(_timing.tRAS) * _timing.tCK);
+    }
+
+    // Issue the column command.
+    Tick col_at = std::max(t, _next_column);
+    Tick done;
+    if (type == AccessType::Read) {
+        ++_counters.reads;
+        done = col_at + Tick(_timing.tCL + _timing.tBurst) * _timing.tCK;
+    } else {
+        ++_counters.writes;
+        done = col_at + Tick(_timing.tBurst) * _timing.tCK;
+        _next_precharge = std::max(
+            _next_precharge, done + Tick(_timing.tWR) * _timing.tCK);
+    }
+    _next_column = col_at + Tick(_timing.tCCD) * _timing.tCK;
+    return done;
+}
+
+} // namespace hpim::mem

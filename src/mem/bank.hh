@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A single DRAM bank modelled as a row-buffer state machine.
+ *
+ * Tracks the open row and the earliest ticks at which the next
+ * activate / column access / precharge may occur, and counts the
+ * row-hit / row-miss / row-conflict breakdown plus command energy
+ * events that feed DramEnergyModel.
+ */
+
+#ifndef HPIM_MEM_BANK_HH
+#define HPIM_MEM_BANK_HH
+
+#include <cstdint>
+
+#include "mem/dram_timing.hh"
+#include "mem/memory_request.hh"
+
+namespace hpim::mem {
+
+/** Per-bank command/energy counters. */
+struct BankCounters
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;   ///< closed row, ACT needed
+    std::uint64_t rowConflicts = 0; ///< wrong row open, PRE+ACT needed
+    std::uint64_t refreshes = 0;
+};
+
+/** Row-buffer state machine for one bank. */
+class Bank
+{
+  public:
+    explicit Bank(const DramTiming &timing);
+
+    /**
+     * Service a single burst access to @p row.
+     *
+     * @param row target row
+     * @param type read or write
+     * @param earliest earliest allowed issue tick
+     * @return tick at which the burst's data completes
+     */
+    hpim::sim::Tick access(std::uint32_t row, AccessType type,
+                           hpim::sim::Tick earliest);
+
+    /** @return true if some row is open. */
+    bool rowOpen() const { return _row_open; }
+
+    /** @return the open row (valid only when rowOpen()). */
+    std::uint32_t openRow() const { return _open_row; }
+
+    /** Force-precharge the bank (e.g. refresh boundary). */
+    void precharge(hpim::sim::Tick now);
+
+    /**
+     * Refresh the bank at @p now: closes the row and blocks the bank
+     * for tRFC. Counted in BankCounters::refreshes.
+     */
+    void refresh(hpim::sim::Tick now);
+
+    const BankCounters &counters() const { return _counters; }
+
+    /** @return tick when the bank next becomes usable. */
+    hpim::sim::Tick readyAt() const { return _next_column; }
+
+    /** Replace the timing set (frequency scaling). Keeps counters. */
+    void setTiming(const DramTiming &timing) { _timing = timing; }
+
+  private:
+    DramTiming _timing;
+    bool _row_open = false;
+    std::uint32_t _open_row = 0;
+    hpim::sim::Tick _next_activate = 0;
+    hpim::sim::Tick _next_column = 0;
+    hpim::sim::Tick _next_precharge = 0;
+    BankCounters _counters;
+};
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_BANK_HH

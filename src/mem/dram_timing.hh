@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM timing parameter sets.
+ *
+ * All constraints are expressed in memory-clock cycles relative to tCK.
+ * Presets: an HMC-2.0-like 3D stack (paper SectionV: 312.5 MHz logic/bus
+ * clock) and a DDR4-2133 channel for the host CPU baseline.
+ * Frequency-scaling experiments (paper Fig. 11/17) use scaled().
+ */
+
+#ifndef HPIM_MEM_DRAM_TIMING_HH
+#define HPIM_MEM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace hpim::mem {
+
+/** Timing constraints for one DRAM device/vault, in cycles of tCK. */
+struct DramTiming
+{
+    /** Cycle time in ticks (ps). */
+    hpim::sim::Tick tCK;
+
+    std::uint32_t tRCD; ///< ACT -> internal RD/WR
+    std::uint32_t tCL;  ///< RD -> first data
+    std::uint32_t tRP;  ///< PRE -> ACT
+    std::uint32_t tRAS; ///< ACT -> PRE (minimum row open time)
+    std::uint32_t tWR;  ///< end of write data -> PRE
+    std::uint32_t tCCD; ///< column-to-column (burst gap)
+    std::uint32_t tRRD; ///< ACT -> ACT, different banks
+    std::uint32_t tBurst; ///< cycles to stream one burst on the bus
+    std::uint32_t tREFI;  ///< average refresh interval
+    std::uint32_t tRFC;   ///< refresh cycle time (all banks blocked)
+
+    std::uint32_t burstBytes; ///< bytes transferred per burst
+
+    /** @return row-hit read latency in ticks (CAS + burst). */
+    hpim::sim::Tick rowHitLatency() const
+    { return static_cast<hpim::sim::Tick>(tCL + tBurst) * tCK; }
+
+    /** @return closed-row read latency in ticks (RCD + CAS + burst). */
+    hpim::sim::Tick rowClosedLatency() const
+    { return static_cast<hpim::sim::Tick>(tRCD + tCL + tBurst) * tCK; }
+
+    /** @return row-conflict latency in ticks (PRE + ACT + CAS + burst). */
+    hpim::sim::Tick rowConflictLatency() const
+    {
+        return static_cast<hpim::sim::Tick>(tRP + tRCD + tCL + tBurst)
+               * tCK;
+    }
+
+    /** @return peak per-bank data bandwidth in bytes/second. */
+    double peakBankBandwidth() const;
+
+    /**
+     * @return a copy with the clock scaled by @p factor (>1 = faster);
+     * cycle-denominated constraints are unchanged, so absolute latencies
+     * shrink with frequency as in the paper's PLL-based scaling.
+     */
+    DramTiming scaled(double factor) const;
+};
+
+/**
+ * HMC-2.0-flavoured vault timing at the paper's 312.5 MHz base clock.
+ * One burst moves 32 bytes on the 32-bit-wide vault data path.
+ */
+DramTiming hmc2Timing();
+
+/** DDR4-2133-flavoured channel timing for the host memory system. */
+DramTiming ddr4Timing();
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_DRAM_TIMING_HH

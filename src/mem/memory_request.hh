@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Memory request descriptor shared by the vault controllers and caches.
+ */
+
+#ifndef HPIM_MEM_MEMORY_REQUEST_HH
+#define HPIM_MEM_MEMORY_REQUEST_HH
+
+#include <cstdint>
+
+#include "mem/address_mapping.hh"
+#include "sim/ticks.hh"
+
+namespace hpim::mem {
+
+/** Read or write. */
+enum class AccessType { Read, Write };
+
+/** One memory transaction. */
+struct MemoryRequest
+{
+    std::uint64_t id = 0;
+    Addr addr = 0;
+    std::uint32_t bytes = 64;
+    AccessType type = AccessType::Read;
+    /** Earliest tick the request may be issued to DRAM. */
+    hpim::sim::Tick arrival = 0;
+    /** Filled by the controller: tick the last data beat completes. */
+    hpim::sim::Tick completion = 0;
+};
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_MEMORY_REQUEST_HH

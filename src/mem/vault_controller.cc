@@ -1,0 +1,129 @@
+#include "mem/vault_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hpim::mem {
+
+using hpim::sim::Tick;
+
+VaultController::VaultController(const DramTiming &timing,
+                                 std::uint32_t banks,
+                                 SchedulingPolicy policy,
+                                 std::size_t window)
+    : _timing(timing), _policy(policy), _window(window)
+{
+    fatal_if(banks == 0, "vault needs at least one bank");
+    fatal_if(window == 0, "reorder window must be at least 1");
+    _banks.assign(banks, Bank(timing));
+}
+
+void
+VaultController::enqueue(const MemoryRequest &req, const DramCoord &coord)
+{
+    panic_if(coord.bank >= _banks.size(), "request targets bank ",
+             coord.bank, " but vault has ", _banks.size());
+    _queue.push_back(Pending{req, coord});
+}
+
+const Bank &
+VaultController::bank(std::uint32_t i) const
+{
+    panic_if(i >= _banks.size(), "bank index out of range");
+    return _banks[i];
+}
+
+void
+VaultController::setTiming(const DramTiming &timing)
+{
+    _timing = timing;
+    for (auto &bank : _banks)
+        bank.setTiming(timing);
+}
+
+std::size_t
+VaultController::pickNext(Tick now) const
+{
+    if (_policy == SchedulingPolicy::FCFS)
+        return 0;
+
+    // FR-FCFS: among the first `window` arrived requests, prefer a
+    // row hit to an already-open row; break ties oldest-first.
+    std::size_t limit = std::min(_window, _queue.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+        const Pending &p = _queue[i];
+        if (p.req.arrival > now)
+            continue;
+        const Bank &bank = _banks[p.coord.bank];
+        if (bank.rowOpen() && bank.openRow() == p.coord.row)
+            return i;
+    }
+    return 0;
+}
+
+void
+VaultController::catchUpRefresh(Tick now)
+{
+    if (_timing.tREFI == 0)
+        return;
+    Tick refi = Tick(_timing.tREFI) * _timing.tCK;
+    if (_next_refresh == 0)
+        _next_refresh = refi;
+    while (_next_refresh <= now) {
+        for (auto &bank : _banks)
+            bank.refresh(_next_refresh);
+        ++_stats.refreshRounds;
+        _next_refresh += refi;
+    }
+}
+
+std::vector<MemoryRequest>
+VaultController::drain()
+{
+    std::vector<MemoryRequest> done;
+    done.reserve(_queue.size());
+
+    Tick now = 0;
+    while (!_queue.empty()) {
+        // Advance "now" to at least the oldest arrival so picks are sane.
+        now = std::max(now, _queue.front().req.arrival);
+        std::size_t idx = pickNext(now);
+        Pending p = _queue[idx];
+        _queue.erase(_queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+        Tick earliest = std::max({p.req.arrival, _bus_free, now});
+        catchUpRefresh(earliest);
+        std::uint32_t bursts =
+            (p.req.bytes + _timing.burstBytes - 1) / _timing.burstBytes;
+        bursts = std::max(bursts, 1u);
+
+        Tick completion = earliest;
+        for (std::uint32_t b = 0; b < bursts; ++b) {
+            completion = _banks[p.coord.bank].access(
+                p.coord.row, p.req.type, completion);
+        }
+        // The shared data path is occupied until the last beat.
+        _bus_free = completion;
+        now = std::max(now, earliest);
+
+        p.req.completion = completion;
+        ++_stats.requests;
+        if (p.req.type == AccessType::Read)
+            _stats.readBytes += p.req.bytes;
+        else
+            _stats.writeBytes += p.req.bytes;
+        _stats.totalLatency +=
+            static_cast<double>(completion - p.req.arrival);
+        _stats.lastCompletion = std::max(_stats.lastCompletion, completion);
+        done.push_back(p.req);
+    }
+
+    std::sort(done.begin(), done.end(),
+              [](const MemoryRequest &a, const MemoryRequest &b) {
+                  return a.completion < b.completion;
+              });
+    return done;
+}
+
+} // namespace hpim::mem

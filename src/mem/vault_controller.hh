@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-vault memory controller with FR-FCFS scheduling.
+ *
+ * Requests are enqueued with arrival times; the controller issues them
+ * to its banks preferring row hits (first-ready) and otherwise oldest
+ * first (FCFS), within a bounded reorder window.
+ */
+
+#ifndef HPIM_MEM_VAULT_CONTROLLER_HH
+#define HPIM_MEM_VAULT_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/address_mapping.hh"
+#include "mem/bank.hh"
+#include "mem/dram_timing.hh"
+#include "mem/memory_request.hh"
+
+namespace hpim::mem {
+
+/** Scheduling policy for the vault controller. */
+enum class SchedulingPolicy { FCFS, FRFCFS };
+
+/** Aggregated controller statistics. */
+struct VaultStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t refreshRounds = 0; ///< all-bank refreshes issued
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    double totalLatency = 0.0; ///< sum of (completion - arrival) in ticks
+    hpim::sim::Tick lastCompletion = 0;
+
+    double
+    averageLatency() const
+    {
+        return requests == 0 ? 0.0
+                             : totalLatency / static_cast<double>(requests);
+    }
+};
+
+/**
+ * One vault: several banks behind a shared command/data path.
+ */
+class VaultController
+{
+  public:
+    /**
+     * @param timing vault DRAM timing
+     * @param banks number of banks in the vault
+     * @param policy request scheduling policy
+     * @param window FR-FCFS reorder window (queue entries inspected)
+     */
+    VaultController(const DramTiming &timing, std::uint32_t banks,
+                    SchedulingPolicy policy = SchedulingPolicy::FRFCFS,
+                    std::size_t window = 8);
+
+    /** Queue a request; its coord must target this vault's banks. */
+    void enqueue(const MemoryRequest &req, const DramCoord &coord);
+
+    /** @return true if requests are pending. */
+    bool busy() const { return !_queue.empty(); }
+
+    /**
+     * Drain the queue, filling completion times.
+     * @return completed requests in completion order.
+     */
+    std::vector<MemoryRequest> drain();
+
+    const VaultStats &stats() const { return _stats; }
+    const Bank &bank(std::uint32_t i) const;
+    std::uint32_t bankCount() const
+    { return static_cast<std::uint32_t>(_banks.size()); }
+
+    /** Frequency scaling support; affects future requests only. */
+    void setTiming(const DramTiming &timing);
+
+  private:
+    struct Pending
+    {
+        MemoryRequest req;
+        DramCoord coord;
+    };
+
+    /** Pick the next queue index to service at time @p now. */
+    std::size_t pickNext(hpim::sim::Tick now) const;
+
+    DramTiming _timing;
+    SchedulingPolicy _policy;
+    std::size_t _window;
+    /** Issue any refresshes due at or before @p now. */
+    void catchUpRefresh(hpim::sim::Tick now);
+
+    std::vector<Bank> _banks;
+    std::deque<Pending> _queue;
+    hpim::sim::Tick _bus_free = 0;
+    hpim::sim::Tick _next_refresh = 0;
+    VaultStats _stats;
+};
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_VAULT_CONTROLLER_HH

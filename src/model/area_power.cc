@@ -1,0 +1,38 @@
+#include "model/area_power.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hpim::model {
+
+DesignPoint
+exploreDesign(const LogicDieBudget &budget, const UnitCosts &costs,
+              std::uint32_t arm_cores)
+{
+    DesignPoint point;
+    point.armCores = arm_cores;
+
+    double core_area = arm_cores * costs.armCoreAreaMm2;
+    double avail = budget.computeAreaMm2() - core_area;
+    if (avail < 0.0) {
+        point.fixedUnits = 0;
+        point.areaUsedMm2 = core_area;
+        point.areaFeasible = false;
+        point.powerFeasible = false;
+        return point;
+    }
+
+    point.fixedUnits = static_cast<std::uint32_t>(
+        std::floor(avail / costs.fixedUnitAreaMm2));
+    point.areaUsedMm2 =
+        core_area + point.fixedUnits * costs.fixedUnitAreaMm2;
+    point.areaFeasible = point.areaUsedMm2 <= budget.computeAreaMm2()
+                         + 1e-9;
+    point.peakPowerW = arm_cores * costs.armCorePowerW
+                       + point.fixedUnits * costs.fixedUnitPowerW;
+    point.powerFeasible = point.peakPowerW <= budget.powerBudgetW;
+    return point;
+}
+
+} // namespace hpim::model

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Logic-die area/power modeling (McPAT/DesignCompiler substitute).
+ *
+ * The paper performs design-space exploration of the 3D DRAM logic die
+ * with McPAT + HotSpot and concludes 444 fixed-function units fit next
+ * to one ARM core (SectionIV-D). This module reproduces that budget
+ * arithmetic: the die area not reserved for vault controllers, link
+ * PHYs and buffers is split between programmable cores and fixed
+ * units; Fig. 12's 1P/4P/16P variants trade cores for units at
+ * constant area.
+ */
+
+#ifndef HPIM_MODEL_AREA_POWER_HH
+#define HPIM_MODEL_AREA_POWER_HH
+
+#include <cstdint>
+
+namespace hpim::model {
+
+/** Logic-die budget (HMC-class die, 10 nm logic). */
+struct LogicDieBudget
+{
+    double dieAreaMm2 = 68.0;
+    /** Fraction consumed by vault controllers, SerDes, buffers. */
+    double infrastructureFraction = 0.55;
+    /** Power ceiling for compute logic on the die, watts. */
+    double powerBudgetW = 10.0;
+    /** Junction temperature ceiling, Celsius. */
+    double tempLimitC = 85.0;
+
+    /** Area available for PIM compute, mm^2. */
+    double
+    computeAreaMm2() const
+    {
+        return dieAreaMm2 * (1.0 - infrastructureFraction);
+    }
+};
+
+/** Per-unit implementation costs. */
+struct UnitCosts
+{
+    /** FP32 multiplier+adder pair incl. buffering/routing, mm^2. */
+    double fixedUnitAreaMm2 = 0.0683;
+    /** Active power of one fixed unit at base clock, watts. */
+    double fixedUnitPowerW = 0.015;
+    /** One ARM core (w/ caches), mm^2 (Cortex-A9 class at 10 nm). */
+    double armCoreAreaMm2 = 0.27;
+    /** Active power of one ARM core, watts. */
+    double armCorePowerW = 0.5;
+};
+
+/** Outcome of a design point. */
+struct DesignPoint
+{
+    std::uint32_t armCores = 0;
+    std::uint32_t fixedUnits = 0;
+    double areaUsedMm2 = 0.0;
+    double peakPowerW = 0.0;
+    bool areaFeasible = false;
+    bool powerFeasible = false;
+
+    bool feasible() const { return areaFeasible && powerFeasible; }
+};
+
+/**
+ * @return the largest fixed-unit count that fits beside @p arm_cores
+ * programmable cores under the area budget (power checked, reported).
+ */
+DesignPoint exploreDesign(const LogicDieBudget &budget,
+                          const UnitCosts &costs,
+                          std::uint32_t arm_cores);
+
+} // namespace hpim::model
+
+#endif // HPIM_MODEL_AREA_POWER_HH

@@ -1,0 +1,80 @@
+#include "model/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hpim::model {
+
+using hpim::pim::BankGrid;
+using hpim::pim::Placement;
+
+ThermalResult
+solveThermal(const BankGrid &grid, const Placement &placement,
+             double unit_power_w, const ThermalParams &params)
+{
+    const std::uint32_t n = grid.count();
+    fatal_if(placement.unitsPerBank.size() != n,
+             "placement has ", placement.unitsPerBank.size(),
+             " banks; grid has ", n);
+
+    std::vector<double> power(n);
+    std::vector<double> g_sink(n);
+    for (std::uint32_t r = 0; r < grid.rows; ++r) {
+        for (std::uint32_t c = 0; c < grid.cols; ++c) {
+            std::uint32_t i = r * grid.cols + c;
+            power[i] = params.backgroundPerBankW
+                       + placement.unitsPerBank[i] * unit_power_w;
+            g_sink[i] = params.sinkConductance
+                        + params.edgeConductance
+                              * grid.exposedEdges(r, c);
+        }
+    }
+
+    ThermalResult result;
+    result.tempC.assign(n, params.ambientC);
+
+    auto idx = [&grid](std::uint32_t r, std::uint32_t c) {
+        return r * grid.cols + c;
+    };
+
+    // Gauss-Seidel: T_i = (P_i + g_sink T_amb + g_lat sum T_j) /
+    //                    (g_sink + g_lat * degree)
+    double delta = 0.0;
+    int iter = 0;
+    for (; iter < params.maxIterations; ++iter) {
+        delta = 0.0;
+        for (std::uint32_t r = 0; r < grid.rows; ++r) {
+            for (std::uint32_t c = 0; c < grid.cols; ++c) {
+                std::uint32_t i = idx(r, c);
+                double num = power[i] + g_sink[i] * params.ambientC;
+                double den = g_sink[i];
+                auto couple = [&](std::uint32_t j) {
+                    num += params.lateralConductance * result.tempC[j];
+                    den += params.lateralConductance;
+                };
+                if (r > 0) couple(idx(r - 1, c));
+                if (r + 1 < grid.rows) couple(idx(r + 1, c));
+                if (c > 0) couple(idx(r, c - 1));
+                if (c + 1 < grid.cols) couple(idx(r, c + 1));
+                double t = num / den;
+                delta = std::max(delta, std::abs(t - result.tempC[i]));
+                result.tempC[i] = t;
+            }
+        }
+        if (delta < params.toleranceC) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.iterations = iter;
+    result.maxC = *std::max_element(result.tempC.begin(),
+                                    result.tempC.end());
+    result.minC = *std::min_element(result.tempC.begin(),
+                                    result.tempC.end());
+    return result;
+}
+
+} // namespace hpim::model

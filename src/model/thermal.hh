@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Steady-state thermal model of the logic die (HotSpot substitute).
+ *
+ * The bank grid is a 2D RC network solved for steady state with
+ * Gauss-Seidel: each bank couples laterally to its neighbors and
+ * vertically to the heat sink. Edge/corner banks expose more sink
+ * conductance -- the physical basis for the paper's placement policy
+ * (SectionIV-D: more units on edge and corner banks).
+ */
+
+#ifndef HPIM_MODEL_THERMAL_HH
+#define HPIM_MODEL_THERMAL_HH
+
+#include <vector>
+
+#include "pim/placement.hh"
+
+namespace hpim::model {
+
+/** Thermal network parameters. */
+struct ThermalParams
+{
+    double ambientC = 45.0;       ///< in-package ambient
+    double sinkConductance = 0.8; ///< W/K per interior bank to sink
+    /** Extra sink conductance per exposed die edge, W/K. */
+    double edgeConductance = 0.35;
+    double lateralConductance = 0.5; ///< W/K between adjacent banks
+    /** Background power per bank (DRAM + controller share), watts. */
+    double backgroundPerBankW = 0.08;
+    int maxIterations = 20000;
+    double toleranceC = 1e-6;
+};
+
+/** Solved temperature field. */
+struct ThermalResult
+{
+    std::vector<double> tempC; ///< per bank, row-major
+    double maxC = 0.0;
+    double minC = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Solve the steady-state temperatures for a unit placement.
+ *
+ * @param grid bank grid
+ * @param placement units per bank
+ * @param unit_power_w active power per unit, watts
+ * @param params thermal network parameters
+ */
+ThermalResult solveThermal(const hpim::pim::BankGrid &grid,
+                           const hpim::pim::Placement &placement,
+                           double unit_power_w,
+                           const ThermalParams &params = ThermalParams{});
+
+} // namespace hpim::model
+
+#endif // HPIM_MODEL_THERMAL_HH

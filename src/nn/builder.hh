@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Training-graph builder.
+ *
+ * Records forward layers fluently, then emits the TensorFlow-style
+ * backward pass (Conv2DBackpropFilter/Input, MatMulGrad*, BiasAddGrad,
+ * ReluGrad, MaxPoolGrad, ...) and one ApplyAdam per parameter tensor,
+ * producing op mixes and invocation counts matching paper Table I.
+ */
+
+#ifndef HPIM_NN_BUILDER_HH
+#define HPIM_NN_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hh"
+#include "nn/tensor_shape.hh"
+
+namespace hpim::nn {
+
+/** Builds a CNN/MLP training-step graph layer by layer. */
+class CnnBuilder
+{
+  public:
+    /**
+     * @param name graph name
+     * @param input NHWC input batch shape
+     */
+    CnnBuilder(std::string name, TensorShape input);
+
+    /** Conv + BiasAdd (+ optional Relu). Updates the running shape. */
+    CnnBuilder &conv(std::int64_t k, std::int64_t c_out,
+                     std::int64_t stride, bool relu = true);
+
+    /**
+     * Transposed convolution (generator upsampling). TensorFlow lowers
+     * conv2d_transpose to Conv2DBackpropInput, so the forward op here
+     * is Conv2DBackpropInput -- as in the paper's DCGAN profile.
+     */
+    CnnBuilder &deconv(std::int64_t k, std::int64_t c_out,
+                       std::int64_t up, bool relu = true);
+
+    /** Max pooling window k, stride s. */
+    CnnBuilder &maxPool(std::int64_t k, std::int64_t stride);
+
+    /** Average pooling window k, stride s. */
+    CnnBuilder &avgPool(std::int64_t k, std::int64_t stride);
+
+    /** Batch normalization over the running shape. */
+    CnnBuilder &batchNorm();
+
+    /** Dropout over the running shape. */
+    CnnBuilder &dropout();
+
+    /** Collapse spatial dims ([N, H, W, C] -> [N, H*W*C]). */
+    CnnBuilder &flatten();
+
+    /** Fully connected layer (+ optional Relu). */
+    CnnBuilder &fc(std::int64_t units, bool relu = true);
+
+    /** Elementwise Mul against a same-shaped tensor (GAN losses). */
+    CnnBuilder &mul();
+
+    /** Slice op touching the running activation (input pipelines). */
+    CnnBuilder &slice();
+
+    /** Concat (rough model: touches the running activation once). */
+    CnnBuilder &concat();
+
+    /** @return current activation shape. */
+    const TensorShape &shape() const { return _shape; }
+
+    /** @return current activation op id (invalidOp before any layer). */
+    OpId tail() const { return _tail; }
+
+    /**
+     * Finish the step: softmax loss over the last dim, full backward
+     * pass, and ApplyAdam for every parameter tensor.
+     * @param extra_loss_muls number of small Mul ops in the loss
+     *        (GAN training has many; see DCGAN Table I row "Mul")
+     */
+    Graph finish(std::size_t extra_loss_muls = 0);
+
+    /** Finish without softmax/backward (inference-style; tests). */
+    Graph finishForwardOnly();
+
+  private:
+    enum class LayerKind
+    {
+        Conv, Deconv, MaxPool, AvgPool, BatchNorm, Dropout, Fc,
+        Mul, Slice, Concat, Flatten
+    };
+
+    struct LayerRecord
+    {
+        LayerKind kind;
+        TensorShape inShape;
+        TensorShape outShape;
+        std::int64_t k = 0;       ///< kernel/window size
+        std::int64_t stride = 1;
+        std::int64_t cOut = 0;    ///< conv out channels / fc units
+        bool relu = false;
+        OpId fwdOp = invalidOp;   ///< main forward op
+        OpId actOp = invalidOp;   ///< relu op if any
+        std::int64_t params = 0;  ///< trainable parameter count
+        std::string label;
+    };
+
+    std::string layerLabel(const char *base);
+    void pushActivation(OpId id) { _tail = id; }
+
+    /** Dependence list on the current activation (empty at start). */
+    std::vector<OpId>
+    tailDeps() const
+    {
+        return _tail == invalidOp ? std::vector<OpId>{}
+                                  : std::vector<OpId>{_tail};
+    }
+
+    Graph _graph;
+    TensorShape _shape;
+    OpId _tail = invalidOp;
+    std::vector<LayerRecord> _layers;
+    std::size_t _conv_index = 0;
+    std::size_t _fc_index = 0;
+    std::size_t _misc_index = 0;
+};
+
+} // namespace hpim::nn
+
+#endif // HPIM_NN_BUILDER_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph inspection utilities: per-type summaries (a model.summary()
+ * equivalent at the op level) and Graphviz export for visualizing
+ * training-step DAGs.
+ */
+
+#ifndef HPIM_NN_SUMMARY_HH
+#define HPIM_NN_SUMMARY_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace hpim::nn {
+
+/** One row of a graph summary. */
+struct SummaryRow
+{
+    OpType type;
+    std::size_t invocations = 0;
+    double gflops = 0.0;
+    double gbytes = 0.0;
+    double flopsPct = 0.0;
+};
+
+/** Aggregated per-op-type view of a step graph. */
+struct GraphSummary
+{
+    std::string name;
+    std::size_t ops = 0;
+    std::size_t criticalPath = 0;
+    double totalGflops = 0.0;
+    double totalGbytes = 0.0;
+    std::vector<SummaryRow> rows; ///< descending by gflops
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+};
+
+/** @return the summary of @p graph. */
+GraphSummary summarize(const Graph &graph);
+
+/**
+ * Write @p graph as a Graphviz dot document. Nodes are colored by
+ * offload class (fixed-function / recursive / programmable / data
+ * movement). Large graphs are fine: one node per op.
+ */
+void exportDot(const Graph &graph, std::ostream &os);
+
+} // namespace hpim::nn
+
+#endif // HPIM_NN_SUMMARY_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tensor shapes (NHWC) used by the op cost model.
+ */
+
+#ifndef HPIM_NN_TENSOR_SHAPE_HH
+#define HPIM_NN_TENSOR_SHAPE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hpim::nn {
+
+/** Bytes per element: the paper's fixed-function PIMs are FP32. */
+constexpr std::uint32_t elementBytes = 4;
+
+/** A dense tensor shape. */
+class TensorShape
+{
+  public:
+    TensorShape() = default;
+
+    TensorShape(std::initializer_list<std::int64_t> dims)
+        : _dims(dims)
+    {
+        for (auto d : _dims)
+            fatal_if(d <= 0, "tensor dims must be positive, got ", d);
+    }
+
+    explicit TensorShape(std::vector<std::int64_t> dims)
+        : _dims(std::move(dims))
+    {
+        for (auto d : _dims)
+            fatal_if(d <= 0, "tensor dims must be positive, got ", d);
+    }
+
+    /** @return number of dimensions. */
+    std::size_t rank() const { return _dims.size(); }
+
+    std::int64_t
+    dim(std::size_t i) const
+    {
+        panic_if(i >= _dims.size(), "dim index ", i, " out of rank ",
+                 _dims.size());
+        return _dims[i];
+    }
+
+    /** @return total element count (1 for a scalar / empty shape). */
+    std::int64_t
+    elems() const
+    {
+        std::int64_t n = 1;
+        for (auto d : _dims)
+            n *= d;
+        return n;
+    }
+
+    /** @return size in bytes at FP32. */
+    std::int64_t bytes() const { return elems() * elementBytes; }
+
+    /** @return "[32, 224, 224, 3]" style string. */
+    std::string str() const;
+
+    bool operator==(const TensorShape &o) const { return _dims == o._dims; }
+
+  private:
+    std::vector<std::int64_t> _dims;
+};
+
+} // namespace hpim::nn
+
+#endif // HPIM_NN_TENSOR_SHAPE_HH

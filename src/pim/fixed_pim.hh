@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-function PIM parameters (paper SectionIV-D).
+ *
+ * The pool is 444 multiplier+adder pairs distributed over the 32 bank
+ * slices of the logic die, clocked at the stack's 312.5 MHz. Units are
+ * allocated in whole reduction *trees*: a K-long multiply-accumulate
+ * lane occupies K multipliers and K-1 adders (the paper's 11x11 conv
+ * example: 121 + 120 = 241 units).
+ *
+ * Calibration note (documented in DESIGN.md): each unit processes a
+ * `vectorWidth`-wide FP32 row segment per cycle. With scalar units the
+ * paper's reported Hetero-PIM ~ GPU parity is unreachable at 444 x
+ * 312.5 MHz; a row-wide datapath preserves every relative trend the
+ * paper reports and is the closest physically sensible reading.
+ */
+
+#ifndef HPIM_PIM_FIXED_PIM_HH
+#define HPIM_PIM_FIXED_PIM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace hpim::pim {
+
+/** Fixed-function PIM pool parameters. */
+struct FixedPimParams
+{
+    std::uint32_t totalUnits = 444; ///< multiplier+adder pairs
+    std::uint32_t banks = 32;       ///< bank slices hosting units
+    double frequencyHz = 312.5e6;   ///< HMC 2.0 clock
+    double frequencyScale = 1.0;    ///< PLL multiplier (Fig. 11/17)
+    std::uint32_t vectorWidth = 32; ///< FP32 lanes per unit (see above)
+    /** Active power per unit at 1x frequency, watts. */
+    double unitActivePowerW = 0.015;
+    /** Static/leakage power of the whole pool, watts. */
+    double poolStaticPowerW = 0.4;
+    /** Host -> fixed-function kernel spawn overhead, seconds. */
+    double launchOverheadSec = 5e-6;
+
+    /** Effective clock after scaling. */
+    double clockHz() const { return frequencyHz * frequencyScale; }
+
+    /** Peak FP32 throughput of one unit, flops/s. */
+    double
+    unitFlops() const
+    {
+        return clockHz() * static_cast<double>(vectorWidth);
+    }
+
+    /** Peak pool throughput, flops/s. */
+    double
+    poolFlops() const
+    {
+        return unitFlops() * static_cast<double>(totalUnits);
+    }
+
+    /** Active power of one unit at the scaled clock. The PLL raises
+     *  frequency with only a small voltage bump, so P ~ f^1.2. */
+    double
+    unitPowerW() const
+    {
+        return unitActivePowerW * std::pow(frequencyScale, 1.2);
+    }
+};
+
+} // namespace hpim::pim
+
+#endif // HPIM_PIM_FIXED_PIM_HH

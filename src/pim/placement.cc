@@ -1,0 +1,72 @@
+#include "pim/placement.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace hpim::pim {
+
+std::uint32_t
+Placement::totalUnits() const
+{
+    return std::accumulate(unitsPerBank.begin(), unitsPerBank.end(), 0u);
+}
+
+std::uint32_t
+Placement::maxPerBank() const
+{
+    panic_if(unitsPerBank.empty(), "empty placement");
+    return *std::max_element(unitsPerBank.begin(), unitsPerBank.end());
+}
+
+std::uint32_t
+Placement::minPerBank() const
+{
+    panic_if(unitsPerBank.empty(), "empty placement");
+    return *std::min_element(unitsPerBank.begin(), unitsPerBank.end());
+}
+
+Placement
+placeUnits(const BankGrid &grid, std::uint32_t total_units,
+           double edge_bias)
+{
+    fatal_if(grid.count() == 0, "bank grid is empty");
+    fatal_if(edge_bias < 0.0, "edge bias must be non-negative");
+
+    std::vector<double> weights;
+    weights.reserve(grid.count());
+    double weight_sum = 0.0;
+    for (std::uint32_t r = 0; r < grid.rows; ++r) {
+        for (std::uint32_t c = 0; c < grid.cols; ++c) {
+            double w = 1.0 + edge_bias * grid.exposedEdges(r, c);
+            weights.push_back(w);
+            weight_sum += w;
+        }
+    }
+
+    // Largest-remainder apportionment.
+    Placement placement;
+    placement.unitsPerBank.assign(grid.count(), 0);
+    std::vector<std::pair<double, std::uint32_t>> remainders;
+    std::uint32_t assigned = 0;
+    for (std::uint32_t i = 0; i < grid.count(); ++i) {
+        double exact = total_units * weights[i] / weight_sum;
+        auto whole = static_cast<std::uint32_t>(exact);
+        placement.unitsPerBank[i] = whole;
+        assigned += whole;
+        remainders.emplace_back(exact - whole, i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second; // deterministic tie-break
+              });
+    for (std::uint32_t i = 0; assigned < total_units; ++i, ++assigned)
+        ++placement.unitsPerBank[remainders[i % remainders.size()].second];
+
+    return placement;
+}
+
+} // namespace hpim::pim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thermally-aware placement of fixed-function units over bank slices.
+ *
+ * The paper (SectionIV-D) places more units on edge and corner banks
+ * because those have better thermal dissipation paths. Banks form an
+ * 8x4 grid on the logic die; a bank's thermal headroom weight is
+ * 1 + edges-exposed * bias. Units are distributed largest-remainder
+ * proportionally to the weights.
+ */
+
+#ifndef HPIM_PIM_PLACEMENT_HH
+#define HPIM_PIM_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hpim::pim {
+
+/** Grid geometry of the bank slices on the logic die. */
+struct BankGrid
+{
+    std::uint32_t rows = 4;
+    std::uint32_t cols = 8;
+
+    std::uint32_t count() const { return rows * cols; }
+
+    /** Number of die edges the bank at (r, c) touches (0..2). */
+    std::uint32_t
+    exposedEdges(std::uint32_t r, std::uint32_t c) const
+    {
+        std::uint32_t e = 0;
+        if (r == 0 || r + 1 == rows)
+            ++e;
+        if (c == 0 || c + 1 == cols)
+            ++e;
+        return e;
+    }
+};
+
+/** Result of placing units across banks. */
+struct Placement
+{
+    std::vector<std::uint32_t> unitsPerBank;
+
+    std::uint32_t totalUnits() const;
+    std::uint32_t maxPerBank() const;
+    std::uint32_t minPerBank() const;
+};
+
+/**
+ * Distribute @p total_units over the grid with edge/corner bias.
+ *
+ * @param grid bank grid geometry
+ * @param total_units units to place
+ * @param edge_bias extra weight per exposed edge (0 = uniform)
+ */
+Placement placeUnits(const BankGrid &grid, std::uint32_t total_units,
+                     double edge_bias = 0.35);
+
+} // namespace hpim::pim
+
+#endif // HPIM_PIM_PLACEMENT_HH

@@ -1,0 +1,17 @@
+#include "pim/progr_pim.hh"
+
+#include <algorithm>
+
+namespace hpim::pim {
+
+double
+progrOpSeconds(const ProgrPimParams &params,
+               const hpim::nn::CostStructure &cost, double mem_bw)
+{
+    double comp = cost.flops() / params.flops()
+                  + cost.specials / params.specials();
+    double mem = cost.bytes() / mem_bw;
+    return std::max(comp, mem);
+}
+
+} // namespace hpim::pim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Programmable PIM parameters (paper SectionIV-D).
+ *
+ * An ARM Cortex-A9-class processor on the logic die: four 2 GHz
+ * in-order cores by default (scalable 1..16 for Fig. 12). Executes any
+ * operation; with recursive kernels (RC) it dispatches the extracted
+ * multiply/add portions to the fixed-function pool without returning
+ * to the host.
+ */
+
+#ifndef HPIM_PIM_PROGR_PIM_HH
+#define HPIM_PIM_PROGR_PIM_HH
+
+#include <cstdint>
+
+#include "nn/op_cost.hh"
+
+namespace hpim::pim {
+
+/** Programmable PIM parameters. */
+struct ProgrPimParams
+{
+    std::uint32_t cores = 4;
+    double frequencyHz = 2.0e9;
+    double frequencyScale = 1.0;   ///< PLL multiplier (Fig. 11/17)
+    /** Effective FP32 flops/s per core (in-order, 4-wide NEON FMA at
+     *  ~40% sustained efficiency). */
+    double flopsPerCore = 6.0e9;
+    /** Effective special ops/s per core (compares/selects run
+     *  4-wide in NEON; exp-class ops are amortized into the mix). */
+    double specialsPerCore = 8.0e9;
+    /** Active power per core, watts. */
+    double corePowerW = 0.5;
+    /** Host -> programmable-PIM kernel spawn overhead, seconds. */
+    double launchOverheadSec = 6e-6;
+    /** Programmable -> fixed-function recursive spawn, seconds. */
+    double recursiveLaunchSec = 0.4e-6;
+
+    /** Aggregate FP throughput, flops/s. */
+    double
+    flops() const
+    {
+        return flopsPerCore * cores * frequencyScale;
+    }
+
+    /** Aggregate special-op throughput, ops/s. */
+    double
+    specials() const
+    {
+        return specialsPerCore * cores * frequencyScale;
+    }
+
+    /** Active power at the scaled clock (P ~ f). */
+    double
+    powerW() const
+    {
+        return corePowerW * cores * frequencyScale;
+    }
+};
+
+/** Time for @p cost fully executed on the programmable PIM,
+ *  given memory bandwidth @p mem_bw (bytes/s, in-stack). */
+double progrOpSeconds(const ProgrPimParams &params,
+                      const hpim::nn::CostStructure &cost,
+                      double mem_bw);
+
+} // namespace hpim::pim
+
+#endif // HPIM_PIM_PROGR_PIM_HH

@@ -1,0 +1,68 @@
+#include "pim/status_registers.hh"
+
+#include <numeric>
+
+namespace hpim::pim {
+
+StatusRegisterFile::StatusRegisterFile(
+    std::uint32_t banks, std::vector<std::uint32_t> units_per_bank)
+    : _capacity(std::move(units_per_bank))
+{
+    fatal_if(_capacity.size() != banks,
+             "units_per_bank has ", _capacity.size(), " entries for ",
+             banks, " banks");
+    _busy.assign(_capacity.size(), 0);
+    _total_units =
+        std::accumulate(_capacity.begin(), _capacity.end(), 0u);
+}
+
+void
+StatusRegisterFile::checkBank(std::uint32_t bank) const
+{
+    panic_if(bank >= _capacity.size(), "bank ", bank, " out of range ",
+             _capacity.size());
+}
+
+bool
+StatusRegisterFile::acquire(std::uint32_t bank, std::uint32_t units)
+{
+    checkBank(bank);
+    if (_capacity[bank] - _busy[bank] < units)
+        return false;
+    _busy[bank] += units;
+    return true;
+}
+
+void
+StatusRegisterFile::release(std::uint32_t bank, std::uint32_t units)
+{
+    checkBank(bank);
+    panic_if(_busy[bank] < units, "releasing ", units,
+             " units but only ", _busy[bank], " busy in bank ", bank);
+    _busy[bank] -= units;
+}
+
+std::uint32_t
+StatusRegisterFile::freeUnits(std::uint32_t bank) const
+{
+    checkBank(bank);
+    return _capacity[bank] - _busy[bank];
+}
+
+std::uint32_t
+StatusRegisterFile::totalFreeUnits() const
+{
+    std::uint32_t free = 0;
+    for (std::size_t i = 0; i < _capacity.size(); ++i)
+        free += _capacity[i] - _busy[i];
+    return free;
+}
+
+bool
+StatusRegisterFile::bankBusy(std::uint32_t bank) const
+{
+    checkBank(bank);
+    return _busy[bank] != 0;
+}
+
+} // namespace hpim::pim

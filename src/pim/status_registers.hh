@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PIM status registers (paper SectionIV-D, Fig. 7).
+ *
+ * One register per bank of fixed-function units plus one for the
+ * programmable PIM. The runtime scheduler polls these to decide
+ * idleness and query completion; the low-level API (Table III) is a
+ * thin veneer over this file.
+ */
+
+#ifndef HPIM_PIM_STATUS_REGISTERS_HH
+#define HPIM_PIM_STATUS_REGISTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hpim::pim {
+
+/** The register file exposed to the host runtime. */
+class StatusRegisterFile
+{
+  public:
+    /**
+     * @param banks number of fixed-function bank groups
+     * @param units_per_bank units in each bank group
+     */
+    StatusRegisterFile(std::uint32_t banks,
+                       std::vector<std::uint32_t> units_per_bank);
+
+    /** Mark @p units busy in bank @p bank; returns false if short. */
+    bool acquire(std::uint32_t bank, std::uint32_t units);
+
+    /** Release @p units in bank @p bank. */
+    void release(std::uint32_t bank, std::uint32_t units);
+
+    /** @return free units in bank @p bank. */
+    std::uint32_t freeUnits(std::uint32_t bank) const;
+
+    /** @return free units across all banks. */
+    std::uint32_t totalFreeUnits() const;
+
+    /** @return total units across all banks. */
+    std::uint32_t totalUnits() const { return _total_units; }
+
+    /** @return true if any unit in the bank is busy. */
+    bool bankBusy(std::uint32_t bank) const;
+
+    /** Programmable-PIM busy flag. */
+    bool progrBusy() const { return _progr_busy; }
+    void setProgrBusy(bool busy) { _progr_busy = busy; }
+
+    std::uint32_t banks() const
+    { return static_cast<std::uint32_t>(_capacity.size()); }
+
+  private:
+    void checkBank(std::uint32_t bank) const;
+
+    std::vector<std::uint32_t> _capacity;
+    std::vector<std::uint32_t> _busy;
+    std::uint32_t _total_units = 0;
+    bool _progr_busy = false;
+};
+
+} // namespace hpim::pim
+
+#endif // HPIM_PIM_STATUS_REGISTERS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Result of simulating a training run on one system configuration.
+ *
+ * Provides the paper's reporting quantities: the Fig. 8 time breakdown
+ * (operation / data movement / synchronization), Fig. 9 dynamic
+ * energy, Fig. 15 fixed-PIM utilization, and Fig. 17 power / EDP.
+ */
+
+#ifndef HPIM_RT_EXECUTION_REPORT_HH
+#define HPIM_RT_EXECUTION_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hpim::rt {
+
+/** Devices an operation may be placed on. */
+enum class PlacedOn
+{
+    Cpu,
+    FixedPool,
+    ProgrPim,
+    ProgrRecursive,  ///< programmable PIM + fixed pool via RC
+    FixedHostDriven, ///< fixed pool fed region-by-region by the host
+};
+
+/** @return printable placement name. */
+std::string placedOnName(PlacedOn placement);
+
+/** Simulation outcome for one configuration x workload. */
+struct ExecutionReport
+{
+    std::string configName;
+    std::string workloadName;
+    std::uint32_t stepsSimulated = 0;
+
+    // ---- Time.
+    double makespanSec = 0.0; ///< all simulated steps
+    double stepSec = 0.0;     ///< makespan / steps
+
+    /** Fig. 8 stacked components; sum to stepSec. */
+    double opSec = 0.0;
+    double dataMovementSec = 0.0;
+    double syncSec = 0.0;
+
+    // ---- Device occupancy.
+    double cpuBusySec = 0.0;
+    double progrBusySec = 0.0;
+    double fixedUnitSeconds = 0.0; ///< integral of busy units
+    double fixedUtilization = 0.0; ///< unitSeconds/(units x makespan)
+
+    // ---- Launch/sync counters.
+    std::uint64_t hostLaunches = 0;
+    std::uint64_t recursiveLaunches = 0;
+
+    // ---- Traffic.
+    double linkBytes = 0.0;     ///< off-stack (host) traffic
+    double internalBytes = 0.0; ///< in-stack (PIM) traffic
+
+    // ---- Energy (full system, dynamic; paper Fig. 9 / 17).
+    double cpuEnergyJ = 0.0;
+    double progrEnergyJ = 0.0;
+    double fixedEnergyJ = 0.0;
+    double dramEnergyJ = 0.0;
+    double totalEnergyJ = 0.0;
+    double energyPerStepJ = 0.0;
+    double averagePowerW = 0.0;
+    /** Energy-delay product per step (J x s). */
+    double edp = 0.0;
+
+    // ---- Placement census.
+    std::map<PlacedOn, std::uint64_t> opsByPlacement;
+};
+
+} // namespace hpim::rt
+
+#endif // HPIM_RT_EXECUTION_REPORT_HH

@@ -1,0 +1,771 @@
+#include "rt/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hpim::rt {
+
+using hpim::nn::Graph;
+using hpim::nn::OffloadClass;
+using hpim::nn::Operation;
+using hpim::nn::OpId;
+using hpim::nn::opTraits;
+using hpim::sim::Tick;
+
+namespace {
+
+constexpr double kWorkEpsilon = 1.0; // flops considered "done"
+
+} // namespace
+
+std::string
+placedOnName(PlacedOn placement)
+{
+    switch (placement) {
+      case PlacedOn::Cpu:             return "cpu";
+      case PlacedOn::FixedPool:       return "fixed";
+      case PlacedOn::ProgrPim:        return "progr";
+      case PlacedOn::ProgrRecursive:  return "progr+rc";
+      case PlacedOn::FixedHostDriven: return "fixed(host)";
+    }
+    panic("unknown placement");
+}
+
+/** Event driving the fixed pool's next phase completion. */
+class Executor::PoolEvent : public hpim::sim::Event
+{
+  public:
+    explicit PoolEvent(Executor &executor)
+        : Event(Event::completionPriority), _executor(executor)
+    {}
+
+    void process() override { _executor.onPoolEvent(); }
+    std::string description() const override { return "fixed-pool"; }
+
+  private:
+    Executor &_executor;
+};
+
+Executor::Executor(const SystemConfig &config,
+                   const OffloadSelection *selection)
+    : _config(config), _selection(selection), _cpu_model(config.cpu),
+      _pool_event(std::make_unique<PoolEvent>(*this))
+{
+    _progr_free = config.hasProgrPim ? config.progrPimCount : 0;
+    _fixed_free = config.hasFixedPim ? config.fixed.totalUnits : 0;
+}
+
+Executor::~Executor()
+{
+    if (_pool_event && _pool_event->scheduled())
+        _queue.deschedule(_pool_event.get());
+}
+
+std::string
+Executor::keyStr(const OpKey &key)
+{
+    return std::to_string(key.workload) + ":" + std::to_string(key.step)
+           + ":" + std::to_string(key.op);
+}
+
+const Operation &
+Executor::op(const OpKey &key) const
+{
+    return _workloads[key.workload].spec.graph->op(key.op);
+}
+
+Executor::OpState &
+Executor::state(const OpKey &key)
+{
+    return _workloads[key.workload].steps[key.step][key.op];
+}
+
+double
+Executor::nowSec() const
+{
+    return hpim::sim::ticksToSeconds(_queue.now());
+}
+
+Tick
+Executor::toTick(double seconds) const
+{
+    return hpim::sim::secondsToTicks(seconds);
+}
+
+std::uint32_t
+Executor::stepWindow(const WorkloadState &w) const
+{
+    (void)w;
+    return _config.operationPipeline
+               ? std::max<std::uint32_t>(_config.pipelineDepth, 1)
+               : 1;
+}
+
+bool
+Executor::offloadCandidate(const OpKey &key) const
+{
+    if (_selection == nullptr)
+        return true;
+    return _selection->isCandidate(op(key).type);
+}
+
+void
+Executor::seedStep(std::uint32_t w, std::uint32_t step)
+{
+    WorkloadState &wl = _workloads[w];
+    if (step >= wl.spec.steps || step < wl.seededSteps)
+        return;
+    panic_if(step != wl.seededSteps, "steps must seed in order");
+    ++wl.seededSteps;
+
+    const Graph &graph = *wl.spec.graph;
+    auto &states = wl.steps[step];
+    states.assign(graph.size(), OpState{});
+    wl.remainingOps[step] = static_cast<std::uint32_t>(graph.size());
+    for (const Operation &o : graph.ops()) {
+        states[o.id].remainingDeps =
+            static_cast<std::uint32_t>(o.inputs.size());
+        if (states[o.id].remainingDeps == 0) {
+            states[o.id].ready = true;
+            _pending.push_back(OpKey{w, step, o.id});
+        }
+    }
+}
+
+std::optional<PlacedOn>
+Executor::decidePlacement(const OpKey &key) const
+{
+    const Operation &o = op(key);
+    OffloadClass cls = opTraits(o.type).offloadClass;
+    const WorkloadState &wl = _workloads[key.workload];
+    bool has_fixed = _config.hasFixedPim;
+    bool has_progr = _config.hasProgrPim && _progr_free > 0;
+    bool fixed_tree_free =
+        has_fixed
+        && _fixed_free >= std::min(o.parallelism.unitsPerLane,
+                                   _config.fixed.totalUnits);
+
+    // Guest workloads (mixed-workload co-run): CPU or progr PIM only.
+    if (!wl.spec.pimManaged) {
+        if (!_cpu_busy)
+            return PlacedOn::Cpu;
+        if (has_progr)
+            return PlacedOn::ProgrPim;
+        return std::nullopt;
+    }
+
+    if (!_config.dynamicScheduling) {
+        // Static class-based placement (non-scheduled baselines).
+        if (_config.hasProgrPim && !_config.hasFixedPim) {
+            // Progr-PIM-only: everything runs on programmable cores.
+            return has_progr ? std::optional(PlacedOn::ProgrPim)
+                             : std::nullopt;
+        }
+        switch (cls) {
+          case OffloadClass::FixedFunction:
+            if (_config.hasFixedPim)
+                return fixed_tree_free
+                           ? std::optional(PlacedOn::FixedPool)
+                           : std::nullopt;
+            break;
+          case OffloadClass::Recursive:
+            if (_config.hasFixedPim) {
+                // Host feeds extracted regions; needs CPU + trees.
+                if (!_cpu_busy && fixed_tree_free)
+                    return PlacedOn::FixedHostDriven;
+                return std::nullopt;
+            }
+            break;
+          case OffloadClass::ProgrammableOnly:
+          case OffloadClass::DataMovement:
+            if (_config.hasProgrPim)
+                return has_progr ? std::optional(PlacedOn::ProgrPim)
+                                 : std::nullopt;
+            break;
+        }
+        return _cpu_busy ? std::nullopt : std::optional(PlacedOn::Cpu);
+    }
+
+    // ---- Dynamic scheduling (paper SectionIII-C step 2).
+    bool candidate = offloadCandidate(key);
+
+    if (!candidate) {
+        // Class-1/4 ops stay on the CPU unless it is busy and PIMs
+        // idle ("we can offload them when there are idling hardware
+        // units in PIMs").
+        if (!_cpu_busy)
+            return PlacedOn::Cpu;
+        if (cls == OffloadClass::FixedFunction && fixed_tree_free)
+            return PlacedOn::FixedPool;
+        if (has_progr && cls != OffloadClass::FixedFunction)
+            return PlacedOn::ProgrPim;
+        return std::nullopt;
+    }
+
+    switch (cls) {
+      case OffloadClass::FixedFunction:
+        // Principle 1: fixed-function PIMs first. When they are all
+        // busy, principle 2 sends *small* candidates to the CPU
+        // rather than letting it idle; large kernels wait for trees.
+        if (fixed_tree_free)
+            return PlacedOn::FixedPool;
+        if (!_cpu_busy
+            && _cpu_model.opSeconds(o.cost)
+                   <= _config.cpuFallbackThresholdSec) {
+            return PlacedOn::Cpu;
+        }
+        return std::nullopt;
+      case OffloadClass::Recursive:
+        if (_config.recursiveKernels && has_progr && _config.hasFixedPim)
+            return PlacedOn::ProgrRecursive;
+        if (!_config.recursiveKernels && _config.hasFixedPim
+            && !_cpu_busy && fixed_tree_free) {
+            return PlacedOn::FixedHostDriven;
+        }
+        if (!_cpu_busy
+            && (!_config.hasFixedPim
+                || _cpu_model.opSeconds(o.cost)
+                       <= _config.cpuFallbackThresholdSec)) {
+            return PlacedOn::Cpu;
+        }
+        return std::nullopt;
+      case OffloadClass::ProgrammableOnly:
+      case OffloadClass::DataMovement:
+        if (has_progr)
+            return PlacedOn::ProgrPim;
+        if (!_cpu_busy
+            && _cpu_model.opSeconds(o.cost)
+                   <= _config.cpuFallbackThresholdSec) {
+            return PlacedOn::Cpu;
+        }
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+bool
+Executor::tryDispatch(const OpKey &key)
+{
+    auto placement = decidePlacement(key);
+    if (!placement)
+        return false;
+
+    OpState &s = state(key);
+    s.ready = false;
+    s.running = true;
+    ++_report.opsByPlacement[*placement];
+
+    if (_trace) {
+        _trace_tokens[keyStr(key)] =
+            _trace->begin(op(key).label, key.op, *placement,
+                          key.workload, key.step, nowSec());
+    }
+
+    switch (*placement) {
+      case PlacedOn::Cpu:
+        startOnCpu(key);
+        break;
+      case PlacedOn::FixedPool:
+        startOnFixed(key);
+        break;
+      case PlacedOn::ProgrPim:
+        startOnProgr(key, false);
+        break;
+      case PlacedOn::ProgrRecursive:
+        startOnProgr(key, true);
+        break;
+      case PlacedOn::FixedHostDriven:
+        startHostDriven(key);
+        break;
+    }
+    return true;
+}
+
+void
+Executor::dispatchAll()
+{
+    // Priority: managed workloads first, then (step, op id) order.
+    std::stable_sort(_pending.begin(), _pending.end(),
+                     [this](const OpKey &a, const OpKey &b) {
+                         bool am = _workloads[a.workload].spec.pimManaged;
+                         bool bm = _workloads[b.workload].spec.pimManaged;
+                         if (am != bm)
+                             return am;
+                         if (a.step != b.step)
+                             return a.step < b.step;
+                         return a.op < b.op;
+                     });
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto it = _pending.begin(); it != _pending.end();) {
+            if (tryDispatch(*it)) {
+                it = _pending.erase(it);
+                progress = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+void
+Executor::startOnCpu(const OpKey &key)
+{
+    const Operation &o = op(key);
+    auto timing = _cpu_model.opTiming(o.cost);
+    double dm = timing.exposedMemorySec();
+    double dur = std::max(timing.totalSec(), 1e-12);
+
+    _report.cpuBusySec += dur;
+    _report.linkBytes += o.cost.bytes();
+    _op_accum += dur - dm;
+    _dm_accum += dm;
+
+    _cpu_busy = true;
+    _queue.scheduleCallback(
+        toTick(nowSec() + dur),
+        [this, key] {
+            _cpu_busy = false;
+            onOpComplete(key);
+        },
+        hpim::sim::Event::completionPriority);
+}
+
+void
+Executor::startOnProgr(const OpKey &key, bool recursive)
+{
+    panic_if(_progr_free == 0, "no free programmable PIM");
+    const Operation &o = op(key);
+    --_progr_free;
+
+    double launch = _config.progr.launchOverheadSec;
+    _report.hostLaunches += 1;
+
+    if (!recursive) {
+        double dur =
+            launch
+            + hpim::pim::progrOpSeconds(
+                  _config.progr, o.cost,
+                  _config.internalBandwidth * _config.pimBandwidthShare);
+        dur = std::max(dur, 1e-12);
+        double comp = o.cost.flops() / _config.progr.flops()
+                      + o.cost.specials / _config.progr.specials();
+        double dm = std::max(0.0, dur - launch - comp);
+        _report.progrBusySec += dur;
+        _report.internalBytes += o.cost.bytes();
+        _sync_accum += launch;
+        _op_accum += dur - launch - dm;
+        _dm_accum += dm;
+        _queue.scheduleCallback(
+            toTick(nowSec() + dur),
+            [this, key] {
+                ++_progr_free;
+                onOpComplete(key);
+            },
+            hpim::sim::Event::completionPriority);
+        return;
+    }
+
+    // Recursive kernel: the programmable PIM runs the control/special
+    // phases and dispatches the extracted mul/add core to the pool.
+    auto calls = static_cast<std::uint32_t>(std::max(
+        1.0, std::ceil(o.parallelism.lanes / 1048576.0)));
+    _report.recursiveLaunches += calls;
+    double rc_over = calls * _config.progr.recursiveLaunchSec;
+    double control = o.cost.specials / _config.progr.specials();
+    double dur = std::max(launch + rc_over + control, 1e-12);
+
+    _report.progrBusySec += dur;
+    _sync_accum += launch + rc_over;
+    _op_accum += control;
+
+    _joins[keyStr(key)] = Join{};
+
+    double flops = o.cost.flops();
+    double intensity =
+        o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t tree =
+        std::min(std::max(o.parallelism.unitsPerLane, 1u),
+                 _config.fixed.totalUnits);
+    std::uint32_t max_trees = static_cast<std::uint32_t>(std::max<double>(
+        1.0,
+        std::min<double>(_config.fixed.totalUnits / tree,
+                         std::ceil(o.parallelism.lanes))));
+    addPhase(key, flops, intensity, tree, max_trees, true);
+
+    _queue.scheduleCallback(
+        toTick(nowSec() + dur),
+        [this, key] {
+            ++_progr_free;
+            onJoinedPartDone(key, false);
+        },
+        hpim::sim::Event::completionPriority);
+}
+
+void
+Executor::startOnFixed(const OpKey &key)
+{
+    const Operation &o = op(key);
+    double launch = _config.fixed.launchOverheadSec;
+    _report.hostLaunches += 1;
+    _sync_accum += launch;
+    _report.internalBytes += o.cost.bytes();
+
+    double flops = std::max(o.cost.flops(), 1.0);
+    double intensity =
+        o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t tree =
+        std::min(std::max(o.parallelism.unitsPerLane, 1u),
+                 _config.fixed.totalUnits);
+    std::uint32_t max_trees = static_cast<std::uint32_t>(std::max<double>(
+        1.0,
+        std::min<double>(_config.fixed.totalUnits / tree,
+                         std::ceil(o.parallelism.lanes))));
+    // The kernel-spawn latency delays the phase start.
+    _queue.scheduleCallback(
+        toTick(nowSec() + launch),
+        [this, key, flops, intensity, tree, max_trees] {
+            addPhase(key, flops, intensity, tree, max_trees, false);
+        },
+        hpim::sim::Event::defaultPriority);
+}
+
+void
+Executor::startHostDriven(const OpKey &key)
+{
+    // Without RC: the host CPU runs the non-extractable phases and
+    // feeds extracted regions to the pool in small batches.
+    const Operation &o = op(key);
+    panic_if(_cpu_busy, "host-driven op needs a free CPU");
+    _cpu_busy = true;
+
+    double launches =
+        static_cast<double>(_config.hostDrivenLaunches);
+    double sync = launches * _config.fixed.launchOverheadSec;
+    _report.hostLaunches += _config.hostDrivenLaunches;
+    _sync_accum += sync;
+
+    hpim::nn::CostStructure control;
+    control.specials = o.cost.specials;
+    control.bytesRead = o.cost.bytesRead * 0.1; // staging traffic
+    auto timing = _cpu_model.opTiming(control);
+    double cpu_dur = std::max(timing.totalSec() + sync, 1e-12);
+    _report.cpuBusySec += cpu_dur;
+    _report.linkBytes += control.bytes();
+    _op_accum += timing.totalSec();
+
+    _joins[keyStr(key)] = Join{};
+
+    double flops = std::max(o.cost.flops(), 1.0);
+    double intensity =
+        o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t tree =
+        std::min(std::max(o.parallelism.unitsPerLane, 1u),
+                 _config.fixed.totalUnits);
+    std::uint32_t max_trees =
+        std::min(std::max(1u, _config.hostDrivenMaxUnits / tree),
+                 std::max(1u, _config.fixed.totalUnits / tree));
+    _report.internalBytes += o.cost.bytes();
+    addPhase(key, flops, intensity, tree, std::max(max_trees, 1u), true);
+
+    _queue.scheduleCallback(
+        toTick(nowSec() + cpu_dur),
+        [this, key] {
+            _cpu_busy = false;
+            onJoinedPartDone(key, false);
+        },
+        hpim::sim::Event::completionPriority);
+}
+
+double
+Executor::phaseRate(const FixedPhase &phase) const
+{
+    if (phase.alloc == 0)
+        return 0.0;
+    double compute = phase.alloc * _config.fixed.unitFlops();
+    double bw_share = _config.internalBandwidth
+                      * _config.pimBandwidthShare
+                      * (static_cast<double>(phase.alloc)
+                         / _config.fixed.totalUnits);
+    double by_bw = bw_share
+                   * std::min(phase.intensity,
+                              _config.fixedOperandReuse);
+    return std::max(std::min(compute, by_bw), 1.0);
+}
+
+void
+Executor::poolDrain()
+{
+    Tick now = _queue.now();
+    if (now <= _pool_last_update) {
+        _pool_last_update = now;
+        return;
+    }
+    double elapsed =
+        hpim::sim::ticksToSeconds(now - _pool_last_update);
+    for (FixedPhase &phase : _phases) {
+        if (phase.alloc > 0) {
+            phase.remainingFlops -= phaseRate(phase) * elapsed;
+            _report.fixedUnitSeconds += phase.alloc * elapsed;
+        }
+    }
+    _pool_last_update = now;
+}
+
+void
+Executor::poolReallocate()
+{
+    std::uint32_t free = _config.fixed.totalUnits;
+    // Pass 1: one tree per phase, oldest first.
+    for (FixedPhase &phase : _phases) {
+        phase.alloc = 0;
+        if (free >= phase.treeUnits) {
+            phase.alloc = phase.treeUnits;
+            free -= phase.treeUnits;
+        }
+    }
+    // Pass 2: extra trees, oldest first (current step drains first).
+    for (FixedPhase &phase : _phases) {
+        if (phase.alloc == 0)
+            continue;
+        std::uint32_t extra = std::min<std::uint32_t>(
+            phase.maxTrees - 1, free / phase.treeUnits);
+        phase.alloc += extra * phase.treeUnits;
+        free -= extra * phase.treeUnits;
+    }
+    _fixed_free = free;
+}
+
+void
+Executor::poolScheduleNext()
+{
+    if (_pool_event->scheduled())
+        _queue.deschedule(_pool_event.get());
+    double best = -1.0;
+    for (const FixedPhase &phase : _phases) {
+        if (phase.alloc == 0)
+            continue;
+        double eta = std::max(phase.remainingFlops, 0.0)
+                     / phaseRate(phase);
+        if (best < 0.0 || eta < best)
+            best = eta;
+    }
+    if (best >= 0.0) {
+        Tick when = std::max<Tick>(toTick(nowSec() + best),
+                                   _queue.now() + 1);
+        _queue.schedule(_pool_event.get(), when);
+    }
+}
+
+void
+Executor::addPhase(const OpKey &key, double flops, double intensity,
+                   std::uint32_t tree_units, std::uint32_t max_trees,
+                   bool joined)
+{
+    poolDrain();
+    FixedPhase phase;
+    phase.key = key;
+    phase.remainingFlops = std::max(flops, 1.0);
+    phase.treeUnits = tree_units;
+    phase.maxTrees = max_trees;
+    phase.intensity = intensity;
+    phase.joined = joined;
+    phase.startSec = nowSec();
+    _phases.push_back(phase);
+    poolReallocate();
+    poolScheduleNext();
+}
+
+void
+Executor::onPoolEvent()
+{
+    poolDrain();
+    std::vector<FixedPhase> finished;
+    for (auto it = _phases.begin(); it != _phases.end();) {
+        if (it->alloc > 0 && it->remainingFlops <= kWorkEpsilon) {
+            finished.push_back(*it);
+            it = _phases.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    poolReallocate();
+    poolScheduleNext();
+
+    for (const FixedPhase &phase : finished) {
+        _op_accum += nowSec() - phase.startSec;
+        if (phase.joined)
+            onJoinedPartDone(phase.key, true);
+        else
+            onOpComplete(phase.key);
+    }
+    dispatchAll();
+}
+
+void
+Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
+{
+    auto it = _joins.find(keyStr(key));
+    panic_if(it == _joins.end(), "join record missing for op");
+    if (fixed_part)
+        it->second.fixedDone = true;
+    else
+        it->second.controlDone = true;
+    if (it->second.fixedDone && it->second.controlDone) {
+        _joins.erase(it);
+        onOpComplete(key);
+    } else {
+        // One side freed a resource; others may now start.
+        dispatchAll();
+    }
+}
+
+void
+Executor::onOpComplete(const OpKey &key)
+{
+    WorkloadState &wl = _workloads[key.workload];
+    OpState &s = state(key);
+    panic_if(s.done, "op completed twice");
+    s.done = true;
+    s.running = false;
+
+    if (_trace) {
+        auto it = _trace_tokens.find(keyStr(key));
+        if (it != _trace_tokens.end()) {
+            _trace->end(it->second, nowSec());
+            _trace_tokens.erase(it);
+        }
+    }
+
+    const Graph &graph = *wl.spec.graph;
+    for (OpId consumer : graph.consumers()[key.op]) {
+        OpState &cs = wl.steps[key.step][consumer];
+        panic_if(cs.remainingDeps == 0, "dependence underflow");
+        if (--cs.remainingDeps == 0) {
+            cs.ready = true;
+            _pending.push_back(OpKey{key.workload, key.step, consumer});
+        }
+    }
+
+    panic_if(wl.remainingOps[key.step] == 0, "step op underflow");
+    if (--wl.remainingOps[key.step] == 0) {
+        ++wl.completedSteps;
+        // Admit the next step(s) within the pipeline window.
+        while (wl.seededSteps < wl.spec.steps
+               && wl.seededSteps < wl.completedSteps + stepWindow(wl)) {
+            seedStep(key.workload, wl.seededSteps);
+        }
+    }
+    dispatchAll();
+}
+
+ExecutionReport
+Executor::run(const std::vector<WorkloadSpec> &workloads)
+{
+    fatal_if(workloads.empty(), "no workloads to run");
+    // The event queue's clock is monotonic and cannot rewind; one
+    // Executor instance runs once.
+    fatal_if(_queue.processedCount() != 0,
+             "Executor::run() called twice; construct a fresh "
+             "Executor per run");
+    _workloads.clear();
+    _pending.clear();
+    _phases.clear();
+    _joins.clear();
+    _report = ExecutionReport{};
+    _report.configName = _config.name;
+
+    for (const WorkloadSpec &spec : workloads) {
+        fatal_if(spec.graph == nullptr, "workload without a graph");
+        fatal_if(spec.steps == 0, "workload with zero steps");
+        WorkloadState wl;
+        wl.spec = spec;
+        wl.steps.resize(spec.steps);
+        wl.remainingOps.assign(spec.steps, 0);
+        _workloads.push_back(std::move(wl));
+    }
+    _report.workloadName = workloads[0].graph->name();
+    _report.stepsSimulated = workloads[0].steps;
+
+    for (std::uint32_t w = 0; w < _workloads.size(); ++w) {
+        std::uint32_t window = stepWindow(_workloads[w]);
+        for (std::uint32_t s = 0;
+             s < std::min<std::uint32_t>(window,
+                                         _workloads[w].spec.steps);
+             ++s) {
+            seedStep(w, s);
+        }
+    }
+    dispatchAll();
+
+    std::uint64_t guard = 50'000'000;
+    while (_queue.runOne()) {
+        panic_if(--guard == 0, "executor exceeded event budget");
+    }
+
+    for (const WorkloadState &wl : _workloads) {
+        panic_if(wl.completedSteps != wl.spec.steps,
+                 "workload '", wl.spec.graph->name(),
+                 "' deadlocked: ", wl.completedSteps, "/",
+                 wl.spec.steps, " steps done");
+    }
+
+    // ---- Finalize the report.
+    _report.makespanSec = nowSec();
+    _report.stepSec =
+        _report.makespanSec / _report.stepsSimulated;
+
+    double accum = _op_accum + _dm_accum + _sync_accum;
+    if (accum > 0.0) {
+        _report.opSec = _report.stepSec * _op_accum / accum;
+        _report.dataMovementSec = _report.stepSec * _dm_accum / accum;
+        _report.syncSec = _report.stepSec * _sync_accum / accum;
+    } else {
+        _report.opSec = _report.stepSec;
+    }
+
+    if (_config.hasFixedPim && _report.makespanSec > 0.0) {
+        _report.fixedUtilization =
+            _report.fixedUnitSeconds
+            / (_config.fixed.totalUnits * _report.makespanSec);
+    }
+
+    // ---- Energy.
+    double makespan = _report.makespanSec;
+    double cpu_busy = std::min(_report.cpuBusySec, makespan);
+    double host_floor = _config.hostCoordinationFloor * makespan;
+    double host_active = std::max(cpu_busy, host_floor);
+    _report.cpuEnergyJ =
+        host_active * _config.cpu.dynamicPowerW
+        + (makespan - host_active) * _config.cpu.idlePowerW;
+    if (_config.hasProgrPim) {
+        _report.progrEnergyJ =
+            _report.progrBusySec * _config.progr.powerW();
+    }
+    if (_config.hasFixedPim) {
+        _report.fixedEnergyJ =
+            _report.fixedUnitSeconds * _config.fixed.unitPowerW()
+            + _config.fixed.poolStaticPowerW * makespan;
+    }
+    _report.dramEnergyJ =
+        _report.linkBytes
+            * (_config.dramEnergy.readPerBytePj
+               + _config.dramEnergy.linkPerBytePj)
+            * 1e-12
+        + _report.internalBytes * _config.dramEnergy.readPerBytePj
+              * 1e-12
+        + _config.stackBackgroundW * makespan;
+    _report.totalEnergyJ = _report.cpuEnergyJ + _report.progrEnergyJ
+                           + _report.fixedEnergyJ + _report.dramEnergyJ;
+    _report.energyPerStepJ =
+        _report.totalEnergyJ / _report.stepsSimulated;
+    _report.averagePowerW =
+        makespan > 0.0 ? _report.totalEnergyJ / makespan : 0.0;
+    _report.edp = _report.energyPerStepJ * _report.stepSec;
+    return _report;
+}
+
+} // namespace hpim::rt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The heterogeneous-PIM execution engine.
+ *
+ * A discrete-event list scheduler over one or more training workloads:
+ *  - the host CPU executes kernels one at a time (TF-style inter-op
+ *    serialization; intra-op uses the whole socket);
+ *  - each programmable PIM executes one kernel at a time;
+ *  - the fixed-function pool is a *malleable* resource: active phases
+ *    hold whole reduction trees and may gain/lose trees at any event
+ *    boundary -- this is what makes the operation pipeline effective.
+ *
+ * Scheduling follows the paper's three principles (SectionIII-C):
+ * favor fixed-function PIMs, avoid CPU idling by keeping candidates on
+ * PIMs, and respect data dependences. RC lets Recursive-class ops run
+ * on the programmable PIM with their multiply/add core dispatched to
+ * the pool; OP admits ops from the next training step while the
+ * current one drains.
+ */
+
+#ifndef HPIM_RT_EXECUTOR_HH
+#define HPIM_RT_EXECUTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hh"
+#include "rt/execution_report.hh"
+#include "rt/offload_selector.hh"
+#include "rt/schedule_trace.hh"
+#include "rt/system_config.hh"
+#include "sim/event_queue.hh"
+
+namespace hpim::rt {
+
+/** One workload to run (co-run studies pass several). */
+struct WorkloadSpec
+{
+    const hpim::nn::Graph *graph = nullptr;
+    std::uint32_t steps = 1;
+    /**
+     * Full PIM management (profiling-based candidates + all devices)
+     * when true; when false the workload is a guest restricted to the
+     * CPU and programmable PIM at lower priority (paper SectionVI-F).
+     */
+    bool pimManaged = true;
+};
+
+/** The executor. */
+class Executor
+{
+  public:
+    /**
+     * @param config system description
+     * @param selection offload candidates (nullptr = offload
+     *        everything eligible; used by non-scheduled baselines)
+     */
+    explicit Executor(const SystemConfig &config,
+                      const OffloadSelection *selection = nullptr);
+
+    ~Executor();
+
+    /** Attach a schedule recorder (must outlive run()). */
+    void attachTrace(ScheduleTrace *trace) { _trace = trace; }
+
+    /** Run the workloads to completion and report. */
+    ExecutionReport run(const std::vector<WorkloadSpec> &workloads);
+
+    /** Convenience: one pim-managed workload. */
+    ExecutionReport
+    run(const hpim::nn::Graph &graph, std::uint32_t steps = 0)
+    {
+        WorkloadSpec spec;
+        spec.graph = &graph;
+        spec.steps = steps == 0 ? _config.steps : steps;
+        return run({spec});
+    }
+
+  private:
+    struct OpKey
+    {
+        std::uint32_t workload;
+        std::uint32_t step;
+        hpim::nn::OpId op;
+    };
+
+    struct OpState
+    {
+        std::uint32_t remainingDeps = 0;
+        bool ready = false;
+        bool running = false;
+        bool done = false;
+    };
+
+    struct FixedPhase
+    {
+        OpKey key;
+        double remainingFlops = 0.0;
+        std::uint32_t treeUnits = 1; ///< units per reduction tree
+        std::uint32_t maxTrees = 1;
+        double intensity = 1e9;      ///< flops per byte
+        std::uint32_t alloc = 0;     ///< currently allocated units
+        /** Phase is half of a joined (RC / host-driven) op. */
+        bool joined = false;
+        double startSec = 0.0;
+    };
+
+    struct WorkloadState
+    {
+        WorkloadSpec spec;
+        std::vector<std::vector<OpState>> steps; ///< [step][op]
+        std::vector<std::uint32_t> remainingOps; ///< per step
+        std::uint32_t completedSteps = 0;
+        std::uint32_t seededSteps = 0;
+    };
+
+    // ---- Scheduling.
+    void seedStep(std::uint32_t w, std::uint32_t step);
+    void dispatchAll();
+    bool tryDispatch(const OpKey &key);
+    std::optional<PlacedOn> decidePlacement(const OpKey &key) const;
+    void startOnCpu(const OpKey &key);
+    void startOnProgr(const OpKey &key, bool recursive);
+    void startOnFixed(const OpKey &key);
+    void startHostDriven(const OpKey &key);
+    void addPhase(const OpKey &key, double flops, double intensity,
+                  std::uint32_t tree_units, std::uint32_t max_trees,
+                  bool joined);
+    void onOpComplete(const OpKey &key);
+    void onJoinedPartDone(const OpKey &key, bool fixed_part);
+
+    // ---- Fixed pool mechanics.
+    void poolDrain();        ///< account work done since last update
+    void poolReallocate();   ///< redistribute units over phases
+    void poolScheduleNext(); ///< (re)schedule the pool event
+    void onPoolEvent();
+    double phaseRate(const FixedPhase &phase) const;
+
+    // ---- Helpers.
+    const hpim::nn::Operation &op(const OpKey &key) const;
+    OpState &state(const OpKey &key);
+    std::uint32_t stepWindow(const WorkloadState &w) const;
+    bool offloadCandidate(const OpKey &key) const;
+    double nowSec() const;
+    hpim::sim::Tick toTick(double seconds) const;
+
+    SystemConfig _config;
+    const OffloadSelection *_selection;
+    hpim::cpu::CpuModel _cpu_model;
+
+    hpim::sim::EventQueue _queue;
+    std::vector<WorkloadState> _workloads;
+    std::vector<OpKey> _pending; ///< ready, not yet placed
+
+    // Device state.
+    bool _cpu_busy = false;
+    std::uint32_t _progr_free = 0;
+    std::vector<FixedPhase> _phases;
+    std::uint32_t _fixed_free = 0;
+    hpim::sim::Tick _pool_last_update = 0;
+    class PoolEvent;
+    std::unique_ptr<PoolEvent> _pool_event;
+
+    // Joint completion of RC / host-driven ops (control part on the
+    // programmable PIM or CPU + fixed-pool part).
+    struct Join
+    {
+        bool controlDone = false;
+        bool fixedDone = false;
+    };
+    std::map<std::string, Join> _joins; // keyed by op key string
+    static std::string keyStr(const OpKey &key);
+
+    // Accounting.
+    ExecutionReport _report;
+    double _op_accum = 0.0;
+    double _dm_accum = 0.0;
+    double _sync_accum = 0.0;
+
+    // Optional schedule recording.
+    ScheduleTrace *_trace = nullptr;
+    std::map<std::string, std::size_t> _trace_tokens;
+};
+
+} // namespace hpim::rt
+
+#endif // HPIM_RT_EXECUTOR_HH

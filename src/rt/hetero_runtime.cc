@@ -1,0 +1,141 @@
+#include "rt/hetero_runtime.hh"
+
+#include <algorithm>
+
+namespace hpim::rt {
+
+using hpim::nn::Graph;
+
+TrainingResult
+HeteroRuntime::prepare(const Graph &graph) const
+{
+    TrainingResult result;
+    if (_config.dynamicScheduling) {
+        Profiler profiler{hpim::cpu::CpuModel(_config.cpu)};
+        result.profile = profiler.profile(graph);
+        result.selection = selectOffloadCandidates(
+            result.profile, _config.offloadCoveragePct);
+    }
+    return result;
+}
+
+TrainingResult
+HeteroRuntime::train(const Graph &graph, std::uint32_t steps) const
+{
+    TrainingResult result = prepare(graph);
+    Executor executor(_config, _config.dynamicScheduling
+                                   ? &result.selection
+                                   : nullptr);
+    result.execution =
+        executor.run(graph, steps == 0 ? _config.steps : steps);
+    return result;
+}
+
+std::uint32_t
+HeteroRuntime::guestSteps(const Graph &primary, const Graph &guest,
+                          std::uint32_t steps) const
+{
+    std::uint32_t n = steps == 0 ? _config.steps : steps;
+    // Balance using quick one-step simulations: the primary at its
+    // PIM-accelerated speed, the guest at its CPU/progr-PIM speed.
+    TrainingResult primary_probe = prepare(primary);
+    Executor first(_config, _config.dynamicScheduling
+                                ? &primary_probe.selection
+                                : nullptr);
+    double primary_est = first.run(primary, 1).stepSec;
+
+    Executor second(_config, nullptr);
+    WorkloadSpec guest_probe;
+    guest_probe.graph = &guest;
+    guest_probe.steps = 1;
+    guest_probe.pimManaged = false;
+    double guest_est = second.run({guest_probe}).stepSec;
+
+    if (guest_est <= 0.0)
+        return n;
+    double ratio = primary_est / guest_est;
+    // Bound total simulated guest ops to keep the simulation cheap.
+    double op_cap = 250000.0
+                    / (static_cast<double>(guest.size())
+                       * static_cast<double>(n));
+    ratio = std::min(std::max(ratio, 1.0), std::max(op_cap, 1.0));
+    return static_cast<std::uint32_t>(ratio * n + 0.5);
+}
+
+TrainingResult
+HeteroRuntime::corun(const Graph &primary, const Graph &guest,
+                     std::uint32_t steps) const
+{
+    TrainingResult result = prepare(primary);
+    Executor executor(_config, _config.dynamicScheduling
+                                   ? &result.selection
+                                   : nullptr);
+    std::uint32_t n = steps == 0 ? _config.steps : steps;
+
+    WorkloadSpec primary_spec;
+    primary_spec.graph = &primary;
+    primary_spec.steps = n;
+    primary_spec.pimManaged = true;
+
+    WorkloadSpec guest_spec;
+    guest_spec.graph = &guest;
+    guest_spec.steps = guestSteps(primary, guest, steps);
+    guest_spec.pimManaged = false;
+
+    result.execution = executor.run({primary_spec, guest_spec});
+    return result;
+}
+
+TrainingResult
+HeteroRuntime::corunSequential(const Graph &primary, const Graph &guest,
+                               std::uint32_t steps) const
+{
+    std::uint32_t n = steps == 0 ? _config.steps : steps;
+
+    TrainingResult result = prepare(primary);
+    Executor first(_config, _config.dynamicScheduling
+                                ? &result.selection
+                                : nullptr);
+    ExecutionReport a = first.run(primary, n);
+
+    // The guest runs after the primary finishes, still restricted to
+    // the CPU and programmable PIM (it is not a PIM-managed model).
+    Executor second(_config, nullptr);
+    WorkloadSpec guest_spec;
+    guest_spec.graph = &guest;
+    guest_spec.steps = guestSteps(primary, guest, steps);
+    guest_spec.pimManaged = false;
+    ExecutionReport b = second.run({guest_spec});
+
+    result.execution = a;
+    result.execution.workloadName =
+        primary.name() + "+" + guest.name() + " (sequential)";
+    result.execution.makespanSec += b.makespanSec;
+    result.execution.stepSec += b.stepSec;
+    result.execution.opSec += b.opSec;
+    result.execution.dataMovementSec += b.dataMovementSec;
+    result.execution.syncSec += b.syncSec;
+    result.execution.cpuBusySec += b.cpuBusySec;
+    result.execution.progrBusySec += b.progrBusySec;
+    result.execution.fixedUnitSeconds += b.fixedUnitSeconds;
+    result.execution.hostLaunches += b.hostLaunches;
+    result.execution.recursiveLaunches += b.recursiveLaunches;
+    result.execution.linkBytes += b.linkBytes;
+    result.execution.internalBytes += b.internalBytes;
+    result.execution.totalEnergyJ += b.totalEnergyJ;
+    result.execution.energyPerStepJ += b.energyPerStepJ;
+    result.execution.edp =
+        result.execution.energyPerStepJ * result.execution.stepSec;
+    if (result.execution.makespanSec > 0.0) {
+        result.execution.averagePowerW =
+            result.execution.totalEnergyJ
+            / result.execution.makespanSec;
+        result.execution.fixedUtilization =
+            result.execution.fixedUnitSeconds
+            / (_config.fixed.totalUnits
+               * result.execution.makespanSec);
+    }
+    return result;
+}
+
+} // namespace hpim::rt

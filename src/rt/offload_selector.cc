@@ -1,0 +1,58 @@
+#include "rt/offload_selector.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace hpim::rt {
+
+using hpim::nn::OpType;
+
+OffloadSelection
+selectOffloadCandidates(const ProfileReport &report, double coverage_pct)
+{
+    fatal_if(coverage_pct <= 0.0 || coverage_pct > 100.0,
+             "coverage must be in (0, 100], got ", coverage_pct);
+
+    OffloadSelection selection;
+    if (report.byType.empty())
+        return selection;
+
+    auto by_time = report.topByTime();
+    auto by_access = report.topByAccesses();
+
+    std::map<OpType, RankedType> ranked;
+    for (std::size_t i = 0; i < by_time.size(); ++i) {
+        RankedType &r = ranked[by_time[i].type];
+        r.type = by_time[i].type;
+        r.timeIndex = i;
+        r.timePct = by_time[i].timePct;
+    }
+    for (std::size_t i = 0; i < by_access.size(); ++i)
+        ranked[by_access[i].type].accessIndex = i;
+
+    for (auto &[type, r] : ranked) {
+        r.globalIndex = r.timeIndex + r.accessIndex;
+        selection.ranking.push_back(r);
+    }
+    std::sort(selection.ranking.begin(), selection.ranking.end(),
+              [](const RankedType &a, const RankedType &b) {
+                  if (a.globalIndex != b.globalIndex)
+                      return a.globalIndex < b.globalIndex;
+                  return a.timeIndex < b.timeIndex; // tie: hotter first
+              });
+
+    // Take top entries until the x% time-coverage target is met.
+    double covered = 0.0;
+    for (const RankedType &r : selection.ranking) {
+        if (covered >= coverage_pct)
+            break;
+        selection.candidates.insert(r.type);
+        covered += r.timePct;
+    }
+    selection.coveredTimePct = covered;
+    return selection;
+}
+
+} // namespace hpim::rt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Offload-candidate selection (paper SectionIII-C, step 1).
+ *
+ * The runtime sorts op types into two descending lists -- by execution
+ * time and by main-memory accesses -- assigns each type its index in
+ * each list, sums the two indexes into a global index, sorts by the
+ * global index ascending (smaller = both hot and memory-intensive),
+ * and picks top entries until they cover x% (default 90) of one
+ * step's execution time.
+ */
+
+#ifndef HPIM_RT_OFFLOAD_SELECTOR_HH
+#define HPIM_RT_OFFLOAD_SELECTOR_HH
+
+#include <set>
+#include <vector>
+
+#include "rt/profiler.hh"
+
+namespace hpim::rt {
+
+/** A ranked candidate entry (exposed for tests / reporting). */
+struct RankedType
+{
+    hpim::nn::OpType type;
+    std::size_t timeIndex = 0;   ///< rank in the by-time list
+    std::size_t accessIndex = 0; ///< rank in the by-accesses list
+    std::size_t globalIndex = 0; ///< timeIndex + accessIndex
+    double timePct = 0.0;
+};
+
+/** Result of the selection. */
+struct OffloadSelection
+{
+    std::vector<RankedType> ranking;     ///< ascending global index
+    std::set<hpim::nn::OpType> candidates;
+    double coveredTimePct = 0.0;
+
+    bool
+    isCandidate(hpim::nn::OpType type) const
+    {
+        return candidates.count(type) != 0;
+    }
+};
+
+/**
+ * Run the dual-index selection.
+ *
+ * @param report step-1 profile
+ * @param coverage_pct target coverage of step time (paper: x = 90)
+ */
+OffloadSelection selectOffloadCandidates(const ProfileReport &report,
+                                         double coverage_pct = 90.0);
+
+} // namespace hpim::rt
+
+#endif // HPIM_RT_OFFLOAD_SELECTOR_HH

@@ -1,0 +1,70 @@
+#include "rt/profiler.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace hpim::rt {
+
+using hpim::nn::Graph;
+using hpim::nn::Operation;
+using hpim::nn::OpType;
+
+std::vector<TypeProfile>
+ProfileReport::topByTime() const
+{
+    auto sorted = byType;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TypeProfile &a, const TypeProfile &b) {
+                  return a.timeSec > b.timeSec;
+              });
+    return sorted;
+}
+
+std::vector<TypeProfile>
+ProfileReport::topByAccesses() const
+{
+    auto sorted = byType;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TypeProfile &a, const TypeProfile &b) {
+                  return a.accesses > b.accesses;
+              });
+    return sorted;
+}
+
+ProfileReport
+Profiler::profile(const Graph &graph) const
+{
+    ProfileReport report;
+    report.ops.reserve(graph.size());
+
+    std::map<OpType, TypeProfile> agg;
+    for (const Operation &op : graph.ops()) {
+        OpProfile p;
+        p.id = op.id;
+        p.type = op.type;
+        p.label = op.label;
+        p.timeSec = _cpu.opSeconds(op.cost);
+        p.mainMemoryAccesses = _cpu.mainMemoryAccesses(op.cost);
+        report.totalTimeSec += p.timeSec;
+        report.totalAccesses += p.mainMemoryAccesses;
+
+        TypeProfile &t = agg[op.type];
+        t.type = op.type;
+        t.timeSec += p.timeSec;
+        t.accesses += p.mainMemoryAccesses;
+        ++t.invocations;
+
+        report.ops.push_back(std::move(p));
+    }
+
+    for (auto &[type, t] : agg) {
+        if (report.totalTimeSec > 0.0)
+            t.timePct = 100.0 * t.timeSec / report.totalTimeSec;
+        if (report.totalAccesses > 0.0)
+            t.accessPct = 100.0 * t.accesses / report.totalAccesses;
+        report.byType.push_back(t);
+    }
+    return report;
+}
+
+} // namespace hpim::rt

@@ -1,0 +1,74 @@
+#include "sim/config.hh"
+
+namespace hpim::sim {
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    if (const auto *d = std::get_if<double>(&it->second))
+        return *d;
+    if (const auto *i = std::get_if<std::int64_t>(&it->second))
+        return static_cast<double>(*i);
+    fatal("config key '", key, "' is not numeric");
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    if (const auto *i = std::get_if<std::int64_t>(&it->second))
+        return *i;
+    if (const auto *d = std::get_if<double>(&it->second))
+        return static_cast<std::int64_t>(*d);
+    fatal("config key '", key, "' is not an integer");
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    if (const auto *b = std::get_if<bool>(&it->second))
+        return *b;
+    fatal("config key '", key, "' is not a bool");
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return fallback;
+    if (const auto *s = std::get_if<std::string>(&it->second))
+        return *s;
+    fatal("config key '", key, "' is not a string");
+}
+
+double
+Config::requireDouble(const std::string &key) const
+{
+    fatal_if(!has(key), "missing required config key '", key, "'");
+    return getDouble(key, 0.0);
+}
+
+std::int64_t
+Config::requireInt(const std::string &key) const
+{
+    fatal_if(!has(key), "missing required config key '", key, "'");
+    return getInt(key, 0);
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[key, value] : other._values)
+        _values[key] = value;
+}
+
+} // namespace hpim::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small typed key/value configuration store.
+ *
+ * Experiment harnesses populate a Config; device constructors read their
+ * parameters from it with defaults, so a single object can describe a
+ * whole system configuration (paper Table IV plus PIM parameters).
+ */
+
+#ifndef HPIM_SIM_CONFIG_HH
+#define HPIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "sim/logging.hh"
+
+namespace hpim::sim {
+
+/** Typed key/value store: double, int64, bool or string values. */
+class Config
+{
+  public:
+    using Value = std::variant<double, std::int64_t, bool, std::string>;
+
+    Config() = default;
+
+    void set(const std::string &key, double v) { _values[key] = v; }
+    void set(const std::string &key, std::int64_t v) { _values[key] = v; }
+    void set(const std::string &key, int v)
+    { _values[key] = static_cast<std::int64_t>(v); }
+    void set(const std::string &key, bool v) { _values[key] = v; }
+    void set(const std::string &key, const std::string &v)
+    { _values[key] = v; }
+    void set(const std::string &key, const char *v)
+    { _values[key] = std::string(v); }
+
+    bool has(const std::string &key) const
+    { return _values.count(key) != 0; }
+
+    /** @return double value, accepting an int64 entry too. */
+    double getDouble(const std::string &key, double fallback) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Required variants: fatal() when the key is missing. */
+    double requireDouble(const std::string &key) const;
+    std::int64_t requireInt(const std::string &key) const;
+
+    /** Merge @p other into this config, overwriting duplicates. */
+    void merge(const Config &other);
+
+    std::size_t size() const { return _values.size(); }
+
+  private:
+    std::map<std::string, Value> _values;
+};
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_CONFIG_HH

@@ -1,0 +1,127 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hpim::sim {
+
+Event::~Event()
+{
+    panic_if(_scheduled, "destroying a scheduled event");
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    panic_if(event == nullptr, "scheduling a null event");
+    panic_if(event->_scheduled, "double-scheduling event: ",
+             event->description());
+    panic_if(when < _now, "scheduling event '", event->description(),
+             "' in the past: ", when, " < now ", _now);
+
+    event->_when = when;
+    event->_sequence = _next_sequence++;
+    event->_scheduled = true;
+    event->_squashed = false;
+    _heap.push(Entry{when, event->priority(), event->_sequence, event});
+    ++_live_count;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    panic_if(event == nullptr, "descheduling a null event");
+    panic_if(!event->_scheduled, "descheduling an unscheduled event");
+    // Lazy deletion: mark squashed; the heap entry is skipped on pop.
+    event->_scheduled = false;
+    event->_squashed = true;
+    --_live_count;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->_scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    // Skip squashed entries without mutating state: the heap top may be
+    // stale, so scan a copy only when the top is squashed (rare).
+    if (_live_count == 0)
+        return maxTick;
+    auto heap_copy = _heap;
+    while (!heap_copy.empty()) {
+        const Entry &top = heap_copy.top();
+        if (top.event->_scheduled && top.event->_sequence == top.sequence)
+            return top.when;
+        heap_copy.pop();
+    }
+    return maxTick;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!_heap.empty()) {
+        Entry top = _heap.top();
+        _heap.pop();
+        Event *ev = top.event;
+        // A stale entry: the event was descheduled (and possibly
+        // rescheduled, giving it a new sequence number).
+        if (!ev->_scheduled || ev->_sequence != top.sequence)
+            continue;
+        panic_if(top.when < _now, "event time went backwards");
+        _now = top.when;
+        ev->_scheduled = false;
+        --_live_count;
+        ++_processed;
+        ev->process();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runAll(std::uint64_t limit)
+{
+    std::uint64_t ran = 0;
+    while (runOne()) {
+        if (++ran >= limit) {
+            warn("event queue hit run limit of ", limit, " events");
+            return;
+        }
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (_live_count > 0 && nextEventTick() <= until)
+        runOne();
+    _now = std::max(_now, until);
+}
+
+void
+EventQueue::scheduleCallback(Tick when, std::function<void()> callback,
+                             Event::Priority priority)
+{
+    auto *ev = new LambdaEvent(std::move(callback), priority);
+    _owned.push_back(ev);
+    schedule(ev, when);
+}
+
+EventQueue::~EventQueue()
+{
+    for (Event *ev : _owned) {
+        if (ev->scheduled())
+            deschedule(ev);
+        delete ev;
+    }
+}
+
+} // namespace hpim::sim

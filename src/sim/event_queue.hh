@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * An EventQueue orders Events by (tick, priority, sequence). The executor
+ * in hpim::rt drives device models by scheduling completion events here.
+ */
+
+#ifndef HPIM_SIM_EVENT_QUEUE_HH
+#define HPIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace hpim::sim {
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events.
+ *
+ * Events are owned by their creators; the queue never deletes them.
+ * An event may be scheduled on at most one queue at a time.
+ */
+class Event
+{
+  public:
+    /** Lower value runs first among events at the same tick. */
+    using Priority = std::int32_t;
+
+    static constexpr Priority defaultPriority = 0;
+    /** Device-completion events run before scheduler-poll events. */
+    static constexpr Priority completionPriority = -10;
+    /** Scheduler decisions run after all completions at a tick. */
+    static constexpr Priority schedulePriority = 10;
+
+    explicit Event(Priority priority = defaultPriority)
+        : _priority(priority)
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** @return a short human-readable description for tracing. */
+    virtual std::string description() const { return "generic event"; }
+
+    /** @return true while the event sits in a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** @return the tick this event is (or was last) scheduled for. */
+    Tick when() const { return _when; }
+
+    Priority priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _sequence = 0;
+    Priority _priority;
+    bool _scheduled = false;
+    bool _squashed = false;
+};
+
+/** An Event that invokes a callable. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> callback,
+                         Priority priority = defaultPriority)
+        : Event(priority), _callback(std::move(callback))
+    {}
+
+    void process() override { _callback(); }
+    std::string description() const override { return "lambda event"; }
+
+  private:
+    std::function<void()> _callback;
+};
+
+/**
+ * The event queue: a priority queue over (when, priority, sequence).
+ *
+ * Deterministic: ties in (when, priority) break by insertion order.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedule an event at an absolute tick.
+     * It is a bug to schedule in the past or to double-schedule.
+     */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event without running it. */
+    void deschedule(Event *event);
+
+    /** Reschedule: deschedule (if scheduled) then schedule at @p when. */
+    void reschedule(Event *event, Tick when);
+
+    /** @return current simulated time. */
+    Tick now() const { return _now; }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return _live_count == 0; }
+
+    /** @return number of pending (non-squashed) events. */
+    std::size_t size() const { return _live_count; }
+
+    /** @return tick of the next pending event; maxTick when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run the next event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run events until the queue drains or @p limit is exceeded. */
+    void runAll(std::uint64_t limit = ~std::uint64_t(0));
+
+    /** Run all events up to and including tick @p until. */
+    void runUntil(Tick until);
+
+    /** Total number of events processed since construction. */
+    std::uint64_t processedCount() const { return _processed; }
+
+    /**
+     * Convenience: schedule a one-shot callback. The queue owns the
+     * temporary event and frees it after it fires (or at destruction).
+     */
+    void scheduleCallback(Tick when, std::function<void()> callback,
+                          Event::Priority priority = Event::defaultPriority);
+
+    ~EventQueue();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Event::Priority priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return sequence > o.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _heap;
+    Tick _now = 0;
+    std::uint64_t _next_sequence = 0;
+    std::uint64_t _processed = 0;
+    std::size_t _live_count = 0;
+    std::vector<Event *> _owned;
+};
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_EVENT_QUEUE_HH

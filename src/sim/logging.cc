@@ -1,0 +1,58 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hpim::sim {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+logMessage(LogLevel level, const std::string &where,
+           const std::string &message)
+{
+    bool is_error = level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (is_error || static_cast<int>(level) >= static_cast<int>(g_threshold))
+    {
+        std::ostream &os = is_error ? std::cerr : std::cout;
+        os << levelName(level) << ": " << message;
+        if (is_error)
+            os << " (" << where << ")";
+        os << std::endl;
+    }
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace hpim::sim

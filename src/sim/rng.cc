@@ -1,0 +1,121 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hpim::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    panic_if(bound == 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::inRange(std::int64_t lo, std::int64_t hi)
+{
+    panic_if(lo > hi, "Rng::inRange with lo > hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (_have_cached) {
+        _have_cached = false;
+        return _cached;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) // avoid log(0)
+        u1 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    _cached = radius * std::sin(angle);
+    _have_cached = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+} // namespace hpim::sim

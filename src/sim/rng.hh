@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic choices in the simulator flow through an Rng instance so
+ * runs are reproducible from a single seed.
+ */
+
+#ifndef HPIM_SIM_RNG_HH
+#define HPIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace hpim::sim {
+
+/** xoshiro256** generator seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t inRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** @return standard normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** @return normal variate with given mean and stddev. */
+    double normal(double mean, double stddev);
+
+  private:
+    std::uint64_t _state[4];
+    bool _have_cached = false;
+    double _cached = 0.0;
+};
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_RNG_HH

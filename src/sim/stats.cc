@@ -1,0 +1,106 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+#include <numeric>
+
+namespace hpim::sim {
+
+double
+VectorStat::total() const
+{
+    return std::accumulate(_values.begin(), _values.end(), 0.0);
+}
+
+HistogramStat::HistogramStat(double min, double max, std::size_t buckets)
+    : _min(min), _max(max)
+{
+    fatal_if(buckets == 0, "histogram needs at least one bucket");
+    fatal_if(max <= min, "histogram range [", min, ", ", max,
+             ") is empty");
+    _bucket_width = (max - min) / static_cast<double>(buckets);
+    _counts.assign(buckets, 0);
+}
+
+void
+HistogramStat::sample(double v, std::uint64_t count)
+{
+    _samples += count;
+    _sum += v * static_cast<double>(count);
+    if (v < _min) {
+        _underflow += count;
+    } else if (v >= _max) {
+        _overflow += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _min) / _bucket_width);
+        if (idx >= _counts.size())
+            idx = _counts.size() - 1; // fp rounding at the upper edge
+        _counts[idx] += count;
+    }
+}
+
+std::uint64_t
+HistogramStat::bucketCount(std::size_t i) const
+{
+    panic_if(i >= _counts.size(), "histogram bucket ", i, " out of range");
+    return _counts[i];
+}
+
+double
+HistogramStat::mean() const
+{
+    return _samples == 0 ? 0.0 : _sum / static_cast<double>(_samples);
+}
+
+void
+HistogramStat::reset()
+{
+    for (auto &c : _counts)
+        c = 0;
+    _underflow = _overflow = _samples = 0;
+    _sum = 0.0;
+}
+
+ScalarStat &
+StatGroup::scalar(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = _stats.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.stat;
+}
+
+bool
+StatGroup::hasScalar(const std::string &name) const
+{
+    return _stats.count(name) != 0;
+}
+
+double
+StatGroup::lookup(const std::string &name) const
+{
+    auto it = _stats.find(name);
+    fatal_if(it == _stats.end(), "no stat named '", name, "' in group '",
+             _name, "'");
+    return it->second.stat.value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, entry] : _stats) {
+        os << _name << '.' << std::left << std::setw(32) << name
+           << " = " << entry.stat.value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, entry] : _stats)
+        entry.stat.reset();
+}
+
+} // namespace hpim::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Devices register Scalar / Vector / Histogram stats with a StatGroup;
+ * the harness dumps them as name = value lines or CSV. Mirrors the
+ * gem5 stats idea at a much smaller scale.
+ */
+
+#ifndef HPIM_SIM_STATS_HH
+#define HPIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hpim::sim {
+
+/** A named scalar statistic (double-valued accumulator). */
+class ScalarStat
+{
+  public:
+    ScalarStat() = default;
+
+    void operator+=(double v) { _value += v; }
+    void operator-=(double v) { _value -= v; }
+    void set(double v) { _value = v; }
+    void inc() { _value += 1.0; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A fixed-size vector of scalar statistics. */
+class VectorStat
+{
+  public:
+    VectorStat() = default;
+    explicit VectorStat(std::size_t n) : _values(n, 0.0) {}
+
+    void resize(std::size_t n) { _values.assign(n, 0.0); }
+    std::size_t size() const { return _values.size(); }
+
+    double &operator[](std::size_t i)
+    {
+        panic_if(i >= _values.size(), "VectorStat index ", i,
+                 " out of range ", _values.size());
+        return _values[i];
+    }
+
+    double at(std::size_t i) const
+    {
+        panic_if(i >= _values.size(), "VectorStat index ", i,
+                 " out of range ", _values.size());
+        return _values[i];
+    }
+
+    double total() const;
+    void reset() { for (auto &v : _values) v = 0.0; }
+
+  private:
+    std::vector<double> _values;
+};
+
+/** A fixed-bucket histogram with underflow/overflow bins. */
+class HistogramStat
+{
+  public:
+    /**
+     * @param min lower bound of the first bucket
+     * @param max upper bound of the last bucket (exclusive)
+     * @param buckets number of equal-width buckets; must be > 0
+     */
+    HistogramStat(double min, double max, std::size_t buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t samples() const { return _samples; }
+    double mean() const;
+    void reset();
+
+  private:
+    double _min;
+    double _max;
+    double _bucket_width;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _samples = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A registry of named scalar stats with dump support.
+ *
+ * Names are hierarchical by convention ("hmc.vault3.rowHits").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Create (or fetch) a scalar stat under this group. */
+    ScalarStat &scalar(const std::string &name, const std::string &desc);
+
+    /** @return true if the named scalar exists. */
+    bool hasScalar(const std::string &name) const;
+
+    /** @return value of the named scalar; fatal if missing. */
+    double lookup(const std::string &name) const;
+
+    /** Write "group.name = value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every scalar to zero. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Entry
+    {
+        ScalarStat stat;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, Entry> _stats;
+};
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_STATS_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit + property tests for the address decomposer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_mapping.hh"
+#include "sim/rng.hh"
+
+using hpim::mem::AddressMapping;
+using hpim::mem::Addr;
+using hpim::mem::DramCoord;
+using hpim::mem::Interleave;
+
+TEST(AddressMapping, CapacityIsProductOfGeometry)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::RoBaVaCo);
+    EXPECT_EQ(map.capacity(),
+              32ULL * 8ULL * 1024ULL * 256ULL);
+}
+
+TEST(AddressMapping, AddressZeroMapsToOrigin)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::RoBaVaCo);
+    DramCoord c = map.decompose(0);
+    EXPECT_EQ(c, (DramCoord{0, 0, 0, 0}));
+}
+
+TEST(AddressMapping, SequentialBytesStayInColumnFirst)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::RoBaVaCo);
+    DramCoord a = map.decompose(0);
+    DramCoord b = map.decompose(255);
+    EXPECT_EQ(a.vault, b.vault);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(b.column, 255u);
+}
+
+TEST(AddressMapping, RoBaVaCoStripesVaultsAtRowGranularity)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::RoBaVaCo);
+    // Crossing one row-size boundary changes the vault field first.
+    DramCoord a = map.decompose(0);
+    DramCoord b = map.decompose(256);
+    EXPECT_EQ(b.vault, a.vault + 1);
+    EXPECT_EQ(b.bank, a.bank);
+    EXPECT_EQ(b.row, a.row);
+}
+
+TEST(AddressMapping, VaBaRoCoKeepsWholeRowsPerVault)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::VaBaRoCo);
+    // All rows of bank 0 come before the next bank/vault.
+    DramCoord a = map.decompose(0);
+    DramCoord b = map.decompose(256);
+    EXPECT_EQ(a.vault, b.vault);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(b.row, a.row + 1);
+}
+
+TEST(AddressMapping, WrapsOverCapacity)
+{
+    AddressMapping map(4, 2, 16, 64, Interleave::RoBaVaCo);
+    Addr cap = map.capacity();
+    EXPECT_EQ(map.decompose(cap), map.decompose(0));
+    EXPECT_EQ(map.decompose(cap + 123), map.decompose(123));
+}
+
+TEST(AddressMappingDeath, NonPowerOfTwoGeometryIsFatal)
+{
+    EXPECT_EXIT(AddressMapping(3, 8, 16, 64, Interleave::RoBaVaCo),
+                testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(AddressMapping(4, 8, 16, 100, Interleave::RoBaVaCo),
+                testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(AddressMapping, InterleaveNames)
+{
+    EXPECT_EQ(hpim::mem::interleaveName(Interleave::RoBaVaCo),
+              "RoBaVaCo");
+    EXPECT_EQ(hpim::mem::interleaveName(Interleave::RoVaBaCo),
+              "RoVaBaCo");
+    EXPECT_EQ(hpim::mem::interleaveName(Interleave::VaBaRoCo),
+              "VaBaRoCo");
+}
+
+// Property: decomposition is a bijection over one full capacity for
+// every interleave order (sampled).
+class MappingBijection : public testing::TestWithParam<Interleave>
+{};
+
+TEST_P(MappingBijection, CoordsAreUniquePerAddress)
+{
+    AddressMapping map(4, 4, 64, 64, GetParam());
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                        std::uint32_t>>
+        seen;
+    // Sample one address per 64 B column chunk over the capacity.
+    for (Addr a = 0; a < map.capacity(); a += 64) {
+        DramCoord c = map.decompose(a);
+        EXPECT_LT(c.vault, 4u);
+        EXPECT_LT(c.bank, 4u);
+        EXPECT_LT(c.row, 64u);
+        EXPECT_LT(c.column, 64u);
+        auto key = std::make_tuple(c.vault, c.bank, c.row,
+                                   c.column / 64);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "duplicate coordinates for address " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterleaves, MappingBijection,
+                         testing::Values(Interleave::RoBaVaCo,
+                                         Interleave::RoVaBaCo,
+                                         Interleave::VaBaRoCo));
+
+// Property: a streaming access pattern spreads across all vaults for
+// the vault-striping orders.
+TEST(AddressMapping, StreamTouchesEveryVault)
+{
+    AddressMapping map(32, 8, 1024, 256, Interleave::RoBaVaCo);
+    std::set<std::uint32_t> vaults;
+    for (Addr a = 0; a < 32 * 256; a += 256)
+        vaults.insert(map.decompose(a).vault);
+    EXPECT_EQ(vaults.size(), 32u);
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the logic-die area/power design-space exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area_power.hh"
+
+using hpim::model::exploreDesign;
+using hpim::model::LogicDieBudget;
+using hpim::model::UnitCosts;
+
+TEST(AreaPower, BaselineYieldsPaperUnitCount)
+{
+    // Paper SectionIV-D: 444 fixed-function PIMs beside one ARM core.
+    auto point = exploreDesign(LogicDieBudget{}, UnitCosts{}, 1);
+    EXPECT_EQ(point.fixedUnits, 444u);
+    EXPECT_TRUE(point.feasible());
+}
+
+TEST(AreaPower, MoreCoresMeansFewerUnits)
+{
+    LogicDieBudget budget;
+    UnitCosts costs;
+    auto p1 = exploreDesign(budget, costs, 1);
+    auto p4 = exploreDesign(budget, costs, 4);
+    auto p16 = exploreDesign(budget, costs, 16);
+    EXPECT_GT(p1.fixedUnits, p4.fixedUnits);
+    EXPECT_GT(p4.fixedUnits, p16.fixedUnits);
+}
+
+TEST(AreaPower, AreaNeverExceedsComputeBudget)
+{
+    LogicDieBudget budget;
+    UnitCosts costs;
+    for (std::uint32_t cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        auto point = exploreDesign(budget, costs, cores);
+        EXPECT_LE(point.areaUsedMm2, budget.computeAreaMm2() + 1e-9);
+    }
+}
+
+TEST(AreaPower, PowerBudgetChecked)
+{
+    LogicDieBudget budget;
+    budget.powerBudgetW = 1.0; // absurdly tight
+    auto point = exploreDesign(budget, UnitCosts{}, 1);
+    EXPECT_FALSE(point.powerFeasible);
+    EXPECT_TRUE(point.areaFeasible);
+}
+
+TEST(AreaPower, TooManyCoresIsInfeasible)
+{
+    LogicDieBudget budget;
+    UnitCosts costs;
+    auto cores_limit = static_cast<std::uint32_t>(
+        budget.computeAreaMm2() / costs.armCoreAreaMm2);
+    auto point = exploreDesign(budget, costs, cores_limit + 1);
+    EXPECT_FALSE(point.feasible());
+    EXPECT_EQ(point.fixedUnits, 0u);
+}
+
+TEST(AreaPower, PeakPowerSumsUnitContributions)
+{
+    UnitCosts costs;
+    auto point = exploreDesign(LogicDieBudget{}, costs, 2);
+    EXPECT_NEAR(point.peakPowerW,
+                2 * costs.armCorePowerW
+                    + point.fixedUnits * costs.fixedUnitPowerW,
+                1e-9);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the DRAM bank row-buffer state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bank.hh"
+
+using hpim::mem::AccessType;
+using hpim::mem::Bank;
+using hpim::mem::DramTiming;
+using hpim::mem::hmc2Timing;
+using hpim::sim::Tick;
+
+namespace {
+
+DramTiming
+timing()
+{
+    return hmc2Timing();
+}
+
+} // namespace
+
+TEST(Bank, FirstAccessIsRowMiss)
+{
+    Bank bank(timing());
+    Tick done = bank.access(5, AccessType::Read, 0);
+    EXPECT_EQ(bank.counters().rowMisses, 1u);
+    EXPECT_EQ(bank.counters().activates, 1u);
+    EXPECT_EQ(bank.counters().reads, 1u);
+    EXPECT_TRUE(bank.rowOpen());
+    EXPECT_EQ(bank.openRow(), 5u);
+    // Closed-row latency: tRCD + tCL + tBurst cycles.
+    EXPECT_EQ(done, timing().rowClosedLatency());
+}
+
+TEST(Bank, SecondAccessSameRowIsHit)
+{
+    Bank bank(timing());
+    Tick first = bank.access(5, AccessType::Read, 0);
+    Tick second = bank.access(5, AccessType::Read, first);
+    EXPECT_EQ(bank.counters().rowHits, 1u);
+    EXPECT_GT(second, first);
+    // A hit needs only CAS + burst from its issue point.
+    EXPECT_LE(second - first, timing().rowHitLatency());
+}
+
+TEST(Bank, DifferentRowIsConflict)
+{
+    Bank bank(timing());
+    Tick first = bank.access(5, AccessType::Read, 0);
+    Tick second = bank.access(9, AccessType::Read, first);
+    EXPECT_EQ(bank.counters().rowConflicts, 1u);
+    EXPECT_EQ(bank.counters().precharges, 1u);
+    EXPECT_EQ(bank.counters().activates, 2u);
+    EXPECT_EQ(bank.openRow(), 9u);
+    // Conflict costs at least PRE + ACT + CAS from issue.
+    EXPECT_GE(second - first,
+              static_cast<Tick>(timing().tRCD + timing().tCL)
+                  * timing().tCK);
+}
+
+TEST(Bank, ConflictRespectsTRas)
+{
+    Bank bank(timing());
+    // Immediately conflicting: the precharge must wait for tRAS.
+    bank.access(1, AccessType::Read, 0);
+    Tick done = bank.access(2, AccessType::Read, 0);
+    Tick t_ras_bound = static_cast<Tick>(timing().tRAS + timing().tRP
+                                         + timing().tRCD + timing().tCL
+                                         + timing().tBurst)
+                       * timing().tCK;
+    EXPECT_GE(done, t_ras_bound);
+}
+
+TEST(Bank, WritesTrackWriteRecovery)
+{
+    Bank bank(timing());
+    Tick w = bank.access(3, AccessType::Write, 0);
+    EXPECT_EQ(bank.counters().writes, 1u);
+    // Conflict after a write also pays tWR before precharge.
+    Tick r = bank.access(4, AccessType::Read, w);
+    EXPECT_GE(r - w, static_cast<Tick>(timing().tWR + timing().tRP)
+                         * timing().tCK);
+}
+
+TEST(Bank, ExplicitPrechargeClosesRow)
+{
+    Bank bank(timing());
+    bank.access(5, AccessType::Read, 0);
+    bank.precharge(1'000'000);
+    EXPECT_FALSE(bank.rowOpen());
+    EXPECT_EQ(bank.counters().precharges, 1u);
+    // Next access to the same row is a miss, not a hit.
+    bank.access(5, AccessType::Read, 2'000'000);
+    EXPECT_EQ(bank.counters().rowMisses, 2u);
+}
+
+TEST(Bank, PrechargeOnClosedBankIsNoop)
+{
+    Bank bank(timing());
+    bank.precharge(0);
+    EXPECT_EQ(bank.counters().precharges, 0u);
+}
+
+TEST(Bank, ColumnCommandsSpacedByTccd)
+{
+    Bank bank(timing());
+    Tick a = bank.access(1, AccessType::Read, 0);
+    Tick b = bank.access(1, AccessType::Read, 0);
+    // Issued back to back, data completes at least tCCD apart.
+    EXPECT_GE(b - a, 0u);
+    EXPECT_GE(b, static_cast<Tick>(timing().tCCD) * timing().tCK);
+}
+
+TEST(Bank, StreamOfHitsSustainsPeakBandwidth)
+{
+    Bank bank(timing());
+    Tick done = 0;
+    const int bursts = 100;
+    for (int i = 0; i < bursts; ++i)
+        done = bank.access(7, AccessType::Read, 0);
+    // 100 bursts; steady state one burstBytes transfer per tCCD.
+    double seconds = hpim::sim::ticksToSeconds(done);
+    double bw = bursts * double(timing().burstBytes) / seconds;
+    EXPECT_GT(bw, 0.9 * timing().peakBankBandwidth());
+}
+
+TEST(Bank, RefreshClosesRowAndBlocksBank)
+{
+    Bank bank(timing());
+    bank.access(5, AccessType::Read, 0);
+    Tick refresh_at = 1'000'000;
+    bank.refresh(refresh_at);
+    EXPECT_FALSE(bank.rowOpen());
+    EXPECT_EQ(bank.counters().refreshes, 1u);
+    // The next access cannot activate before tRFC elapses.
+    Tick done = bank.access(5, AccessType::Read, refresh_at);
+    EXPECT_GE(done, refresh_at
+                        + static_cast<Tick>(timing().tRFC)
+                              * timing().tCK);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit + property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "sim/rng.hh"
+
+using hpim::cache::Cache;
+using hpim::cache::CacheConfig;
+using hpim::mem::AccessType;
+
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4096; // 64 lines
+    cfg.lineBytes = 64;
+    cfg.ways = 4;         // 16 sets
+    cfg.policy = "lru";
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallCache(), "L1");
+    auto miss = cache.access(0x1000, AccessType::Read);
+    EXPECT_FALSE(miss.hit);
+    auto hit = cache.access(0x1000, AccessType::Read);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, SameLineDifferentBytesHit)
+{
+    Cache cache(smallCache(), "L1");
+    cache.access(0x1000, AccessType::Read);
+    EXPECT_TRUE(cache.access(0x103F, AccessType::Read).hit);
+    EXPECT_FALSE(cache.access(0x1040, AccessType::Read).hit);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache cache(smallCache(), "L1");
+    EXPECT_FALSE(cache.probe(0x2000));
+    cache.access(0x2000, AccessType::Read);
+    EXPECT_TRUE(cache.probe(0x2000));
+    EXPECT_EQ(cache.stats().accesses, 1u); // probe not counted
+}
+
+TEST(Cache, EvictionAfterAssociativityOverflow)
+{
+    Cache cache(smallCache(), "L1");
+    // Five lines mapping to the same set (stride = sets x line).
+    const std::uint64_t stride = 16ULL * 64ULL;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        cache.access(i * stride, AccessType::Read);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // LRU: line 0 evicted, line 1 still resident.
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(stride));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache(smallCache(), "L1");
+    const std::uint64_t stride = 16ULL * 64ULL;
+    cache.access(0, AccessType::Write); // dirty line in set 0
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        auto result = cache.access(i * stride, AccessType::Read);
+        if (i < 4) {
+            EXPECT_FALSE(result.writeback);
+        } else {
+            EXPECT_TRUE(result.writeback);
+            EXPECT_EQ(result.writebackAddr, 0u);
+        }
+    }
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache cache(smallCache(), "L1");
+    const std::uint64_t stride = 16ULL * 64ULL;
+    for (std::uint64_t i = 0; i <= 4; ++i) {
+        auto result = cache.access(i * stride, AccessType::Read);
+        EXPECT_FALSE(result.writeback);
+    }
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    Cache cache(smallCache(), "L1");
+    const std::uint64_t stride = 16ULL * 64ULL;
+    cache.access(0, AccessType::Read);
+    cache.access(0, AccessType::Write); // dirty via write hit
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        cache.access(i * stride, AccessType::Read);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache(smallCache(), "L1");
+    cache.access(0x40, AccessType::Read);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_FALSE(cache.access(0x40, AccessType::Read).hit);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    Cache cache(smallCache(), "L1");
+    cache.access(0, AccessType::Read);   // miss
+    cache.access(0, AccessType::Read);   // hit
+    cache.access(64, AccessType::Read);  // miss
+    EXPECT_NEAR(cache.stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheConfig cfg = smallCache();
+    cfg.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(Cache(cfg, "bad"), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// Property: a working set that fits is fully resident after one pass
+// (no conflict misses with LRU and full associativity usage).
+TEST(CacheProperty, FittingWorkingSetHitsOnSecondPass)
+{
+    Cache cache(smallCache(), "L1");
+    for (std::uint64_t line = 0; line < 64; ++line)
+        cache.access(line * 64, AccessType::Read);
+    for (std::uint64_t line = 0; line < 64; ++line)
+        EXPECT_TRUE(cache.access(line * 64, AccessType::Read).hit);
+}
+
+// Property sweep over policies: stats stay consistent
+// (hits + misses == accesses) under random traffic.
+class CachePolicySweep : public testing::TestWithParam<const char *>
+{};
+
+TEST_P(CachePolicySweep, StatsConsistentUnderRandomTraffic)
+{
+    CacheConfig cfg = smallCache();
+    cfg.policy = GetParam();
+    Cache cache(cfg, "L1");
+    hpim::sim::Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        auto type = rng.chance(0.3) ? AccessType::Write
+                                    : AccessType::Read;
+        cache.access(rng.below(1 << 20), type);
+    }
+    const auto &stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_LE(stats.writebacks, stats.evictions);
+    EXPECT_GT(stats.missRate(), 0.0);
+    EXPECT_LE(stats.missRate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePolicySweep,
+                         testing::Values("lru", "plru", "random"));

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the platform-model devices (paper Fig. 5b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/device.hh"
+
+using hpim::cl::ComputeDevice;
+using hpim::cl::DeviceKind;
+using hpim::cl::deviceKindName;
+using hpim::nn::OffloadClass;
+
+TEST(ClDevice, FixedPimTopology)
+{
+    // All fixed-function PIMs in a bank form a compute unit; all
+    // banks form one compute device; each unit is a PE.
+    ComputeDevice fixed("fixed", DeviceKind::FixedPim, 32, 14);
+    EXPECT_EQ(fixed.computeUnits(), 32u);
+    EXPECT_EQ(fixed.pesPerUnit(), 14u);
+    EXPECT_EQ(fixed.totalPes(), 448u);
+}
+
+TEST(ClDevice, ProgrPimTopology)
+{
+    // The programmable PIM is a compute device; each core is a PE.
+    ComputeDevice progr("progr", DeviceKind::ProgrPim, 1, 4);
+    EXPECT_EQ(progr.totalPes(), 4u);
+}
+
+TEST(ClDevice, FixedPimOnlyRunsFixedFunctionKernels)
+{
+    ComputeDevice fixed("fixed", DeviceKind::FixedPim, 32, 14);
+    EXPECT_TRUE(fixed.supports(OffloadClass::FixedFunction));
+    EXPECT_FALSE(fixed.supports(OffloadClass::Recursive));
+    EXPECT_FALSE(fixed.supports(OffloadClass::ProgrammableOnly));
+    EXPECT_FALSE(fixed.supports(OffloadClass::DataMovement));
+}
+
+TEST(ClDevice, ProgrammableDevicesRunEverything)
+{
+    ComputeDevice progr("progr", DeviceKind::ProgrPim, 1, 4);
+    ComputeDevice host("host", DeviceKind::HostCpu, 1, 8);
+    for (auto cls : {OffloadClass::FixedFunction,
+                     OffloadClass::Recursive,
+                     OffloadClass::ProgrammableOnly,
+                     OffloadClass::DataMovement}) {
+        EXPECT_TRUE(progr.supports(cls));
+        EXPECT_TRUE(host.supports(cls));
+    }
+}
+
+TEST(ClDevice, KindNames)
+{
+    EXPECT_EQ(deviceKindName(DeviceKind::HostCpu), "host-cpu");
+    EXPECT_EQ(deviceKindName(DeviceKind::FixedPim), "fixed-pim");
+    EXPECT_EQ(deviceKindName(DeviceKind::ProgrPim), "progr-pim");
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for kernels and four-binary compilation (paper Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/kernel.hh"
+
+using namespace hpim::cl;
+using hpim::nn::CostStructure;
+using hpim::nn::fixedParallelism;
+using hpim::nn::OpType;
+
+namespace {
+
+Kernel
+makeKernel(OpType type, double muls = 1000.0, double specials = 0.0,
+           double lanes = 64.0)
+{
+    Kernel k;
+    k.name = "k";
+    k.opType = type;
+    k.cost.muls = muls;
+    k.cost.adds = muls;
+    k.cost.specials = specials;
+    k.parallelism = fixedParallelism(type, 9, lanes);
+    return k;
+}
+
+} // namespace
+
+TEST(ClKernel, FixedFunctionKernelGetsAllFourBinaries)
+{
+    BinarySet set = compileKernel(makeKernel(OpType::MatMul));
+    EXPECT_EQ(set.binaries.size(), 4u);
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::Cpu));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::FixedWhole));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::FixedExtract));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::ProgrRecursive));
+}
+
+TEST(ClKernel, RecursiveKernelLacksWholeFixedBinary)
+{
+    // A Conv2DBackpropFilter contains instructions the fixed units
+    // cannot execute: no #2 binary, but #3 and #4 exist.
+    BinarySet set = compileKernel(
+        makeKernel(OpType::Conv2DBackpropFilter, 1000.0, 50.0));
+    EXPECT_FALSE(set.hasTarget(BinaryTarget::FixedWhole));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::FixedExtract));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::ProgrRecursive));
+    EXPECT_GE(set.get(BinaryTarget::ProgrRecursive).recursiveCalls, 1u);
+}
+
+TEST(ClKernel, ProgrammableOnlyKernelHasNoFixedBinaries)
+{
+    BinarySet set =
+        compileKernel(makeKernel(OpType::MaxPool, 0.0, 500.0));
+    EXPECT_FALSE(set.hasTarget(BinaryTarget::FixedWhole));
+    EXPECT_FALSE(set.hasTarget(BinaryTarget::FixedExtract));
+    EXPECT_TRUE(set.hasTarget(BinaryTarget::Cpu));
+    EXPECT_EQ(set.get(BinaryTarget::ProgrRecursive).recursiveCalls, 0u);
+}
+
+TEST(ClKernel, WorkSplitsBetweenBinaries)
+{
+    Kernel k = makeKernel(OpType::Conv2DBackpropFilter, 1000.0, 77.0);
+    BinarySet set = compileKernel(k);
+    // The extracted fixed portion carries the mul/add core.
+    EXPECT_DOUBLE_EQ(set.get(BinaryTarget::FixedExtract).workOps,
+                     2000.0);
+    // The progr binary keeps the special/control phases.
+    EXPECT_DOUBLE_EQ(set.get(BinaryTarget::ProgrRecursive).workOps,
+                     77.0);
+    // The CPU binary always carries everything.
+    EXPECT_DOUBLE_EQ(set.get(BinaryTarget::Cpu).workOps, 2077.0);
+}
+
+TEST(ClKernel, RecursiveCallCountScalesWithLanes)
+{
+    Kernel small = makeKernel(OpType::Conv2DBackpropInput, 1e6, 10.0,
+                              1024.0);
+    Kernel big = makeKernel(OpType::Conv2DBackpropInput, 1e6, 10.0,
+                            8.0 * 1048576.0);
+    auto small_calls = compileKernel(small)
+                           .get(BinaryTarget::ProgrRecursive)
+                           .recursiveCalls;
+    auto big_calls = compileKernel(big)
+                         .get(BinaryTarget::ProgrRecursive)
+                         .recursiveCalls;
+    EXPECT_EQ(small_calls, 1u);
+    EXPECT_EQ(big_calls, 8u);
+}
+
+TEST(ClKernel, OffloadClassDerivedFromOpType)
+{
+    EXPECT_EQ(makeKernel(OpType::Conv2D).offloadClass(),
+              hpim::nn::OffloadClass::FixedFunction);
+    EXPECT_EQ(makeKernel(OpType::Relu).offloadClass(),
+              hpim::nn::OffloadClass::ProgrammableOnly);
+    EXPECT_EQ(makeKernel(OpType::Slice).offloadClass(),
+              hpim::nn::OffloadClass::DataMovement);
+}
+
+TEST(ClKernelDeath, MissingTargetIsFatal)
+{
+    BinarySet set = compileKernel(makeKernel(OpType::MaxPool));
+    EXPECT_EXIT(set.get(BinaryTarget::FixedWhole),
+                testing::ExitedWithCode(1), "lacks");
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the shared-global-memory model with relaxed
+ * consistency and explicit synchronization (paper Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/memory_model.hh"
+
+using namespace hpim::cl;
+
+TEST(SharedMemory, BumpAllocation)
+{
+    SharedGlobalMemory mem(1024);
+    GlobalBuffer a = mem.alloc(256, "weights");
+    GlobalBuffer b = mem.alloc(128, "activations");
+    EXPECT_EQ(a.base, 0u);
+    EXPECT_EQ(b.base, 256u);
+    EXPECT_EQ(mem.allocatedBytes(), 384u);
+    EXPECT_NE(a.id, b.id);
+}
+
+TEST(SharedMemoryDeath, ExhaustionIsFatal)
+{
+    SharedGlobalMemory mem(100);
+    mem.alloc(80, "a");
+    EXPECT_EXIT(mem.alloc(21, "b"), testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(SharedMemory, FreeToRestoresBreak)
+{
+    SharedGlobalMemory mem(1024);
+    GlobalBuffer a = mem.alloc(256, "keep");
+    mem.alloc(128, "scratch1");
+    mem.alloc(128, "scratch2");
+    mem.freeTo(a); // frees 'a' and everything after it
+    EXPECT_EQ(mem.allocatedBytes(), 0u);
+}
+
+TEST(SharedMemory, RelaxedConsistencyEpochs)
+{
+    // "An update ... by a fixed-function PIM is not visible ... until
+    // the end of the kernel call" (paper SectionIII-B).
+    SharedGlobalMemory mem(1024);
+    GlobalBuffer buf = mem.alloc(64, "partial");
+    EXPECT_TRUE(mem.visible(buf));
+    mem.recordWrite(Agent::FixedPim, buf);
+    EXPECT_FALSE(mem.visible(buf));
+    mem.kernelEpochEnd(Agent::FixedPim);
+    EXPECT_TRUE(mem.visible(buf));
+    EXPECT_EQ(mem.epochFlushes(), 1u);
+}
+
+TEST(SharedMemory, EpochOnlyFlushesOwnAgent)
+{
+    SharedGlobalMemory mem(1024);
+    GlobalBuffer a = mem.alloc(64, "a");
+    GlobalBuffer b = mem.alloc(64, "b");
+    mem.recordWrite(Agent::FixedPim, a);
+    mem.recordWrite(Agent::ProgrPim, b);
+    mem.kernelEpochEnd(Agent::FixedPim);
+    EXPECT_TRUE(mem.visible(a));
+    EXPECT_FALSE(mem.visible(b));
+}
+
+TEST(SharedMemory, FreeDropsPendingWrites)
+{
+    SharedGlobalMemory mem(1024);
+    GlobalBuffer mark = mem.alloc(64, "mark");
+    GlobalBuffer buf = mem.alloc(64, "temp");
+    mem.recordWrite(Agent::ProgrPim, buf);
+    mem.freeTo(mark);
+    EXPECT_TRUE(mem.visible(buf));
+}
+
+TEST(GlobalLock, MutualExclusion)
+{
+    GlobalLock lock;
+    EXPECT_TRUE(lock.tryAcquire(Agent::Host));
+    EXPECT_TRUE(lock.held());
+    EXPECT_FALSE(lock.tryAcquire(Agent::ProgrPim));
+    EXPECT_EQ(lock.contentionCount(), 1u);
+    lock.release(Agent::Host);
+    EXPECT_TRUE(lock.tryAcquire(Agent::ProgrPim));
+    lock.release(Agent::ProgrPim);
+}
+
+TEST(GlobalLockDeath, NonOwnerReleasePanics)
+{
+    GlobalLock lock;
+    lock.tryAcquire(Agent::Host);
+    EXPECT_DEATH(lock.release(Agent::FixedPim), "non-owner");
+}
+
+TEST(GlobalLockDeath, UnheldReleasePanics)
+{
+    GlobalLock lock;
+    EXPECT_DEATH(lock.release(Agent::Host), "unheld");
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the platform, command queues and events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/platform.hh"
+
+using namespace hpim::cl;
+using hpim::nn::OpType;
+
+namespace {
+
+Kernel
+kernelOf(OpType type, double muls)
+{
+    Kernel k;
+    k.name = "k";
+    k.opType = type;
+    k.cost.muls = muls;
+    k.parallelism = hpim::nn::fixedParallelism(type, 4, 16.0);
+    return k;
+}
+
+/** Toy timing: 1 us per 1000 multiplies, regardless of device. */
+double
+toyTiming(const Kernel &k, const ComputeDevice &)
+{
+    return k.cost.muls * 1e-9;
+}
+
+} // namespace
+
+TEST(Platform, DeviceRegistry)
+{
+    Platform platform(1 << 20);
+    platform.addDevice("host", DeviceKind::HostCpu, 1, 8);
+    platform.addDevice("fixed", DeviceKind::FixedPim, 32, 14);
+    platform.addDevice("progr", DeviceKind::ProgrPim, 1, 4);
+    EXPECT_EQ(platform.devices().size(), 3u);
+    EXPECT_EQ(platform.devicesByKind(DeviceKind::FixedPim).size(), 1u);
+    EXPECT_EQ(platform.devicesByKind(DeviceKind::ProgrPim).size(), 1u);
+}
+
+TEST(Platform, InOrderQueueSerializesKernels)
+{
+    Platform platform(1 << 20);
+    auto &progr = platform.addDevice("progr", DeviceKind::ProgrPim, 1, 4);
+    auto &queue = platform.createQueue(progr);
+    auto e1 = queue.enqueue(kernelOf(OpType::Relu, 1000.0));
+    auto e2 = queue.enqueue(kernelOf(OpType::Relu, 2000.0));
+    queue.finish(toyTiming);
+    EXPECT_EQ(e1->status, EventStatus::Complete);
+    EXPECT_DOUBLE_EQ(e1->startSec, 0.0);
+    EXPECT_DOUBLE_EQ(e2->startSec, e1->endSec);
+    EXPECT_DOUBLE_EQ(queue.deviceTimeSec(), e2->endSec);
+}
+
+TEST(Platform, WaitListOrdersAcrossQueues)
+{
+    Platform platform(1 << 20);
+    auto &fixed = platform.addDevice("fixed", DeviceKind::FixedPim, 32,
+                                     14);
+    auto &progr = platform.addDevice("progr", DeviceKind::ProgrPim, 1, 4);
+    auto &fq = platform.createQueue(fixed);
+    auto &pq = platform.createQueue(progr);
+
+    auto producer = fq.enqueue(kernelOf(OpType::MatMul, 5000.0));
+    fq.finish(toyTiming);
+    auto consumer =
+        pq.enqueue(kernelOf(OpType::Softmax, 1000.0), {producer});
+    pq.finish(toyTiming);
+    EXPECT_GE(consumer->startSec, producer->endSec);
+}
+
+TEST(PlatformDeath, FixedQueueRejectsUnsupportedKernels)
+{
+    Platform platform(1 << 20);
+    auto &fixed = platform.addDevice("fixed", DeviceKind::FixedPim, 32,
+                                     14);
+    auto &queue = platform.createQueue(fixed);
+    EXPECT_EXIT(queue.enqueue(kernelOf(OpType::MaxPool, 10.0)),
+                testing::ExitedWithCode(1), "cannot run kernel");
+}
+
+TEST(Platform, EventIdsAreUnique)
+{
+    Platform platform(1 << 20);
+    auto &progr = platform.addDevice("progr", DeviceKind::ProgrPim, 1, 4);
+    auto &queue = platform.createQueue(progr);
+    auto a = queue.enqueue(kernelOf(OpType::Relu, 1.0));
+    auto b = queue.enqueue(kernelOf(OpType::Relu, 1.0));
+    EXPECT_NE(a->id, b->id);
+}
+
+TEST(Platform, GlobalMemorySharedAcrossDevices)
+{
+    Platform platform(4096);
+    auto buf = platform.globalMemory().alloc(1024, "shared");
+    EXPECT_EQ(buf.bytes, 1024u);
+    EXPECT_EQ(platform.globalMemory().allocatedBytes(), 1024u);
+}

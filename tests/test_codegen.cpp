@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for OpenCL-C kernel source generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/codegen.hh"
+
+using namespace hpim::cl;
+using hpim::nn::OpType;
+
+TEST(Codegen, FixedFunctionOpGetsExtractedSubKernel)
+{
+    auto set = generateKernelSources(OpType::MatMul);
+    EXPECT_TRUE(validateKernelSource(set.full.source));
+    ASSERT_EQ(set.fixedSubKernels.size(), 1u);
+    EXPECT_TRUE(validateKernelSource(set.fixedSubKernels[0].source));
+    // The sub-kernel is a pure multiply/accumulate loop.
+    EXPECT_NE(set.fixedSubKernels[0].source.find("+="),
+              std::string::npos);
+    EXPECT_EQ(set.fixedSubKernels[0].source.find("hpim_special"),
+              std::string::npos);
+}
+
+TEST(Codegen, RecursiveOpProgrKernelLaunchesFixedSub)
+{
+    auto set = generateKernelSources(OpType::Conv2DBackpropFilter);
+    EXPECT_TRUE(validateKernelSource(set.progrKernel.source));
+    // The rewritten kernel calls into the fixed-function PIMs
+    // (paper Fig. 6) and synchronizes.
+    EXPECT_NE(set.progrKernel.source.find("hpim_launch_fixed"),
+              std::string::npos);
+    EXPECT_NE(set.progrKernel.source.find("hpim_wait_fixed"),
+              std::string::npos);
+    // Phases 1 and 2 stay in the programmable kernel.
+    EXPECT_NE(set.progrKernel.source.find("phase 1"),
+              std::string::npos);
+    EXPECT_NE(set.progrKernel.source.find("phase 2"),
+              std::string::npos);
+}
+
+TEST(Codegen, ProgrammableOnlyOpHasNothingToExtract)
+{
+    auto set = generateKernelSources(OpType::MaxPool);
+    EXPECT_TRUE(set.fixedSubKernels.empty());
+    // The progr kernel IS the full kernel.
+    EXPECT_EQ(set.progrKernel.source, set.full.source);
+    EXPECT_EQ(set.full.source.find("hpim_launch_fixed"),
+              std::string::npos);
+}
+
+TEST(Codegen, KernelNamesFollowOpNames)
+{
+    auto set = generateKernelSources(OpType::Conv2D);
+    EXPECT_EQ(set.full.name, "Conv2D");
+    EXPECT_EQ(set.fixedSubKernels[0].name, "Conv2D_fixed_sub");
+    EXPECT_EQ(set.progrKernel.name, "Conv2D_progr");
+}
+
+TEST(Codegen, ExtensionHeaderDeclaresIntrinsics)
+{
+    std::string header = extensionHeader();
+    for (const char *symbol :
+         {"hpim_launch_fixed", "hpim_wait_fixed", "hpim_barrier_all",
+          "hpim_lock_global", "hpim_unlock_global"}) {
+        EXPECT_NE(header.find(symbol), std::string::npos) << symbol;
+    }
+}
+
+TEST(Codegen, ValidatorCatchesBrokenSource)
+{
+    EXPECT_FALSE(validateKernelSource("__kernel void f() {"));
+    EXPECT_FALSE(validateKernelSource("void f() {}"));
+    EXPECT_FALSE(validateKernelSource("__kernel void f() { $X }"));
+    EXPECT_FALSE(validateKernelSource(")("));
+    EXPECT_TRUE(validateKernelSource("__kernel void f() {}"));
+}
+
+// Property: every op type generates structurally valid source for
+// every unit in its set.
+class CodegenSweep : public testing::TestWithParam<int>
+{};
+
+TEST_P(CodegenSweep, AllSourcesValidate)
+{
+    auto type = static_cast<OpType>(GetParam());
+    auto set = generateKernelSources(type);
+    EXPECT_TRUE(validateKernelSource(set.full.source))
+        << hpim::nn::opName(type);
+    EXPECT_TRUE(validateKernelSource(set.progrKernel.source))
+        << hpim::nn::opName(type);
+    for (const auto &sub : set.fixedSubKernels) {
+        EXPECT_TRUE(validateKernelSource(sub.source))
+            << hpim::nn::opName(type);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpTypes, CodegenSweep,
+    testing::Range(0, static_cast<int>(hpim::nn::numOpTypes)));

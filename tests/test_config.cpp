@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the typed key/value configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using hpim::sim::Config;
+
+TEST(Config, FallbacksWhenMissing)
+{
+    Config c;
+    EXPECT_DOUBLE_EQ(c.getDouble("x", 1.5), 1.5);
+    EXPECT_EQ(c.getInt("y", 7), 7);
+    EXPECT_TRUE(c.getBool("z", true));
+    EXPECT_EQ(c.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(c.has("x"));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Config, StoresTypedValues)
+{
+    Config c;
+    c.set("freq", 312.5e6);
+    c.set("banks", 32);
+    c.set("rc", true);
+    c.set("name", "hetero");
+    EXPECT_DOUBLE_EQ(c.getDouble("freq", 0.0), 312.5e6);
+    EXPECT_EQ(c.getInt("banks", 0), 32);
+    EXPECT_TRUE(c.getBool("rc", false));
+    EXPECT_EQ(c.getString("name", ""), "hetero");
+    EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Config, NumericCoercionBothWays)
+{
+    Config c;
+    c.set("i", 42);
+    c.set("d", 2.75);
+    EXPECT_DOUBLE_EQ(c.getDouble("i", 0.0), 42.0);
+    EXPECT_EQ(c.getInt("d", 0), 2);
+}
+
+TEST(Config, OverwriteReplacesValue)
+{
+    Config c;
+    c.set("k", 1);
+    c.set("k", 2);
+    EXPECT_EQ(c.getInt("k", 0), 2);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Config, MergeOverwritesDuplicates)
+{
+    Config a, b;
+    a.set("x", 1);
+    a.set("y", 2);
+    b.set("y", 20);
+    b.set("z", 30);
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x", 0), 1);
+    EXPECT_EQ(a.getInt("y", 0), 20);
+    EXPECT_EQ(a.getInt("z", 0), 30);
+}
+
+TEST(Config, RequireReturnsPresentValues)
+{
+    Config c;
+    c.set("freq", 2.0e9);
+    c.set("cores", 4);
+    EXPECT_DOUBLE_EQ(c.requireDouble("freq"), 2.0e9);
+    EXPECT_EQ(c.requireInt("cores"), 4);
+}
+
+TEST(ConfigDeath, RequireMissingKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.requireDouble("nope"), testing::ExitedWithCode(1),
+                "missing required config key");
+}
+
+TEST(ConfigDeath, TypeMismatchIsFatal)
+{
+    Config c;
+    c.set("s", "text");
+    EXPECT_EXIT(c.getDouble("s", 0.0), testing::ExitedWithCode(1),
+                "not numeric");
+    c.set("b", true);
+    EXPECT_EXIT(c.getString("b", ""), testing::ExitedWithCode(1),
+                "not a string");
+}

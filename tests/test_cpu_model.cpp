@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the analytic host-CPU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.hh"
+
+using hpim::cpu::CpuModel;
+using hpim::cpu::CpuParams;
+using hpim::nn::CostStructure;
+
+namespace {
+
+CostStructure
+computeBound()
+{
+    CostStructure c;
+    c.muls = 1e12;
+    c.adds = 1e12;
+    c.bytesRead = 1e6;
+    return c;
+}
+
+CostStructure
+memoryBound()
+{
+    CostStructure c;
+    c.adds = 1e6;
+    c.bytesRead = 10e9;
+    c.bytesWritten = 10e9;
+    return c;
+}
+
+} // namespace
+
+TEST(CpuModel, ComputeBoundOpTimeMatchesThroughput)
+{
+    CpuModel cpu;
+    auto t = cpu.opTiming(computeBound());
+    EXPECT_NEAR(t.computeSec, 2e12 / cpu.params().flopsPerSec, 1e-6);
+    EXPECT_GT(t.computeSec, t.memorySec);
+    EXPECT_DOUBLE_EQ(t.exposedMemorySec(), 0.0);
+}
+
+TEST(CpuModel, MemoryBoundOpExposesStalls)
+{
+    CpuModel cpu;
+    auto t = cpu.opTiming(memoryBound());
+    EXPECT_GT(t.memorySec, t.computeSec);
+    EXPECT_NEAR(t.memorySec, 20e9 / cpu.params().memBandwidth, 1e-6);
+    EXPECT_GT(t.exposedMemorySec(), 0.0);
+}
+
+TEST(CpuModel, TotalIsMaxPlusOverhead)
+{
+    CpuModel cpu;
+    auto t = cpu.opTiming(memoryBound());
+    EXPECT_NEAR(t.totalSec(),
+                t.memorySec + cpu.params().opOverheadSec, 1e-12);
+}
+
+TEST(CpuModel, SpecialsUseSeparateThroughput)
+{
+    CpuModel cpu;
+    CostStructure c;
+    c.specials = 1e9;
+    auto t = cpu.opTiming(c);
+    EXPECT_NEAR(t.computeSec, 1e9 / cpu.params().specialsPerSec, 1e-9);
+}
+
+TEST(CpuModel, EmptyOpCostsOnlyOverhead)
+{
+    CpuModel cpu;
+    CostStructure c;
+    EXPECT_NEAR(cpu.opSeconds(c), cpu.params().opOverheadSec, 1e-12);
+}
+
+TEST(CpuModel, MainMemoryAccessesAreLines)
+{
+    CpuModel cpu;
+    CostStructure c;
+    c.bytesRead = 6400;
+    EXPECT_DOUBLE_EQ(cpu.mainMemoryAccesses(c), 100.0);
+}
+
+TEST(CpuModel, BandwidthSwapModelsPimSystemHost)
+{
+    CpuModel cpu;
+    double ddr4_time = cpu.opTiming(memoryBound()).memorySec;
+    cpu.setMemBandwidth(120e9); // stack links
+    double link_time = cpu.opTiming(memoryBound()).memorySec;
+    EXPECT_LT(link_time, ddr4_time);
+}
+
+TEST(CpuModel, CustomParamsRespected)
+{
+    CpuParams params;
+    params.flopsPerSec = 1e9;
+    params.opOverheadSec = 0.0;
+    CpuModel cpu(params);
+    CostStructure c;
+    c.muls = 1e9;
+    EXPECT_NEAR(cpu.opSeconds(c), 1.0, 1e-9);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing parameter sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_timing.hh"
+
+using hpim::mem::ddr4Timing;
+using hpim::mem::DramTiming;
+using hpim::mem::hmc2Timing;
+
+TEST(DramTiming, Hmc2MatchesPaperClock)
+{
+    DramTiming t = hmc2Timing();
+    // 312.5 MHz -> 3200 ps (paper SectionV-A).
+    EXPECT_EQ(t.tCK, 3200u);
+    EXPECT_GT(t.tRAS, t.tRCD);
+    EXPECT_EQ(t.burstBytes, 64u);
+}
+
+TEST(DramTiming, LatencyOrderingHoldsForBothPresets)
+{
+    for (const DramTiming &t : {hmc2Timing(), ddr4Timing()}) {
+        EXPECT_LT(t.rowHitLatency(), t.rowClosedLatency());
+        EXPECT_LT(t.rowClosedLatency(), t.rowConflictLatency());
+    }
+}
+
+TEST(DramTiming, RowHitLatencyFormula)
+{
+    DramTiming t = hmc2Timing();
+    EXPECT_EQ(t.rowHitLatency(),
+              static_cast<hpim::sim::Tick>(t.tCL + t.tBurst) * t.tCK);
+}
+
+TEST(DramTiming, PeakBankBandwidthIsBurstOverCcd)
+{
+    DramTiming t = hmc2Timing();
+    // 64 B per tCCD=2 cycles at 3.2 ns -> 10 GB/s per bank path.
+    EXPECT_NEAR(t.peakBankBandwidth(), 64.0 / (2 * 3200e-12), 1e6);
+}
+
+TEST(DramTiming, ScalingHalvesCycleTime)
+{
+    DramTiming t = hmc2Timing();
+    DramTiming fast = t.scaled(2.0);
+    EXPECT_EQ(fast.tCK, 1600u);
+    // Cycle-denominated constraints unchanged.
+    EXPECT_EQ(fast.tRCD, t.tRCD);
+    EXPECT_EQ(fast.rowHitLatency(), t.rowHitLatency() / 2);
+    EXPECT_NEAR(fast.peakBankBandwidth(),
+                2.0 * t.peakBankBandwidth(), 1e6);
+}
+
+TEST(DramTiming, FractionalScaleRoundsCycle)
+{
+    DramTiming t = hmc2Timing().scaled(1.5);
+    EXPECT_NEAR(static_cast<double>(t.tCK), 3200.0 / 1.5, 1.0);
+}
+
+TEST(DramTimingDeath, NonPositiveScaleIsFatal)
+{
+    EXPECT_EXIT(hmc2Timing().scaled(0.0), testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(hmc2Timing().scaled(-2.0), testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(DramTiming, Ddr4IsFasterClockButLongerCyclesCounts)
+{
+    DramTiming hmc = hmc2Timing();
+    DramTiming ddr = ddr4Timing();
+    EXPECT_LT(ddr.tCK, hmc.tCK);
+    EXPECT_GT(ddr.tCL, hmc.tCL);
+}

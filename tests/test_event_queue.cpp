@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using hpim::sim::Event;
+using hpim::sim::EventQueue;
+using hpim::sim::LambdaEvent;
+using hpim::sim::maxTick;
+using hpim::sim::Tick;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_EQ(queue.nextEventTick(), maxTick);
+    EXPECT_FALSE(queue.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleCallback(30, [&] { order.push_back(3); });
+    queue.scheduleCallback(10, [&] { order.push_back(1); });
+    queue.scheduleCallback(20, [&] { order.push_back(2); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTickBreaksTiesByInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        queue.scheduleCallback(5, [&order, i] { order.push_back(i); });
+    queue.runAll();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityOrdersEventsAtSameTick)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleCallback(5, [&] { order.push_back(1); },
+                           Event::schedulePriority);
+    queue.scheduleCallback(5, [&] { order.push_back(0); },
+                           Event::completionPriority);
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, AdvancesNowToEventTime)
+{
+    EventQueue queue;
+    Tick seen = 0;
+    queue.scheduleCallback(123, [&] { seen = queue.now(); });
+    queue.runAll();
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST(EventQueue, DescheduleSquashesEvent)
+{
+    EventQueue queue;
+    bool ran = false;
+    LambdaEvent ev([&] { ran = true; });
+    queue.schedule(&ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    queue.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    queue.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue queue;
+    Tick fired_at = 0;
+    LambdaEvent ev([&] { fired_at = queue.now(); });
+    queue.schedule(&ev, 10);
+    queue.reschedule(&ev, 50);
+    queue.runAll();
+    EXPECT_EQ(fired_at, 50u);
+    EXPECT_EQ(queue.processedCount(), 1u);
+}
+
+TEST(EventQueue, RescheduleUnscheduledEventJustSchedules)
+{
+    EventQueue queue;
+    bool ran = false;
+    LambdaEvent ev([&] { ran = true; });
+    queue.reschedule(&ev, 7);
+    queue.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            queue.scheduleCallback(queue.now() + 10, chain);
+    };
+    queue.scheduleCallback(0, chain);
+    queue.runAll();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(queue.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue queue;
+    int ran = 0;
+    queue.scheduleCallback(10, [&] { ++ran; });
+    queue.scheduleCallback(20, [&] { ++ran; });
+    queue.scheduleCallback(30, [&] { ++ran; });
+    queue.runUntil(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(queue.now(), 20u);
+    queue.runAll();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue queue;
+    queue.runUntil(500);
+    EXPECT_EQ(queue.now(), 500u);
+}
+
+TEST(EventQueue, NextEventTickSkipsSquashedEntries)
+{
+    EventQueue queue;
+    LambdaEvent early([] {});
+    queue.schedule(&early, 5);
+    queue.scheduleCallback(10, [] {});
+    queue.deschedule(&early);
+    EXPECT_EQ(queue.nextEventTick(), 10u);
+    queue.runAll();
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue queue;
+    LambdaEvent a([] {}), b([] {});
+    queue.schedule(&a, 1);
+    queue.schedule(&b, 2);
+    EXPECT_EQ(queue.size(), 2u);
+    queue.deschedule(&a);
+    EXPECT_EQ(queue.size(), 1u);
+    queue.runAll();
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, RunAllHonorsLimit)
+{
+    EventQueue queue;
+    int count = 0;
+    std::function<void()> forever = [&] {
+        ++count;
+        queue.scheduleCallback(queue.now() + 1, forever);
+    };
+    queue.scheduleCallback(0, forever);
+    queue.runAll(100);
+    EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueue, ProcessedCountAccumulates)
+{
+    EventQueue queue;
+    for (Tick t = 0; t < 10; ++t)
+        queue.scheduleCallback(t, [] {});
+    queue.runAll();
+    EXPECT_EQ(queue.processedCount(), 10u);
+}
+
+// Property: interleaved schedule/run at random times preserves
+// global time ordering.
+TEST(EventQueueProperty, MonotonicProcessingUnderRandomLoad)
+{
+    EventQueue queue;
+    std::vector<Tick> fired;
+    std::uint64_t seed = 12345;
+    auto next_rand = [&seed] {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        return seed >> 33;
+    };
+    for (int i = 0; i < 500; ++i) {
+        Tick when = next_rand() % 10000;
+        queue.scheduleCallback(when,
+                               [&fired, &queue] {
+                                   fired.push_back(queue.now());
+                               });
+    }
+    queue.runAll();
+    ASSERT_EQ(fired.size(), 500u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+}

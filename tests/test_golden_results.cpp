@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Golden-result regression pins: the calibrated headline numbers of
+ * EXPERIMENTS.md, with generous tolerances. When a model change moves
+ * one of these, EXPERIMENTS.md must be regenerated and re-checked
+ * against the paper -- that is the point of this file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+
+using namespace hpim;
+using baseline::runSystem;
+using baseline::SystemKind;
+
+namespace {
+
+constexpr std::uint32_t kSteps = 4;
+
+double
+stepMs(SystemKind kind, nn::ModelId model, double freq = 1.0)
+{
+    return runSystem(kind, model, kSteps, freq).stepSec * 1e3;
+}
+
+} // namespace
+
+TEST(Golden, Vgg19StepTimes)
+{
+    // EXPERIMENTS.md Fig. 8 row, +-20%.
+    EXPECT_NEAR(stepMs(SystemKind::CpuOnly, nn::ModelId::Vgg19),
+                21600.0, 4300.0);
+    EXPECT_NEAR(stepMs(SystemKind::Gpu, nn::ModelId::Vgg19), 772.0,
+                155.0);
+    EXPECT_NEAR(stepMs(SystemKind::HeteroPim, nn::ModelId::Vgg19),
+                1041.0, 210.0);
+    EXPECT_NEAR(stepMs(SystemKind::FixedPimOnly, nn::ModelId::Vgg19),
+                2048.0, 410.0);
+}
+
+TEST(Golden, HeadlineRatios)
+{
+    double hetero = stepMs(SystemKind::HeteroPim, nn::ModelId::Vgg19);
+    EXPECT_NEAR(stepMs(SystemKind::CpuOnly, nn::ModelId::Vgg19)
+                    / hetero,
+                20.7, 4.0);
+    EXPECT_NEAR(stepMs(SystemKind::ProgrPimOnly, nn::ModelId::Vgg19)
+                    / hetero,
+                20.3, 4.0);
+}
+
+TEST(Golden, ResNetGpuCrossover)
+{
+    double ratio = stepMs(SystemKind::Gpu, nn::ModelId::ResNet50)
+                   / stepMs(SystemKind::HeteroPim,
+                            nn::ModelId::ResNet50);
+    EXPECT_NEAR(ratio, 1.44, 0.35);
+    EXPECT_GT(ratio, 1.05); // hetero must stay ahead on ResNet-50
+}
+
+TEST(Golden, EnergyRatios)
+{
+    auto cpu = runSystem(SystemKind::CpuOnly, nn::ModelId::Vgg19,
+                         kSteps);
+    auto hetero = runSystem(SystemKind::HeteroPim, nn::ModelId::Vgg19,
+                            kSteps);
+    EXPECT_NEAR(cpu.energyPerStepJ / hetero.energyPerStepJ, 27.8,
+                6.0);
+    EXPECT_NEAR(hetero.averagePowerW, 50.0, 12.0);
+}
+
+TEST(Golden, FrequencyScalingLadder)
+{
+    double t1 = stepMs(SystemKind::HeteroPim, nn::ModelId::Vgg19, 1.0);
+    double t2 = stepMs(SystemKind::HeteroPim, nn::ModelId::Vgg19, 2.0);
+    double t4 = stepMs(SystemKind::HeteroPim, nn::ModelId::Vgg19, 4.0);
+    EXPECT_NEAR(t1 / t2, 1.94, 0.4);
+    EXPECT_NEAR(t2 / t4, 1.30, 0.3);
+    // Diminishing returns: the 2x->4x gain must be smaller.
+    EXPECT_LT(t2 / t4, t1 / t2);
+}
+
+TEST(Golden, UtilizationLadder)
+{
+    auto util = [](bool rc, bool op) {
+        auto config = baseline::makeHetero(true, rc, op);
+        config.steps = kSteps;
+        rt::HeteroRuntime runtime(config);
+        return runtime.train(nn::buildVgg19())
+            .execution.fixedUtilization;
+    };
+    double none = util(false, false);
+    double rc = util(true, false);
+    double both = util(true, true);
+    EXPECT_NEAR(none, 0.355, 0.08);
+    EXPECT_NEAR(rc, 0.655, 0.10);
+    EXPECT_NEAR(both, 0.815, 0.10);
+    EXPECT_LT(none, rc);
+    EXPECT_LT(rc, both);
+}
+
+TEST(Golden, PipelineDepthMonotonicity)
+{
+    // Deeper OP windows cannot hurt steady-state throughput.
+    auto step_with_depth = [](std::uint32_t depth) {
+        auto config = baseline::makeHetero(true, true, true);
+        config.pipelineDepth = depth;
+        config.steps = 6;
+        rt::HeteroRuntime runtime(config);
+        return runtime.train(nn::buildAlexNet()).execution.stepSec;
+    };
+    double d2 = step_with_depth(2);
+    double d3 = step_with_depth(3);
+    EXPECT_LE(d3, d2 * 1.02);
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the analytic GPU baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+#include "nn/models.hh"
+
+using hpim::gpu::GpuModel;
+using hpim::gpu::GpuParams;
+
+TEST(GpuModel, StepTimeScalesInverselyWithUtilization)
+{
+    GpuModel gpu;
+    auto graph = hpim::nn::buildAlexNet();
+    auto low = gpu.runStep(graph, 0.25, 1e6);
+    auto high = gpu.runStep(graph, 0.75, 1e6);
+    EXPECT_GT(low.opSec, high.opSec);
+}
+
+TEST(GpuModel, LaunchOverheadScalesWithOpCount)
+{
+    GpuModel gpu;
+    auto alex = hpim::nn::buildAlexNet();
+    auto vgg = hpim::nn::buildVgg19();
+    auto a = gpu.runStep(alex, 0.5, 1e6);
+    auto v = gpu.runStep(vgg, 0.5, 1e6);
+    EXPECT_NEAR(a.syncSec,
+                alex.size() * gpu.params().launchOverheadSec, 1e-9);
+    EXPECT_GT(v.syncSec, a.syncSec);
+}
+
+TEST(GpuModel, UnhiddenTransferFollowsOverlapFactor)
+{
+    GpuParams params;
+    params.transferOverlap = 0.5;
+    GpuModel gpu(params);
+    auto graph = hpim::nn::buildDcgan();
+    double input = 1e9;
+    auto rep = gpu.runStep(graph, 0.5, input);
+    EXPECT_GE(rep.dataMovementSec,
+              0.5 * input / params.pcieBandwidth - 1e-9);
+}
+
+TEST(GpuModel, WorkingSetSpillsAddPcieTraffic)
+{
+    GpuParams tiny;
+    tiny.memCapacityBytes = 1e6; // force spills
+    GpuModel small(tiny);
+    GpuModel big;
+    auto graph = hpim::nn::buildAlexNet();
+    auto spill = small.runStep(graph, 0.5, 1e6);
+    auto fits = big.runStep(graph, 0.5, 1e6);
+    EXPECT_GT(spill.dataMovementSec, fits.dataMovementSec);
+}
+
+TEST(GpuModel, ResNetBatch128SpillsElevenGigabytes)
+{
+    // The root cause of Hetero PIM beating the GPU on ResNet-50
+    // (paper SectionVI-A): its working set exceeds 11 GB GDDR5X.
+    auto resnet = hpim::nn::buildResNet50();
+    EXPECT_GT(GpuModel::workingSetBytes(resnet), 11e9);
+    auto vgg = hpim::nn::buildVgg19();
+    EXPECT_LT(GpuModel::workingSetBytes(vgg), 11e9);
+}
+
+TEST(GpuModel, EnergyIsPowerTimesTime)
+{
+    GpuModel gpu;
+    auto graph = hpim::nn::buildDcgan();
+    auto rep = gpu.runStep(graph, 0.5, 1e6);
+    EXPECT_NEAR(rep.energyJ, rep.powerW * rep.totalSec(), 1e-9);
+    EXPECT_NEAR(rep.powerW,
+                gpu.params().dynamicPowerW + gpu.params().hostPowerW,
+                1e-9);
+}
+
+TEST(GpuModelDeath, BadUtilizationIsFatal)
+{
+    GpuModel gpu;
+    auto graph = hpim::nn::buildDcgan();
+    EXPECT_EXIT(gpu.runStep(graph, 0.0, 0.0),
+                testing::ExitedWithCode(1), "utilization");
+    EXPECT_EXIT(gpu.runStep(graph, 1.5, 0.0),
+                testing::ExitedWithCode(1), "utilization");
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the multi-level cache hierarchy and its
+ * main-memory-access counting (the profiler's key metric).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "sim/rng.hh"
+
+using hpim::cache::CacheConfig;
+using hpim::cache::CacheHierarchy;
+using hpim::mem::AccessType;
+
+namespace {
+
+CacheHierarchy
+twoLevel()
+{
+    CacheConfig l1{1024, 64, 2, "lru", 4};   // 16 lines
+    CacheConfig l2{8192, 64, 4, "lru", 12};  // 128 lines
+    return CacheHierarchy({l1, l2});
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdAccessReachesMainMemory)
+{
+    auto h = twoLevel();
+    auto r = h.access(0, AccessType::Read);
+    EXPECT_TRUE(r.mainMemory);
+    EXPECT_EQ(r.hitLevel, 2u);
+    EXPECT_EQ(h.mainMemoryAccesses(), 1u);
+    // Walked both levels.
+    EXPECT_EQ(r.latencyCycles, 4u + 12u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    auto h = twoLevel();
+    h.access(0, AccessType::Read);
+    auto r = h.access(0, AccessType::Read);
+    EXPECT_FALSE(r.mainMemory);
+    EXPECT_EQ(r.hitLevel, 0u);
+    EXPECT_EQ(r.latencyCycles, 4u);
+    EXPECT_EQ(h.mainMemoryAccesses(), 1u);
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2)
+{
+    auto h = twoLevel();
+    // Fill one L1 set (2 ways; set count 8; stride 8*64).
+    const std::uint64_t stride = 8ULL * 64ULL;
+    h.access(0 * stride, AccessType::Read);
+    h.access(1 * stride, AccessType::Read);
+    h.access(2 * stride, AccessType::Read); // evicts line 0 from L1
+    auto r = h.access(0, AccessType::Read);
+    EXPECT_FALSE(r.mainMemory);
+    EXPECT_EQ(r.hitLevel, 1u);
+}
+
+TEST(Hierarchy, DirtyL2EvictionCountsMainMemoryWriteback)
+{
+    CacheConfig l1{128, 64, 2, "lru", 1};  // 2 lines, 1 set
+    CacheConfig l2{256, 64, 4, "lru", 2};  // 4 lines, 1 set
+    CacheHierarchy h({l1, l2});
+    // Write lines until the L2 (write-allocated via L1 writebacks)
+    // must evict a dirty line.
+    for (std::uint64_t i = 0; i < 16; ++i)
+        h.access(i * 64, AccessType::Write);
+    EXPECT_GT(h.mainMemoryWritebacks(), 0u);
+}
+
+TEST(Hierarchy, XeonLikeHasThreeLevels)
+{
+    auto h = CacheHierarchy::xeonLike();
+    EXPECT_EQ(h.levels(), 3u);
+    EXPECT_EQ(h.level(0).config().sizeBytes, 32u * 1024u);
+    EXPECT_EQ(h.level(2).config().sizeBytes, 20u * 1024u * 1024u);
+}
+
+TEST(Hierarchy, StreamingLargerThanLlcIsMemoryBound)
+{
+    auto h = twoLevel();
+    // Stream 64 KiB through an 8 KiB L2: every new line misses.
+    std::uint64_t lines = 1024;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        h.access(i * 64, AccessType::Read);
+    EXPECT_EQ(h.mainMemoryAccesses(), lines);
+}
+
+TEST(Hierarchy, FlushAllForcesMissesEverywhere)
+{
+    auto h = twoLevel();
+    h.access(0, AccessType::Read);
+    h.flushAll();
+    auto r = h.access(0, AccessType::Read);
+    EXPECT_TRUE(r.mainMemory);
+}
+
+TEST(HierarchyDeath, EmptyLevelsIsFatal)
+{
+    EXPECT_EXIT(CacheHierarchy({}), testing::ExitedWithCode(1),
+                "at least one level");
+}
+
+// Property: repeated random traffic over a footprint that fits in L2
+// eventually stops generating main-memory accesses.
+TEST(HierarchyProperty, WarmWorkingSetStopsMissingToMemory)
+{
+    auto h = twoLevel();
+    hpim::sim::Rng rng(5);
+    // 4 KiB footprint fits the 8 KiB L2.
+    for (int i = 0; i < 2000; ++i)
+        h.access(rng.below(4096), AccessType::Read);
+    std::uint64_t warm = h.mainMemoryAccesses();
+    for (int i = 0; i < 2000; ++i)
+        h.access(rng.below(4096), AccessType::Read);
+    EXPECT_EQ(h.mainMemoryAccesses(), warm);
+}

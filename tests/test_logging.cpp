@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the logging/error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace hpim::sim;
+
+TEST(Logging, ThresholdRoundTrips)
+{
+    LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Inform);
+    EXPECT_EQ(logThreshold(), LogLevel::Inform);
+    setLogThreshold(before);
+}
+
+TEST(Logging, FormatAllConcatenatesMixedTypes)
+{
+    std::string text =
+        detail::formatAll("x=", 42, ", y=", 2.5, ", z=", "str");
+    EXPECT_EQ(text, "x=42, y=2.5, z=str");
+    EXPECT_EQ(detail::formatAll(), "");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT({ fatal("bad config value ", 7); },
+                testing::ExitedWithCode(1), "bad config value 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ panic("invariant ", "broken"); },
+                 "invariant broken");
+}
+
+TEST(LoggingDeath, FatalIfFiresOnlyWhenTrue)
+{
+    // The false branch must be side-effect free and survivable.
+    fatal_if(false, "never");
+    panic_if(false, "never");
+    EXPECT_EXIT({ fatal_if(1 + 1 == 2, "arithmetic works"); },
+                testing::ExitedWithCode(1), "arithmetic works");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("model approximated: ", 3, " knobs");
+    inform("status ok");
+    SUCCEED();
+}
+
+TEST(Logging, InformSuppressedBelowThreshold)
+{
+    LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Warn);
+    testing::internal::CaptureStdout();
+    inform("quiet message");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+    setLogThreshold(LogLevel::Inform);
+    testing::internal::CaptureStdout();
+    inform("loud message");
+    EXPECT_NE(testing::internal::GetCapturedStdout().find(
+                  "loud message"),
+              std::string::npos);
+    setLogThreshold(before);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the Table-III low-level PIM API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cl/lowlevel_api.hh"
+#include "mem/address_mapping.hh"
+#include "pim/placement.hh"
+
+using hpim::cl::PimApi;
+using hpim::cl::PimOpHandle;
+using hpim::mem::AddressMapping;
+using hpim::mem::Interleave;
+using hpim::pim::StatusRegisterFile;
+
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : mapping(32, 8, 1024, 256, Interleave::RoBaVaCo),
+          regs(32, hpim::pim::placeUnits(hpim::pim::BankGrid{}, 444,
+                                         0.35)
+                       .unitsPerBank),
+          api(regs, mapping)
+    {}
+
+    AddressMapping mapping;
+    StatusRegisterFile regs;
+    PimApi api;
+};
+
+} // namespace
+
+TEST(PimApi, DataBanksFollowAddressMapping)
+{
+    Fixture f;
+    // 32 row chunks stripe across all 32 vaults.
+    auto banks = f.api.dataBanks(0, 32 * 256);
+    EXPECT_EQ(banks.size(), 32u);
+    // A single row chunk lives in exactly one bank.
+    auto one = f.api.dataBanks(0, 64);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0u);
+}
+
+TEST(PimApi, OffloadAcquiresUnitsNearData)
+{
+    Fixture f;
+    PimOpHandle op = f.api.offloadFixed(0, 64, 5);
+    ASSERT_NE(op, 0u);
+    // Data sits in bank 0; units must come from there first.
+    EXPECT_TRUE(f.api.fixedBankBusy(0));
+    auto loc = f.api.queryLocation(op);
+    ASSERT_FALSE(loc.fixedBanks.empty());
+    EXPECT_EQ(loc.fixedBanks[0], 0u);
+    EXPECT_FALSE(loc.onProgrPim);
+    f.api.complete(op);
+    EXPECT_FALSE(f.api.fixedBankBusy(0));
+}
+
+TEST(PimApi, OffloadSpillsToOtherBanksWhenLocalFull)
+{
+    Fixture f;
+    std::uint32_t local = f.regs.freeUnits(0);
+    PimOpHandle op = f.api.offloadFixed(0, 64, local + 10);
+    ASSERT_NE(op, 0u);
+    auto loc = f.api.queryLocation(op);
+    EXPECT_GE(loc.fixedBanks.size(), 2u);
+    EXPECT_EQ(f.regs.freeUnits(0), 0u);
+    f.api.complete(op);
+}
+
+TEST(PimApi, OffloadFailsWhenPoolExhausted)
+{
+    Fixture f;
+    PimOpHandle big = f.api.offloadFixed(0, 64, 444);
+    ASSERT_NE(big, 0u);
+    EXPECT_EQ(f.api.offloadFixed(0, 64, 1), 0u);
+    f.api.complete(big);
+    EXPECT_NE(f.api.offloadFixed(0, 64, 1), 0u);
+}
+
+TEST(PimApi, FailedOffloadRollsBackGrants)
+{
+    Fixture f;
+    EXPECT_EQ(f.api.offloadFixed(0, 64, 1000), 0u); // > total units
+    EXPECT_EQ(f.regs.totalFreeUnits(), 444u);
+}
+
+TEST(PimApi, ProgrOffloadTogglesBusy)
+{
+    Fixture f;
+    EXPECT_FALSE(f.api.progrBusy());
+    PimOpHandle op = f.api.offloadProgr();
+    ASSERT_NE(op, 0u);
+    EXPECT_TRUE(f.api.progrBusy());
+    // Busy PIM rejects a second kernel.
+    EXPECT_EQ(f.api.offloadProgr(), 0u);
+    EXPECT_TRUE(f.api.queryLocation(op).onProgrPim);
+    f.api.complete(op);
+    EXPECT_FALSE(f.api.progrBusy());
+}
+
+TEST(PimApi, QueryCompleteLifecycle)
+{
+    Fixture f;
+    PimOpHandle op = f.api.offloadFixed(0, 64, 3);
+    EXPECT_FALSE(f.api.queryComplete(op));
+    f.api.complete(op);
+    EXPECT_TRUE(f.api.queryComplete(op));
+}
+
+TEST(PimApiDeath, DoubleCompletePanics)
+{
+    Fixture f;
+    PimOpHandle op = f.api.offloadFixed(0, 64, 3);
+    f.api.complete(op);
+    EXPECT_DEATH(f.api.complete(op), "unknown PIM op");
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the dual-index offload-candidate selection
+ * (paper SectionIII-C step 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.hh"
+#include "nn/models.hh"
+#include "rt/offload_selector.hh"
+#include "rt/profiler.hh"
+
+using namespace hpim;
+using namespace hpim::rt;
+using nn::OpType;
+
+namespace {
+
+/** Hand-built profile: three types with known time/access ranks. */
+ProfileReport
+syntheticReport()
+{
+    ProfileReport report;
+    auto add = [&report](OpType type, double time, double accesses) {
+        TypeProfile t;
+        t.type = type;
+        t.timeSec = time;
+        t.accesses = accesses;
+        ++t.invocations;
+        report.byType.push_back(t);
+        report.totalTimeSec += time;
+        report.totalAccesses += accesses;
+    };
+    add(OpType::Conv2D, 50.0, 500.0);   // hot + memory heavy
+    add(OpType::MatMul, 30.0, 100.0);   // hot, less memory
+    add(OpType::Relu, 15.0, 300.0);     // cooler, memory heavy
+    add(OpType::Reshape, 5.0, 10.0);    // negligible
+    for (auto &t : report.byType) {
+        t.timePct = 100.0 * t.timeSec / report.totalTimeSec;
+        t.accessPct = 100.0 * t.accesses / report.totalAccesses;
+    }
+    return report;
+}
+
+} // namespace
+
+TEST(OffloadSelector, GlobalIndexCombinesBothRankings)
+{
+    auto selection = selectOffloadCandidates(syntheticReport(), 90.0);
+    ASSERT_FALSE(selection.ranking.empty());
+    // Conv2D: rank 0 by time, rank 0 by accesses -> global 0, first.
+    EXPECT_EQ(selection.ranking[0].type, OpType::Conv2D);
+    EXPECT_EQ(selection.ranking[0].globalIndex, 0u);
+    // Reshape is last on both lists -> last globally.
+    EXPECT_EQ(selection.ranking.back().type, OpType::Reshape);
+}
+
+TEST(OffloadSelector, CoverageStopsAtTarget)
+{
+    // Conv2D(50%) + MatMul(30%) + Relu(15%) = 95% >= 90%.
+    auto selection = selectOffloadCandidates(syntheticReport(), 90.0);
+    EXPECT_EQ(selection.candidates.size(), 3u);
+    EXPECT_TRUE(selection.isCandidate(OpType::Conv2D));
+    EXPECT_TRUE(selection.isCandidate(OpType::MatMul));
+    EXPECT_TRUE(selection.isCandidate(OpType::Relu));
+    EXPECT_FALSE(selection.isCandidate(OpType::Reshape));
+    EXPECT_GE(selection.coveredTimePct, 90.0);
+}
+
+TEST(OffloadSelector, LowCoverageSelectsFewer)
+{
+    auto selection = selectOffloadCandidates(syntheticReport(), 40.0);
+    EXPECT_EQ(selection.candidates.size(), 1u);
+    EXPECT_TRUE(selection.isCandidate(OpType::Conv2D));
+}
+
+TEST(OffloadSelector, FullCoverageSelectsEverything)
+{
+    auto selection = selectOffloadCandidates(syntheticReport(), 100.0);
+    EXPECT_EQ(selection.candidates.size(), 4u);
+}
+
+TEST(OffloadSelector, EmptyReportYieldsNoCandidates)
+{
+    ProfileReport empty;
+    auto selection = selectOffloadCandidates(empty, 90.0);
+    EXPECT_TRUE(selection.candidates.empty());
+    EXPECT_TRUE(selection.ranking.empty());
+}
+
+TEST(OffloadSelectorDeath, BadCoverageIsFatal)
+{
+    EXPECT_EXIT(selectOffloadCandidates(syntheticReport(), 0.0),
+                testing::ExitedWithCode(1), "coverage");
+    EXPECT_EXIT(selectOffloadCandidates(syntheticReport(), 120.0),
+                testing::ExitedWithCode(1), "coverage");
+}
+
+TEST(OffloadSelector, Vgg19SelectsTheBackpropOps)
+{
+    // On the real VGG-19 profile the offload set must include the
+    // dominating convolution ops of paper Table I.
+    Profiler profiler{cpu::CpuModel{}};
+    auto report = profiler.profile(nn::buildVgg19());
+    auto selection = selectOffloadCandidates(report, 90.0);
+    EXPECT_TRUE(
+        selection.isCandidate(OpType::Conv2DBackpropFilter));
+    EXPECT_TRUE(selection.isCandidate(OpType::Conv2DBackpropInput));
+    EXPECT_TRUE(selection.isCandidate(OpType::Conv2D));
+    EXPECT_GE(selection.coveredTimePct, 90.0);
+}
+
+// Property: candidates always cover at least the requested share of
+// step time (or everything when impossible), for every model.
+class SelectorCoverageSweep
+    : public testing::TestWithParam<hpim::nn::ModelId>
+{};
+
+TEST_P(SelectorCoverageSweep, CoverageInvariantHolds)
+{
+    Profiler profiler{cpu::CpuModel{}};
+    auto report = profiler.profile(nn::buildModel(GetParam()));
+    for (double pct : {50.0, 90.0, 99.0}) {
+        auto selection = selectOffloadCandidates(report, pct);
+        EXPECT_TRUE(selection.coveredTimePct >= pct
+                    || selection.candidates.size()
+                           == report.byType.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SelectorCoverageSweep,
+                         testing::ValuesIn(hpim::nn::allModels()));

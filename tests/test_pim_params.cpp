@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the fixed-function and programmable PIM parameter
+ * models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pim/fixed_pim.hh"
+#include "pim/progr_pim.hh"
+
+using hpim::pim::FixedPimParams;
+using hpim::pim::ProgrPimParams;
+using hpim::pim::progrOpSeconds;
+
+TEST(FixedPim, PaperBaselineConfiguration)
+{
+    FixedPimParams params;
+    EXPECT_EQ(params.totalUnits, 444u); // paper SectionIV-D
+    EXPECT_EQ(params.banks, 32u);
+    EXPECT_DOUBLE_EQ(params.frequencyHz, 312.5e6); // HMC 2.0 clock
+}
+
+TEST(FixedPim, PoolThroughputIsUnitsTimesUnitRate)
+{
+    FixedPimParams params;
+    EXPECT_NEAR(params.poolFlops(),
+                params.unitFlops() * 444.0, 1.0);
+    EXPECT_NEAR(params.unitFlops(),
+                312.5e6 * params.vectorWidth, 1.0);
+}
+
+TEST(FixedPim, FrequencyScalingMultipliesClockAndPower)
+{
+    FixedPimParams params;
+    double base_flops = params.poolFlops();
+    double base_power = params.unitPowerW();
+    params.frequencyScale = 4.0;
+    EXPECT_NEAR(params.poolFlops(), 4.0 * base_flops, 1.0);
+    // P ~ f^1.2: superlinear but below quadratic.
+    EXPECT_GT(params.unitPowerW(), 4.0 * base_power);
+    EXPECT_LT(params.unitPowerW(), 16.0 * base_power);
+}
+
+TEST(ProgrPim, DefaultIsFourCoreA9)
+{
+    ProgrPimParams params;
+    EXPECT_EQ(params.cores, 4u);          // paper SectionIV-D
+    EXPECT_DOUBLE_EQ(params.frequencyHz, 2.0e9);
+    EXPECT_GT(params.flops(), 0.0);
+    EXPECT_GT(params.specials(), 0.0);
+}
+
+TEST(ProgrPim, AggregateScalesWithCoresAndFrequency)
+{
+    ProgrPimParams params;
+    double base = params.flops();
+    params.cores = 8;
+    EXPECT_NEAR(params.flops(), 2.0 * base, 1.0);
+    params.frequencyScale = 2.0;
+    EXPECT_NEAR(params.flops(), 4.0 * base, 1.0);
+}
+
+TEST(ProgrPim, RecursiveLaunchCheaperThanHostLaunch)
+{
+    // The whole point of RC: progr->fixed spawns avoid the host.
+    ProgrPimParams params;
+    EXPECT_LT(params.recursiveLaunchSec, params.launchOverheadSec);
+}
+
+TEST(ProgrPim, OpSecondsRoofline)
+{
+    ProgrPimParams params;
+    hpim::nn::CostStructure compute;
+    compute.muls = params.flops(); // exactly one second of flops
+    EXPECT_NEAR(progrOpSeconds(params, compute, 1e30), 1.0, 1e-9);
+
+    hpim::nn::CostStructure memory;
+    memory.bytesRead = 2e9;
+    EXPECT_NEAR(progrOpSeconds(params, memory, 1e9), 2.0, 1e-9);
+}
+
+TEST(ProgrPim, MemoryAndComputeOverlap)
+{
+    ProgrPimParams params;
+    hpim::nn::CostStructure both;
+    both.muls = params.flops();   // 1 s compute
+    both.bytesRead = 0.5e9;       // 0.5 s at 1 GB/s
+    EXPECT_NEAR(progrOpSeconds(params, both, 1e9), 1.0, 1e-9);
+}

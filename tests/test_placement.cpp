@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the thermally-aware unit placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pim/placement.hh"
+
+using hpim::pim::BankGrid;
+using hpim::pim::placeUnits;
+
+TEST(BankGrid, ExposedEdgesClassification)
+{
+    BankGrid grid; // 4 x 8
+    EXPECT_EQ(grid.count(), 32u);
+    EXPECT_EQ(grid.exposedEdges(0, 0), 2u); // corner
+    EXPECT_EQ(grid.exposedEdges(0, 3), 1u); // edge
+    EXPECT_EQ(grid.exposedEdges(1, 3), 0u); // interior
+    EXPECT_EQ(grid.exposedEdges(3, 7), 2u); // far corner
+}
+
+TEST(Placement, ConservesTotalUnits)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.35);
+    EXPECT_EQ(placement.totalUnits(), 444u);
+    EXPECT_EQ(placement.unitsPerBank.size(), 32u);
+}
+
+TEST(Placement, CornerBanksGetMoreThanInterior)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.35);
+    // Paper SectionIV-D: more units on edge and corner banks.
+    std::uint32_t corner = placement.unitsPerBank[0];
+    std::uint32_t interior = placement.unitsPerBank[1 * 8 + 3];
+    EXPECT_GT(corner, interior);
+}
+
+TEST(Placement, ZeroBiasIsNearlyUniform)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.0);
+    // 444 / 32 = 13.875: every bank gets 13 or 14.
+    EXPECT_EQ(placement.minPerBank(), 13u);
+    EXPECT_EQ(placement.maxPerBank(), 14u);
+}
+
+TEST(Placement, Deterministic)
+{
+    BankGrid grid;
+    auto a = placeUnits(grid, 444, 0.35);
+    auto b = placeUnits(grid, 444, 0.35);
+    EXPECT_EQ(a.unitsPerBank, b.unitsPerBank);
+}
+
+TEST(Placement, SmallCounts)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 5, 0.35);
+    EXPECT_EQ(placement.totalUnits(), 5u);
+    EXPECT_EQ(placement.minPerBank(), 0u);
+}
+
+TEST(PlacementDeath, NegativeBiasIsFatal)
+{
+    BankGrid grid;
+    EXPECT_EXIT(placeUnits(grid, 444, -0.1),
+                testing::ExitedWithCode(1), "non-negative");
+}
+
+// Property sweep: conservation and monotone edge preference across
+// unit counts and bias levels.
+class PlacementSweep
+    : public testing::TestWithParam<std::tuple<std::uint32_t, double>>
+{};
+
+TEST_P(PlacementSweep, ConservedAndEdgeBiased)
+{
+    auto [units, bias] = GetParam();
+    BankGrid grid;
+    auto placement = placeUnits(grid, units, bias);
+    EXPECT_EQ(placement.totalUnits(), units);
+    if (bias > 0.0 && units >= 128) {
+        double edge_sum = 0.0, interior_sum = 0.0;
+        int edge_n = 0, interior_n = 0;
+        for (std::uint32_t r = 0; r < grid.rows; ++r) {
+            for (std::uint32_t c = 0; c < grid.cols; ++c) {
+                std::uint32_t u =
+                    placement.unitsPerBank[r * grid.cols + c];
+                if (grid.exposedEdges(r, c) > 0) {
+                    edge_sum += u;
+                    ++edge_n;
+                } else {
+                    interior_sum += u;
+                    ++interior_n;
+                }
+            }
+        }
+        EXPECT_GT(edge_sum / edge_n, interior_sum / interior_n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementSweep,
+    testing::Combine(testing::Values(64u, 128u, 444u, 1024u),
+                     testing::Values(0.0, 0.2, 0.35, 1.0)));

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the cache replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+
+using hpim::cache::LruPolicy;
+using hpim::cache::makePolicy;
+using hpim::cache::RandomPolicy;
+using hpim::cache::TreePlruPolicy;
+
+TEST(Lru, VictimIsLeastRecentlyTouched)
+{
+    LruPolicy lru(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.install(0, w);
+    lru.touch(0, 0); // way 0 most recent; victim should be way 1
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.install(0, 0);
+    lru.install(0, 1);
+    lru.install(1, 1);
+    lru.install(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(TreePlru, VictimAvoidsRecentlyTouchedWay)
+{
+    TreePlruPolicy plru(1, 8);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        plru.install(0, w);
+    for (int round = 0; round < 16; ++round) {
+        std::uint32_t victim = plru.victim(0);
+        plru.touch(0, victim);
+        // Immediately after touching, the same way must not be the
+        // next victim.
+        EXPECT_NE(plru.victim(0), victim);
+    }
+}
+
+TEST(TreePlru, CyclesThroughAllWaysUnderRoundRobinFill)
+{
+    TreePlruPolicy plru(1, 4);
+    std::set<std::uint32_t> victims;
+    for (int i = 0; i < 4; ++i) {
+        std::uint32_t v = plru.victim(0);
+        victims.insert(v);
+        plru.install(0, v);
+    }
+    EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(TreePlruDeath, NonPowerOfTwoWaysIsFatal)
+{
+    EXPECT_EXIT(TreePlruPolicy(1, 3), testing::ExitedWithCode(1),
+                "power-of-two");
+}
+
+TEST(Random, VictimsStayInRangeAndVary)
+{
+    RandomPolicy random(1, 8, 42);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 256; ++i) {
+        std::uint32_t v = random.victim(0);
+        EXPECT_LT(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_GT(seen.size(), 4u);
+}
+
+TEST(PolicyFactory, BuildsEachKind)
+{
+    EXPECT_EQ(makePolicy("lru", 4, 4)->policyName(), "LRU");
+    EXPECT_EQ(makePolicy("plru", 4, 4)->policyName(), "TreePLRU");
+    EXPECT_EQ(makePolicy("random", 4, 4)->policyName(), "Random");
+}
+
+TEST(PolicyFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makePolicy("mru", 4, 4), testing::ExitedWithCode(1),
+                "unknown replacement policy");
+}

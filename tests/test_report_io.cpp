@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for ExecutionReport CSV/JSON serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/presets.hh"
+#include "harness/report_io.hh"
+#include "nn/models.hh"
+
+using namespace hpim;
+using namespace hpim::harness;
+
+namespace {
+
+rt::ExecutionReport
+sample()
+{
+    rt::ExecutionReport r;
+    r.configName = "Hetero PIM";
+    r.workloadName = "AlexNet";
+    r.stepsSimulated = 4;
+    r.stepSec = 0.1;
+    r.opSec = 0.08;
+    r.dataMovementSec = 0.015;
+    r.syncSec = 0.005;
+    r.energyPerStepJ = 5.0;
+    r.averagePowerW = 50.0;
+    r.edp = 0.5;
+    r.opsByPlacement[rt::PlacedOn::Cpu] = 10;
+    r.opsByPlacement[rt::PlacedOn::FixedPool] = 20;
+    return r;
+}
+
+} // namespace
+
+TEST(ReportIo, CsvRowMatchesHeaderArity)
+{
+    std::ostringstream header, row;
+    writeCsvHeader(header);
+    writeCsvRow(row, sample());
+    auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header.str()), count(row.str()));
+}
+
+TEST(ReportIo, CsvBatchHasHeaderPlusRows)
+{
+    std::ostringstream os;
+    writeCsv(os, {sample(), sample(), sample()});
+    std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+    EXPECT_EQ(text.rfind("config,workload", 0), 0u);
+}
+
+TEST(ReportIo, JsonContainsKeyFields)
+{
+    std::ostringstream os;
+    writeJson(os, sample());
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"config\":\"Hetero PIM\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"workload\":\"AlexNet\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"fixed\":20"), std::string::npos);
+    EXPECT_NE(text.find("\"cpu\":10"), std::string::npos);
+}
+
+TEST(ReportIo, JsonBracesBalanced)
+{
+    std::ostringstream os;
+    writeJson(os, sample());
+    int depth = 0;
+    for (char c : os.str()) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportIo, RealReportRoundTripsThroughCsv)
+{
+    auto report = baseline::runSystem(baseline::SystemKind::HeteroPim,
+                                      nn::ModelId::Dcgan, 2);
+    std::ostringstream os;
+    writeCsv(os, {report});
+    // The workload name and a plausible step time appear.
+    EXPECT_NE(os.str().find("DCGAN"), std::string::npos);
+    EXPECT_NE(os.str().find("Hetero PIM"), std::string::npos);
+}

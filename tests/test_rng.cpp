@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit + statistical property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+using hpim::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = rng.inRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeScales)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-10.0, 10.0);
+        EXPECT_GE(v, -10.0);
+        EXPECT_LT(v, 10.0);
+    }
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(1);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalHasExpectedMoments)
+{
+    Rng rng(77);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales)
+{
+    Rng rng(88);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+// Property sweep: modulo-bias-free uniformity over odd bounds.
+class RngBoundSweep : public testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RngBoundSweep, BelowIsRoughlyUniform)
+{
+    std::uint64_t bound = GetParam();
+    Rng rng(bound * 97 + 13);
+    std::vector<int> counts(bound, 0);
+    const int samples = 3000 * static_cast<int>(bound);
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.below(bound)];
+    double expected = static_cast<double>(samples) / bound;
+    for (std::uint64_t v = 0; v < bound; ++v)
+        EXPECT_NEAR(counts[v], expected, expected * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddBounds, RngBoundSweep,
+                         testing::Values(3, 5, 7, 11, 13));

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the schedule validator plus the strongest correctness
+ * property in the suite: every schedule the executor produces -- for
+ * every model, configuration and feature combination -- satisfies the
+ * dependence, capacity, step-window and completeness invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hh"
+#include "nn/models.hh"
+#include "rt/executor.hh"
+#include "rt/schedule_validator.hh"
+
+using namespace hpim;
+using namespace hpim::rt;
+
+namespace {
+
+ValidationResult
+runAndValidate(const SystemConfig &config, const nn::Graph &graph,
+               std::uint32_t steps)
+{
+    Executor executor(config);
+    ScheduleTrace trace;
+    executor.attachTrace(&trace);
+    executor.run(graph, steps);
+    return validateSchedule(trace, {&graph}, {steps}, config);
+}
+
+} // namespace
+
+TEST(ScheduleValidator, AcceptsLegalHandBuiltSchedule)
+{
+    nn::Graph graph("g");
+    auto a = graph.add(nn::OpType::MatMul, "a",
+                       nn::matmulCost(2, 2, 2),
+                       nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+    graph.add(nn::OpType::Relu, "b",
+              nn::activationCost(nn::OpType::Relu,
+                                 nn::TensorShape{2, 2}),
+              nn::fixedParallelism(nn::OpType::Relu, 1, 0.0), {a});
+
+    ScheduleTrace trace;
+    auto t0 = trace.begin("a", 0, PlacedOn::Cpu, 0, 0, 0.0);
+    trace.end(t0, 1.0);
+    auto t1 = trace.begin("b", 1, PlacedOn::Cpu, 0, 0, 1.0);
+    trace.end(t1, 2.0);
+
+    SystemConfig config;
+    auto result = validateSchedule(trace, {&graph}, {1}, config);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(ScheduleValidator, DetectsDependenceViolation)
+{
+    nn::Graph graph("g");
+    auto a = graph.add(nn::OpType::MatMul, "a",
+                       nn::matmulCost(2, 2, 2),
+                       nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+    graph.add(nn::OpType::Relu, "b",
+              nn::activationCost(nn::OpType::Relu,
+                                 nn::TensorShape{2, 2}),
+              nn::fixedParallelism(nn::OpType::Relu, 1, 0.0), {a});
+
+    ScheduleTrace trace;
+    auto t0 = trace.begin("a", 0, PlacedOn::Cpu, 0, 0, 0.0);
+    trace.end(t0, 1.0);
+    // Consumer starts before the producer ends -> violation.
+    auto t1 = trace.begin("b", 1, PlacedOn::ProgrPim, 0, 0, 0.5);
+    trace.end(t1, 2.0);
+
+    SystemConfig config;
+    auto result = validateSchedule(trace, {&graph}, {1}, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.violations[0].what.find("dependence"),
+              std::string::npos);
+}
+
+TEST(ScheduleValidator, DetectsCpuOversubscription)
+{
+    nn::Graph graph("g");
+    graph.add(nn::OpType::MatMul, "a", nn::matmulCost(2, 2, 2),
+              nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+    graph.add(nn::OpType::MatMul, "b", nn::matmulCost(2, 2, 2),
+              nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+
+    ScheduleTrace trace;
+    auto t0 = trace.begin("a", 0, PlacedOn::Cpu, 0, 0, 0.0);
+    auto t1 = trace.begin("b", 1, PlacedOn::Cpu, 0, 0, 0.5);
+    trace.end(t0, 1.0);
+    trace.end(t1, 1.5);
+
+    SystemConfig config;
+    auto result = validateSchedule(trace, {&graph}, {1}, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.violations[0].what.find("capacity"),
+              std::string::npos);
+}
+
+TEST(ScheduleValidator, DetectsMissingInterval)
+{
+    nn::Graph graph("g");
+    graph.add(nn::OpType::MatMul, "a", nn::matmulCost(2, 2, 2),
+              nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+    ScheduleTrace trace; // empty
+    SystemConfig config;
+    auto result = validateSchedule(trace, {&graph}, {1}, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.violations[0].what.find("missing"),
+              std::string::npos);
+}
+
+TEST(ScheduleValidator, DetectsStepWindowViolation)
+{
+    nn::Graph graph("g");
+    graph.add(nn::OpType::MatMul, "a", nn::matmulCost(2, 2, 2),
+              nn::fixedParallelism(nn::OpType::MatMul, 2, 1));
+
+    ScheduleTrace trace;
+    auto t0 = trace.begin("a", 0, PlacedOn::Cpu, 0, 0, 0.0);
+    trace.end(t0, 2.0);
+    // Step 1 starts before step 0 ends; window is 1 (no OP).
+    auto t1 = trace.begin("a", 0, PlacedOn::ProgrPim, 0, 1, 1.0);
+    trace.end(t1, 3.0);
+
+    SystemConfig config;
+    config.operationPipeline = false;
+    auto result = validateSchedule(trace, {&graph}, {2}, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.violations[0].what.find("step-window"),
+              std::string::npos);
+}
+
+// THE property: every executor schedule is legal, across models x
+// configurations x feature flags.
+struct SweepCase
+{
+    nn::ModelId model;
+    baseline::SystemKind kind;
+};
+
+class ExecutorScheduleSweep : public testing::TestWithParam<SweepCase>
+{};
+
+TEST_P(ExecutorScheduleSweep, ScheduleIsLegal)
+{
+    auto [model, kind] = GetParam();
+    auto config = baseline::makeConfig(kind);
+    auto graph = nn::buildModel(model);
+    auto result = runAndValidate(config, graph, 3);
+    for (const auto &violation : result.violations)
+        ADD_FAILURE() << violation.what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByConfigs, ExecutorScheduleSweep,
+    testing::Values(
+        SweepCase{nn::ModelId::AlexNet, baseline::SystemKind::CpuOnly},
+        SweepCase{nn::ModelId::AlexNet,
+                  baseline::SystemKind::ProgrPimOnly},
+        SweepCase{nn::ModelId::AlexNet,
+                  baseline::SystemKind::FixedPimOnly},
+        SweepCase{nn::ModelId::AlexNet,
+                  baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::Dcgan, baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::Vgg19, baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::ResNet50,
+                  baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::InceptionV3,
+                  baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::Lstm, baseline::SystemKind::HeteroPim},
+        SweepCase{nn::ModelId::Word2vec,
+                  baseline::SystemKind::Neurocube}));
+
+TEST(ExecutorScheduleSweep, RcOpFlagCombinationsAreLegal)
+{
+    auto graph = nn::buildAlexNet();
+    for (bool rc : {false, true}) {
+        for (bool op : {false, true}) {
+            auto config = baseline::makeHetero(true, rc, op);
+            auto result = runAndValidate(config, graph, 3);
+            for (const auto &violation : result.violations) {
+                ADD_FAILURE()
+                    << "rc=" << rc << " op=" << op << ": "
+                    << violation.what;
+            }
+        }
+    }
+}
+
+TEST(ExecutorScheduleSweep, DeepPipelineIsLegal)
+{
+    auto config = baseline::makeHetero(true, true, true);
+    config.pipelineDepth = 3;
+    auto graph = nn::buildDcgan();
+    auto result = runAndValidate(config, graph, 5);
+    for (const auto &violation : result.violations)
+        ADD_FAILURE() << violation.what;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using hpim::sim::HistogramStat;
+using hpim::sim::ScalarStat;
+using hpim::sim::StatGroup;
+using hpim::sim::VectorStat;
+
+TEST(ScalarStat, AccumulatesAndResets)
+{
+    ScalarStat s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    s.inc();
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s -= 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(VectorStat, IndexingAndTotal)
+{
+    VectorStat v(4);
+    v[0] = 1.0;
+    v[3] = 2.5;
+    EXPECT_DOUBLE_EQ(v.total(), 3.5);
+    EXPECT_DOUBLE_EQ(v.at(3), 2.5);
+    EXPECT_EQ(v.size(), 4u);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(VectorStat, ResizeClearsValues)
+{
+    VectorStat v(2);
+    v[1] = 9.0;
+    v.resize(8);
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    HistogramStat h(0.0, 10.0, 5); // buckets of width 2
+    h.sample(1.0);
+    h.sample(3.0);
+    h.sample(3.9);
+    h.sample(9.99);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow)
+{
+    HistogramStat h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0); // max is exclusive
+    h.sample(100.0, 3);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+}
+
+TEST(Histogram, MeanWeightsByCount)
+{
+    HistogramStat h(0.0, 100.0, 10);
+    h.sample(10.0, 3);
+    h.sample(50.0, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(StatGroup, ScalarRegistrationIsIdempotent)
+{
+    StatGroup group("hmc");
+    group.scalar("reads", "read count") += 5.0;
+    group.scalar("reads", "ignored") += 2.0;
+    EXPECT_DOUBLE_EQ(group.lookup("reads"), 7.0);
+    EXPECT_TRUE(group.hasScalar("reads"));
+    EXPECT_FALSE(group.hasScalar("writes"));
+}
+
+TEST(StatGroup, DumpFormatsNameValueDesc)
+{
+    StatGroup group("vault0");
+    group.scalar("rowHits", "row buffer hits").set(42.0);
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("vault0.rowHits"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("row buffer hits"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllZeroesEverything)
+{
+    StatGroup group("g");
+    group.scalar("a", "").set(1.0);
+    group.scalar("b", "").set(2.0);
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(group.lookup("a"), 0.0);
+    EXPECT_DOUBLE_EQ(group.lookup("b"), 0.0);
+}
+
+TEST(StatGroupDeath, LookupMissingStatIsFatal)
+{
+    StatGroup group("g");
+    EXPECT_EXIT(group.lookup("missing"), testing::ExitedWithCode(1),
+                "no stat named");
+}
+
+TEST(HistogramDeath, ZeroBucketsIsFatal)
+{
+    EXPECT_EXIT(HistogramStat(0.0, 1.0, 0), testing::ExitedWithCode(1),
+                "bucket");
+}
+
+TEST(HistogramDeath, EmptyRangeIsFatal)
+{
+    EXPECT_EXIT(HistogramStat(5.0, 5.0, 4), testing::ExitedWithCode(1),
+                "empty");
+}

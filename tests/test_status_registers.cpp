@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the PIM status register file (paper Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pim/status_registers.hh"
+
+using hpim::pim::StatusRegisterFile;
+
+namespace {
+
+StatusRegisterFile
+fourBanks()
+{
+    return StatusRegisterFile(4, {10, 10, 10, 10});
+}
+
+} // namespace
+
+TEST(StatusRegisters, InitialStateAllFree)
+{
+    auto regs = fourBanks();
+    EXPECT_EQ(regs.totalUnits(), 40u);
+    EXPECT_EQ(regs.totalFreeUnits(), 40u);
+    EXPECT_FALSE(regs.bankBusy(0));
+    EXPECT_FALSE(regs.progrBusy());
+}
+
+TEST(StatusRegisters, AcquireReservesUnits)
+{
+    auto regs = fourBanks();
+    EXPECT_TRUE(regs.acquire(1, 6));
+    EXPECT_EQ(regs.freeUnits(1), 4u);
+    EXPECT_TRUE(regs.bankBusy(1));
+    EXPECT_EQ(regs.totalFreeUnits(), 34u);
+}
+
+TEST(StatusRegisters, AcquireFailsWhenShort)
+{
+    auto regs = fourBanks();
+    EXPECT_TRUE(regs.acquire(0, 10));
+    EXPECT_FALSE(regs.acquire(0, 1));
+    // Failed acquire leaves state unchanged.
+    EXPECT_EQ(regs.freeUnits(0), 0u);
+    EXPECT_EQ(regs.totalFreeUnits(), 30u);
+}
+
+TEST(StatusRegisters, ReleaseReturnsUnits)
+{
+    auto regs = fourBanks();
+    regs.acquire(2, 7);
+    regs.release(2, 3);
+    EXPECT_EQ(regs.freeUnits(2), 6u);
+    regs.release(2, 4);
+    EXPECT_FALSE(regs.bankBusy(2));
+}
+
+TEST(StatusRegisters, ProgrBusyFlag)
+{
+    auto regs = fourBanks();
+    regs.setProgrBusy(true);
+    EXPECT_TRUE(regs.progrBusy());
+    regs.setProgrBusy(false);
+    EXPECT_FALSE(regs.progrBusy());
+}
+
+TEST(StatusRegisters, UnevenBankCapacities)
+{
+    // Edge-biased placement gives banks unequal unit counts.
+    StatusRegisterFile regs(3, {20, 5, 15});
+    EXPECT_EQ(regs.totalUnits(), 40u);
+    EXPECT_TRUE(regs.acquire(0, 20));
+    EXPECT_FALSE(regs.acquire(1, 6));
+    EXPECT_TRUE(regs.acquire(1, 5));
+}
+
+TEST(StatusRegistersDeath, OverReleasePanics)
+{
+    auto regs = fourBanks();
+    regs.acquire(0, 2);
+    EXPECT_DEATH(regs.release(0, 3), "releasing");
+}
+
+TEST(StatusRegistersDeath, BadBankPanics)
+{
+    auto regs = fourBanks();
+    EXPECT_DEATH(regs.freeUnits(4), "out of range");
+}
+
+TEST(StatusRegistersDeath, MismatchedVectorIsFatal)
+{
+    EXPECT_EXIT(StatusRegisterFile(4, {1, 2}),
+                testing::ExitedWithCode(1), "entries");
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for tensor shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor_shape.hh"
+
+using hpim::nn::TensorShape;
+
+TEST(TensorShape, ElementAndByteCounts)
+{
+    TensorShape s{32, 224, 224, 3};
+    EXPECT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.elems(), 32LL * 224 * 224 * 3);
+    EXPECT_EQ(s.bytes(), s.elems() * 4);
+    EXPECT_EQ(s.dim(1), 224);
+}
+
+TEST(TensorShape, ScalarShape)
+{
+    TensorShape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.elems(), 1);
+    EXPECT_EQ(s.bytes(), 4);
+}
+
+TEST(TensorShape, VectorConstructor)
+{
+    TensorShape s(std::vector<std::int64_t>{7, 9});
+    EXPECT_EQ(s.elems(), 63);
+}
+
+TEST(TensorShape, Equality)
+{
+    EXPECT_EQ((TensorShape{2, 3}), (TensorShape{2, 3}));
+    EXPECT_FALSE((TensorShape{2, 3}) == (TensorShape{3, 2}));
+}
+
+TEST(TensorShape, StringForm)
+{
+    TensorShape s{32, 224, 224, 3};
+    EXPECT_EQ(s.str(), "[32, 224, 224, 3]");
+    EXPECT_EQ(TensorShape{}.str(), "[]");
+}
+
+TEST(TensorShapeDeath, NonPositiveDimIsFatal)
+{
+    EXPECT_EXIT((TensorShape{4, 0}), testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT((TensorShape{-1}), testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(TensorShapeDeath, DimIndexOutOfRangePanics)
+{
+    TensorShape s{2, 2};
+    EXPECT_DEATH(s.dim(2), "out of rank");
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the steady-state thermal solver and the paper's
+ * placement rationale (edge banks dissipate better).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/thermal.hh"
+#include "pim/placement.hh"
+
+using hpim::model::solveThermal;
+using hpim::model::ThermalParams;
+using hpim::pim::BankGrid;
+using hpim::pim::placeUnits;
+using hpim::pim::Placement;
+
+TEST(Thermal, ConvergesOnUniformLoad)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.0);
+    auto result = solveThermal(grid, placement, 0.015);
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.maxC, 45.0); // above ambient
+    EXPECT_GE(result.maxC, result.minC);
+}
+
+TEST(Thermal, ZeroPowerSitsNearAmbientPlusBackground)
+{
+    BankGrid grid;
+    Placement empty;
+    empty.unitsPerBank.assign(grid.count(), 0);
+    auto result = solveThermal(grid, empty, 0.015);
+    // Only the background power heats the die.
+    EXPECT_LT(result.maxC - 45.0, 1.0);
+}
+
+TEST(Thermal, HotterWithMorePower)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.35);
+    auto cool = solveThermal(grid, placement, 0.015);
+    auto hot = solveThermal(grid, placement, 0.060);
+    EXPECT_GT(hot.maxC, cool.maxC);
+}
+
+TEST(Thermal, InteriorHotterThanEdgeUnderUniformLoad)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.0);
+    auto result = solveThermal(grid, placement, 0.015);
+    double corner = result.tempC[0];
+    double interior = result.tempC[1 * grid.cols + 3];
+    EXPECT_GT(interior, corner);
+}
+
+TEST(Thermal, EdgeBiasedPlacementRunsCoolerAtPeak)
+{
+    // The justification for the paper's placement policy.
+    BankGrid grid;
+    auto biased = placeUnits(grid, 444, 0.35);
+    auto uniform = placeUnits(grid, 444, 0.0);
+    auto t_biased = solveThermal(grid, biased, 0.030);
+    auto t_uniform = solveThermal(grid, uniform, 0.030);
+    EXPECT_LE(t_biased.maxC, t_uniform.maxC + 1e-9);
+}
+
+TEST(Thermal, BaselineDesignStaysUnderJunctionLimit)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.35);
+    auto result = solveThermal(grid, placement, 0.015);
+    EXPECT_LT(result.maxC, 85.0);
+}
+
+TEST(ThermalDeath, PlacementGridMismatchIsFatal)
+{
+    BankGrid grid;
+    Placement bad;
+    bad.unitsPerBank.assign(7, 1);
+    EXPECT_EXIT(solveThermal(grid, bad, 0.015),
+                testing::ExitedWithCode(1), "banks");
+}
+
+// Property: total heat in equals heat out (power balance) --
+// approximated by checking the solution is a fixed point.
+TEST(ThermalProperty, SolutionIsStationary)
+{
+    BankGrid grid;
+    auto placement = placeUnits(grid, 444, 0.35);
+    ThermalParams params;
+    auto result = solveThermal(grid, placement, 0.015, params);
+    // Re-solving from the solution must not move temperatures.
+    auto again = solveThermal(grid, placement, 0.015, params);
+    for (std::size_t i = 0; i < result.tempC.size(); ++i)
+        EXPECT_NEAR(result.tempC[i], again.tempC[i], 1e-6);
+}

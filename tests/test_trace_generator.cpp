@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the synthetic (Pin-substitute) trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/trace_generator.hh"
+
+using hpim::cpu::AccessPattern;
+using hpim::cpu::accessPattern;
+using hpim::cpu::TraceConfig;
+using hpim::cpu::TraceGenerator;
+using hpim::mem::AccessType;
+using hpim::nn::CostStructure;
+using hpim::nn::OpType;
+
+namespace {
+
+CostStructure
+trafficOf(double read_bytes, double write_bytes)
+{
+    CostStructure c;
+    c.bytesRead = read_bytes;
+    c.bytesWritten = write_bytes;
+    return c;
+}
+
+} // namespace
+
+TEST(TracePatterns, OpTypesMapToExpectedPatterns)
+{
+    EXPECT_EQ(accessPattern(OpType::Conv2D), AccessPattern::Strided);
+    EXPECT_EQ(accessPattern(OpType::MatMul), AccessPattern::Strided);
+    EXPECT_EQ(accessPattern(OpType::Relu), AccessPattern::Streaming);
+    EXPECT_EQ(accessPattern(OpType::BiasAdd), AccessPattern::Streaming);
+    EXPECT_EQ(accessPattern(OpType::EmbeddingLookup),
+              AccessPattern::Random);
+    EXPECT_EQ(accessPattern(OpType::Dropout), AccessPattern::Random);
+}
+
+TEST(TraceGenerator, EmitsOneRequestPerLine)
+{
+    TraceGenerator gen;
+    auto reqs = gen.generate(OpType::Relu, trafficOf(64.0 * 100, 0));
+    EXPECT_EQ(reqs.size(), 100u);
+    EXPECT_DOUBLE_EQ(gen.scale(), 1.0);
+}
+
+TEST(TraceGenerator, SamplesLargeOps)
+{
+    TraceConfig config;
+    config.maxRequests = 1000;
+    TraceGenerator gen(config);
+    auto reqs = gen.generate(OpType::Relu,
+                             trafficOf(64.0 * 10000, 0));
+    EXPECT_EQ(reqs.size(), 1000u);
+    EXPECT_DOUBLE_EQ(gen.scale(), 10.0);
+}
+
+TEST(TraceGenerator, StreamingIsUnitStride)
+{
+    TraceGenerator gen;
+    auto reqs = gen.generate(OpType::BiasAdd,
+                             trafficOf(64.0 * 50, 0), 0x1000);
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(reqs[i].addr, 0x1000u + i * 64);
+}
+
+TEST(TraceGenerator, WriteFractionFollowsCost)
+{
+    TraceGenerator gen;
+    auto reqs =
+        gen.generate(OpType::Relu, trafficOf(64.0 * 5000, 64.0 * 5000));
+    int writes = 0;
+    for (const auto &req : reqs)
+        writes += req.type == AccessType::Write ? 1 : 0;
+    EXPECT_NEAR(writes / double(reqs.size()), 0.5, 0.05);
+}
+
+TEST(TraceGenerator, RandomPatternCoversRegion)
+{
+    TraceGenerator gen;
+    auto reqs = gen.generate(OpType::EmbeddingLookup,
+                             trafficOf(64.0 * 4096, 0));
+    std::set<hpim::mem::Addr> unique;
+    for (const auto &req : reqs) {
+        EXPECT_EQ(req.addr % 64, 0u);
+        unique.insert(req.addr);
+    }
+    // Random gather revisits some lines but covers many.
+    EXPECT_GT(unique.size(), reqs.size() / 3);
+}
+
+TEST(TraceGenerator, StridedPatternJumpsBetweenTiles)
+{
+    TraceGenerator gen;
+    auto reqs = gen.generate(OpType::MatMul,
+                             trafficOf(64.0 * 8192, 0));
+    int jumps = 0;
+    for (std::size_t i = 1; i < reqs.size(); ++i) {
+        if (reqs[i].addr != reqs[i - 1].addr + 64)
+            ++jumps;
+    }
+    EXPECT_GT(jumps, 4);
+}
+
+TEST(TraceGenerator, RequestIdsAreUniqueAcrossCalls)
+{
+    TraceGenerator gen;
+    auto a = gen.generate(OpType::Relu, trafficOf(64.0 * 10, 0));
+    auto b = gen.generate(OpType::Relu, trafficOf(64.0 * 10, 0));
+    std::set<std::uint64_t> ids;
+    for (const auto &req : a)
+        ids.insert(req.id);
+    for (const auto &req : b)
+        ids.insert(req.id);
+    EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(TraceGenerator, TinyOpStillEmitsOneRequest)
+{
+    TraceGenerator gen;
+    auto reqs = gen.generate(OpType::Relu, trafficOf(4.0, 0));
+    EXPECT_EQ(reqs.size(), 1u);
+}

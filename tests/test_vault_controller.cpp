@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the FR-FCFS vault controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/vault_controller.hh"
+
+using hpim::mem::AccessType;
+using hpim::mem::DramCoord;
+using hpim::mem::hmc2Timing;
+using hpim::mem::MemoryRequest;
+using hpim::mem::SchedulingPolicy;
+using hpim::mem::VaultController;
+
+namespace {
+
+MemoryRequest
+makeReq(std::uint64_t id, AccessType type = AccessType::Read,
+        hpim::sim::Tick arrival = 0)
+{
+    MemoryRequest req;
+    req.id = id;
+    req.bytes = 32;
+    req.type = type;
+    req.arrival = arrival;
+    return req;
+}
+
+} // namespace
+
+TEST(VaultController, DrainReturnsAllRequests)
+{
+    VaultController vault(hmc2Timing(), 8);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        vault.enqueue(makeReq(i), DramCoord{0, 0, 0, 0});
+    EXPECT_TRUE(vault.busy());
+    auto done = vault.drain();
+    EXPECT_EQ(done.size(), 10u);
+    EXPECT_FALSE(vault.busy());
+    EXPECT_EQ(vault.stats().requests, 10u);
+}
+
+TEST(VaultController, CompletionTimesMonotonic)
+{
+    VaultController vault(hmc2Timing(), 8);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        vault.enqueue(makeReq(i),
+                      DramCoord{0, std::uint32_t(i % 4),
+                                std::uint32_t(i % 3), 0});
+    }
+    auto done = vault.drain();
+    for (std::size_t i = 1; i < done.size(); ++i)
+        EXPECT_LE(done[i - 1].completion, done[i].completion);
+}
+
+TEST(VaultController, FrfcfsPrefersRowHits)
+{
+    VaultController vault(hmc2Timing(), 8,
+                          SchedulingPolicy::FRFCFS, 8);
+    // req0 opens row 1; req1 targets row 2 (conflict);
+    // req2 targets row 1 (hit). FR-FCFS should service req2
+    // before req1.
+    vault.enqueue(makeReq(0), DramCoord{0, 0, 1, 0});
+    vault.enqueue(makeReq(1), DramCoord{0, 0, 2, 0});
+    vault.enqueue(makeReq(2), DramCoord{0, 0, 1, 0});
+    auto done = vault.drain();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].id, 0u);
+    EXPECT_EQ(done[1].id, 2u); // row hit reordered ahead
+    EXPECT_EQ(done[2].id, 1u);
+}
+
+TEST(VaultController, FcfsKeepsArrivalOrder)
+{
+    VaultController vault(hmc2Timing(), 8, SchedulingPolicy::FCFS);
+    vault.enqueue(makeReq(0), DramCoord{0, 0, 1, 0});
+    vault.enqueue(makeReq(1), DramCoord{0, 0, 2, 0});
+    vault.enqueue(makeReq(2), DramCoord{0, 0, 1, 0});
+    auto done = vault.drain();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].id, 0u);
+    EXPECT_EQ(done[1].id, 1u);
+    EXPECT_EQ(done[2].id, 2u);
+}
+
+TEST(VaultController, FrfcfsBeatsFcfsOnConflictHeavyStream)
+{
+    auto run = [](SchedulingPolicy policy) {
+        VaultController vault(hmc2Timing(), 8, policy, 8);
+        // Alternate two rows: FCFS ping-pongs; FR-FCFS batches.
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            vault.enqueue(makeReq(i),
+                          DramCoord{0, 0, std::uint32_t(i % 2), 0});
+        }
+        auto done = vault.drain();
+        return done.back().completion;
+    };
+    EXPECT_LT(run(SchedulingPolicy::FRFCFS),
+              run(SchedulingPolicy::FCFS));
+}
+
+TEST(VaultController, MultiBurstRequestTakesLonger)
+{
+    VaultController small(hmc2Timing(), 8);
+    MemoryRequest req = makeReq(0);
+    req.bytes = 32;
+    small.enqueue(req, DramCoord{0, 0, 0, 0});
+    auto a = small.drain();
+
+    VaultController big(hmc2Timing(), 8);
+    req.bytes = 256; // 8 bursts
+    big.enqueue(req, DramCoord{0, 0, 0, 0});
+    auto b = big.drain();
+    EXPECT_GT(b[0].completion, a[0].completion);
+}
+
+TEST(VaultController, ArrivalTimeDelaysService)
+{
+    VaultController vault(hmc2Timing(), 8);
+    vault.enqueue(makeReq(0, AccessType::Read, 1'000'000),
+                  DramCoord{0, 0, 0, 0});
+    auto done = vault.drain();
+    EXPECT_GE(done[0].completion, 1'000'000u);
+}
+
+TEST(VaultController, StatsTrackReadsAndWrites)
+{
+    VaultController vault(hmc2Timing(), 8);
+    vault.enqueue(makeReq(0, AccessType::Read),
+                  DramCoord{0, 0, 0, 0});
+    vault.enqueue(makeReq(1, AccessType::Write),
+                  DramCoord{0, 1, 0, 0});
+    vault.drain();
+    EXPECT_EQ(vault.stats().readBytes, 32u);
+    EXPECT_EQ(vault.stats().writeBytes, 32u);
+    EXPECT_GT(vault.stats().averageLatency(), 0.0);
+}
+
+TEST(VaultController, BankAccessorExposesCounters)
+{
+    VaultController vault(hmc2Timing(), 4);
+    vault.enqueue(makeReq(0), DramCoord{0, 2, 7, 0});
+    vault.drain();
+    EXPECT_EQ(vault.bank(2).counters().activates, 1u);
+    EXPECT_EQ(vault.bank(0).counters().activates, 0u);
+    EXPECT_EQ(vault.bankCount(), 4u);
+}
+
+TEST(VaultControllerDeath, ZeroBanksIsFatal)
+{
+    EXPECT_EXIT(VaultController(hmc2Timing(), 0),
+                testing::ExitedWithCode(1), "at least one bank");
+}
+
+TEST(VaultController, LongStreamsTriggerRefreshRounds)
+{
+    VaultController vault(hmc2Timing(), 8);
+    // Spread arrivals over ~3 refresh intervals (tREFI = 1219 cycles
+    // at 3200 ps = ~3.9 us).
+    hpim::sim::Tick refi =
+        hpim::sim::Tick(hmc2Timing().tREFI) * hmc2Timing().tCK;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        vault.enqueue(makeReq(i, AccessType::Read, i * refi / 4),
+                      DramCoord{0, 0, std::uint32_t(i), 0});
+    }
+    vault.drain();
+    EXPECT_GE(vault.stats().refreshRounds, 2u);
+    EXPECT_EQ(vault.bank(0).counters().refreshes,
+              vault.stats().refreshRounds);
+}
+
+TEST(VaultController, RefreshDelaysCollidingRequest)
+{
+    // A request arriving exactly at a refresh boundary pays tRFC.
+    VaultController vault(hmc2Timing(), 8);
+    hpim::sim::Tick refi =
+        hpim::sim::Tick(hmc2Timing().tREFI) * hmc2Timing().tCK;
+    vault.enqueue(makeReq(0, AccessType::Read, refi),
+                  DramCoord{0, 0, 0, 0});
+    auto done = vault.drain();
+    EXPECT_GE(done[0].completion,
+              refi + hpim::sim::Tick(hmc2Timing().tRFC)
+                         * hmc2Timing().tCK);
+}
