@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_characterization.dir/dram_characterization.cpp.o"
+  "CMakeFiles/dram_characterization.dir/dram_characterization.cpp.o.d"
+  "dram_characterization"
+  "dram_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

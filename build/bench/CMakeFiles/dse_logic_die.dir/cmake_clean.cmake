@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_logic_die.dir/dse_logic_die.cpp.o"
+  "CMakeFiles/dse_logic_die.dir/dse_logic_die.cpp.o.d"
+  "dse_logic_die"
+  "dse_logic_die.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_logic_die.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

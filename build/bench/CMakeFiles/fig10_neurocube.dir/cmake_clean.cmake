@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_neurocube.dir/fig10_neurocube.cpp.o"
+  "CMakeFiles/fig10_neurocube.dir/fig10_neurocube.cpp.o.d"
+  "fig10_neurocube"
+  "fig10_neurocube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_neurocube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_progr_scaling.dir/fig12_progr_scaling.cpp.o"
+  "CMakeFiles/fig12_progr_scaling.dir/fig12_progr_scaling.cpp.o.d"
+  "fig12_progr_scaling"
+  "fig12_progr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_progr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sw_impact_energy.dir/fig14_sw_impact_energy.cpp.o"
+  "CMakeFiles/fig14_sw_impact_energy.dir/fig14_sw_impact_energy.cpp.o.d"
+  "fig14_sw_impact_energy"
+  "fig14_sw_impact_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sw_impact_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_sw_impact_energy.
+# This may be replaced when dependencies are built.

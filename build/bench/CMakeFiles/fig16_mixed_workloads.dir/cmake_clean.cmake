@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mixed_workloads.dir/fig16_mixed_workloads.cpp.o"
+  "CMakeFiles/fig16_mixed_workloads.dir/fig16_mixed_workloads.cpp.o.d"
+  "fig16_mixed_workloads"
+  "fig16_mixed_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mixed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

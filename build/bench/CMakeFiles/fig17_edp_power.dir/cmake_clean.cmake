@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_edp_power.dir/fig17_edp_power.cpp.o"
+  "CMakeFiles/fig17_edp_power.dir/fig17_edp_power.cpp.o.d"
+  "fig17_edp_power"
+  "fig17_edp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_edp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

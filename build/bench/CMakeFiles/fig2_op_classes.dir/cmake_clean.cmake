@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_op_classes.dir/fig2_op_classes.cpp.o"
+  "CMakeFiles/fig2_op_classes.dir/fig2_op_classes.cpp.o.d"
+  "fig2_op_classes"
+  "fig2_op_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_op_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_batch_size.dir/sweep_batch_size.cpp.o"
+  "CMakeFiles/sweep_batch_size.dir/sweep_batch_size.cpp.o.d"
+  "sweep_batch_size"
+  "sweep_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profiling.dir/table1_profiling.cpp.o"
+  "CMakeFiles/table1_profiling.dir/table1_profiling.cpp.o.d"
+  "table1_profiling"
+  "table1_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

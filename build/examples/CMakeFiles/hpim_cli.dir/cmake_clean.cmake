@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_cli.dir/hpim_cli.cpp.o"
+  "CMakeFiles/hpim_cli.dir/hpim_cli.cpp.o.d"
+  "hpim_cli"
+  "hpim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_vgg19.dir/train_vgg19.cpp.o"
+  "CMakeFiles/train_vgg19.dir/train_vgg19.cpp.o.d"
+  "train_vgg19"
+  "train_vgg19.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_vgg19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for train_vgg19.
+# This may be replaced when dependencies are built.

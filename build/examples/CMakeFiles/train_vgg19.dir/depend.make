@@ -1,0 +1,2 @@
+# Empty dependencies file for train_vgg19.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("gpu")
+subdirs("pim")
+subdirs("model")
+subdirs("nn")
+subdirs("cl")
+subdirs("rt")
+subdirs("baseline")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_baseline.dir/presets.cc.o"
+  "CMakeFiles/hpim_baseline.dir/presets.cc.o.d"
+  "libhpim_baseline.a"
+  "libhpim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

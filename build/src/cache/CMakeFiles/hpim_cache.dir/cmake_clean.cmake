@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_cache.dir/cache.cc.o"
+  "CMakeFiles/hpim_cache.dir/cache.cc.o.d"
+  "CMakeFiles/hpim_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/hpim_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/hpim_cache.dir/replacement.cc.o"
+  "CMakeFiles/hpim_cache.dir/replacement.cc.o.d"
+  "libhpim_cache.a"
+  "libhpim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cl/codegen.cc" "src/cl/CMakeFiles/hpim_cl.dir/codegen.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/codegen.cc.o.d"
+  "/root/repo/src/cl/device.cc" "src/cl/CMakeFiles/hpim_cl.dir/device.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/device.cc.o.d"
+  "/root/repo/src/cl/kernel.cc" "src/cl/CMakeFiles/hpim_cl.dir/kernel.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/kernel.cc.o.d"
+  "/root/repo/src/cl/lowlevel_api.cc" "src/cl/CMakeFiles/hpim_cl.dir/lowlevel_api.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/lowlevel_api.cc.o.d"
+  "/root/repo/src/cl/memory_model.cc" "src/cl/CMakeFiles/hpim_cl.dir/memory_model.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/memory_model.cc.o.d"
+  "/root/repo/src/cl/platform.cc" "src/cl/CMakeFiles/hpim_cl.dir/platform.cc.o" "gcc" "src/cl/CMakeFiles/hpim_cl.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/hpim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

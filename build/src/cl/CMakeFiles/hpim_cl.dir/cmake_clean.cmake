@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_cl.dir/codegen.cc.o"
+  "CMakeFiles/hpim_cl.dir/codegen.cc.o.d"
+  "CMakeFiles/hpim_cl.dir/device.cc.o"
+  "CMakeFiles/hpim_cl.dir/device.cc.o.d"
+  "CMakeFiles/hpim_cl.dir/kernel.cc.o"
+  "CMakeFiles/hpim_cl.dir/kernel.cc.o.d"
+  "CMakeFiles/hpim_cl.dir/lowlevel_api.cc.o"
+  "CMakeFiles/hpim_cl.dir/lowlevel_api.cc.o.d"
+  "CMakeFiles/hpim_cl.dir/memory_model.cc.o"
+  "CMakeFiles/hpim_cl.dir/memory_model.cc.o.d"
+  "CMakeFiles/hpim_cl.dir/platform.cc.o"
+  "CMakeFiles/hpim_cl.dir/platform.cc.o.d"
+  "libhpim_cl.a"
+  "libhpim_cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpim_cl.a"
+)

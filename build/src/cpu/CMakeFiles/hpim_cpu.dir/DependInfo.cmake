@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_model.cc" "src/cpu/CMakeFiles/hpim_cpu.dir/cpu_model.cc.o" "gcc" "src/cpu/CMakeFiles/hpim_cpu.dir/cpu_model.cc.o.d"
+  "/root/repo/src/cpu/memory_profiler.cc" "src/cpu/CMakeFiles/hpim_cpu.dir/memory_profiler.cc.o" "gcc" "src/cpu/CMakeFiles/hpim_cpu.dir/memory_profiler.cc.o.d"
+  "/root/repo/src/cpu/trace_generator.cc" "src/cpu/CMakeFiles/hpim_cpu.dir/trace_generator.cc.o" "gcc" "src/cpu/CMakeFiles/hpim_cpu.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hpim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_cpu.dir/cpu_model.cc.o"
+  "CMakeFiles/hpim_cpu.dir/cpu_model.cc.o.d"
+  "CMakeFiles/hpim_cpu.dir/memory_profiler.cc.o"
+  "CMakeFiles/hpim_cpu.dir/memory_profiler.cc.o.d"
+  "CMakeFiles/hpim_cpu.dir/trace_generator.cc.o"
+  "CMakeFiles/hpim_cpu.dir/trace_generator.cc.o.d"
+  "libhpim_cpu.a"
+  "libhpim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/hpim_gpu.dir/gpu_model.cc.o.d"
+  "libhpim_gpu.a"
+  "libhpim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

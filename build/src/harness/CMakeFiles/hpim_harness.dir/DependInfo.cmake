@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/report_io.cc" "src/harness/CMakeFiles/hpim_harness.dir/report_io.cc.o" "gcc" "src/harness/CMakeFiles/hpim_harness.dir/report_io.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/harness/CMakeFiles/hpim_harness.dir/table_printer.cc.o" "gcc" "src/harness/CMakeFiles/hpim_harness.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/hpim_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hpim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/hpim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_harness.dir/report_io.cc.o"
+  "CMakeFiles/hpim_harness.dir/report_io.cc.o.d"
+  "CMakeFiles/hpim_harness.dir/table_printer.cc.o"
+  "CMakeFiles/hpim_harness.dir/table_printer.cc.o.d"
+  "libhpim_harness.a"
+  "libhpim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

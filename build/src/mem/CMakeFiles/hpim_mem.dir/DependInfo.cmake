@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_mapping.cc" "src/mem/CMakeFiles/hpim_mem.dir/address_mapping.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/address_mapping.cc.o.d"
+  "/root/repo/src/mem/bank.cc" "src/mem/CMakeFiles/hpim_mem.dir/bank.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/bank.cc.o.d"
+  "/root/repo/src/mem/dram_energy.cc" "src/mem/CMakeFiles/hpim_mem.dir/dram_energy.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/dram_energy.cc.o.d"
+  "/root/repo/src/mem/dram_timing.cc" "src/mem/CMakeFiles/hpim_mem.dir/dram_timing.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/dram_timing.cc.o.d"
+  "/root/repo/src/mem/hmc_stack.cc" "src/mem/CMakeFiles/hpim_mem.dir/hmc_stack.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/hmc_stack.cc.o.d"
+  "/root/repo/src/mem/vault_controller.cc" "src/mem/CMakeFiles/hpim_mem.dir/vault_controller.cc.o" "gcc" "src/mem/CMakeFiles/hpim_mem.dir/vault_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

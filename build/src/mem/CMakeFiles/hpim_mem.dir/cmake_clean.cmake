@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_mem.dir/address_mapping.cc.o"
+  "CMakeFiles/hpim_mem.dir/address_mapping.cc.o.d"
+  "CMakeFiles/hpim_mem.dir/bank.cc.o"
+  "CMakeFiles/hpim_mem.dir/bank.cc.o.d"
+  "CMakeFiles/hpim_mem.dir/dram_energy.cc.o"
+  "CMakeFiles/hpim_mem.dir/dram_energy.cc.o.d"
+  "CMakeFiles/hpim_mem.dir/dram_timing.cc.o"
+  "CMakeFiles/hpim_mem.dir/dram_timing.cc.o.d"
+  "CMakeFiles/hpim_mem.dir/hmc_stack.cc.o"
+  "CMakeFiles/hpim_mem.dir/hmc_stack.cc.o.d"
+  "CMakeFiles/hpim_mem.dir/vault_controller.cc.o"
+  "CMakeFiles/hpim_mem.dir/vault_controller.cc.o.d"
+  "libhpim_mem.a"
+  "libhpim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

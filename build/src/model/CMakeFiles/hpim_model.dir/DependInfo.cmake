@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/area_power.cc" "src/model/CMakeFiles/hpim_model.dir/area_power.cc.o" "gcc" "src/model/CMakeFiles/hpim_model.dir/area_power.cc.o.d"
+  "/root/repo/src/model/thermal.cc" "src/model/CMakeFiles/hpim_model.dir/thermal.cc.o" "gcc" "src/model/CMakeFiles/hpim_model.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/hpim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_model.dir/area_power.cc.o"
+  "CMakeFiles/hpim_model.dir/area_power.cc.o.d"
+  "CMakeFiles/hpim_model.dir/thermal.cc.o"
+  "CMakeFiles/hpim_model.dir/thermal.cc.o.d"
+  "libhpim_model.a"
+  "libhpim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

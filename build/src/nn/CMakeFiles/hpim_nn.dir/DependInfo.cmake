@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/builder.cc" "src/nn/CMakeFiles/hpim_nn.dir/builder.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/builder.cc.o.d"
+  "/root/repo/src/nn/graph.cc" "src/nn/CMakeFiles/hpim_nn.dir/graph.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/graph.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/hpim_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/op_cost.cc" "src/nn/CMakeFiles/hpim_nn.dir/op_cost.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/op_cost.cc.o.d"
+  "/root/repo/src/nn/op_type.cc" "src/nn/CMakeFiles/hpim_nn.dir/op_type.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/op_type.cc.o.d"
+  "/root/repo/src/nn/summary.cc" "src/nn/CMakeFiles/hpim_nn.dir/summary.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/summary.cc.o.d"
+  "/root/repo/src/nn/tensor_shape.cc" "src/nn/CMakeFiles/hpim_nn.dir/tensor_shape.cc.o" "gcc" "src/nn/CMakeFiles/hpim_nn.dir/tensor_shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_nn.dir/builder.cc.o"
+  "CMakeFiles/hpim_nn.dir/builder.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/graph.cc.o"
+  "CMakeFiles/hpim_nn.dir/graph.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/models.cc.o"
+  "CMakeFiles/hpim_nn.dir/models.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/op_cost.cc.o"
+  "CMakeFiles/hpim_nn.dir/op_cost.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/op_type.cc.o"
+  "CMakeFiles/hpim_nn.dir/op_type.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/summary.cc.o"
+  "CMakeFiles/hpim_nn.dir/summary.cc.o.d"
+  "CMakeFiles/hpim_nn.dir/tensor_shape.cc.o"
+  "CMakeFiles/hpim_nn.dir/tensor_shape.cc.o.d"
+  "libhpim_nn.a"
+  "libhpim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

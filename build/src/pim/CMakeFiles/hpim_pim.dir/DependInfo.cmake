@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/placement.cc" "src/pim/CMakeFiles/hpim_pim.dir/placement.cc.o" "gcc" "src/pim/CMakeFiles/hpim_pim.dir/placement.cc.o.d"
+  "/root/repo/src/pim/progr_pim.cc" "src/pim/CMakeFiles/hpim_pim.dir/progr_pim.cc.o" "gcc" "src/pim/CMakeFiles/hpim_pim.dir/progr_pim.cc.o.d"
+  "/root/repo/src/pim/status_registers.cc" "src/pim/CMakeFiles/hpim_pim.dir/status_registers.cc.o" "gcc" "src/pim/CMakeFiles/hpim_pim.dir/status_registers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_pim.dir/placement.cc.o"
+  "CMakeFiles/hpim_pim.dir/placement.cc.o.d"
+  "CMakeFiles/hpim_pim.dir/progr_pim.cc.o"
+  "CMakeFiles/hpim_pim.dir/progr_pim.cc.o.d"
+  "CMakeFiles/hpim_pim.dir/status_registers.cc.o"
+  "CMakeFiles/hpim_pim.dir/status_registers.cc.o.d"
+  "libhpim_pim.a"
+  "libhpim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

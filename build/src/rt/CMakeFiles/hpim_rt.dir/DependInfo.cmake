@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/executor.cc" "src/rt/CMakeFiles/hpim_rt.dir/executor.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/executor.cc.o.d"
+  "/root/repo/src/rt/hetero_runtime.cc" "src/rt/CMakeFiles/hpim_rt.dir/hetero_runtime.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/hetero_runtime.cc.o.d"
+  "/root/repo/src/rt/offload_selector.cc" "src/rt/CMakeFiles/hpim_rt.dir/offload_selector.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/offload_selector.cc.o.d"
+  "/root/repo/src/rt/profiler.cc" "src/rt/CMakeFiles/hpim_rt.dir/profiler.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/profiler.cc.o.d"
+  "/root/repo/src/rt/schedule_trace.cc" "src/rt/CMakeFiles/hpim_rt.dir/schedule_trace.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/schedule_trace.cc.o.d"
+  "/root/repo/src/rt/schedule_validator.cc" "src/rt/CMakeFiles/hpim_rt.dir/schedule_validator.cc.o" "gcc" "src/rt/CMakeFiles/hpim_rt.dir/schedule_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/hpim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hpim_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

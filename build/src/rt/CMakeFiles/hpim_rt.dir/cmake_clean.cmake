@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_rt.dir/executor.cc.o"
+  "CMakeFiles/hpim_rt.dir/executor.cc.o.d"
+  "CMakeFiles/hpim_rt.dir/hetero_runtime.cc.o"
+  "CMakeFiles/hpim_rt.dir/hetero_runtime.cc.o.d"
+  "CMakeFiles/hpim_rt.dir/offload_selector.cc.o"
+  "CMakeFiles/hpim_rt.dir/offload_selector.cc.o.d"
+  "CMakeFiles/hpim_rt.dir/profiler.cc.o"
+  "CMakeFiles/hpim_rt.dir/profiler.cc.o.d"
+  "CMakeFiles/hpim_rt.dir/schedule_trace.cc.o"
+  "CMakeFiles/hpim_rt.dir/schedule_trace.cc.o.d"
+  "CMakeFiles/hpim_rt.dir/schedule_validator.cc.o"
+  "CMakeFiles/hpim_rt.dir/schedule_validator.cc.o.d"
+  "libhpim_rt.a"
+  "libhpim_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpim_sim.dir/config.cc.o"
+  "CMakeFiles/hpim_sim.dir/config.cc.o.d"
+  "CMakeFiles/hpim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hpim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hpim_sim.dir/logging.cc.o"
+  "CMakeFiles/hpim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/hpim_sim.dir/rng.cc.o"
+  "CMakeFiles/hpim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/hpim_sim.dir/stats.cc.o"
+  "CMakeFiles/hpim_sim.dir/stats.cc.o.d"
+  "libhpim_sim.a"
+  "libhpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

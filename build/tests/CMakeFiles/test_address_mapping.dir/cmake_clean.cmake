@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_mapping.dir/test_address_mapping.cpp.o"
+  "CMakeFiles/test_address_mapping.dir/test_address_mapping.cpp.o.d"
+  "test_address_mapping"
+  "test_address_mapping.pdb"
+  "test_address_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area_power.dir/test_area_power.cpp.o"
+  "CMakeFiles/test_area_power.dir/test_area_power.cpp.o.d"
+  "test_area_power"
+  "test_area_power.pdb"
+  "test_area_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hpim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hpim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/hpim_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cl/CMakeFiles/hpim_cl.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hpim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/hpim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hpim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hpim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cl_device.dir/test_cl_device.cpp.o"
+  "CMakeFiles/test_cl_device.dir/test_cl_device.cpp.o.d"
+  "test_cl_device"
+  "test_cl_device.pdb"
+  "test_cl_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cl_kernel.dir/test_cl_kernel.cpp.o"
+  "CMakeFiles/test_cl_kernel.dir/test_cl_kernel.cpp.o.d"
+  "test_cl_kernel"
+  "test_cl_kernel.pdb"
+  "test_cl_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cl_kernel.
+# This may be replaced when dependencies are built.

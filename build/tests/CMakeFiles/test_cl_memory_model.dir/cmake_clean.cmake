@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cl_memory_model.dir/test_cl_memory_model.cpp.o"
+  "CMakeFiles/test_cl_memory_model.dir/test_cl_memory_model.cpp.o.d"
+  "test_cl_memory_model"
+  "test_cl_memory_model.pdb"
+  "test_cl_memory_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cl_memory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

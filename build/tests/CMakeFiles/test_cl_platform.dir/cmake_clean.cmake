@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cl_platform.dir/test_cl_platform.cpp.o"
+  "CMakeFiles/test_cl_platform.dir/test_cl_platform.cpp.o.d"
+  "test_cl_platform"
+  "test_cl_platform.pdb"
+  "test_cl_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cl_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

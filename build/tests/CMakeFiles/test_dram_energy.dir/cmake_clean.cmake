@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_energy.dir/test_dram_energy.cpp.o"
+  "CMakeFiles/test_dram_energy.dir/test_dram_energy.cpp.o.d"
+  "test_dram_energy"
+  "test_dram_energy.pdb"
+  "test_dram_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_results.dir/test_golden_results.cpp.o"
+  "CMakeFiles/test_golden_results.dir/test_golden_results.cpp.o.d"
+  "test_golden_results"
+  "test_golden_results.pdb"
+  "test_golden_results[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

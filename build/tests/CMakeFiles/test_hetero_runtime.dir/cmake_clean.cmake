@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_runtime.dir/test_hetero_runtime.cpp.o"
+  "CMakeFiles/test_hetero_runtime.dir/test_hetero_runtime.cpp.o.d"
+  "test_hetero_runtime"
+  "test_hetero_runtime.pdb"
+  "test_hetero_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmc_stack.dir/test_hmc_stack.cpp.o"
+  "CMakeFiles/test_hmc_stack.dir/test_hmc_stack.cpp.o.d"
+  "test_hmc_stack"
+  "test_hmc_stack.pdb"
+  "test_hmc_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmc_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

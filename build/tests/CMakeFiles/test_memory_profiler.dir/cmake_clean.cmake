@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_profiler.dir/test_memory_profiler.cpp.o"
+  "CMakeFiles/test_memory_profiler.dir/test_memory_profiler.cpp.o.d"
+  "test_memory_profiler"
+  "test_memory_profiler.pdb"
+  "test_memory_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

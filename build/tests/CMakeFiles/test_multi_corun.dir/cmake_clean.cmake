@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_corun.dir/test_multi_corun.cpp.o"
+  "CMakeFiles/test_multi_corun.dir/test_multi_corun.cpp.o.d"
+  "test_multi_corun"
+  "test_multi_corun.pdb"
+  "test_multi_corun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offload_selector.dir/test_offload_selector.cpp.o"
+  "CMakeFiles/test_offload_selector.dir/test_offload_selector.cpp.o.d"
+  "test_offload_selector"
+  "test_offload_selector.pdb"
+  "test_offload_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offload_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_cost.dir/test_op_cost.cpp.o"
+  "CMakeFiles/test_op_cost.dir/test_op_cost.cpp.o.d"
+  "test_op_cost"
+  "test_op_cost.pdb"
+  "test_op_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_params.dir/test_pim_params.cpp.o"
+  "CMakeFiles/test_pim_params.dir/test_pim_params.cpp.o.d"
+  "test_pim_params"
+  "test_pim_params.pdb"
+  "test_pim_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

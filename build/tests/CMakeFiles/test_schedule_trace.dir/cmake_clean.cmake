@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_trace.dir/test_schedule_trace.cpp.o"
+  "CMakeFiles/test_schedule_trace.dir/test_schedule_trace.cpp.o.d"
+  "test_schedule_trace"
+  "test_schedule_trace.pdb"
+  "test_schedule_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

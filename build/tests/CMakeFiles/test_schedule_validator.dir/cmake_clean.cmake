@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_validator.dir/test_schedule_validator.cpp.o"
+  "CMakeFiles/test_schedule_validator.dir/test_schedule_validator.cpp.o.d"
+  "test_schedule_validator"
+  "test_schedule_validator.pdb"
+  "test_schedule_validator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

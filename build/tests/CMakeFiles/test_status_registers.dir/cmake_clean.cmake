@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_registers.dir/test_status_registers.cpp.o"
+  "CMakeFiles/test_status_registers.dir/test_status_registers.cpp.o.d"
+  "test_status_registers"
+  "test_status_registers.pdb"
+  "test_status_registers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

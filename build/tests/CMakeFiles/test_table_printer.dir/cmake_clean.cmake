@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_printer.dir/test_table_printer.cpp.o"
+  "CMakeFiles/test_table_printer.dir/test_table_printer.cpp.o.d"
+  "test_table_printer"
+  "test_table_printer.pdb"
+  "test_table_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_shape.dir/test_tensor_shape.cpp.o"
+  "CMakeFiles/test_tensor_shape.dir/test_tensor_shape.cpp.o.d"
+  "test_tensor_shape"
+  "test_tensor_shape.pdb"
+  "test_tensor_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vault_controller.dir/test_vault_controller.cpp.o"
+  "CMakeFiles/test_vault_controller.dir/test_vault_controller.cpp.o.d"
+  "test_vault_controller"
+  "test_vault_controller.pdb"
+  "test_vault_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vault_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
