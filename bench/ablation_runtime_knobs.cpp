@@ -13,33 +13,40 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/hetero_runtime.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmt;
 
-    nn::Graph vgg = nn::buildVgg19();
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
 
     harness::banner(std::cout,
                     "Ablation 1: offload coverage target x "
                     "(paper: x = 90)");
+    const std::vector<double> coverages = {30.0, 50.0, 70.0, 90.0,
+                                           99.0};
+    auto coverage_results = runner.map(
+        coverages.size(), [&coverages](std::size_t i, sim::Rng &) {
+            auto config =
+                baseline::makeConfig(baseline::SystemKind::HeteroPim);
+            config.offloadCoveragePct = coverages[i];
+            config.steps = 3;
+            rt::HeteroRuntime runtime(config);
+            return runtime.train(nn::buildVgg19());
+        });
     harness::TablePrinter coverage({"x (%)", "candidates",
                                     "VGG-19 step (ms)",
                                     "energy (J/step)"});
-    for (double x : {30.0, 50.0, 70.0, 90.0, 99.0}) {
-        auto config =
-            baseline::makeConfig(baseline::SystemKind::HeteroPim);
-        config.offloadCoveragePct = x;
-        config.steps = 3;
-        rt::HeteroRuntime runtime(config);
-        auto result = runtime.train(vgg);
+    for (std::size_t i = 0; i < coverages.size(); ++i) {
+        const auto &result = coverage_results[i];
         coverage.addRow(
-            {fmt(x, 0),
+            {fmt(coverages[i], 0),
              std::to_string(result.selection.candidates.size()),
              fmt(result.execution.stepSec * 1e3, 1),
              fmt(result.execution.energyPerStepJ, 1)});
@@ -49,15 +56,21 @@ main()
     harness::banner(std::cout,
                     "Ablation 2: host-driven feed depth without RC "
                     "(units a complex op can hold)");
+    const std::vector<std::uint32_t> depths = {16, 48, 96, 192, 444};
+    auto feed_results = runner.map(
+        depths.size(), [&depths](std::size_t i, sim::Rng &) {
+            auto config = baseline::makeHetero(true, false, true);
+            config.hostDrivenMaxUnits = depths[i];
+            config.steps = 3;
+            rt::HeteroRuntime runtime(config);
+            return runtime.train(nn::buildVgg19()).execution;
+        });
     harness::TablePrinter feed({"max units", "VGG-19 step (ms)",
                                 "fixed util"});
-    for (std::uint32_t units : {16u, 48u, 96u, 192u, 444u}) {
-        auto config = baseline::makeHetero(true, false, true);
-        config.hostDrivenMaxUnits = units;
-        config.steps = 3;
-        rt::HeteroRuntime runtime(config);
-        auto rep = runtime.train(vgg).execution;
-        feed.addRow({std::to_string(units), fmt(rep.stepSec * 1e3, 1),
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        const auto &rep = feed_results[i];
+        feed.addRow({std::to_string(depths[i]),
+                     fmt(rep.stepSec * 1e3, 1),
                      harness::fmtPct(rep.fixedUtilization * 100.0)});
     }
     feed.print(std::cout);
@@ -65,23 +78,27 @@ main()
     harness::banner(std::cout,
                     "Ablation 3: in-bank operand reuse "
                     "(flops per DRAM byte) at 4x frequency");
+    // Point 0 is the 1x-frequency reference the speedups divide by.
+    const std::vector<double> reuses = {10.0, 25.0, 45.0, 90.0};
+    auto reuse_results = runner.map(
+        reuses.size() + 1, [&reuses](std::size_t i, sim::Rng &) {
+            auto config = baseline::makeConfig(
+                baseline::SystemKind::HeteroPim, i == 0 ? 1.0 : 4.0);
+            if (i > 0)
+                config.fixedOperandReuse = reuses[i - 1];
+            config.steps = 3;
+            rt::HeteroRuntime runtime(config);
+            return runtime.train(nn::buildVgg19()).execution.stepSec;
+        });
+    double base = reuse_results[0];
     harness::TablePrinter reuse({"reuse (flop/B)", "VGG-19 step (ms)",
                                  "speedup vs 1x-frequency"});
-    auto base_config =
-        baseline::makeConfig(baseline::SystemKind::HeteroPim);
-    base_config.steps = 3;
-    double base =
-        rt::HeteroRuntime(base_config).train(vgg).execution.stepSec;
-    for (double r : {10.0, 25.0, 45.0, 90.0}) {
-        auto config =
-            baseline::makeConfig(baseline::SystemKind::HeteroPim, 4.0);
-        config.fixedOperandReuse = r;
-        config.steps = 3;
-        rt::HeteroRuntime runtime(config);
-        auto rep = runtime.train(vgg).execution;
-        reuse.addRow({fmt(r, 0), fmt(rep.stepSec * 1e3, 1),
-                      harness::fmtRatio(base / rep.stepSec)});
+    for (std::size_t i = 0; i < reuses.size(); ++i) {
+        double step = reuse_results[i + 1];
+        reuse.addRow({fmt(reuses[i], 0), fmt(step * 1e3, 1),
+                      harness::fmtRatio(base / step)});
     }
     reuse.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "model/area_power.hh"
 #include "model/thermal.hh"
@@ -15,7 +16,7 @@
 #include "pim/placement.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmt;
@@ -25,12 +26,20 @@ main()
 
     harness::banner(std::cout,
                     "Logic-die design space: fixed units vs ARM cores");
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    const std::vector<std::uint32_t> core_counts = {1, 2, 4, 8, 16};
+    auto design_points = runner.map(
+        core_counts.size(),
+        [&](std::size_t i, sim::Rng &) {
+            return model::exploreDesign(budget, costs, core_counts[i]);
+        });
+
     harness::TablePrinter dse({"ARM cores", "fixed units",
                                "area (mm^2)", "peak power (W)",
                                "feasible"});
-    for (std::uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
-        auto point = model::exploreDesign(budget, costs, cores);
-        dse.addRow({std::to_string(cores),
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+        const auto &point = design_points[i];
+        dse.addRow({std::to_string(core_counts[i]),
                     std::to_string(point.fixedUnits),
                     fmt(point.areaUsedMm2, 2),
                     fmt(point.peakPowerW, 2),
@@ -46,9 +55,14 @@ main()
     auto biased = pim::placeUnits(grid, fixed.totalUnits, 0.35);
     auto uniform = pim::placeUnits(grid, fixed.totalUnits, 0.0);
 
-    auto biased_t = model::solveThermal(grid, biased, fixed.unitPowerW());
-    auto uniform_t =
-        model::solveThermal(grid, uniform, fixed.unitPowerW());
+    // The two thermal solves are independent -- run them on the pool.
+    auto thermals = runner.map(
+        2, [&](std::size_t i, sim::Rng &) {
+            return model::solveThermal(grid, i == 0 ? biased : uniform,
+                                       fixed.unitPowerW());
+        });
+    const auto &biased_t = thermals[0];
+    const auto &uniform_t = thermals[1];
 
     harness::TablePrinter thermal({"placement", "min units/bank",
                                    "max units/bank", "peak temp (C)",
@@ -72,5 +86,6 @@ main()
         }
         std::cout << '\n';
     }
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -9,11 +9,12 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -28,9 +29,21 @@ main()
         {"model", "Neurocube step (ms)", "Hetero step (ms)",
          "perf ratio [>=3x]", "energy ratio [>=3x]"});
 
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
     for (nn::ModelId model : nn::cnnModels()) {
-        auto neuro = baseline::runSystem(SystemKind::Neurocube, model);
-        auto hetero = baseline::runSystem(SystemKind::HeteroPim, model);
+        points.push_back(
+            {.kind = SystemKind::Neurocube, .model = model});
+        points.push_back(
+            {.kind = SystemKind::HeteroPim, .model = model});
+    }
+    auto reports = runner.run(points);
+
+    auto models = nn::cnnModels();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const auto &neuro = reports[2 * m];
+        const auto &hetero = reports[2 * m + 1];
         table.addRow({nn::modelName(model),
                       fmt(neuro.stepSec * 1e3, 1),
                       fmt(hetero.stepSec * 1e3, 1),
@@ -39,5 +52,6 @@ main()
                                / hetero.energyPerStepJ)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -10,11 +10,12 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -28,11 +29,27 @@ main()
         {"model", "freq", "step (ms)", "op (ms)", "data mv (ms)",
          "sync (ms)", "GPU/Hetero"});
 
+    const std::vector<double> scales = {1.0, 2.0, 4.0};
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
     for (nn::ModelId model : nn::cnnModels()) {
-        auto gpu = baseline::runSystem(SystemKind::Gpu, model);
-        for (double scale : {1.0, 2.0, 4.0}) {
-            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
-                                           4, scale);
+        points.push_back({.kind = SystemKind::Gpu, .model = model});
+        for (double scale : scales) {
+            points.push_back({.kind = SystemKind::HeteroPim,
+                              .model = model,
+                              .freqScale = scale});
+        }
+    }
+    auto reports = runner.run(points);
+
+    auto models = nn::cnnModels();
+    const std::size_t stride = 1 + scales.size();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const auto &gpu = reports[m * stride];
+        for (std::size_t s = 0; s < scales.size(); ++s) {
+            double scale = scales[s];
+            const auto &rep = reports[m * stride + 1 + s];
             table.addRow({nn::modelName(model),
                           fmt(scale, 0) + "x",
                           fmt(rep.stepSec * 1e3, 1),
@@ -45,5 +62,6 @@ main()
     table.print(std::cout);
     std::cout << "(paper: 2x -> +36%/+17% vs GPU for VGG-19/AlexNet; "
                  "4x -> +37%/+60%)\n";
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

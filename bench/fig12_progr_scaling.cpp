@@ -10,11 +10,12 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -27,13 +28,27 @@ main()
     harness::TablePrinter table({"model", "config", "fixed units",
                                  "step (ms)", "vs 1P"});
 
+    const std::vector<std::uint32_t> pim_counts = {1, 4, 16};
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
     for (nn::ModelId model : nn::cnnModels()) {
+        for (std::uint32_t pims : pim_counts) {
+            points.push_back({.kind = SystemKind::HeteroPim,
+                              .model = model,
+                              .progrPims = pims});
+        }
+    }
+    auto reports = runner.run(points);
+
+    auto models = nn::cnnModels();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
         double base = 0.0;
-        for (std::uint32_t pims : {1u, 4u, 16u}) {
+        for (std::size_t p = 0; p < pim_counts.size(); ++p) {
+            std::uint32_t pims = pim_counts[p];
             auto config =
                 baseline::makeConfig(SystemKind::HeteroPim, 1.0, pims);
-            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
-                                           4, 1.0, pims);
+            const auto &rep = reports[m * pim_counts.size() + p];
             if (pims == 1)
                 base = rep.stepSec;
             table.addRow(
@@ -46,5 +61,6 @@ main()
     }
     table.print(std::cout);
     std::cout << "(paper: 16P vs 1P differs by 12%-14%)\n";
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

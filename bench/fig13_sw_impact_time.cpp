@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/hetero_runtime.hh"
@@ -25,10 +26,31 @@ runHetero(bool sched, bool rc, bool op, hpim::nn::ModelId model)
     return runtime.train(hpim::nn::buildModel(model)).execution;
 }
 
+/** The six columns of Figs. 13/14, in table order. */
+hpim::rt::ExecutionReport
+runVariant(hpim::nn::ModelId model, std::size_t variant)
+{
+    using hpim::baseline::SystemKind;
+    switch (variant) {
+      case 0:
+        return hpim::baseline::runSystem(SystemKind::ProgrPimOnly,
+                                         model);
+      case 1:
+        return hpim::baseline::runSystem(SystemKind::FixedPimOnly,
+                                         model);
+      case 2: return runHetero(true, false, false, model);
+      case 3: return runHetero(true, true, false, model);
+      case 4: return runHetero(true, false, true, model);
+      default: return runHetero(true, true, true, model);
+    }
+}
+
+constexpr std::size_t numVariants = 6;
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -43,15 +65,24 @@ main()
          "Hetero +RC", "Hetero +OP", "Hetero +RC+OP",
          "Fixed/no-RC-OP [1.07-1.3x]", "no-RC-OP/full [<=3.8x]"});
 
-    for (nn::ModelId model : nn::cnnModels()) {
-        auto progr =
-            baseline::runSystem(SystemKind::ProgrPimOnly, model);
-        auto fixed =
-            baseline::runSystem(SystemKind::FixedPimOnly, model);
-        auto none = runHetero(true, false, false, model);
-        auto rc = runHetero(true, true, false, model);
-        auto op = runHetero(true, false, true, model);
-        auto both = runHetero(true, true, true, model);
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto models = nn::cnnModels();
+    auto reports = runner.map(
+        models.size() * numVariants,
+        [&models](std::size_t i, sim::Rng &) {
+            return runVariant(models[i / numVariants],
+                              i % numVariants);
+        });
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const auto *row = &reports[m * numVariants];
+        const auto &progr = row[0];
+        const auto &fixed = row[1];
+        const auto &none = row[2];
+        const auto &rc = row[3];
+        const auto &op = row[4];
+        const auto &both = row[5];
         table.addRow({nn::modelName(model),
                       fmt(progr.stepSec * 1e3, 1),
                       fmt(fixed.stepSec * 1e3, 1),
@@ -63,5 +94,6 @@ main()
                       fmtRatio(none.stepSec / both.stepSec)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

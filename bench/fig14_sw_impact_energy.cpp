@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/hetero_runtime.hh"
@@ -24,10 +25,31 @@ runHetero(bool rc, bool op, hpim::nn::ModelId model)
     return runtime.train(hpim::nn::buildModel(model)).execution;
 }
 
+/** The six columns of Fig. 14, in table order. */
+hpim::rt::ExecutionReport
+runVariant(hpim::nn::ModelId model, std::size_t variant)
+{
+    using hpim::baseline::SystemKind;
+    switch (variant) {
+      case 0:
+        return hpim::baseline::runSystem(SystemKind::ProgrPimOnly,
+                                         model);
+      case 1:
+        return hpim::baseline::runSystem(SystemKind::FixedPimOnly,
+                                         model);
+      case 2: return runHetero(false, false, model);
+      case 3: return runHetero(true, false, model);
+      case 4: return runHetero(false, true, model);
+      default: return runHetero(true, true, model);
+    }
+}
+
+constexpr std::size_t numVariants = 6;
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -41,15 +63,24 @@ main()
          "Hetero +RC", "Hetero +OP", "Hetero +RC+OP",
          "no-RC-OP/full [<=3.9x]"});
 
-    for (nn::ModelId model : nn::cnnModels()) {
-        auto progr =
-            baseline::runSystem(SystemKind::ProgrPimOnly, model);
-        auto fixed =
-            baseline::runSystem(SystemKind::FixedPimOnly, model);
-        auto none = runHetero(false, false, model);
-        auto rc = runHetero(true, false, model);
-        auto op = runHetero(false, true, model);
-        auto both = runHetero(true, true, model);
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto models = nn::cnnModels();
+    auto reports = runner.map(
+        models.size() * numVariants,
+        [&models](std::size_t i, sim::Rng &) {
+            return runVariant(models[i / numVariants],
+                              i % numVariants);
+        });
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const auto *row = &reports[m * numVariants];
+        const auto &progr = row[0];
+        const auto &fixed = row[1];
+        const auto &none = row[2];
+        const auto &rc = row[3];
+        const auto &op = row[4];
+        const auto &both = row[5];
         double base = both.energyPerStepJ;
         table.addRow({nn::modelName(model),
                       fmtRatio(progr.energyPerStepJ / base),
@@ -60,5 +91,6 @@ main()
                       fmtRatio(none.energyPerStepJ / base)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

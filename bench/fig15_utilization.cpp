@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/hetero_runtime.hh"
@@ -25,10 +26,14 @@ utilization(bool rc, bool op, hpim::nn::ModelId model)
         .execution.fixedUtilization;
 }
 
+/** RC/OP flag combos in table-column order. */
+constexpr bool flagCombos[4][2] = {
+    {false, false}, {true, false}, {false, true}, {true, true}};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmtPct;
@@ -36,17 +41,28 @@ main()
     harness::banner(std::cout,
                     "Fig. 15: fixed-PIM utilization w/ and w/o RC & OP");
 
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto models = nn::cnnModels();
+    auto utils =
+        runner.map(models.size() * 4,
+                   [&models](std::size_t i, sim::Rng &) {
+                       const bool *flags = flagCombos[i % 4];
+                       return utilization(flags[0], flags[1],
+                                          models[i / 4]);
+                   });
+
     harness::TablePrinter table({"model", "no RC/OP", "+RC", "+OP",
                                  "+RC+OP [~100%]"});
-    for (nn::ModelId model : nn::cnnModels()) {
-        table.addRow({nn::modelName(model),
-                      fmtPct(100 * utilization(false, false, model)),
-                      fmtPct(100 * utilization(true, false, model)),
-                      fmtPct(100 * utilization(false, true, model)),
-                      fmtPct(100 * utilization(true, true, model))});
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        table.addRow({nn::modelName(models[m]),
+                      fmtPct(100 * utils[m * 4 + 0]),
+                      fmtPct(100 * utils[m * 4 + 1]),
+                      fmtPct(100 * utils[m * 4 + 2]),
+                      fmtPct(100 * utils[m * 4 + 3])});
     }
     table.print(std::cout);
     std::cout << "(paper: RC adds up to +66% on VGG-19, OP up to +18% "
                  "on AlexNet, RC+OP ~100%)\n";
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -9,12 +9,13 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/hetero_runtime.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmt;
@@ -33,25 +34,40 @@ main()
         {nn::ModelId::InceptionV3, nn::ModelId::Word2vec},
     };
 
-    auto config = baseline::makeConfig(baseline::SystemKind::HeteroPim);
-    config.steps = 4;
-    rt::HeteroRuntime runtime(config);
+    struct CorunResult
+    {
+        double sequentialSec;
+        double corunSec;
+    };
+
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto results = runner.map(
+        pairs.size(), [&pairs](std::size_t i, sim::Rng &) {
+            auto config =
+                baseline::makeConfig(baseline::SystemKind::HeteroPim);
+            config.steps = 4;
+            rt::HeteroRuntime runtime(config);
+            nn::Graph primary = nn::buildModel(pairs[i].first);
+            nn::Graph secondary = nn::buildModel(pairs[i].second);
+            auto seq = runtime.corunSequential(primary, secondary);
+            auto co = runtime.corun(primary, secondary);
+            return CorunResult{seq.execution.makespanSec,
+                               co.execution.makespanSec};
+        });
 
     harness::TablePrinter table({"co-run pair", "sequential (ms)",
                                  "co-run (ms)", "improvement"});
-    for (auto [cnn, guest] : pairs) {
-        nn::Graph primary = nn::buildModel(cnn);
-        nn::Graph secondary = nn::buildModel(guest);
-        auto seq = runtime.corunSequential(primary, secondary);
-        auto co = runtime.corun(primary, secondary);
-        double improvement = (seq.execution.makespanSec
-                              - co.execution.makespanSec)
-                             / co.execution.makespanSec;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        auto [cnn, guest] = pairs[i];
+        const CorunResult &r = results[i];
+        double improvement =
+            (r.sequentialSec - r.corunSec) / r.corunSec;
         table.addRow({nn::modelName(cnn) + " + " + nn::modelName(guest),
-                      fmt(seq.execution.makespanSec * 1e3, 1),
-                      fmt(co.execution.makespanSec * 1e3, 1),
+                      fmt(r.sequentialSec * 1e3, 1),
+                      fmt(r.corunSec * 1e3, 1),
                       fmtPct(100.0 * improvement)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

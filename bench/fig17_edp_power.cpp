@@ -10,32 +10,45 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
     using harness::fmt;
     using harness::fmtRatio;
 
+    // One grid serves both sub-figures: GPU + Hetero at 1x/2x/4x.
+    const std::vector<double> scales = {1.0, 2.0, 4.0};
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
+    for (nn::ModelId model : nn::cnnModels()) {
+        points.push_back({.kind = SystemKind::Gpu, .model = model});
+        for (double scale : scales) {
+            points.push_back({.kind = SystemKind::HeteroPim,
+                              .model = model,
+                              .freqScale = scale});
+        }
+    }
+    auto reports = runner.run(points);
+    auto models = nn::cnnModels();
+    const std::size_t stride = 1 + scales.size();
+
     harness::banner(std::cout,
                     "Fig. 17(a): EDP vs PIM frequency "
                     "(normalized to 1x; lower is better)");
     harness::TablePrinter edp({"model", "1x", "2x", "4x",
                                "best point [paper: 4x]"});
-    for (nn::ModelId model : nn::cnnModels()) {
-        double e1 = 0.0;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
         std::vector<double> values;
-        for (double scale : {1.0, 2.0, 4.0}) {
-            auto rep = baseline::runSystem(SystemKind::HeteroPim, model,
-                                           4, scale);
-            if (scale == 1.0)
-                e1 = rep.edp;
-            values.push_back(rep.edp);
-        }
+        for (std::size_t s = 0; s < scales.size(); ++s)
+            values.push_back(reports[m * stride + 1 + s].edp);
+        double e1 = values[0];
         const char *labels[] = {"1x", "2x", "4x"};
         std::size_t best = 0;
         for (std::size_t i = 1; i < values.size(); ++i) {
@@ -54,13 +67,13 @@ main()
     harness::TablePrinter power(
         {"model", "GPU (W)", "Hetero 1x (W)", "Hetero 2x (W)",
          "Hetero 4x (W)", "GPU / Hetero@4x"});
-    for (nn::ModelId model : nn::cnnModels()) {
-        auto gpu = baseline::runSystem(SystemKind::Gpu, model);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const auto &gpu = reports[m * stride];
         std::vector<double> watts;
-        for (double scale : {1.0, 2.0, 4.0}) {
-            watts.push_back(baseline::runSystem(SystemKind::HeteroPim,
-                                                model, 4, scale)
-                                .averagePowerW);
+        for (std::size_t s = 0; s < scales.size(); ++s) {
+            watts.push_back(
+                reports[m * stride + 1 + s].averagePowerW);
         }
         power.addRow({nn::modelName(model), fmt(gpu.averagePowerW, 1),
                       fmt(watts[0], 1), fmt(watts[1], 1),
@@ -68,5 +81,6 @@ main()
                       fmtRatio(gpu.averagePowerW / watts[2])});
     }
     power.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

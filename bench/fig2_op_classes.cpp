@@ -14,25 +14,31 @@
 #include <iostream>
 
 #include "cpu/cpu_model.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "rt/profiler.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmt;
 
-    cpu::CpuModel cpu;
-    rt::Profiler profiler(cpu);
-
     const std::vector<nn::ModelId> models = {
         nn::ModelId::Vgg19, nn::ModelId::AlexNet, nn::ModelId::Dcgan};
 
-    for (nn::ModelId model : models) {
-        nn::Graph graph = nn::buildModel(model);
-        rt::ProfileReport report = profiler.profile(graph);
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto profiles = runner.map(
+        models.size(), [&models](std::size_t i, sim::Rng &) {
+            cpu::CpuModel cpu;
+            rt::Profiler profiler(cpu);
+            return profiler.profile(nn::buildModel(models[i]));
+        });
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        nn::ModelId model = models[m];
+        const rt::ProfileReport &report = profiles[m];
 
         harness::banner(std::cout, "Fig. 2 classes ("
                                        + nn::modelName(model) + ")");
@@ -55,5 +61,6 @@ main()
         }
         table.print(std::cout);
     }
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

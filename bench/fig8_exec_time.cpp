@@ -11,11 +11,12 @@
 #include <map>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -29,15 +30,25 @@ main()
         SystemKind::CpuOnly, SystemKind::Gpu, SystemKind::ProgrPimOnly,
         SystemKind::FixedPimOnly, SystemKind::HeteroPim};
 
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
+    for (nn::ModelId model : nn::cnnModels()) {
+        for (SystemKind kind : systems)
+            points.push_back({.kind = kind, .model = model});
+    }
+    auto reports = runner.run(points);
+
     std::map<nn::ModelId, std::map<SystemKind, rt::ExecutionReport>>
         results;
 
     harness::TablePrinter table(
         {"model", "config", "step (ms)", "op (ms)", "data mv (ms)",
          "sync (ms)", "cpu busy", "progr busy", "fixed util"});
-    for (nn::ModelId model : nn::cnnModels()) {
-        for (SystemKind kind : systems) {
-            auto report = baseline::runSystem(kind, model);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        nn::ModelId model = points[i].model;
+        SystemKind kind = points[i].kind;
+        {
+            const auto &report = reports[i];
             results[model][kind] = report;
             table.addRow(
                 {nn::modelName(model), baseline::systemName(kind),
@@ -69,5 +80,6 @@ main()
              fmtRatio(r[SystemKind::Gpu].stepSec / hetero)});
     }
     ratios.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

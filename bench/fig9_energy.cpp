@@ -10,11 +10,12 @@
 #include <map>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using baseline::SystemKind;
@@ -32,10 +33,19 @@ main()
         {"model", "CPU [3-24x]", "GPU [1.3-5x]", "Progr PIM [highest]",
          "Fixed PIM", "Hetero PIM", "Hetero J/step"});
 
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
+    for (nn::ModelId model : nn::cnnModels()) {
+        for (SystemKind kind : systems)
+            points.push_back({.kind = kind, .model = model});
+    }
+    auto results = runner.run(points);
+
+    std::size_t index = 0;
     for (nn::ModelId model : nn::cnnModels()) {
         std::map<SystemKind, rt::ExecutionReport> reports;
         for (SystemKind kind : systems)
-            reports[kind] = baseline::runSystem(kind, model);
+            reports[kind] = results[index++];
         double hetero = reports[SystemKind::HeteroPim].energyPerStepJ;
         table.addRow(
             {nn::modelName(model),
@@ -49,5 +59,6 @@ main()
              "1.00x", fmt(hetero, 2)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -8,8 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <future>
+#include <vector>
+
 #include "baseline/presets.hh"
 #include "cache/hierarchy.hh"
+#include "harness/sweep.hh"
+#include "harness/thread_pool.hh"
 #include "mem/hmc_stack.hh"
 #include "model/thermal.hh"
 #include "nn/models.hh"
@@ -120,6 +125,49 @@ BM_ScheduledStep_AlexNet(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ScheduledStep_AlexNet);
+
+void
+BM_ThreadPool_Submit(benchmark::State &state)
+{
+    const auto jobs = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        hpim::harness::ThreadPool pool(jobs);
+        std::vector<std::future<int>> futures;
+        futures.reserve(1000);
+        for (int i = 0; i < 1000; ++i)
+            futures.push_back(pool.submit([i] { return i; }));
+        long sum = 0;
+        for (auto &future : futures)
+            sum += future.get();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ThreadPool_Submit)->Arg(0)->Arg(1)->Arg(4);
+
+void
+BM_SweepRunner_AlexNetGrid(benchmark::State &state)
+{
+    using hpim::baseline::SystemKind;
+    hpim::harness::SweepOptions options;
+    options.jobs = static_cast<std::uint32_t>(state.range(0));
+    std::vector<hpim::harness::ExperimentPoint> points;
+    for (SystemKind kind :
+         {SystemKind::CpuOnly, SystemKind::ProgrPimOnly,
+          SystemKind::FixedPimOnly, SystemKind::HeteroPim}) {
+        points.push_back({.kind = kind,
+                          .model = hpim::nn::ModelId::AlexNet,
+                          .steps = 2});
+    }
+    for (auto _ : state) {
+        hpim::harness::SweepRunner runner(options);
+        auto reports = runner.run(points);
+        benchmark::DoNotOptimize(reports.size());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<long>(points.size()));
+}
+BENCHMARK(BM_SweepRunner_AlexNetGrid)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

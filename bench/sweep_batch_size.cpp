@@ -11,61 +11,61 @@
 
 #include "baseline/presets.hh"
 #include "gpu/gpu_model.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
-#include "rt/hetero_runtime.hh"
-
-namespace {
-
-using namespace hpim;
-
-rt::ExecutionReport
-heteroAt(const nn::Graph &graph)
-{
-    auto config = baseline::makeConfig(baseline::SystemKind::HeteroPim);
-    config.steps = 3;
-    rt::HeteroRuntime runtime(config);
-    return runtime.train(graph).execution;
-}
-
-double
-gpuAt(const nn::Graph &graph, nn::ModelId model, int batch)
-{
-    gpu::GpuModel gpu(baseline::gpuParams());
-    double input = baseline::gpuInputBytes(model)
-                   * double(batch)
-                   / double(nn::defaultBatchSize(model));
-    return gpu.runStep(graph, baseline::gpuUtilization(model), input)
-        .totalSec();
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace hpim;
+    using baseline::SystemKind;
     using harness::fmt;
     using harness::fmtRatio;
 
-    for (auto model : {nn::ModelId::ResNet50, nn::ModelId::Vgg19}) {
+    const std::vector<nn::ModelId> models = {nn::ModelId::ResNet50,
+                                             nn::ModelId::Vgg19};
+    const std::vector<int> batches = {8, 16, 32, 64, 128};
+
+    // Two points per (model, batch): the GPU and the Hetero system.
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    std::vector<harness::ExperimentPoint> points;
+    for (auto model : models) {
+        for (int batch : batches) {
+            points.push_back({.kind = SystemKind::Gpu,
+                              .model = model,
+                              .steps = 3,
+                              .batch = batch});
+            points.push_back({.kind = SystemKind::HeteroPim,
+                              .model = model,
+                              .steps = 3,
+                              .batch = batch});
+        }
+    }
+    auto reports = runner.run(points);
+
+    std::size_t index = 0;
+    for (auto model : models) {
         harness::banner(std::cout,
                         "Batch sweep (" + nn::modelName(model)
                             + "): GPU vs Hetero PIM");
         harness::TablePrinter table(
             {"batch", "GPU ws (GB)", "GPU step (ms)",
              "Hetero step (ms)", "GPU/Hetero"});
-        for (int batch : {8, 16, 32, 64, 128}) {
+        for (int batch : batches) {
+            const auto &gpu_rep = reports[index++];
+            const auto &het_rep = reports[index++];
             nn::Graph graph = nn::buildModel(model, batch);
             double ws = gpu::GpuModel::workingSetBytes(graph);
-            double gpu_t = gpuAt(graph, model, batch);
-            double het_t = heteroAt(graph).stepSec;
             table.addRow({std::to_string(batch), fmt(ws / 1e9, 2),
-                          fmt(gpu_t * 1e3, 1), fmt(het_t * 1e3, 1),
-                          fmtRatio(gpu_t / het_t)});
+                          fmt(gpu_rep.stepSec * 1e3, 1),
+                          fmt(het_rep.stepSec * 1e3, 1),
+                          fmtRatio(gpu_rep.stepSec / het_rep.stepSec)});
         }
         table.print(std::cout);
     }
     std::cout << "(the ratio crosses 1.0 where the working set "
                  "outgrows the GPU's 11 GB device memory)\n";
+    harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

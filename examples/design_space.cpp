@@ -6,12 +6,13 @@
  * the thermal envelope, and measure how each design point trains
  * AlexNet.
  *
- *   $ ./examples/design_space
+ *   $ ./examples/design_space [--jobs N]
  */
 
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "model/area_power.hh"
 #include "model/thermal.hh"
@@ -20,7 +21,7 @@
 #include "rt/hetero_runtime.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpim;
     using harness::fmt;
@@ -28,37 +29,54 @@ main()
     model::LogicDieBudget budget;
     model::UnitCosts costs;
 
+    struct DesignRow
+    {
+        model::DesignPoint point;
+        double peakTempC;
+        double stepSec;
+    };
+
+    // Each design point is an independent place + thermal-solve +
+    // simulate pipeline; fan them out on the experiment engine.
+    const std::vector<std::uint32_t> core_counts = {1, 4, 16};
+    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    auto rows = runner.map(
+        core_counts.size(), [&](std::size_t i, sim::Rng &) {
+            std::uint32_t cores = core_counts[i];
+            auto point = model::exploreDesign(budget, costs, cores);
+
+            // Place the units and solve the thermal field.
+            pim::BankGrid grid;
+            auto placement =
+                pim::placeUnits(grid, point.fixedUnits, 0.35);
+            auto thermal = model::solveThermal(grid, placement,
+                                               costs.fixedUnitPowerW);
+
+            // Run the design point: cores/4 programmable PIMs, the
+            // rest of the area as fixed units.
+            auto config = baseline::makeHetero(true, true, true, 1.0,
+                                               std::max(1u, cores / 4));
+            config.fixed.totalUnits = point.fixedUnits;
+            config.steps = 4;
+            rt::HeteroRuntime runtime(config);
+            auto rep = runtime.train(nn::buildAlexNet()).execution;
+            return DesignRow{point, thermal.maxC, rep.stepSec};
+        });
+
     harness::TablePrinter table(
         {"ARM cores", "fixed units", "area mm^2", "peak W",
          "peak temp C", "AlexNet step (ms)"});
-
-    for (std::uint32_t cores : {1u, 4u, 16u}) {
-        auto point = model::exploreDesign(budget, costs, cores);
-
-        // Place the units and solve the thermal field.
-        pim::BankGrid grid;
-        auto placement =
-            pim::placeUnits(grid, point.fixedUnits, 0.35);
-        auto thermal = model::solveThermal(grid, placement,
-                                           costs.fixedUnitPowerW);
-
-        // Run the design point: cores/4 programmable PIMs, the rest
-        // of the area as fixed units.
-        auto config = baseline::makeHetero(true, true, true, 1.0,
-                                           std::max(1u, cores / 4));
-        config.fixed.totalUnits = point.fixedUnits;
-        config.steps = 4;
-        rt::HeteroRuntime runtime(config);
-        auto rep = runtime.train(nn::buildAlexNet()).execution;
-
-        table.addRow({std::to_string(cores),
-                      std::to_string(point.fixedUnits),
-                      fmt(point.areaUsedMm2, 1),
-                      fmt(point.peakPowerW, 2),
-                      fmt(thermal.maxC, 1),
-                      fmt(rep.stepSec * 1e3, 1)});
+    for (std::size_t i = 0; i < core_counts.size(); ++i) {
+        const DesignRow &row = rows[i];
+        table.addRow({std::to_string(core_counts[i]),
+                      std::to_string(row.point.fixedUnits),
+                      fmt(row.point.areaUsedMm2, 1),
+                      fmt(row.point.peakPowerW, 2),
+                      fmt(row.peakTempC, 1),
+                      fmt(row.stepSec * 1e3, 1)});
     }
     table.print(std::cout);
+    harness::printSweepSummary(std::cout, runner.stats());
 
     std::cout << "\nThe paper's conclusion holds: one programmable "
                  "PIM next to the largest feasible fixed-function "

@@ -186,14 +186,19 @@ gpuInputBytes(ModelId model)
 
 hpim::rt::ExecutionReport
 runSystem(SystemKind kind, ModelId model, std::uint32_t steps,
-          double freq_scale, std::uint32_t progr_pims)
+          double freq_scale, std::uint32_t progr_pims, int batch)
 {
-    hpim::nn::Graph graph = hpim::nn::buildModel(model);
+    hpim::nn::Graph graph = hpim::nn::buildModel(model, batch);
 
     if (kind == SystemKind::Gpu) {
         hpim::gpu::GpuModel gpu(gpuParams());
+        double input_bytes = gpuInputBytes(model);
+        if (batch > 0) {
+            input_bytes *= double(batch)
+                           / double(hpim::nn::defaultBatchSize(model));
+        }
         auto step = gpu.runStep(graph, gpuUtilization(model),
-                                gpuInputBytes(model));
+                                input_bytes);
         hpim::rt::ExecutionReport report;
         report.configName = systemName(kind);
         report.workloadName = graph.name();

@@ -76,12 +76,17 @@ double gpuInputBytes(hpim::nn::ModelId model);
  * Run @p model on @p kind for @p steps training steps and produce a
  * uniform report (GPU runs through the analytic GpuModel; all other
  * systems through the heterogeneous executor).
+ *
+ * @param batch minibatch size; 0 uses the model's paper default. The
+ *        GPU input-transfer volume scales with the ratio to that
+ *        default.
  */
 hpim::rt::ExecutionReport runSystem(SystemKind kind,
                                     hpim::nn::ModelId model,
                                     std::uint32_t steps = 4,
                                     double freq_scale = 1.0,
-                                    std::uint32_t progr_pims = 1);
+                                    std::uint32_t progr_pims = 1,
+                                    int batch = 0);
 
 } // namespace hpim::baseline
 

@@ -1,0 +1,126 @@
+#include "harness/sweep.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+
+#include "harness/table_printer.hh"
+#include "sim/logging.hh"
+
+namespace hpim::harness {
+
+namespace {
+
+std::uint32_t
+resolveJobs(std::uint32_t requested)
+{
+    if (requested != 0)
+        return requested;
+    std::uint32_t hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::uint64_t
+parseUint(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    fatal_if(end == text.c_str() || *end != '\0',
+             flag, " expects an unsigned integer, got '", text, "'");
+    return value;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : _options(options), _jobs(resolveJobs(options.jobs))
+{
+    _stats.jobs = _jobs;
+}
+
+std::vector<hpim::rt::ExecutionReport>
+SweepRunner::run(const std::vector<ExperimentPoint> &points)
+{
+    // runSystem is a deterministic analytic simulation, so the
+    // per-point stream is unused here; it exists so stochastic
+    // extensions inherit the same (baseSeed, index) contract.
+    return map(points.size(),
+               [&points](std::size_t i, hpim::sim::Rng &) {
+                   const ExperimentPoint &p = points[i];
+                   return hpim::baseline::runSystem(
+                       p.kind, p.model, p.steps, p.freqScale,
+                       p.progrPims, p.batch);
+               });
+}
+
+double
+SweepRunner::threadCpuSeconds()
+{
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+SweepRunner::accumulateStats(const std::vector<double> &durations,
+                             double wall_sec)
+{
+    _stats.points += durations.size();
+    _stats.wallSec += wall_sec;
+    for (double d : durations)
+        _stats.serialSec += d;
+}
+
+SweepOptions
+parseSweepArgs(int argc, char **argv)
+{
+    SweepOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        auto flagValue = [&](const char *flag) -> bool {
+            std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) != 0)
+                return false;
+            if (arg.size() > n && arg[n] == '=') {
+                value = arg.substr(n + 1);
+                return true;
+            }
+            if (arg.size() == n) {
+                fatal_if(i + 1 >= argc, flag, " needs a value");
+                value = argv[++i];
+                return true;
+            }
+            return false;
+        };
+        if (flagValue("--jobs")) {
+            options.jobs =
+                static_cast<std::uint32_t>(parseUint("--jobs", value));
+        } else if (flagValue("--seed")) {
+            options.baseSeed = parseUint("--seed", value);
+        } else {
+            warn("ignoring unknown argument '", arg,
+                 "' (supported: --jobs N, --seed S)");
+        }
+    }
+    return options;
+}
+
+void
+printSweepSummary(std::ostream &os, const SweepStats &stats)
+{
+    os << "\n[sweep] " << stats.points << " points, " << stats.jobs
+       << (stats.jobs == 1 ? " worker" : " workers") << ": wall "
+       << fmt(stats.wallSec, 2) << " s, serial-equivalent "
+       << fmt(stats.serialSec, 2) << " s, speedup "
+       << fmtRatio(stats.speedup()) << "\n";
+}
+
+} // namespace hpim::harness

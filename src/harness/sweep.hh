@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * The paper's evaluation is a grid of independent trace-driven
+ * simulations (systems x models x frequency/batch sweeps, Figs 8-17).
+ * SweepRunner executes such a grid on a harness::ThreadPool and
+ * returns the reports in submission order regardless of completion
+ * order, so every table a bench prints is identical whatever
+ * `--jobs` says.
+ *
+ * Determinism contract: point i of a sweep runs against its own
+ * sim::Rng stream seeded `Rng::streamSeed(baseSeed, i)`. A point's
+ * result is a function of (point, baseSeed, i) only -- never of the
+ * worker count, worker identity, or completion order -- so a sweep is
+ * bit-identical across `--jobs 1..N` and across reruns with the same
+ * seed. tests/test_sweep_determinism.cpp enforces this contract.
+ */
+
+#ifndef HPIM_HARNESS_SWEEP_HH
+#define HPIM_HARNESS_SWEEP_HH
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <ostream>
+#include <vector>
+
+#include "baseline/presets.hh"
+#include "harness/thread_pool.hh"
+#include "nn/models.hh"
+#include "rt/execution_report.hh"
+#include "sim/rng.hh"
+
+namespace hpim::harness {
+
+/** One independent simulation in a sweep grid. */
+struct ExperimentPoint
+{
+    hpim::baseline::SystemKind kind =
+        hpim::baseline::SystemKind::HeteroPim;
+    hpim::nn::ModelId model = hpim::nn::ModelId::AlexNet;
+    std::uint32_t steps = 4;
+    double freqScale = 1.0;
+    std::uint32_t progrPims = 1;
+    int batch = 0; ///< minibatch size; 0 = the model's default
+};
+
+/** Engine options, usually parsed from argv (parseSweepArgs). */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    std::uint32_t jobs = 0;
+    /** Base seed of the per-point Rng streams. */
+    std::uint64_t baseSeed = hpim::sim::defaultSeed;
+};
+
+/** Wall-clock accounting, cumulative over one runner's sweeps. */
+struct SweepStats
+{
+    std::size_t points = 0;
+    std::uint32_t jobs = 1;
+    double wallSec = 0.0;   ///< elapsed time inside run()/map()
+    /** Sum of per-point thread-CPU times: what a serial run of the
+     *  same points would cost. CPU time (not per-task wall time) so
+     *  preemption on an oversubscribed machine doesn't inflate it. */
+    double serialSec = 0.0;
+
+    /** Estimated speedup over a serial run of the same points. */
+    double
+    speedup() const
+    {
+        return wallSec > 0.0 ? serialSec / wallSec : 1.0;
+    }
+};
+
+/** Runs experiment grids on a worker pool. See file comment. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** Worker count after resolving jobs=0 to the hardware. */
+    std::uint32_t jobs() const { return _jobs; }
+
+    /** Base seed of the per-point streams. */
+    std::uint64_t baseSeed() const { return _options.baseSeed; }
+
+    /**
+     * Simulate every point via baseline::runSystem.
+     * @return reports, index-aligned with @p points
+     */
+    std::vector<hpim::rt::ExecutionReport>
+    run(const std::vector<ExperimentPoint> &points);
+
+    /**
+     * Generic fan-out: evaluate `fn(i, rng)` for i in [0, count) on
+     * the pool, where rng is the point's private stream. @p fn must
+     * not touch shared mutable state; its only inputs should be i and
+     * rng, or the determinism contract is forfeit.
+     *
+     * @return results, index-aligned; a throwing point rethrows here
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0},
+                                   std::declval<hpim::sim::Rng &>()))>
+    {
+        using Result = decltype(fn(std::size_t{0},
+                                   std::declval<hpim::sim::Rng &>()));
+        const auto wall_start = std::chrono::steady_clock::now();
+        std::vector<double> durations(count, 0.0);
+        std::vector<std::future<Result>> futures;
+        futures.reserve(count);
+        {
+            // jobs=1 runs inline on the calling thread: no pool, no
+            // scheduling, the obvious serial reference.
+            ThreadPool pool(_jobs > 1 ? _jobs : 0);
+            for (std::size_t i = 0; i < count; ++i) {
+                futures.push_back(pool.submit([i, &fn, &durations,
+                                               seed = _options.baseSeed] {
+                    const double start = threadCpuSeconds();
+                    hpim::sim::Rng rng(
+                        hpim::sim::Rng::streamSeed(seed, i));
+                    Result result = fn(i, rng);
+                    durations[i] = threadCpuSeconds() - start;
+                    return result;
+                }));
+            }
+        }
+        std::vector<Result> results;
+        results.reserve(count);
+        for (auto &future : futures)
+            results.push_back(future.get()); // submission order
+        accumulateStats(durations, secondsSince(wall_start));
+        return results;
+    }
+
+    /** Cumulative accounting over all run()/map() calls so far. */
+    const SweepStats &stats() const { return _stats; }
+
+  private:
+    static double
+    secondsSince(std::chrono::steady_clock::time_point start)
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    /** CPU seconds consumed by the calling thread so far. */
+    static double threadCpuSeconds();
+
+    void accumulateStats(const std::vector<double> &durations,
+                         double wall_sec);
+
+    SweepOptions _options;
+    std::uint32_t _jobs;
+    SweepStats _stats;
+};
+
+/**
+ * Parse engine flags from a bench/example command line:
+ * `--jobs N` (default hardware_concurrency) and `--seed S`.
+ * Unknown arguments warn and are ignored so every harness binary
+ * still runs bare.
+ */
+SweepOptions parseSweepArgs(int argc, char **argv);
+
+/** Print the `[sweep] N points, J workers, ...` wall-clock footer. */
+void printSweepSummary(std::ostream &os, const SweepStats &stats);
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_SWEEP_HH

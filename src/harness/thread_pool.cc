@@ -1,0 +1,81 @@
+#include "harness/thread_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace hpim::harness {
+
+ThreadPool::ThreadPool(std::uint32_t threads, std::size_t queue_capacity)
+    : _thread_count(threads),
+      _capacity(queue_capacity != 0
+                    ? queue_capacity
+                    : std::max<std::size_t>(std::size_t{4} * threads, 1))
+{
+    _workers.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _not_empty.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        panic_if(_stopping, "submit() on a stopping ThreadPool");
+        _not_full.wait(lock,
+                       [this] { return _queue.size() < _capacity; });
+        _queue.push_back(std::move(task));
+    }
+    _not_empty.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock,
+               [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _not_empty.wait(lock, [this] {
+                return _stopping || !_queue.empty();
+            });
+            // Graceful shutdown: keep draining queued work; only exit
+            // once the queue is empty.
+            if (_queue.empty())
+                return;
+            task = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        _not_full.notify_one();
+        // A packaged_task captures its own exceptions into the future,
+        // so the worker never dies on a throwing task.
+        task();
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+} // namespace hpim::harness

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded task queue.
+ *
+ * The substrate of the parallel experiment engine (harness/sweep):
+ * submit() hands a callable to the pool and returns a std::future for
+ * its result; exceptions thrown inside a task surface at future.get().
+ * The queue is bounded, so a producer enumerating a huge sweep blocks
+ * instead of materializing every closure up front. Destruction is
+ * graceful: every task already submitted still runs to completion.
+ *
+ * A pool constructed with zero threads degrades to inline execution
+ * (submit() runs the task on the calling thread), which keeps
+ * single-threaded runs free of any scheduling nondeterminism and
+ * gives tests a trivial reference behaviour.
+ */
+
+#ifndef HPIM_HARNESS_THREAD_POOL_HH
+#define HPIM_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hpim::harness {
+
+/** Fixed worker pool; see file comment for the contract. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means inline execution
+     * @param queue_capacity bound on queued (not yet running) tasks;
+     *        0 picks 4x the worker count
+     */
+    explicit ThreadPool(std::uint32_t threads,
+                        std::size_t queue_capacity = 0);
+
+    /** Drains all queued work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return worker count (0 = inline mode). */
+    std::uint32_t threadCount() const { return _thread_count; }
+
+    /**
+     * Submit a task. Blocks while the queue is full. The returned
+     * future yields the task's result or rethrows its exception.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        // std::function requires copyable targets; packaged_task is
+        // move-only, so it rides behind a shared_ptr.
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        if (_thread_count == 0)
+            (*task)();
+        else
+            enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::uint32_t _thread_count;
+    std::size_t _capacity;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _not_empty; ///< queue gained work / stop
+    std::condition_variable _not_full;  ///< queue lost work
+    std::condition_variable _idle;      ///< queue empty, workers idle
+    std::deque<std::function<void()>> _queue;
+    std::size_t _active = 0; ///< tasks currently executing
+    bool _stopping = false;
+};
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_THREAD_POOL_HH

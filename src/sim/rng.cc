@@ -26,6 +26,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+Rng::streamSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Offset the base by a golden-ratio multiple of the stream index,
+    // then mix twice; a plain (base + stream) would hand adjacent
+    // points nearly-identical splitmix64 trajectories.
+    std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    std::uint64_t mixed = splitmix64(s);
+    return splitmix64(s) ^ rotl(mixed, 23);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;

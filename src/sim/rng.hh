@@ -13,11 +13,26 @@
 
 namespace hpim::sim {
 
+/** Default base seed shared by the simulator and the sweep engine. */
+constexpr std::uint64_t defaultSeed = 0x9e3779b97f4a7c15ULL;
+
 /** xoshiro256** generator seeded via splitmix64. */
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+    explicit Rng(std::uint64_t seed = defaultSeed);
+
+    /**
+     * Seed of independent stream @p stream under @p base.
+     *
+     * Decorrelates neighbouring stream indices through two splitmix64
+     * rounds, so `Rng(streamSeed(base, i))` gives every experiment
+     * point its own reproducible sequence that depends only on
+     * (base, i) -- never on which worker thread runs the point or in
+     * what order points complete.
+     */
+    static std::uint64_t streamSeed(std::uint64_t base,
+                                    std::uint64_t stream);
 
     /** @return next raw 64-bit value. */
     std::uint64_t next();

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Property/fuzz test of the executor and schedule validator: ~200
+ * random (graph, config) points -- random DAG shapes, op mixes and
+ * batch sizes crossed with random SystemConfigs (pipeline window,
+ * PIM counts, pimManaged guests) -- must all produce schedules with
+ * zero validator violations and reports whose invariants hold
+ * (non-negative times/energy, device busy time <= makespan).
+ *
+ * Each point draws from its own sim::Rng stream
+ * (Rng::streamSeed(base, i)), so a failure reproduces from the
+ * printed point index alone. The points execute on the sweep engine,
+ * which also exercises the thread pool under the sanitizer jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "nn/graph.hh"
+#include "nn/op_cost.hh"
+#include "rt/executor.hh"
+#include "rt/schedule_validator.hh"
+#include "rt/system_config.hh"
+
+using namespace hpim;
+using nn::OpType;
+
+namespace {
+
+constexpr std::size_t numFuzzPoints = 200;
+constexpr std::uint64_t fuzzBaseSeed = 0xf022ed5eedULL;
+
+/** Append one random op, depending on up to 3 earlier ops. */
+void
+addRandomOp(nn::Graph &graph, sim::Rng &rng, std::uint32_t index,
+            std::int64_t batch)
+{
+    std::vector<nn::OpId> inputs;
+    if (index > 0) {
+        std::set<nn::OpId> chosen;
+        std::uint64_t fanin = rng.below(4);
+        for (std::uint64_t d = 0; d < fanin; ++d)
+            chosen.insert(
+                static_cast<nn::OpId>(rng.below(index)));
+        inputs.assign(chosen.begin(), chosen.end());
+    }
+
+    std::string label = "op" + std::to_string(index);
+    switch (rng.below(10)) {
+      case 0: { // fully fixed-function: matmul
+        std::int64_t m = batch;
+        std::int64_t k = rng.inRange(4, 64);
+        std::int64_t n = rng.inRange(4, 64);
+        graph.add(OpType::MatMul, label, nn::matmulCost(m, k, n),
+                  nn::fixedParallelism(OpType::MatMul, k,
+                                       double(m * n)),
+                  inputs);
+        break;
+      }
+      case 1: { // fully fixed-function: conv
+        nn::TensorShape in{batch, rng.inRange(8, 32),
+                           rng.inRange(8, 32), rng.inRange(1, 16)};
+        std::int64_t k = 1 + 2 * rng.inRange(0, 2); // 1/3/5
+        std::int64_t c_out = rng.inRange(1, 32);
+        graph.add(OpType::Conv2D, label,
+                  nn::conv2dCost(in, k, c_out, 1),
+                  nn::fixedParallelism(OpType::Conv2D, k * k * in.dim(3),
+                                       double(in.dim(1) * in.dim(2)
+                                              * c_out)),
+                  inputs);
+        break;
+      }
+      case 2: { // elementwise fixed-function
+        OpType type = rng.chance(0.5) ? OpType::Mul : OpType::Add;
+        nn::TensorShape shape{batch, rng.inRange(16, 512)};
+        graph.add(type, label, nn::elementwiseCost(type, shape),
+                  nn::fixedParallelism(type, 1, double(shape.elems())),
+                  inputs);
+        break;
+      }
+      case 3: { // recursive-class: matmul gradient
+        std::int64_t m = batch;
+        std::int64_t k = rng.inRange(4, 64);
+        std::int64_t n = rng.inRange(4, 64);
+        OpType type = rng.chance(0.5) ? OpType::MatMulGradWeights
+                                      : OpType::MatMulGradInputs;
+        graph.add(type, label, nn::matmulCost(m, k, n),
+                  nn::fixedParallelism(type, k, double(m * n)),
+                  inputs);
+        break;
+      }
+      case 4: { // recursive-class: conv filter gradient
+        nn::TensorShape in{batch, rng.inRange(8, 16),
+                           rng.inRange(8, 16), rng.inRange(1, 8)};
+        std::int64_t k = 3;
+        std::int64_t c_out = rng.inRange(1, 16);
+        graph.add(OpType::Conv2DBackpropFilter, label,
+                  nn::conv2dBackpropFilterCost(in, k, c_out, 1),
+                  nn::fixedParallelism(OpType::Conv2DBackpropFilter,
+                                       k * k * in.dim(3),
+                                       double(in.dim(1) * in.dim(2))),
+                  inputs);
+        break;
+      }
+      case 5: { // recursive-class: bias gradient
+        nn::TensorShape shape{batch, rng.inRange(8, 32),
+                              rng.inRange(8, 32), rng.inRange(1, 16)};
+        graph.add(OpType::BiasAddGrad, label,
+                  nn::biasAddGradCost(shape, shape.dim(3)),
+                  nn::fixedParallelism(OpType::BiasAddGrad,
+                                       shape.elems()
+                                           / std::max<std::int64_t>(
+                                               shape.dim(3), 1),
+                                       double(shape.dim(3))),
+                  inputs);
+        break;
+      }
+      case 6: { // programmable-only activation
+        OpType type = rng.chance(0.5)
+                          ? OpType::Relu
+                          : (rng.chance(0.5) ? OpType::Tanh
+                                             : OpType::Sigmoid);
+        nn::TensorShape shape{batch, rng.inRange(16, 256)};
+        graph.add(type, label, nn::activationCost(type, shape),
+                  nn::fixedParallelism(type, 1, 0.0), inputs);
+        break;
+      }
+      case 7: { // programmable-only pooling
+        nn::TensorShape in{batch, rng.inRange(8, 32),
+                           rng.inRange(8, 32), rng.inRange(1, 16)};
+        graph.add(OpType::MaxPool, label,
+                  nn::poolCost(OpType::MaxPool, in, 2, 2),
+                  nn::fixedParallelism(OpType::MaxPool, 1, 0.0),
+                  inputs);
+        break;
+      }
+      case 8: { // programmable-only optimizer step
+        graph.add(OpType::ApplyAdam, label,
+                  nn::applyAdamCost(rng.inRange(256, 1 << 16)),
+                  nn::fixedParallelism(OpType::ApplyAdam, 1, 0.0),
+                  inputs);
+        break;
+      }
+      default: { // data movement
+        OpType type = rng.chance(0.5) ? OpType::Slice : OpType::Concat;
+        graph.add(type, label,
+                  nn::dataMovementCost(
+                      double(rng.inRange(1 << 10, 1 << 22))),
+                  nn::fixedParallelism(type, 1, 0.0), inputs);
+        break;
+      }
+    }
+}
+
+nn::Graph
+randomGraph(sim::Rng &rng, const std::string &name)
+{
+    nn::Graph graph(name);
+    std::int64_t batch = 1 << rng.inRange(0, 6); // 1..64
+    auto ops = static_cast<std::uint32_t>(rng.inRange(5, 40));
+    for (std::uint32_t i = 0; i < ops; ++i)
+        addRandomOp(graph, rng, i, batch);
+    return graph;
+}
+
+rt::SystemConfig
+randomConfig(sim::Rng &rng)
+{
+    rt::SystemConfig config;
+    config.name = "fuzz";
+    config.hasFixedPim = rng.chance(0.7);
+    config.hasProgrPim = rng.chance(0.7);
+    config.progrPimCount =
+        config.hasProgrPim
+            ? static_cast<std::uint32_t>(rng.inRange(1, 4))
+            : 1;
+    config.dynamicScheduling = rng.chance(0.5);
+    // RC needs both the programmable PIM (control part) and the
+    // fixed pool (multiply/add part).
+    config.recursiveKernels =
+        config.hasProgrPim && config.hasFixedPim && rng.chance(0.5);
+    config.operationPipeline = rng.chance(0.5);
+    config.pipelineDepth =
+        static_cast<std::uint32_t>(rng.inRange(1, 3));
+    config.fixed.totalUnits =
+        static_cast<std::uint32_t>(rng.inRange(16, 444));
+    config.hostDrivenMaxUnits =
+        static_cast<std::uint32_t>(rng.inRange(8, 192));
+    config.offloadCoveragePct = rng.uniform(30.0, 99.0);
+    config.hostCoordinationFloor = rng.uniform(0.0, 0.75);
+    return config;
+}
+
+struct FuzzOutcome
+{
+    std::size_t point = 0;
+    std::vector<std::string> violations;
+};
+
+/** Run one random (graphs, config) point and collect violations. */
+FuzzOutcome
+fuzzPoint(std::size_t index, sim::Rng &rng)
+{
+    FuzzOutcome outcome;
+    outcome.point = index;
+
+    rt::SystemConfig config = randomConfig(rng);
+    nn::Graph primary =
+        randomGraph(rng, "fuzz" + std::to_string(index));
+
+    std::vector<rt::WorkloadSpec> workloads;
+    rt::WorkloadSpec spec;
+    spec.graph = &primary;
+    spec.steps = static_cast<std::uint32_t>(rng.inRange(1, 3));
+    workloads.push_back(spec);
+
+    // Sometimes co-run a guest, sometimes demoted (pimManaged=false).
+    nn::Graph guest("guest");
+    if (rng.chance(0.3)) {
+        guest = randomGraph(rng, "guest" + std::to_string(index));
+        rt::WorkloadSpec guest_spec;
+        guest_spec.graph = &guest;
+        guest_spec.steps =
+            static_cast<std::uint32_t>(rng.inRange(1, 2));
+        guest_spec.pimManaged = rng.chance(0.5);
+        workloads.push_back(guest_spec);
+    }
+
+    rt::Executor executor(config);
+    rt::ScheduleTrace trace;
+    executor.attachTrace(&trace);
+    rt::ExecutionReport report = executor.run(workloads);
+
+    std::vector<const nn::Graph *> graphs;
+    std::vector<std::uint32_t> steps;
+    for (const auto &workload : workloads) {
+        graphs.push_back(workload.graph);
+        steps.push_back(workload.steps);
+    }
+    auto validation = validateSchedule(trace, graphs, steps, config);
+    for (const auto &violation : validation.violations)
+        outcome.violations.push_back(violation.what);
+
+    // ---- ExecutionReport invariants.
+    auto check = [&outcome](bool ok, const std::string &what) {
+        if (!ok)
+            outcome.violations.push_back("report invariant: " + what);
+    };
+    double makespan = report.makespanSec;
+    double slack = 1e-9 + 1e-6 * makespan;
+    check(makespan > 0.0, "makespan must be positive");
+    check(report.stepSec >= 0.0, "stepSec >= 0");
+    check(report.opSec >= 0.0, "opSec >= 0");
+    check(report.dataMovementSec >= 0.0, "dataMovementSec >= 0");
+    check(report.syncSec >= 0.0, "syncSec >= 0");
+    double parts =
+        report.opSec + report.dataMovementSec + report.syncSec;
+    check(std::abs(parts - report.stepSec) <= slack,
+          "op+dm+sync must equal stepSec");
+    check(report.cpuBusySec <= makespan + slack,
+          "cpuBusySec <= makespan");
+    check(report.progrBusySec
+              <= makespan * config.progrPimCount + slack,
+          "progrBusySec <= makespan x progrPimCount");
+    check(report.fixedUtilization >= 0.0
+              && report.fixedUtilization <= 1.0 + 1e-6,
+          "fixedUtilization in [0, 1]");
+    check(report.cpuEnergyJ >= 0.0, "cpuEnergyJ >= 0");
+    check(report.progrEnergyJ >= 0.0, "progrEnergyJ >= 0");
+    check(report.fixedEnergyJ >= 0.0, "fixedEnergyJ >= 0");
+    check(report.dramEnergyJ >= 0.0, "dramEnergyJ >= 0");
+    check(report.totalEnergyJ >= 0.0, "totalEnergyJ >= 0");
+    check(report.edp >= 0.0, "edp >= 0");
+    return outcome;
+}
+
+} // namespace
+
+TEST(ScheduleFuzz, RandomGraphsAndConfigsProduceLegalSchedules)
+{
+    harness::SweepOptions options;
+    options.baseSeed = fuzzBaseSeed;
+    harness::SweepRunner runner(options);
+    auto outcomes = runner.map(numFuzzPoints, fuzzPoint);
+
+    std::size_t failing_points = 0;
+    for (const FuzzOutcome &outcome : outcomes) {
+        if (outcome.violations.empty())
+            continue;
+        ++failing_points;
+        for (const auto &what : outcome.violations) {
+            ADD_FAILURE() << "point " << outcome.point
+                          << " (stream seed "
+                          << sim::Rng::streamSeed(fuzzBaseSeed,
+                                                  outcome.point)
+                          << "): " << what;
+        }
+    }
+    EXPECT_EQ(failing_points, 0u);
+}
+
+TEST(ScheduleFuzz, PointsAreReproducible)
+{
+    // The same stream index must regenerate the identical point.
+    sim::Rng a(sim::Rng::streamSeed(fuzzBaseSeed, 17));
+    sim::Rng b(sim::Rng::streamSeed(fuzzBaseSeed, 17));
+    nn::Graph ga = randomGraph(a, "g");
+    nn::Graph gb = randomGraph(b, "g");
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+        auto id = static_cast<nn::OpId>(i);
+        EXPECT_EQ(ga.op(id).type, gb.op(id).type);
+        EXPECT_EQ(ga.op(id).inputs, gb.op(id).inputs);
+        EXPECT_DOUBLE_EQ(ga.op(id).cost.flops(),
+                         gb.op(id).cost.flops());
+    }
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The sweep engine's determinism contract (see harness/sweep.hh):
+ * the same experiment grid run with 1, 2 and 8 workers produces
+ * byte-identical serialized reports, rerunning with the same seed
+ * reproduces them exactly, and results always come back in
+ * submission order regardless of completion order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report_io.hh"
+#include "harness/sweep.hh"
+
+using namespace hpim;
+using harness::ExperimentPoint;
+using harness::SweepOptions;
+using harness::SweepRunner;
+
+namespace {
+
+/** A small but heterogeneous grid touching every execution path. */
+std::vector<ExperimentPoint>
+sampleGrid()
+{
+    using baseline::SystemKind;
+    using nn::ModelId;
+    return {
+        {.kind = SystemKind::CpuOnly, .model = ModelId::AlexNet,
+         .steps = 2},
+        {.kind = SystemKind::Gpu, .model = ModelId::AlexNet,
+         .steps = 2},
+        {.kind = SystemKind::ProgrPimOnly, .model = ModelId::Dcgan,
+         .steps = 2},
+        {.kind = SystemKind::FixedPimOnly, .model = ModelId::AlexNet,
+         .steps = 2},
+        {.kind = SystemKind::HeteroPim, .model = ModelId::Dcgan,
+         .steps = 3},
+        {.kind = SystemKind::HeteroPim, .model = ModelId::AlexNet,
+         .steps = 2, .freqScale = 2.0},
+        {.kind = SystemKind::HeteroPim, .model = ModelId::AlexNet,
+         .steps = 2, .progrPims = 4},
+        {.kind = SystemKind::Neurocube, .model = ModelId::Dcgan,
+         .steps = 2},
+        {.kind = SystemKind::HeteroPim, .model = ModelId::Lstm,
+         .steps = 2},
+        {.kind = SystemKind::HeteroPim, .model = ModelId::AlexNet,
+         .steps = 2, .batch = 16},
+    };
+}
+
+/** Full CSV + JSON serialization of a sweep's reports. */
+std::string
+serialize(const std::vector<rt::ExecutionReport> &reports)
+{
+    std::ostringstream os;
+    harness::writeCsv(os, reports);
+    for (const auto &report : reports)
+        harness::writeJson(os, report);
+    return os.str();
+}
+
+std::string
+runWithJobs(std::uint32_t jobs, std::uint64_t seed)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    options.baseSeed = seed;
+    SweepRunner runner(options);
+    return serialize(runner.run(sampleGrid()));
+}
+
+} // namespace
+
+TEST(SweepDeterminism, ByteIdenticalAcrossWorkerCounts)
+{
+    std::string serial = runWithJobs(1, 1234);
+    EXPECT_EQ(serial, runWithJobs(2, 1234));
+    EXPECT_EQ(serial, runWithJobs(8, 1234));
+}
+
+TEST(SweepDeterminism, RerunWithSameSeedReproduces)
+{
+    EXPECT_EQ(runWithJobs(4, 99), runWithJobs(4, 99));
+}
+
+TEST(SweepDeterminism, ResultsAlignWithSubmissionOrder)
+{
+    auto points = sampleGrid();
+    SweepOptions options;
+    options.jobs = 8;
+    SweepRunner runner(options);
+    auto reports = runner.run(points);
+    ASSERT_EQ(reports.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(reports[i].configName,
+                  baseline::systemName(points[i].kind));
+        EXPECT_EQ(reports[i].stepsSimulated, points[i].steps);
+    }
+}
+
+TEST(SweepDeterminism, MapStreamsDependOnlyOnSeedAndIndex)
+{
+    auto draw = [](std::uint32_t jobs, std::uint64_t seed) {
+        SweepOptions options;
+        options.jobs = jobs;
+        options.baseSeed = seed;
+        SweepRunner runner(options);
+        return runner.map(64, [](std::size_t, sim::Rng &rng) {
+            return rng.next();
+        });
+    };
+    auto serial = draw(1, 7);
+    EXPECT_EQ(serial, draw(8, 7));
+    // A different base seed must give different streams.
+    EXPECT_NE(serial, draw(1, 8));
+    // Neighbouring streams must not collide.
+    for (std::size_t i = 1; i < serial.size(); ++i)
+        EXPECT_NE(serial[i - 1], serial[i]);
+}
+
+TEST(SweepDeterminism, StatsAccountForEveryPoint)
+{
+    SweepOptions options;
+    options.jobs = 2;
+    SweepRunner runner(options);
+    runner.run(sampleGrid());
+    runner.map(5, [](std::size_t i, sim::Rng &) { return i; });
+    EXPECT_EQ(runner.stats().points, sampleGrid().size() + 5);
+    EXPECT_EQ(runner.stats().jobs, 2u);
+    EXPECT_GE(runner.stats().wallSec, 0.0);
+    EXPECT_GE(runner.stats().serialSec, 0.0);
+}
+
+TEST(SweepDeterminism, ExceptionInsideAPointPropagates)
+{
+    SweepOptions options;
+    options.jobs = 4;
+    SweepRunner runner(options);
+    EXPECT_THROW(
+        runner.map(8,
+                   [](std::size_t i, sim::Rng &) -> int {
+                       if (i == 5)
+                           throw std::runtime_error("point failed");
+                       return int(i);
+                   }),
+        std::runtime_error);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests of the harness::ThreadPool contract: results delivered
+ * per-future in submission order, exceptions crossing from worker to
+ * caller, graceful shutdown with work still queued, and the inline
+ * (zero-thread) fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.hh"
+
+using hpim::harness::ThreadPool;
+
+TEST(ThreadPool, ResultsMatchSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i] {
+            // Stagger durations so completion order differs from
+            // submission order; the futures must not care.
+            if (i % 7 == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInFifoOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(pool.submit([i, &order] { order.push_back(i); }));
+    for (auto &future : futures)
+        future.get();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 42; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take its worker down with it.
+    EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedWork)
+{
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    {
+        // One worker, deep queue: most tasks are still queued when
+        // the destructor runs; all must complete anyway.
+        ThreadPool pool(1, 64);
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.submit([&completed] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                completed.fetch_add(1);
+            }));
+        }
+    }
+    EXPECT_EQ(completed.load(), 32);
+    for (auto &future : futures)
+        EXPECT_NO_THROW(future.get());
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    std::thread::id caller = std::this_thread::get_id();
+    auto future =
+        pool.submit([] { return std::this_thread::get_id(); });
+    // Inline mode: the task already ran, on the calling thread.
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), caller);
+}
+
+TEST(ThreadPool, BoundedQueueAcceptsMoreTasksThanCapacity)
+{
+    // Queue capacity 2 with 500 tasks: submit must block-and-release
+    // rather than drop or deadlock.
+    ThreadPool pool(2, 2);
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i)
+        futures.push_back(
+            pool.submit([&completed] { completed.fetch_add(1); }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(completed.load(), 500);
+}
+
+TEST(ThreadPool, DrainWaitsForAllSubmittedWork)
+{
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&completed] {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            completed.fetch_add(1);
+        });
+    }
+    pool.drain();
+    EXPECT_EQ(completed.load(), 64);
+}
