@@ -5,14 +5,22 @@
  * Usage:
  *   hpim_cli [--model NAME] [--system NAME] [--steps N]
  *            [--freq-scale F] [--progr-pims N] [--no-rc] [--no-op]
+ *            [--fault-rate R] [--kill-banks N] [--fault-seed S]
  *            [--csv] [--json] [--summary] [--dot]
  *
  * Models : vgg19 alexnet dcgan resnet50 inception3 lstm word2vec
  * Systems: cpu gpu progr fixed hetero neurocube
  *
+ * --fault-rate/--kill-banks arm the resilience layer
+ * (docs/RESILIENCE.md): transient per-op fault rate R and N
+ * fixed-function banks killed mid-run, schedule drawn from
+ * --fault-seed. Not available with --system gpu (the analytic GPU
+ * model has no fault layer).
+ *
  * Examples:
  *   hpim_cli --model resnet50 --system hetero --steps 8 --json
  *   hpim_cli --model vgg19 --system hetero --freq-scale 4 --csv
+ *   hpim_cli --model alexnet --kill-banks 8 --fault-rate 0.001
  *   hpim_cli --model alexnet --summary --dot > alexnet.dot
  */
 
@@ -27,6 +35,7 @@
 #include "nn/summary.hh"
 #include "rt/hetero_runtime.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace {
 
@@ -69,6 +78,9 @@ main(int argc, char **argv)
     std::uint32_t progr_pims = 1;
     bool rc = true, op = true;
     bool csv = false, json = false, summary = false, dot = false;
+    double fault_rate = 0.0;
+    std::uint32_t kill_banks = 0;
+    std::uint64_t fault_seed = hpim::sim::defaultSeed;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -87,6 +99,13 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::stoul(next()));
         else if (arg == "--no-rc") rc = false;
         else if (arg == "--no-op") op = false;
+        else if (arg == "--fault-rate")
+            fault_rate = std::stod(next());
+        else if (arg == "--kill-banks")
+            kill_banks =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "--fault-seed")
+            fault_seed = std::stoull(next());
         else if (arg == "--csv") csv = true;
         else if (arg == "--json") json = true;
         else if (arg == "--summary") summary = true;
@@ -95,8 +114,9 @@ main(int argc, char **argv)
             std::cout
                 << "usage: hpim_cli [--model NAME] [--system NAME]\n"
                 << "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
-                << "  [--no-rc] [--no-op] [--csv] [--json]\n"
-                << "  [--summary] [--dot]\n";
+                << "  [--no-rc] [--no-op] [--fault-rate R]\n"
+                << "  [--kill-banks N] [--fault-seed S] [--csv]\n"
+                << "  [--json] [--summary] [--dot]\n";
             return 0;
         } else {
             fatal("unknown argument '", arg, "' (try --help)");
@@ -113,14 +133,29 @@ main(int argc, char **argv)
             return 0;
     }
 
+    bool faults = fault_rate > 0.0 || kill_banks > 0;
+    fatal_if(faults && system == baseline::SystemKind::Gpu,
+             "--fault-rate/--kill-banks need a simulated system; the "
+             "analytic GPU model has no fault layer");
+
     rt::ExecutionReport report;
     if (system == baseline::SystemKind::Gpu) {
         report = baseline::runSystem(system, model, steps);
-    } else if (system == baseline::SystemKind::HeteroPim
-               && (!rc || !op)) {
+    } else if (faults
+               || (system == baseline::SystemKind::HeteroPim
+                   && (!rc || !op))) {
         auto config =
-            baseline::makeHetero(true, rc, op, freq_scale, progr_pims);
+            system == baseline::SystemKind::HeteroPim
+                ? baseline::makeHetero(true, rc, op, freq_scale,
+                                       progr_pims)
+                : baseline::makeConfig(system, freq_scale, progr_pims);
         config.steps = steps;
+        if (faults) {
+            config.faults.enabled = true;
+            config.faults.transientRatePerOp = fault_rate;
+            config.faults.killBanks = kill_banks;
+            config.faults.seed = fault_seed;
+        }
         rt::HeteroRuntime runtime(config);
         report = runtime.train(graph).execution;
     } else {
@@ -134,18 +169,30 @@ main(int argc, char **argv)
         harness::writeJson(std::cout, report);
         std::cout << '\n';
     } else {
-        harness::TablePrinter table(
-            {"config", "workload", "step (ms)", "op", "data mv",
-             "sync", "J/step", "avg W", "fixed util"});
-        table.addRow({report.configName, report.workloadName,
-                      harness::fmt(report.stepSec * 1e3, 2),
-                      harness::fmt(report.opSec * 1e3, 2),
-                      harness::fmt(report.dataMovementSec * 1e3, 2),
-                      harness::fmt(report.syncSec * 1e3, 2),
-                      harness::fmt(report.energyPerStepJ, 2),
-                      harness::fmt(report.averagePowerW, 1),
-                      harness::fmtPct(report.fixedUtilization
-                                      * 100.0)});
+        std::vector<std::string> headers = {
+            "config", "workload", "step (ms)", "op", "data mv",
+            "sync", "J/step", "avg W", "fixed util"};
+        std::vector<std::string> row = {
+            report.configName, report.workloadName,
+            harness::fmt(report.stepSec * 1e3, 2),
+            harness::fmt(report.opSec * 1e3, 2),
+            harness::fmt(report.dataMovementSec * 1e3, 2),
+            harness::fmt(report.syncSec * 1e3, 2),
+            harness::fmt(report.energyPerStepJ, 2),
+            harness::fmt(report.averagePowerW, 1),
+            harness::fmtPct(report.fixedUtilization * 100.0)};
+        if (faults) {
+            headers.insert(headers.end(),
+                           {"faults", "retries", "degraded",
+                            "banks lost"});
+            row.insert(row.end(),
+                       {std::to_string(report.transientFaults),
+                        std::to_string(report.retries),
+                        std::to_string(report.opsDegraded),
+                        std::to_string(report.banksFailed)});
+        }
+        harness::TablePrinter table(headers);
+        table.addRow(row);
         table.print(std::cout);
     }
     return 0;

@@ -13,7 +13,10 @@ writeCsvHeader(std::ostream &os)
     os << "config,workload,steps,step_s,op_s,data_movement_s,sync_s,"
           "cpu_busy_s,progr_busy_s,fixed_unit_s,fixed_utilization,"
           "host_launches,recursive_launches,link_bytes,"
-          "internal_bytes,energy_per_step_j,avg_power_w,edp\n";
+          "internal_bytes,energy_per_step_j,avg_power_w,edp,"
+          "transient_faults,kernel_stalls,retries,ops_degraded,"
+          "ops_evicted,retry_backoff_s,banks_failed,units_lost,"
+          "throttle_events\n";
 }
 
 void
@@ -28,7 +31,12 @@ writeCsvRow(std::ostream &os, const ExecutionReport &report)
        << ',' << report.hostLaunches << ','
        << report.recursiveLaunches << ',' << report.linkBytes << ','
        << report.internalBytes << ',' << report.energyPerStepJ << ','
-       << report.averagePowerW << ',' << report.edp << '\n';
+       << report.averagePowerW << ',' << report.edp << ','
+       << report.transientFaults << ',' << report.kernelStalls << ','
+       << report.retries << ',' << report.opsDegraded << ','
+       << report.opsEvicted << ',' << report.retryBackoffSec << ','
+       << report.banksFailed << ',' << report.unitsLost << ','
+       << report.throttleEvents << '\n';
 }
 
 void
@@ -63,7 +71,26 @@ writeJson(std::ostream &os, const ExecutionReport &report)
         first = false;
         os << "\"" << placedOnName(placement) << "\":" << count;
     }
-    os << "}}";
+    os << "},"
+       << "\"resilience\":{"
+       << "\"transient_faults\":" << report.transientFaults << ","
+       << "\"kernel_stalls\":" << report.kernelStalls << ","
+       << "\"retries\":" << report.retries << ","
+       << "\"ops_degraded\":" << report.opsDegraded << ","
+       << "\"ops_evicted\":" << report.opsEvicted << ","
+       << "\"retry_backoff_s\":" << report.retryBackoffSec << ","
+       << "\"banks_failed\":" << report.banksFailed << ","
+       << "\"units_lost\":" << report.unitsLost << ","
+       << "\"throttle_events\":" << report.throttleEvents << ","
+       << "\"capacity_timeline\":[";
+    first = true;
+    for (const auto &sample : report.capacityTimeline) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "[" << sample.timeSec << "," << sample.units << "]";
+    }
+    os << "]}}";
 }
 
 } // namespace hpim::harness

@@ -121,6 +121,14 @@ printSweepSummary(std::ostream &os, const SweepStats &stats)
        << fmt(stats.wallSec, 2) << " s, serial-equivalent "
        << fmt(stats.serialSec, 2) << " s, speedup "
        << fmtRatio(stats.speedup()) << "\n";
+    if (!stats.failures.empty()) {
+        os << "[sweep] " << stats.failures.size() << " point"
+           << (stats.failures.size() == 1 ? "" : "s")
+           << " FAILED:\n";
+        for (const PointFailure &f : stats.failures)
+            os << "[sweep]   point " << f.index << ": " << f.what
+               << "\n";
+    }
 }
 
 } // namespace hpim::harness

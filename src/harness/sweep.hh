@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <future>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "baseline/presets.hh"
@@ -55,6 +56,13 @@ struct SweepOptions
     std::uint64_t baseSeed = hpim::sim::defaultSeed;
 };
 
+/** One sweep point that threw instead of producing a result. */
+struct PointFailure
+{
+    std::size_t index = 0; ///< submission index within its sweep
+    std::string what;      ///< exception message
+};
+
 /** Wall-clock accounting, cumulative over one runner's sweeps. */
 struct SweepStats
 {
@@ -65,6 +73,9 @@ struct SweepStats
      *  same points would cost. CPU time (not per-task wall time) so
      *  preemption on an oversubscribed machine doesn't inflate it. */
     double serialSec = 0.0;
+    /** Points whose fn threw; index order, independent of --jobs.
+     *  Their result slots are default-constructed. */
+    std::vector<PointFailure> failures;
 
     /** Estimated speedup over a serial run of the same points. */
     double
@@ -99,7 +110,12 @@ class SweepRunner
      * not touch shared mutable state; its only inputs should be i and
      * rng, or the determinism contract is forfeit.
      *
-     * @return results, index-aligned; a throwing point rethrows here
+     * A point whose fn throws does not abort the sweep: its slot holds
+     * a default-constructed Result and the failure is recorded (in
+     * index order, whatever the worker count) in stats().failures for
+     * the sweep footer. Result must be default-constructible.
+     *
+     * @return results, index-aligned
      */
     template <typename Fn>
     auto
@@ -111,6 +127,9 @@ class SweepRunner
                                    std::declval<hpim::sim::Rng &>()));
         const auto wall_start = std::chrono::steady_clock::now();
         std::vector<double> durations(count, 0.0);
+        // Not vector<bool>: workers write distinct indices in parallel.
+        std::vector<std::uint8_t> failed(count, 0);
+        std::vector<std::string> errors(count);
         std::vector<std::future<Result>> futures;
         futures.reserve(count);
         {
@@ -119,11 +138,21 @@ class SweepRunner
             ThreadPool pool(_jobs > 1 ? _jobs : 0);
             for (std::size_t i = 0; i < count; ++i) {
                 futures.push_back(pool.submit([i, &fn, &durations,
+                                               &failed, &errors,
                                                seed = _options.baseSeed] {
                     const double start = threadCpuSeconds();
                     hpim::sim::Rng rng(
                         hpim::sim::Rng::streamSeed(seed, i));
-                    Result result = fn(i, rng);
+                    Result result{};
+                    try {
+                        result = fn(i, rng);
+                    } catch (const std::exception &e) {
+                        failed[i] = 1;
+                        errors[i] = e.what();
+                    } catch (...) {
+                        failed[i] = 1;
+                        errors[i] = "unknown exception";
+                    }
                     durations[i] = threadCpuSeconds() - start;
                     return result;
                 }));
@@ -133,6 +162,10 @@ class SweepRunner
         results.reserve(count);
         for (auto &future : futures)
             results.push_back(future.get()); // submission order
+        for (std::size_t i = 0; i < count; ++i) {
+            if (failed[i])
+                _stats.failures.push_back(PointFailure{i, errors[i]});
+        }
         accumulateStats(durations, secondsSince(wall_start));
         return results;
     }

@@ -1,8 +1,20 @@
 #include "pim/status_registers.hh"
 
+#include <algorithm>
 #include <numeric>
 
 namespace hpim::pim {
+
+const char *
+bankStateName(BankState state)
+{
+    switch (state) {
+      case BankState::Healthy:   return "healthy";
+      case BankState::Throttled: return "throttled";
+      case BankState::Failed:    return "failed";
+    }
+    panic("unknown bank state");
+}
 
 StatusRegisterFile::StatusRegisterFile(
     std::uint32_t banks, std::vector<std::uint32_t> units_per_bank)
@@ -12,6 +24,7 @@ StatusRegisterFile::StatusRegisterFile(
              "units_per_bank has ", _capacity.size(), " entries for ",
              banks, " banks");
     _busy.assign(_capacity.size(), 0);
+    _state.assign(_capacity.size(), BankState::Healthy);
     _total_units =
         std::accumulate(_capacity.begin(), _capacity.end(), 0u);
 }
@@ -26,26 +39,43 @@ StatusRegisterFile::checkBank(std::uint32_t bank) const
 bool
 StatusRegisterFile::acquire(std::uint32_t bank, std::uint32_t units)
 {
-    checkBank(bank);
+    if (bank >= _capacity.size()) {
+        warn("acquire of ", units, " units on bank ", bank,
+             " rejected: only ", _capacity.size(), " banks exist");
+        return false;
+    }
+    if (_state[bank] != BankState::Healthy)
+        return false;
     if (_capacity[bank] - _busy[bank] < units)
         return false;
     _busy[bank] += units;
     return true;
 }
 
-void
+bool
 StatusRegisterFile::release(std::uint32_t bank, std::uint32_t units)
 {
-    checkBank(bank);
-    panic_if(_busy[bank] < units, "releasing ", units,
-             " units but only ", _busy[bank], " busy in bank ", bank);
+    if (bank >= _capacity.size()) {
+        warn("release of ", units, " units on bank ", bank,
+             " rejected: only ", _capacity.size(), " banks exist");
+        return false;
+    }
+    if (_busy[bank] < units) {
+        warn("release of ", units, " units on bank ", bank,
+             " rejected: only ", _busy[bank],
+             " busy; register state left unchanged");
+        return false;
+    }
     _busy[bank] -= units;
+    return true;
 }
 
 std::uint32_t
 StatusRegisterFile::freeUnits(std::uint32_t bank) const
 {
     checkBank(bank);
+    if (_state[bank] != BankState::Healthy)
+        return 0;
     return _capacity[bank] - _busy[bank];
 }
 
@@ -53,8 +83,10 @@ std::uint32_t
 StatusRegisterFile::totalFreeUnits() const
 {
     std::uint32_t free = 0;
-    for (std::size_t i = 0; i < _capacity.size(); ++i)
-        free += _capacity[i] - _busy[i];
+    for (std::size_t i = 0; i < _capacity.size(); ++i) {
+        if (_state[i] == BankState::Healthy)
+            free += _capacity[i] - _busy[i];
+    }
     return free;
 }
 
@@ -63,6 +95,74 @@ StatusRegisterFile::bankBusy(std::uint32_t bank) const
 {
     checkBank(bank);
     return _busy[bank] != 0;
+}
+
+BankState
+StatusRegisterFile::bankState(std::uint32_t bank) const
+{
+    checkBank(bank);
+    return _state[bank];
+}
+
+void
+StatusRegisterFile::markFailed(std::uint32_t bank)
+{
+    checkBank(bank);
+    if (_state[bank] == BankState::Failed)
+        return;
+    _state[bank] = BankState::Failed;
+    ++_failed_banks;
+}
+
+void
+StatusRegisterFile::setThrottled(std::uint32_t bank, bool throttled)
+{
+    checkBank(bank);
+    if (_state[bank] == BankState::Failed)
+        return;
+    _state[bank] =
+        throttled ? BankState::Throttled : BankState::Healthy;
+}
+
+std::uint32_t
+StatusRegisterFile::bankCapacity(std::uint32_t bank) const
+{
+    checkBank(bank);
+    return _capacity[bank];
+}
+
+std::uint32_t
+StatusRegisterFile::availableUnits() const
+{
+    std::uint32_t units = 0;
+    for (std::size_t i = 0; i < _capacity.size(); ++i) {
+        if (_state[i] == BankState::Healthy)
+            units += _capacity[i];
+    }
+    return units;
+}
+
+std::uint32_t
+StatusRegisterFile::aliveUnits() const
+{
+    std::uint32_t units = 0;
+    for (std::size_t i = 0; i < _capacity.size(); ++i) {
+        if (_state[i] != BankState::Failed)
+            units += _capacity[i];
+    }
+    return units;
+}
+
+std::uint64_t
+StatusRegisterFile::healthMask() const
+{
+    std::uint64_t mask = 0;
+    std::size_t bits = std::min<std::size_t>(_capacity.size(), 64);
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (_state[i] == BankState::Healthy)
+            mask |= std::uint64_t(1) << i;
+    }
+    return mask;
 }
 
 } // namespace hpim::pim

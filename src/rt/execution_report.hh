@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace hpim::rt {
 
@@ -70,8 +71,41 @@ struct ExecutionReport
     /** Energy-delay product per step (J x s). */
     double edp = 0.0;
 
-    // ---- Placement census.
+    // ---- Placement census (where each op finally *completed*;
+    // faulted attempts are not counted).
     std::map<PlacedOn, std::uint64_t> opsByPlacement;
+
+    // ---- Resilience (all zero when fault injection is off).
+    /** Offload attempts whose result failed verification. */
+    std::uint64_t transientFaults = 0;
+    /** Programmable-PIM kernels reclaimed by the watchdog timeout. */
+    std::uint64_t kernelStalls = 0;
+    /** Re-executions scheduled after a fault, stall or eviction. */
+    std::uint64_t retries = 0;
+    /** Rung drops on the degradation ladder (fixed-function ->
+     *  programmable PIM -> CPU) after exhausted attempts. */
+    std::uint64_t opsDegraded = 0;
+    /** In-flight pool phases evicted because every bank failed. */
+    std::uint64_t opsEvicted = 0;
+    /** Total exponential-backoff delay injected before retries. */
+    double retryBackoffSec = 0.0;
+    /** Banks permanently retired during the run. */
+    std::uint32_t banksFailed = 0;
+    /** Fixed-pool units permanently lost with those banks. */
+    std::uint32_t unitsLost = 0;
+    /** Thermal-throttle windows entered. */
+    std::uint64_t throttleEvents = 0;
+
+    /** Fixed-pool capacity after one health event. */
+    struct CapacitySample
+    {
+        double timeSec = 0.0;
+        std::uint32_t units = 0;
+    };
+    /** Allocatable fixed-pool units over time: one sample at t=0 and
+     *  one after every bank failure / throttle transition. Empty when
+     *  fault injection is off. */
+    std::vector<CapacitySample> capacityTimeline;
 };
 
 } // namespace hpim::rt

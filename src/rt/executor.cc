@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "model/thermal.hh"
+#include "pim/placement.hh"
 #include "sim/logging.hh"
 
 namespace hpim::rt {
@@ -55,6 +57,38 @@ Executor::Executor(const SystemConfig &config,
 {
     _progr_free = config.hasProgrPim ? config.progrPimCount : 0;
     _fixed_free = config.hasFixedPim ? config.fixed.totalUnits : 0;
+    _fixed_capacity = _fixed_free;
+    _fixed_alive = _fixed_free;
+    if (config.faults.enabled)
+        setupFaultLayer();
+}
+
+void
+Executor::setupFaultLayer()
+{
+    std::vector<std::uint32_t> units;
+    std::vector<double> temps;
+    if (_config.hasFixedPim) {
+        std::uint32_t banks = std::max(_config.fixed.banks, 1u);
+        hpim::pim::BankGrid grid;
+        if (banks % 4 == 0 && banks >= 8) {
+            grid.rows = 4;
+            grid.cols = banks / 4;
+        } else {
+            grid.rows = 1;
+            grid.cols = banks;
+        }
+        auto placement =
+            hpim::pim::placeUnits(grid, _config.fixed.totalUnits);
+        auto thermal = hpim::model::solveThermal(
+            grid, placement, _config.fixed.unitPowerW());
+        units = placement.unitsPerBank;
+        temps = thermal.tempC;
+        _regs = std::make_unique<hpim::pim::StatusRegisterFile>(banks,
+                                                                units);
+    }
+    _fault_model = std::make_unique<hpim::sim::FaultModel>(
+        _config.faults, std::move(units), std::move(temps));
 }
 
 Executor::~Executor()
@@ -143,9 +177,22 @@ Executor::decidePlacement(const OpKey &key) const
     bool has_fixed = _config.hasFixedPim;
     bool has_progr = _config.hasProgrPim && _progr_free > 0;
     bool fixed_tree_free =
-        has_fixed
+        has_fixed && _fixed_capacity > 0
         && _fixed_free >= std::min(o.parallelism.unitsPerLane,
-                                   _config.fixed.totalUnits);
+                                   _fixed_capacity);
+
+    if (faultsOn()) {
+        std::uint32_t level = degradeLevel(key);
+        // With every pool bank permanently failed, fixed-destined ops
+        // skip straight to the next rung instead of waiting forever.
+        if (level == 0 && has_fixed && _fixed_alive == 0
+            && (cls == OffloadClass::FixedFunction
+                || cls == OffloadClass::Recursive)) {
+            level = 1;
+        }
+        if (level > 0)
+            return ladderPlacement(key, level);
+    }
 
     // Guest workloads (mixed-workload co-run): CPU or progr PIM only.
     if (!wl.spec.pimManaged) {
@@ -245,6 +292,33 @@ Executor::decidePlacement(const OpKey &key) const
     return std::nullopt;
 }
 
+std::uint32_t
+Executor::degradeLevel(const OpKey &key) const
+{
+    auto it = _degraded.find(keyStr(key));
+    return it == _degraded.end() ? 0 : it->second;
+}
+
+std::optional<PlacedOn>
+Executor::ladderPlacement(const OpKey &key, std::uint32_t level) const
+{
+    const Operation &o = op(key);
+    OffloadClass cls = opTraits(o.type).offloadClass;
+    // Rung 1 is the programmable PIM -- unless the op started there
+    // (ProgrammableOnly / DataMovement classes), in which case the
+    // first drop already lands on the host.
+    bool progr_rung = _config.hasProgrPim
+                      && cls != OffloadClass::ProgrammableOnly
+                      && cls != OffloadClass::DataMovement;
+    if (level == 1 && progr_rung) {
+        return _progr_free > 0 ? std::optional(PlacedOn::ProgrPim)
+                               : std::nullopt;
+    }
+    // Final rung: the host CPU, which never faults, so every op
+    // eventually completes.
+    return _cpu_busy ? std::nullopt : std::optional(PlacedOn::Cpu);
+}
+
 bool
 Executor::tryDispatch(const OpKey &key)
 {
@@ -255,7 +329,12 @@ Executor::tryDispatch(const OpKey &key)
     OpState &s = state(key);
     s.ready = false;
     s.running = true;
-    ++_report.opsByPlacement[*placement];
+    // With faults on, the census counts where the op *completes*; a
+    // faulted attempt must not leave a phantom tally behind.
+    if (faultsOn())
+        _running_placement[keyStr(key)] = *placement;
+    else
+        ++_report.opsByPlacement[*placement];
 
     if (_trace) {
         _trace_tokens[keyStr(key)] =
@@ -341,6 +420,10 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
     const Operation &o = op(key);
     --_progr_free;
 
+    using Attempt = hpim::sim::FaultModel::Attempt;
+    Attempt outcome = faultsOn() ? _fault_model->drawAttempt(true)
+                                 : Attempt::Success;
+
     double launch = _config.progr.launchOverheadSec;
     _report.hostLaunches += 1;
 
@@ -351,19 +434,44 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
                   _config.progr, o.cost,
                   _config.internalBandwidth * _config.pimBandwidthShare);
         dur = std::max(dur, 1e-12);
+        if (outcome == Attempt::Stall) {
+            // The kernel hangs; the watchdog reclaims the device after
+            // the per-op timeout. Nothing useful ran.
+            double hold = _fault_model->stallTimeoutSec(dur);
+            _report.progrBusySec += hold;
+            _sync_accum += hold;
+            _queue.scheduleCallback(
+                toTick(nowSec() + hold),
+                [this, key] {
+                    ++_progr_free;
+                    failAttempt(key, FailKind::Stall);
+                },
+                hpim::sim::Event::completionPriority);
+            return;
+        }
+        bool faulty = outcome == Attempt::Transient;
         double comp = o.cost.flops() / _config.progr.flops()
                       + o.cost.specials / _config.progr.specials();
         double dm = std::max(0.0, dur - launch - comp);
         _report.progrBusySec += dur;
         _report.internalBytes += o.cost.bytes();
-        _sync_accum += launch;
-        _op_accum += dur - launch - dm;
-        _dm_accum += dm;
+        if (faulty) {
+            // Ran to completion but failed result verification: the
+            // whole attempt is lost time, recovered by re-execution.
+            _sync_accum += dur;
+        } else {
+            _sync_accum += launch;
+            _op_accum += dur - launch - dm;
+            _dm_accum += dm;
+        }
         _queue.scheduleCallback(
             toTick(nowSec() + dur),
-            [this, key] {
+            [this, key, faulty] {
                 ++_progr_free;
-                onOpComplete(key);
+                if (faulty)
+                    failAttempt(key, FailKind::Transient);
+                else
+                    onOpComplete(key);
             },
             hpim::sim::Event::completionPriority);
         return;
@@ -373,28 +481,53 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
     // phases and dispatches the extracted mul/add core to the pool.
     auto calls = static_cast<std::uint32_t>(std::max(
         1.0, std::ceil(o.parallelism.lanes / 1048576.0)));
-    _report.recursiveLaunches += calls;
     double rc_over = calls * _config.progr.recursiveLaunchSec;
     double control = o.cost.specials / _config.progr.specials();
     double dur = std::max(launch + rc_over + control, 1e-12);
 
-    _report.progrBusySec += dur;
-    _sync_accum += launch + rc_over;
-    _op_accum += control;
+    if (outcome == Attempt::Stall) {
+        // The control kernel hangs before dispatching any pool work;
+        // no join/phase is created and the watchdog frees the device.
+        double hold = _fault_model->stallTimeoutSec(dur);
+        _report.progrBusySec += hold;
+        _sync_accum += hold;
+        _queue.scheduleCallback(
+            toTick(nowSec() + hold),
+            [this, key] {
+                ++_progr_free;
+                failAttempt(key, FailKind::Stall);
+            },
+            hpim::sim::Event::completionPriority);
+        return;
+    }
+    bool faulty = outcome == Attempt::Transient;
 
-    _joins[keyStr(key)] = Join{};
+    _report.recursiveLaunches += calls;
+    _report.progrBusySec += dur;
+    if (faulty) {
+        _sync_accum += dur;
+    } else {
+        _sync_accum += launch + rc_over;
+        _op_accum += control;
+    }
+
+    Join join;
+    if (faulty) {
+        join.faulty = true;
+        join.failKind = FailKind::Transient;
+    }
+    _joins[keyStr(key)] = join;
 
     double flops = o.cost.flops();
     double intensity =
         o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t cap = std::max(_fixed_capacity, 1u);
     std::uint32_t tree =
-        std::min(std::max(o.parallelism.unitsPerLane, 1u),
-                 _config.fixed.totalUnits);
+        std::min(std::max(o.parallelism.unitsPerLane, 1u), cap);
     std::uint32_t max_trees = static_cast<std::uint32_t>(std::max<double>(
         1.0,
-        std::min<double>(_config.fixed.totalUnits / tree,
-                         std::ceil(o.parallelism.lanes))));
-    addPhase(key, flops, intensity, tree, max_trees, true);
+        std::min<double>(cap / tree, std::ceil(o.parallelism.lanes))));
+    addPhase(key, flops, intensity, tree, max_trees, true, faulty);
 
     _queue.scheduleCallback(
         toTick(nowSec() + dur),
@@ -417,18 +550,27 @@ Executor::startOnFixed(const OpKey &key)
     double flops = std::max(o.cost.flops(), 1.0);
     double intensity =
         o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t cap = std::max(_fixed_capacity, 1u);
     std::uint32_t tree =
-        std::min(std::max(o.parallelism.unitsPerLane, 1u),
-                 _config.fixed.totalUnits);
+        std::min(std::max(o.parallelism.unitsPerLane, 1u), cap);
     std::uint32_t max_trees = static_cast<std::uint32_t>(std::max<double>(
         1.0,
-        std::min<double>(_config.fixed.totalUnits / tree,
-                         std::ceil(o.parallelism.lanes))));
+        std::min<double>(cap / tree, std::ceil(o.parallelism.lanes))));
+    bool faulty =
+        faultsOn()
+        && _fault_model->drawAttempt(false)
+               == hpim::sim::FaultModel::Attempt::Transient;
     // The kernel-spawn latency delays the phase start.
     _queue.scheduleCallback(
         toTick(nowSec() + launch),
-        [this, key, flops, intensity, tree, max_trees] {
-            addPhase(key, flops, intensity, tree, max_trees, false);
+        [this, key, flops, intensity, tree, max_trees, faulty] {
+            if (faultsOn() && _fixed_alive == 0) {
+                // The whole pool died during the launch window.
+                failAttempt(key, FailKind::Evicted);
+                return;
+            }
+            addPhase(key, flops, intensity, tree, max_trees, false,
+                     faulty);
         },
         hpim::sim::Event::defaultPriority);
 }
@@ -455,21 +597,37 @@ Executor::startHostDriven(const OpKey &key)
     double cpu_dur = std::max(timing.totalSec() + sync, 1e-12);
     _report.cpuBusySec += cpu_dur;
     _report.linkBytes += control.bytes();
-    _op_accum += timing.totalSec();
 
-    _joins[keyStr(key)] = Join{};
+    // The host control loop is trusted; only the pool half can see a
+    // transient fault (there is no kernel to stall host-side).
+    bool faulty =
+        faultsOn()
+        && _fault_model->drawAttempt(false)
+               == hpim::sim::FaultModel::Attempt::Transient;
+    if (faulty)
+        _sync_accum += timing.totalSec();
+    else
+        _op_accum += timing.totalSec();
+
+    Join join;
+    if (faulty) {
+        join.faulty = true;
+        join.failKind = FailKind::Transient;
+    }
+    _joins[keyStr(key)] = join;
 
     double flops = std::max(o.cost.flops(), 1.0);
     double intensity =
         o.cost.bytes() > 0.0 ? flops / o.cost.bytes() : 1e9;
+    std::uint32_t cap = std::max(_fixed_capacity, 1u);
     std::uint32_t tree =
-        std::min(std::max(o.parallelism.unitsPerLane, 1u),
-                 _config.fixed.totalUnits);
+        std::min(std::max(o.parallelism.unitsPerLane, 1u), cap);
     std::uint32_t max_trees =
         std::min(std::max(1u, _config.hostDrivenMaxUnits / tree),
-                 std::max(1u, _config.fixed.totalUnits / tree));
+                 std::max(1u, cap / tree));
     _report.internalBytes += o.cost.bytes();
-    addPhase(key, flops, intensity, tree, std::max(max_trees, 1u), true);
+    addPhase(key, flops, intensity, tree, std::max(max_trees, 1u), true,
+             faulty);
 
     _queue.scheduleCallback(
         toTick(nowSec() + cpu_dur),
@@ -518,13 +676,22 @@ Executor::poolDrain()
 void
 Executor::poolReallocate()
 {
-    std::uint32_t free = _config.fixed.totalUnits;
+    std::uint32_t free = _fixed_capacity;
     // Pass 1: one tree per phase, oldest first.
     for (FixedPhase &phase : _phases) {
         phase.alloc = 0;
         if (free >= phase.treeUnits) {
             phase.alloc = phase.treeUnits;
             free -= phase.treeUnits;
+        } else if (faultsOn() && free > 0
+                   && phase.treeUnits > _fixed_capacity) {
+            // Bank kills or throttling shrank the pool below the
+            // reduction-tree width, so no amount of waiting yields a
+            // full tree; run a partial one rather than starve. Mere
+            // contention (tree fits an empty pool) still waits, and
+            // the full width is granted again once capacity recovers.
+            phase.alloc = free;
+            free = 0;
         }
     }
     // Pass 2: extra trees, oldest first (current step drains first).
@@ -563,7 +730,7 @@ Executor::poolScheduleNext()
 void
 Executor::addPhase(const OpKey &key, double flops, double intensity,
                    std::uint32_t tree_units, std::uint32_t max_trees,
-                   bool joined)
+                   bool joined, bool faulty)
 {
     poolDrain();
     FixedPhase phase;
@@ -573,7 +740,12 @@ Executor::addPhase(const OpKey &key, double flops, double intensity,
     phase.maxTrees = max_trees;
     phase.intensity = intensity;
     phase.joined = joined;
+    phase.faulty = faulty;
     phase.startSec = nowSec();
+    // Capacity may have shrunk since the tree size was computed; a
+    // tree wider than the surviving pool would never be granted.
+    if (faultsOn() && _fixed_alive > 0)
+        phase.treeUnits = std::min(phase.treeUnits, _fixed_alive);
     _phases.push_back(phase);
     poolReallocate();
     poolScheduleNext();
@@ -596,9 +768,15 @@ Executor::onPoolEvent()
     poolScheduleNext();
 
     for (const FixedPhase &phase : finished) {
-        _op_accum += nowSec() - phase.startSec;
+        double span = nowSec() - phase.startSec;
+        if (phase.faulty)
+            _sync_accum += span; // wasted attempt; retry recovers it
+        else
+            _op_accum += span;
         if (phase.joined)
             onJoinedPartDone(phase.key, true);
+        else if (phase.faulty)
+            failAttempt(phase.key, FailKind::Transient);
         else
             onOpComplete(phase.key);
     }
@@ -615,11 +793,187 @@ Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
     else
         it->second.controlDone = true;
     if (it->second.fixedDone && it->second.controlDone) {
+        bool faulty = it->second.faulty;
+        FailKind kind = it->second.failKind;
         _joins.erase(it);
-        onOpComplete(key);
+        if (faulty)
+            failAttempt(key, kind);
+        else
+            onOpComplete(key);
     } else {
         // One side freed a resource; others may now start.
         dispatchAll();
+    }
+}
+
+void
+Executor::failAttempt(const OpKey &key, FailKind kind)
+{
+    const std::string k = keyStr(key);
+    if (_trace) {
+        auto it = _trace_tokens.find(k);
+        if (it != _trace_tokens.end()) {
+            _trace->abort(it->second, nowSec());
+            _trace_tokens.erase(it);
+        }
+    }
+    _running_placement.erase(k);
+    switch (kind) {
+      case FailKind::Transient: ++_report.transientFaults; break;
+      case FailKind::Stall:     ++_report.kernelStalls;    break;
+      case FailKind::Evicted:   ++_report.opsEvicted;      break;
+    }
+    ++_report.retries;
+    std::uint32_t attempts = ++_attempts[k];
+    if (attempts >= _config.faults.maxAttempts) {
+        // Rung exhausted: drop one level on the degradation ladder
+        // (fixed-function -> programmable PIM -> CPU) and start the
+        // attempt budget over.
+        _attempts[k] = 0;
+        ++_degraded[k];
+        ++_report.opsDegraded;
+    }
+    OpState &s = state(key);
+    s.running = false;
+    double delay = _fault_model->backoffSec(attempts);
+    _report.retryBackoffSec += delay;
+    Tick when = std::max<Tick>(toTick(nowSec() + delay),
+                               _queue.now() + 1);
+    _queue.scheduleCallback(
+        when,
+        [this, key] {
+            OpState &st = state(key);
+            if (st.done || st.running || st.ready)
+                return;
+            st.ready = true;
+            _pending.push_back(key);
+            dispatchAll();
+        },
+        hpim::sim::Event::schedulePriority);
+}
+
+void
+Executor::refreshFixedCapacity()
+{
+    if (_regs == nullptr)
+        return;
+    _fixed_capacity = _regs->availableUnits();
+    _fixed_alive = _regs->aliveUnits();
+}
+
+void
+Executor::recordCapacity()
+{
+    _report.capacityTimeline.push_back({nowSec(), _fixed_capacity});
+}
+
+bool
+Executor::allComplete() const
+{
+    for (const WorkloadState &wl : _workloads) {
+        if (wl.completedSteps != wl.spec.steps)
+            return false;
+    }
+    return true;
+}
+
+void
+Executor::evictDeadPoolPhases()
+{
+    if (_fixed_alive > 0) {
+        // Surviving capacity: just shrink trees that no longer fit.
+        for (FixedPhase &phase : _phases)
+            phase.treeUnits = std::min(phase.treeUnits, _fixed_alive);
+        return;
+    }
+    // The whole pool is gone; every in-flight phase is evicted and its
+    // op re-dispatched (the degradation ladder keeps it off the pool).
+    std::vector<FixedPhase> victims;
+    victims.swap(_phases);
+    for (const FixedPhase &phase : victims) {
+        if (phase.joined) {
+            auto it = _joins.find(keyStr(phase.key));
+            if (it != _joins.end()) {
+                it->second.faulty = true;
+                it->second.failKind = FailKind::Evicted;
+                onJoinedPartDone(phase.key, true);
+            }
+        } else {
+            failAttempt(phase.key, FailKind::Evicted);
+        }
+    }
+}
+
+void
+Executor::onBankFailed(std::uint32_t bank)
+{
+    if (_regs == nullptr || bank >= _regs->banks()
+        || _regs->bankState(bank) == hpim::pim::BankState::Failed) {
+        return;
+    }
+    poolDrain();
+    std::uint32_t lost = _regs->bankCapacity(bank);
+    _regs->markFailed(bank);
+    ++_report.banksFailed;
+    _report.unitsLost += lost;
+    refreshFixedCapacity();
+    recordCapacity();
+    inform("fault: bank ", bank, " failed at ", nowSec(), " s (-",
+           lost, " units, ", _fixed_capacity, " allocatable)");
+    evictDeadPoolPhases();
+    poolReallocate();
+    poolScheduleNext();
+    dispatchAll();
+}
+
+void
+Executor::onThrottle(std::size_t index, bool start)
+{
+    const hpim::sim::ThrottleSpec &spec =
+        _fault_model->throttles()[index];
+    if (_regs == nullptr || spec.bank >= _regs->banks())
+        return;
+    poolDrain();
+    if (start)
+        ++_report.throttleEvents;
+    _regs->setThrottled(spec.bank, start);
+    refreshFixedCapacity();
+    recordCapacity();
+    poolReallocate();
+    poolScheduleNext();
+    if (!allComplete()) {
+        // Keep the duty cycle going only while work remains, so the
+        // run loop terminates with the last completion.
+        double delay = start ? spec.onSec : spec.offSec;
+        Tick when = std::max<Tick>(toTick(nowSec() + delay),
+                                   _queue.now() + 1);
+        _queue.scheduleCallback(
+            when, [this, index, start] { onThrottle(index, !start); },
+            hpim::sim::Event::defaultPriority);
+    }
+    if (!start)
+        dispatchAll(); // capacity returned; waiting trees may now fit
+}
+
+void
+Executor::scheduleHealthEvents()
+{
+    recordCapacity(); // t = 0 baseline sample
+    for (const hpim::sim::BankKill &kill : _fault_model->kills()) {
+        std::uint32_t bank = kill.bank;
+        Tick when = std::max<Tick>(toTick(kill.timeSec),
+                                   _queue.now() + 1);
+        _queue.scheduleCallback(
+            when, [this, bank] { onBankFailed(bank); },
+            hpim::sim::Event::defaultPriority);
+    }
+    for (std::size_t i = 0; i < _fault_model->throttles().size(); ++i) {
+        Tick when = std::max<Tick>(
+            toTick(_fault_model->throttles()[i].firstStartSec),
+            _queue.now() + 1);
+        _queue.scheduleCallback(
+            when, [this, i] { onThrottle(i, true); },
+            hpim::sim::Event::defaultPriority);
     }
 }
 
@@ -631,6 +985,14 @@ Executor::onOpComplete(const OpKey &key)
     panic_if(s.done, "op completed twice");
     s.done = true;
     s.running = false;
+
+    if (faultsOn()) {
+        auto it = _running_placement.find(keyStr(key));
+        panic_if(it == _running_placement.end(),
+                 "op completed without a recorded placement");
+        ++_report.opsByPlacement[it->second];
+        _running_placement.erase(it);
+    }
 
     if (_trace) {
         auto it = _trace_tokens.find(keyStr(key));
@@ -675,6 +1037,9 @@ Executor::run(const std::vector<WorkloadSpec> &workloads)
     _pending.clear();
     _phases.clear();
     _joins.clear();
+    _attempts.clear();
+    _degraded.clear();
+    _running_placement.clear();
     _report = ExecutionReport{};
     _report.configName = _config.name;
 
@@ -699,10 +1064,15 @@ Executor::run(const std::vector<WorkloadSpec> &workloads)
             seedStep(w, s);
         }
     }
+    if (faultsOn())
+        scheduleHealthEvents();
     dispatchAll();
 
+    // With faults off the queue drains exactly at the last completion,
+    // so the allComplete() guard never changes behaviour; with faults
+    // on it stops the run before any still-pending throttle window.
     std::uint64_t guard = 50'000'000;
-    while (_queue.runOne()) {
+    while (!allComplete() && _queue.runOne()) {
         panic_if(--guard == 0, "executor exceeded event budget");
     }
 

@@ -29,11 +29,13 @@
 #include <vector>
 
 #include "nn/graph.hh"
+#include "pim/status_registers.hh"
 #include "rt/execution_report.hh"
 #include "rt/offload_selector.hh"
 #include "rt/schedule_trace.hh"
 #include "rt/system_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_model.hh"
 
 namespace hpim::rt {
 
@@ -106,6 +108,8 @@ class Executor
         std::uint32_t alloc = 0;     ///< currently allocated units
         /** Phase is half of a joined (RC / host-driven) op. */
         bool joined = false;
+        /** Injected transient fault: completing re-dispatches the op. */
+        bool faulty = false;
         double startSec = 0.0;
     };
 
@@ -129,9 +133,28 @@ class Executor
     void startHostDriven(const OpKey &key);
     void addPhase(const OpKey &key, double flops, double intensity,
                   std::uint32_t tree_units, std::uint32_t max_trees,
-                  bool joined);
+                  bool joined, bool faulty);
     void onOpComplete(const OpKey &key);
     void onJoinedPartDone(const OpKey &key, bool fixed_part);
+
+    // ---- Resilience (active only when _config.faults.enabled; every
+    // hook below is a no-op / never reached with faults off, keeping
+    // fault-free runs bit-identical -- see docs/RESILIENCE.md).
+    /** How an offload attempt failed. */
+    enum class FailKind { Transient, Stall, Evicted };
+    bool faultsOn() const { return _fault_model != nullptr; }
+    void setupFaultLayer();
+    void scheduleHealthEvents();
+    std::uint32_t degradeLevel(const OpKey &key) const;
+    std::optional<PlacedOn> ladderPlacement(const OpKey &key,
+                                            std::uint32_t level) const;
+    void failAttempt(const OpKey &key, FailKind kind);
+    void onBankFailed(std::uint32_t bank);
+    void onThrottle(std::size_t index, bool start);
+    void refreshFixedCapacity();
+    void recordCapacity();
+    void evictDeadPoolPhases();
+    bool allComplete() const;
 
     // ---- Fixed pool mechanics.
     void poolDrain();        ///< account work done since last update
@@ -171,9 +194,24 @@ class Executor
     {
         bool controlDone = false;
         bool fixedDone = false;
+        /** A fault poisoned either half: the joint completion becomes
+         *  a failed attempt of kind @ref failKind instead of done. */
+        bool faulty = false;
+        FailKind failKind = FailKind::Transient;
     };
     std::map<std::string, Join> _joins; // keyed by op key string
     static std::string keyStr(const OpKey &key);
+
+    // Resilience state (see docs/RESILIENCE.md). The capacity pair is
+    // maintained even with faults off (then both simply stay at the
+    // configured pool size, preserving the fault-free schedule).
+    std::unique_ptr<hpim::sim::FaultModel> _fault_model;
+    std::unique_ptr<hpim::pim::StatusRegisterFile> _regs;
+    std::uint32_t _fixed_capacity = 0; ///< allocatable (Healthy) units
+    std::uint32_t _fixed_alive = 0;    ///< non-Failed units
+    std::map<std::string, std::uint32_t> _attempts; ///< fails this rung
+    std::map<std::string, std::uint32_t> _degraded; ///< ladder level
+    std::map<std::string, PlacedOn> _running_placement;
 
     // Accounting.
     ExecutionReport _report;

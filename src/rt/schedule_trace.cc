@@ -33,6 +33,13 @@ ScheduleTrace::end(std::size_t token, double end_sec)
 }
 
 void
+ScheduleTrace::abort(std::size_t token, double end_sec)
+{
+    end(token, end_sec);
+    _entries[token].aborted = true;
+}
+
+void
 ScheduleTrace::dumpCsv(std::ostream &os) const
 {
     os << "label,placement,workload,step,start_s,end_s,duration_s\n";

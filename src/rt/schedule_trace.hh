@@ -29,6 +29,10 @@ struct TraceEntry
     std::uint32_t step = 0;
     double startSec = 0.0;
     double endSec = 0.0;
+    /** The attempt faulted / stalled / was evicted and the op was
+     *  re-dispatched; the interval still records real device
+     *  occupancy, but it is not the op's completing execution. */
+    bool aborted = false;
 
     double durationSec() const { return endSec - startSec; }
 };
@@ -44,6 +48,10 @@ class ScheduleTrace
 
     /** Close the interval opened by @p token. */
     void end(std::size_t token, double end_sec);
+
+    /** Close the interval as a faulted attempt (see
+     *  TraceEntry::aborted); the op will appear again when retried. */
+    void abort(std::size_t token, double end_sec);
 
     const std::vector<TraceEntry> &entries() const { return _entries; }
     std::size_t size() const { return _entries.size(); }

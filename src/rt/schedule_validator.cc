@@ -40,7 +40,11 @@ validateSchedule(const ScheduleTrace &trace,
         result.violations.push_back(ScheduleViolation{what});
     };
 
-    // ---- Index intervals by (workload, step, op).
+    // ---- Index intervals by (workload, step, op). Aborted entries
+    // (faulted attempts that were retried) record device occupancy
+    // but are not the op's completing execution: they are skipped
+    // here and in the completeness check, while the capacity sweep
+    // below still sees them.
     using Key = std::tuple<std::uint32_t, std::uint32_t, OpId>;
     std::map<Key, const TraceEntry *> index;
     for (const TraceEntry &entry : trace.entries()) {
@@ -49,6 +53,8 @@ validateSchedule(const ScheduleTrace &trace,
                     + describe(entry));
             continue;
         }
+        if (entry.aborted)
+            continue;
         Key key{entry.workload, entry.step, entry.opId};
         if (!index.emplace(key, &entry).second)
             violate("duplicate interval: " + describe(entry));

@@ -20,6 +20,7 @@
 #include "mem/dram_energy.hh"
 #include "pim/fixed_pim.hh"
 #include "pim/progr_pim.hh"
+#include "sim/fault_model.hh"
 
 namespace hpim::rt {
 
@@ -97,6 +98,12 @@ struct SystemConfig
     // ---- Simulation control.
     /** Training steps simulated back to back. */
     std::uint32_t steps = 4;
+
+    // ---- Resilience.
+    /** Fault injection (transient faults, kernel stalls, bank kills,
+     *  thermal throttling); disabled by default and strictly zero-cost
+     *  when off -- see docs/RESILIENCE.md. */
+    hpim::sim::FaultConfig faults;
 
     /** Scale PIM clocks (paper Fig. 11/17). Returns a copy. */
     SystemConfig

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for sim::FaultModel: determinism, the kill-prefix
+ * property behind monotone capacity sweeps, retry backoff, watchdog
+ * timeouts, and thermal throttle derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/fault_model.hh"
+
+using hpim::sim::FaultConfig;
+using hpim::sim::FaultModel;
+
+namespace {
+
+std::vector<std::uint32_t>
+eightBanks()
+{
+    return {10, 12, 10, 12, 10, 12, 10, 12};
+}
+
+std::set<std::uint32_t>
+killedBanks(const FaultModel &model)
+{
+    std::set<std::uint32_t> banks;
+    for (const auto &kill : model.kills())
+        banks.insert(kill.bank);
+    return banks;
+}
+
+} // namespace
+
+TEST(FaultModel, DefaultConfigDrawsNoFaults)
+{
+    FaultModel model(FaultConfig{}, eightBanks());
+    EXPECT_TRUE(model.kills().empty());
+    EXPECT_TRUE(model.throttles().empty());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(model.drawAttempt(true), FaultModel::Attempt::Success);
+}
+
+TEST(FaultModel, ScheduleIsDeterministicInTheSeed)
+{
+    FaultConfig config;
+    config.killBanks = 3;
+    config.transientRatePerOp = 0.3;
+    config.stallRatePerOp = 0.1;
+    config.seed = 42;
+
+    FaultModel a(config, eightBanks());
+    FaultModel b(config, eightBanks());
+    ASSERT_EQ(a.kills().size(), b.kills().size());
+    for (std::size_t i = 0; i < a.kills().size(); ++i) {
+        EXPECT_EQ(a.kills()[i].bank, b.kills()[i].bank);
+        EXPECT_DOUBLE_EQ(a.kills()[i].timeSec, b.kills()[i].timeSec);
+    }
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.drawAttempt(i % 2 == 0), b.drawAttempt(i % 2 == 0));
+}
+
+TEST(FaultModel, KillSetIsPrefixOfLargerKillCount)
+{
+    // The distinct-bank walk makes the k-kill set a prefix of the
+    // (k+1)-kill set under the same seed -- capacity-vs-kills sweeps
+    // are monotone by construction.
+    FaultConfig config;
+    config.seed = 7;
+    for (std::uint32_t k = 0; k + 1 <= 8; ++k) {
+        config.killBanks = k;
+        FaultModel small(config, eightBanks());
+        config.killBanks = k + 1;
+        FaultModel big(config, eightBanks());
+        auto small_set = killedBanks(small);
+        auto big_set = killedBanks(big);
+        EXPECT_EQ(small_set.size(), k);
+        EXPECT_EQ(big_set.size(), k + 1);
+        for (std::uint32_t bank : small_set)
+            EXPECT_TRUE(big_set.count(bank));
+    }
+}
+
+TEST(FaultModel, KillsAreSortedAndDistinct)
+{
+    FaultConfig config;
+    config.killBanks = 8;
+    FaultModel model(config, eightBanks());
+    ASSERT_EQ(model.kills().size(), 8u);
+    EXPECT_EQ(killedBanks(model).size(), 8u);
+    for (std::size_t i = 1; i < model.kills().size(); ++i) {
+        EXPECT_LE(model.kills()[i - 1].timeSec,
+                  model.kills()[i].timeSec);
+    }
+    for (const auto &kill : model.kills()) {
+        EXPECT_GE(kill.timeSec, 0.0);
+        EXPECT_LT(kill.timeSec, config.killSpreadSec);
+    }
+}
+
+TEST(FaultModel, KillCountClampsToBankCount)
+{
+    FaultConfig config;
+    config.killBanks = 1000;
+    FaultModel model(config, eightBanks());
+    EXPECT_EQ(model.kills().size(), 8u);
+}
+
+TEST(FaultModel, CertainRatesForceOutcomes)
+{
+    FaultConfig transient;
+    transient.transientRatePerOp = 1.0;
+    FaultModel t(transient, eightBanks());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.drawAttempt(false), FaultModel::Attempt::Transient);
+
+    FaultConfig stall;
+    stall.stallRatePerOp = 1.0;
+    FaultModel s(stall, eightBanks());
+    for (int i = 0; i < 100; ++i) {
+        // Stalls only exist for programmable kernel launches.
+        EXPECT_EQ(s.drawAttempt(true), FaultModel::Attempt::Stall);
+        EXPECT_EQ(s.drawAttempt(false), FaultModel::Attempt::Success);
+    }
+}
+
+TEST(FaultModel, BackoffIsExponentialAndCapped)
+{
+    FaultConfig config;
+    config.backoffBaseSec = 1e-5;
+    config.backoffCapSec = 6e-5;
+    FaultModel model(config, eightBanks());
+    EXPECT_DOUBLE_EQ(model.backoffSec(1), 1e-5);
+    EXPECT_DOUBLE_EQ(model.backoffSec(2), 2e-5);
+    EXPECT_DOUBLE_EQ(model.backoffSec(3), 4e-5);
+    EXPECT_DOUBLE_EQ(model.backoffSec(4), 6e-5); // capped
+    EXPECT_DOUBLE_EQ(model.backoffSec(10), 6e-5);
+}
+
+TEST(FaultModel, StallTimeoutHasFloorAndMultiplier)
+{
+    FaultConfig config;
+    config.stallTimeoutMult = 4.0;
+    config.stallTimeoutFloorSec = 1e-4;
+    FaultModel model(config, eightBanks());
+    EXPECT_DOUBLE_EQ(model.stallTimeoutSec(1e-6), 1e-4);  // floor
+    EXPECT_DOUBLE_EQ(model.stallTimeoutSec(1e-3), 4e-3);  // 4x
+}
+
+TEST(FaultModel, ThrottlesDeriveFromBankTemperatures)
+{
+    FaultConfig config;
+    config.throttleTempC = 60.0;
+    config.throttlePeriodSec = 1e-3;
+    config.throttleDutyFrac = 0.25;
+    std::vector<double> temps = {45.0, 75.0, 59.9, 60.1,
+                                 45.0, 45.0, 90.0, 45.0};
+    FaultModel model(config, eightBanks(), temps);
+    ASSERT_EQ(model.throttles().size(), 3u);
+    std::set<std::uint32_t> hot;
+    for (const auto &spec : model.throttles()) {
+        hot.insert(spec.bank);
+        EXPECT_DOUBLE_EQ(spec.onSec, 0.25e-3);
+        EXPECT_DOUBLE_EQ(spec.offSec, 0.75e-3);
+        EXPECT_GE(spec.firstStartSec, 0.0);
+        EXPECT_LT(spec.firstStartSec, config.throttlePeriodSec);
+    }
+    EXPECT_EQ(hot, (std::set<std::uint32_t>{1, 3, 6}));
+}
+
+TEST(FaultModelDeath, InvalidRateIsFatal)
+{
+    FaultConfig config;
+    config.transientRatePerOp = 1.5;
+    EXPECT_EXIT(FaultModel(config, eightBanks()),
+                testing::ExitedWithCode(1), "transientRatePerOp");
+}
+
+TEST(FaultModelDeath, ZeroAttemptsIsFatal)
+{
+    FaultConfig config;
+    config.maxAttempts = 0;
+    EXPECT_EXIT(FaultModel(config, eightBanks()),
+                testing::ExitedWithCode(1), "maxAttempts");
+}

@@ -32,6 +32,16 @@ sample()
     r.edp = 0.5;
     r.opsByPlacement[rt::PlacedOn::Cpu] = 10;
     r.opsByPlacement[rt::PlacedOn::FixedPool] = 20;
+    r.transientFaults = 3;
+    r.kernelStalls = 1;
+    r.retries = 4;
+    r.opsDegraded = 2;
+    r.retryBackoffSec = 1.5e-4;
+    r.banksFailed = 1;
+    r.unitsLost = 14;
+    r.throttleEvents = 6;
+    r.capacityTimeline.push_back({0.0, 444});
+    r.capacityTimeline.push_back({0.01, 430});
     return r;
 }
 
@@ -68,6 +78,21 @@ TEST(ReportIo, JsonContainsKeyFields)
               std::string::npos);
     EXPECT_NE(text.find("\"fixed\":20"), std::string::npos);
     EXPECT_NE(text.find("\"cpu\":10"), std::string::npos);
+}
+
+TEST(ReportIo, ResilienceFieldsSerialized)
+{
+    std::ostringstream csv, json;
+    writeCsv(csv, {sample()});
+    writeJson(json, sample());
+    EXPECT_NE(csv.str().find("transient_faults"), std::string::npos);
+    EXPECT_NE(csv.str().find("banks_failed"), std::string::npos);
+    EXPECT_NE(json.str().find("\"resilience\":{"), std::string::npos);
+    EXPECT_NE(json.str().find("\"transient_faults\":3"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"units_lost\":14"), std::string::npos);
+    EXPECT_NE(json.str().find("\"capacity_timeline\":[[0,444],"),
+              std::string::npos);
 }
 
 TEST(ReportIo, JsonBracesBalanced)

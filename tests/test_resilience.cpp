@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Integration tests for the fault-injection and graceful-degradation
+ * layer (docs/RESILIENCE.md): zero cost when off, training survives
+ * losing a quarter of the fixed-function pool, deterministic fault
+ * schedules, the degradation ladder's CPU guarantee, watchdog stall
+ * recovery, and thermal throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "baseline/presets.hh"
+#include "nn/models.hh"
+#include "rt/executor.hh"
+#include "rt/schedule_validator.hh"
+
+using namespace hpim;
+
+namespace {
+
+rt::SystemConfig
+heteroConfig()
+{
+    return baseline::makeConfig(baseline::SystemKind::HeteroPim);
+}
+
+struct FaultedRun
+{
+    rt::ExecutionReport report;
+    std::vector<std::string> violations;
+    std::size_t graphOps = 0;
+};
+
+/** Run @p model under @p config with a validated schedule trace. */
+FaultedRun
+runValidated(const rt::SystemConfig &config, nn::ModelId model,
+             std::uint32_t steps)
+{
+    nn::Graph graph = nn::buildModel(model);
+    rt::Executor executor(config);
+    rt::ScheduleTrace trace;
+    executor.attachTrace(&trace);
+
+    FaultedRun run;
+    run.report = executor.run(graph, steps);
+    run.graphOps = graph.size();
+    auto validation =
+        validateSchedule(trace, {&graph}, {steps}, config);
+    for (const auto &violation : validation.violations)
+        run.violations.push_back(violation.what);
+    return run;
+}
+
+std::uint64_t
+totalPlaced(const rt::ExecutionReport &report)
+{
+    std::uint64_t total = 0;
+    for (const auto &[placement, count] : report.opsByPlacement)
+        total += count;
+    return total;
+}
+
+} // namespace
+
+TEST(Resilience, ZeroCostWhenOff)
+{
+    // Leaving every fault knob set but the master switch off must be
+    // indistinguishable from a build without the fault layer.
+    rt::SystemConfig clean = heteroConfig();
+    rt::SystemConfig armed = heteroConfig();
+    armed.faults.enabled = false; // the master switch rules them all
+    armed.faults.transientRatePerOp = 0.5;
+    armed.faults.stallRatePerOp = 0.5;
+    armed.faults.killBanks = 16;
+    armed.faults.throttleTempC = 0.0;
+
+    nn::Graph graph = nn::buildModel(nn::ModelId::AlexNet);
+    auto a = rt::Executor(clean).run(graph, 2);
+    auto b = rt::Executor(armed).run(graph, 2);
+
+    EXPECT_EQ(a.makespanSec, b.makespanSec); // bit-identical
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.opsByPlacement, b.opsByPlacement);
+    EXPECT_EQ(b.transientFaults, 0u);
+    EXPECT_EQ(b.retries, 0u);
+    EXPECT_EQ(b.banksFailed, 0u);
+    EXPECT_TRUE(b.capacityTimeline.empty());
+}
+
+TEST(Resilience, KillingQuarterOfPoolStillCompletesTraining)
+{
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true;
+    config.faults.killBanks = 8; // 25% of the 32 banks
+    config.faults.transientRatePerOp = 1e-3;
+    config.faults.killSpreadSec = 0.02;
+    config.faults.seed = 1234;
+
+    auto run = runValidated(config, nn::ModelId::AlexNet, 2);
+    for (const auto &what : run.violations)
+        ADD_FAILURE() << what;
+    EXPECT_TRUE(run.violations.empty());
+
+    const auto &r = run.report;
+    EXPECT_EQ(r.banksFailed, 8u);
+    EXPECT_GT(r.unitsLost, 0u);
+    // Every op of every step completed exactly once, somewhere.
+    EXPECT_EQ(totalPlaced(r), std::uint64_t(run.graphOps) * 2u);
+
+    // The capacity timeline starts at full pool size and only shrinks
+    // (kills are the only health events in this run).
+    ASSERT_FALSE(r.capacityTimeline.empty());
+    EXPECT_EQ(r.capacityTimeline.front().units,
+              config.fixed.totalUnits);
+    for (std::size_t i = 1; i < r.capacityTimeline.size(); ++i) {
+        EXPECT_LE(r.capacityTimeline[i].units,
+                  r.capacityTimeline[i - 1].units);
+    }
+    EXPECT_LT(r.capacityTimeline.back().units,
+              config.fixed.totalUnits);
+}
+
+TEST(Resilience, FaultScheduleIsDeterministicAcrossReruns)
+{
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true;
+    config.faults.killBanks = 4;
+    config.faults.transientRatePerOp = 5e-3;
+    config.faults.stallRatePerOp = 1e-3;
+    config.faults.seed = 99;
+
+    auto a = runValidated(config, nn::ModelId::Dcgan, 2);
+    auto b = runValidated(config, nn::ModelId::Dcgan, 2);
+
+    EXPECT_EQ(a.report.makespanSec, b.report.makespanSec);
+    EXPECT_EQ(a.report.totalEnergyJ, b.report.totalEnergyJ);
+    EXPECT_EQ(a.report.transientFaults, b.report.transientFaults);
+    EXPECT_EQ(a.report.kernelStalls, b.report.kernelStalls);
+    EXPECT_EQ(a.report.retries, b.report.retries);
+    EXPECT_EQ(a.report.opsDegraded, b.report.opsDegraded);
+    EXPECT_EQ(a.report.opsByPlacement, b.report.opsByPlacement);
+    ASSERT_EQ(a.report.capacityTimeline.size(),
+              b.report.capacityTimeline.size());
+    for (std::size_t i = 0; i < a.report.capacityTimeline.size(); ++i) {
+        EXPECT_EQ(a.report.capacityTimeline[i].timeSec,
+                  b.report.capacityTimeline[i].timeSec);
+        EXPECT_EQ(a.report.capacityTimeline[i].units,
+                  b.report.capacityTimeline[i].units);
+    }
+}
+
+TEST(Resilience, CertainFaultsDegradeEveryOpToTheCpu)
+{
+    // With every offload attempt failing verification, the ladder
+    // must walk each op down to the (reliable) host CPU and training
+    // must still terminate.
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true;
+    config.faults.transientRatePerOp = 1.0;
+    config.faults.maxAttempts = 2;
+
+    auto run = runValidated(config, nn::ModelId::Dcgan, 1);
+    for (const auto &what : run.violations)
+        ADD_FAILURE() << what;
+
+    const auto &r = run.report;
+    EXPECT_EQ(totalPlaced(r), std::uint64_t(run.graphOps));
+    // Nothing can complete anywhere but the CPU.
+    EXPECT_EQ(r.opsByPlacement.count(rt::PlacedOn::FixedPool), 0u);
+    EXPECT_EQ(r.opsByPlacement.count(rt::PlacedOn::ProgrPim), 0u);
+    EXPECT_EQ(r.opsByPlacement.at(rt::PlacedOn::Cpu),
+              std::uint64_t(run.graphOps));
+    EXPECT_GT(r.transientFaults, 0u);
+    EXPECT_GT(r.opsDegraded, 0u);
+    EXPECT_GT(r.retryBackoffSec, 0.0);
+}
+
+TEST(Resilience, StalledKernelsAreReclaimedByTheWatchdog)
+{
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true;
+    config.faults.stallRatePerOp = 1.0;
+    config.faults.maxAttempts = 1; // degrade on the first stall
+
+    auto run = runValidated(config, nn::ModelId::Dcgan, 1);
+    for (const auto &what : run.violations)
+        ADD_FAILURE() << what;
+    EXPECT_EQ(totalPlaced(run.report), std::uint64_t(run.graphOps));
+    EXPECT_GT(run.report.kernelStalls, 0u);
+    // Every programmable kernel stalls, so nothing completes there.
+    EXPECT_EQ(run.report.opsByPlacement.count(rt::PlacedOn::ProgrPim),
+              0u);
+    EXPECT_EQ(
+        run.report.opsByPlacement.count(rt::PlacedOn::ProgrRecursive),
+        0u);
+}
+
+TEST(Resilience, ThermalThrottlingEngagesAndRecovers)
+{
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true;
+    // At stock clocks the solved bank temperatures sit only a couple
+    // of kelvin above the 45C ambient, so drop the threshold to force
+    // the duty cycle.
+    config.faults.throttleTempC = 40.0;
+    config.faults.throttlePeriodSec = 2e-3;
+    config.faults.throttleDutyFrac = 0.25;
+
+    auto run = runValidated(config, nn::ModelId::Dcgan, 1);
+    for (const auto &what : run.violations)
+        ADD_FAILURE() << what;
+    const auto &r = run.report;
+    EXPECT_EQ(totalPlaced(r), std::uint64_t(run.graphOps));
+    EXPECT_GT(r.throttleEvents, 0u);
+    EXPECT_EQ(r.banksFailed, 0u);
+
+    // Capacity dips below full and comes back (throttles recover).
+    std::uint32_t min_units = r.capacityTimeline.front().units;
+    std::uint32_t max_units = 0;
+    for (const auto &sample : r.capacityTimeline) {
+        min_units = std::min(min_units, sample.units);
+        max_units = std::max(max_units, sample.units);
+    }
+    EXPECT_LT(min_units, config.fixed.totalUnits);
+    EXPECT_EQ(max_units, config.fixed.totalUnits);
+}
+
+TEST(Resilience, FaultCountersStayZeroWithBenignRates)
+{
+    rt::SystemConfig config = heteroConfig();
+    config.faults.enabled = true; // on, but nothing ever drawn
+
+    auto run = runValidated(config, nn::ModelId::AlexNet, 2);
+    EXPECT_TRUE(run.violations.empty());
+    const auto &r = run.report;
+    EXPECT_EQ(r.transientFaults, 0u);
+    EXPECT_EQ(r.kernelStalls, 0u);
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_EQ(r.opsDegraded, 0u);
+    EXPECT_EQ(r.banksFailed, 0u);
+    EXPECT_EQ(r.throttleEvents, 0u);
+    // The timeline exists (t = 0 sample) but never changes.
+    ASSERT_FALSE(r.capacityTimeline.empty());
+    for (const auto &sample : r.capacityTimeline)
+        EXPECT_EQ(sample.units, config.fixed.totalUnits);
+    // And the schedule equals the fault-free one bit for bit.
+    rt::SystemConfig clean = heteroConfig();
+    nn::Graph graph = nn::buildModel(nn::ModelId::AlexNet);
+    auto reference = rt::Executor(clean).run(graph, 2);
+    EXPECT_EQ(r.makespanSec, reference.makespanSec);
+    EXPECT_EQ(r.opsByPlacement, reference.opsByPlacement);
+}
+

@@ -35,6 +35,7 @@ namespace {
 
 constexpr std::size_t numFuzzPoints = 200;
 constexpr std::uint64_t fuzzBaseSeed = 0xf022ed5eedULL;
+constexpr std::uint64_t faultFuzzBaseSeed = 0xfa17f022edULL;
 
 /** Append one random op, depending on up to 3 earlier ops. */
 void
@@ -197,6 +198,31 @@ randomConfig(sim::Rng &rng)
     return config;
 }
 
+/** Arm the resilience layer with a random fault schedule. */
+void
+randomFaults(rt::SystemConfig &config, sim::Rng &rng)
+{
+    config.faults.enabled = true;
+    config.faults.seed = rng.next();
+    // Mostly moderate rates, occasionally certain failure so the
+    // degradation ladder's CPU rung gets exercised too.
+    config.faults.transientRatePerOp =
+        rng.chance(0.15) ? 1.0 : rng.uniform(0.0, 0.05);
+    config.faults.stallRatePerOp =
+        rng.chance(0.1) ? 1.0 : rng.uniform(0.0, 0.02);
+    config.faults.maxAttempts =
+        static_cast<std::uint32_t>(rng.inRange(1, 4));
+    config.faults.killBanks = static_cast<std::uint32_t>(
+        rng.below(std::max(config.fixed.banks / 2, 1u) + 1));
+    config.faults.killSpreadSec = rng.uniform(1e-4, 0.05);
+    // Sometimes drop the threshold below the solved bank
+    // temperatures so throttling actually engages.
+    config.faults.throttleTempC =
+        rng.chance(0.3) ? rng.uniform(0.0, 50.0) : 85.0;
+    config.faults.throttlePeriodSec = rng.uniform(5e-4, 5e-3);
+    config.faults.throttleDutyFrac = rng.uniform(0.1, 0.9);
+}
+
 struct FuzzOutcome
 {
     std::size_t point = 0;
@@ -205,12 +231,14 @@ struct FuzzOutcome
 
 /** Run one random (graphs, config) point and collect violations. */
 FuzzOutcome
-fuzzPoint(std::size_t index, sim::Rng &rng)
+fuzzPoint(std::size_t index, sim::Rng &rng, bool with_faults = false)
 {
     FuzzOutcome outcome;
     outcome.point = index;
 
     rt::SystemConfig config = randomConfig(rng);
+    if (with_faults)
+        randomFaults(config, rng);
     nn::Graph primary =
         randomGraph(rng, "fuzz" + std::to_string(index));
 
@@ -252,6 +280,21 @@ fuzzPoint(std::size_t index, sim::Rng &rng)
         if (!ok)
             outcome.violations.push_back("report invariant: " + what);
     };
+    if (with_faults) {
+        // Graceful degradation must never drop work: every op of
+        // every step completes somewhere (possibly on the CPU).
+        std::uint64_t expected = 0;
+        for (const auto &workload : workloads)
+            expected += std::uint64_t(workload.graph->size())
+                        * workload.steps;
+        std::uint64_t placed = 0;
+        for (const auto &[placement, count] : report.opsByPlacement)
+            placed += count;
+        check(placed == expected,
+              "all " + std::to_string(expected)
+                  + " ops complete under faults (got "
+                  + std::to_string(placed) + ")");
+    }
     double makespan = report.makespanSec;
     double slack = 1e-9 + 1e-6 * makespan;
     check(makespan > 0.0, "makespan must be positive");
@@ -287,7 +330,10 @@ TEST(ScheduleFuzz, RandomGraphsAndConfigsProduceLegalSchedules)
     harness::SweepOptions options;
     options.baseSeed = fuzzBaseSeed;
     harness::SweepRunner runner(options);
-    auto outcomes = runner.map(numFuzzPoints, fuzzPoint);
+    auto outcomes =
+        runner.map(numFuzzPoints, [](std::size_t index, sim::Rng &rng) {
+            return fuzzPoint(index, rng, false);
+        });
 
     std::size_t failing_points = 0;
     for (const FuzzOutcome &outcome : outcomes) {
@@ -298,6 +344,36 @@ TEST(ScheduleFuzz, RandomGraphsAndConfigsProduceLegalSchedules)
             ADD_FAILURE() << "point " << outcome.point
                           << " (stream seed "
                           << sim::Rng::streamSeed(fuzzBaseSeed,
+                                                  outcome.point)
+                          << "): " << what;
+        }
+    }
+    EXPECT_EQ(failing_points, 0u);
+}
+
+TEST(ScheduleFuzz, RandomFaultSchedulesStillProduceLegalSchedules)
+{
+    // Second 200-point pass with the resilience layer armed: random
+    // transient/stall rates, bank kills and thermal throttling on top
+    // of the random (graph, config) points. Schedules must stay
+    // violation-free and no op may be lost to a fault.
+    harness::SweepOptions options;
+    options.baseSeed = faultFuzzBaseSeed;
+    harness::SweepRunner runner(options);
+    auto outcomes =
+        runner.map(numFuzzPoints, [](std::size_t index, sim::Rng &rng) {
+            return fuzzPoint(index, rng, true);
+        });
+
+    std::size_t failing_points = 0;
+    for (const FuzzOutcome &outcome : outcomes) {
+        if (outcome.violations.empty())
+            continue;
+        ++failing_points;
+        for (const auto &what : outcome.violations) {
+            ADD_FAILURE() << "fault point " << outcome.point
+                          << " (stream seed "
+                          << sim::Rng::streamSeed(faultFuzzBaseSeed,
                                                   outcome.point)
                           << "): " << what;
         }

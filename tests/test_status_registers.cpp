@@ -7,6 +7,7 @@
 
 #include "pim/status_registers.hh"
 
+using hpim::pim::BankState;
 using hpim::pim::StatusRegisterFile;
 
 namespace {
@@ -76,11 +77,65 @@ TEST(StatusRegisters, UnevenBankCapacities)
     EXPECT_TRUE(regs.acquire(1, 5));
 }
 
-TEST(StatusRegistersDeath, OverReleasePanics)
+TEST(StatusRegisters, OverReleaseIsCheckedError)
 {
     auto regs = fourBanks();
     regs.acquire(0, 2);
-    EXPECT_DEATH(regs.release(0, 3), "releasing");
+    // Releasing more than is busy is rejected with a log message and
+    // leaves the register state untouched.
+    EXPECT_FALSE(regs.release(0, 3));
+    EXPECT_EQ(regs.freeUnits(0), 8u);
+    EXPECT_TRUE(regs.release(0, 2));
+    EXPECT_FALSE(regs.bankBusy(0));
+}
+
+TEST(StatusRegisters, OutOfRangeAcquireReleaseAreCheckedErrors)
+{
+    auto regs = fourBanks();
+    EXPECT_FALSE(regs.acquire(4, 1));
+    EXPECT_FALSE(regs.release(99, 1));
+    EXPECT_EQ(regs.totalFreeUnits(), 40u);
+}
+
+TEST(StatusRegisters, FailedBankRetiresPermanently)
+{
+    auto regs = fourBanks();
+    regs.markFailed(2);
+    EXPECT_EQ(regs.bankState(2), BankState::Failed);
+    EXPECT_EQ(regs.failedBanks(), 1u);
+    EXPECT_EQ(regs.freeUnits(2), 0u);
+    EXPECT_FALSE(regs.acquire(2, 1));
+    EXPECT_EQ(regs.availableUnits(), 30u);
+    EXPECT_EQ(regs.aliveUnits(), 30u);
+    // Idempotent; un-throttling cannot resurrect a failed bank.
+    regs.markFailed(2);
+    EXPECT_EQ(regs.failedBanks(), 1u);
+    regs.setThrottled(2, false);
+    EXPECT_EQ(regs.bankState(2), BankState::Failed);
+}
+
+TEST(StatusRegisters, ThrottledBankComesBack)
+{
+    auto regs = fourBanks();
+    regs.setThrottled(1, true);
+    EXPECT_EQ(regs.bankState(1), BankState::Throttled);
+    EXPECT_EQ(regs.availableUnits(), 30u);
+    EXPECT_EQ(regs.aliveUnits(), 40u); // throttled still counts alive
+    EXPECT_FALSE(regs.acquire(1, 1));
+    regs.setThrottled(1, false);
+    EXPECT_EQ(regs.availableUnits(), 40u);
+    EXPECT_TRUE(regs.acquire(1, 1));
+}
+
+TEST(StatusRegisters, HealthMaskTracksStates)
+{
+    auto regs = fourBanks();
+    EXPECT_EQ(regs.healthMask(), 0b1111u);
+    regs.markFailed(0);
+    regs.setThrottled(2, true);
+    EXPECT_EQ(regs.healthMask(), 0b1010u);
+    regs.setThrottled(2, false);
+    EXPECT_EQ(regs.healthMask(), 0b1110u);
 }
 
 TEST(StatusRegistersDeath, BadBankPanics)

@@ -136,17 +136,36 @@ TEST(SweepDeterminism, StatsAccountForEveryPoint)
     EXPECT_GE(runner.stats().serialSec, 0.0);
 }
 
-TEST(SweepDeterminism, ExceptionInsideAPointPropagates)
+TEST(SweepDeterminism, ThrowingPointsAreRecordedNotFatal)
 {
+    // A sweep survives points that throw: the failure is captured in
+    // the stats (index order, whatever the worker count), the failed
+    // slot is default-constructed and every other point still runs.
     SweepOptions options;
     options.jobs = 4;
     SweepRunner runner(options);
-    EXPECT_THROW(
-        runner.map(8,
-                   [](std::size_t i, sim::Rng &) -> int {
-                       if (i == 5)
-                           throw std::runtime_error("point failed");
-                       return int(i);
-                   }),
-        std::runtime_error);
+    auto results =
+        runner.map(8, [](std::size_t i, sim::Rng &) -> int {
+            if (i == 2 || i == 5)
+                throw std::runtime_error("point " + std::to_string(i)
+                                         + " failed");
+            return int(i) + 1;
+        });
+    ASSERT_EQ(results.size(), 8u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], (i == 2 || i == 5) ? 0 : int(i) + 1);
+
+    const auto &failures = runner.stats().failures;
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].index, 2u);
+    EXPECT_EQ(failures[0].what, "point 2 failed");
+    EXPECT_EQ(failures[1].index, 5u);
+    EXPECT_EQ(failures[1].what, "point 5 failed");
+
+    // The summary footer reports them.
+    std::ostringstream os;
+    harness::printSweepSummary(os, runner.stats());
+    EXPECT_NE(os.str().find("2 points FAILED"), std::string::npos);
+    EXPECT_NE(os.str().find("point 5: point 5 failed"),
+              std::string::npos);
 }
