@@ -11,10 +11,13 @@
  *  2. per-op transient/stall fault-rate sweep -- retries, backoff
  *     time, degradations and the resulting step-time inflation.
  *
- * Flags: --jobs N, --seed S (sweep engine), --fault-seed S (fault
- * schedule; default the engine's defaultSeed). Output is
- * deterministic in --fault-seed whatever --jobs says; CI diffs
- * reruns of this binary (minus the [sweep] footer) to enforce it.
+ * Flags: --jobs N, --seed S (sweep engine), --journal DIR
+ * (crash-safe checkpoint/resume), --fault-seed S (fault schedule;
+ * default the engine's defaultSeed). Output is deterministic in
+ * --fault-seed whatever --jobs says; CI diffs reruns of this binary
+ * (minus the [sweep] footer) to enforce it, and the kill-and-resume
+ * job SIGKILLs a journaled run partway and diffs the resumed output
+ * against a clean run.
  */
 
 #include <cstring>
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "baseline/presets.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
@@ -90,8 +94,14 @@ main(int argc, char **argv)
     // so surviving capacity can only shrink down the table.
     const std::vector<std::uint32_t> kill_counts = {0,  4,  8,  12,
                                                     16, 24, 32};
-    auto kill_reports = runner.map(
-        kill_counts.size(), [&](std::size_t i, sim::Rng &) {
+    std::uint64_t kills_hash = harness::hashU64(
+        fault_seed,
+        harness::hashString("fault_sweep/kills v1",
+                            0xcbf29ce484222325ULL));
+    for (std::uint32_t kills : kill_counts)
+        kills_hash = harness::hashU64(kills, kills_hash);
+    auto kill_reports = runner.mapReports(
+        kill_counts.size(), kills_hash, [&](std::size_t i, sim::Rng &) {
             sim::FaultConfig faults;
             faults.seed = fault_seed;
             faults.killBanks = kill_counts[i];
@@ -128,8 +138,20 @@ main(int argc, char **argv)
         {0.0, 0.0},   {1e-4, 0.0},  {1e-3, 1e-4},
         {1e-2, 1e-3}, {0.05, 1e-2}, {1.0, 0.0},
     };
+    std::uint64_t rates_hash = harness::hashU64(
+        fault_seed,
+        harness::hashString("fault_sweep/rates v1",
+                            0xcbf29ce484222325ULL));
+    for (const RatePoint &rate : rates) {
+        rates_hash = harness::hashBytes(&rate.transient,
+                                        sizeof rate.transient,
+                                        rates_hash);
+        rates_hash = harness::hashBytes(&rate.stall,
+                                        sizeof rate.stall, rates_hash);
+    }
     auto rate_reports =
-        runner.map(rates.size(), [&](std::size_t i, sim::Rng &) {
+        runner.mapReports(rates.size(), rates_hash,
+                          [&](std::size_t i, sim::Rng &) {
             sim::FaultConfig faults;
             faults.seed = fault_seed;
             faults.transientRatePerOp = rates[i].transient;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
@@ -67,8 +68,14 @@ main(int argc, char **argv)
 
     harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
     auto models = nn::cnnModels();
-    auto reports = runner.map(
-        models.size() * numVariants,
+    std::uint64_t grid_hash = harness::hashString(
+        "fig13 models x variants v1", 0xcbf29ce484222325ULL);
+    for (auto model : models)
+        grid_hash = harness::hashU64(
+            static_cast<std::uint64_t>(model), grid_hash);
+    grid_hash = harness::hashU64(numVariants, grid_hash);
+    auto reports = runner.mapReports(
+        models.size() * numVariants, grid_hash,
         [&models](std::size_t i, sim::Rng &) {
             return runVariant(models[i / numVariants],
                               i % numVariants);

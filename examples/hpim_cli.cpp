@@ -24,6 +24,8 @@
  *   hpim_cli --model alexnet --summary --dot > alexnet.dot
  */
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -34,12 +36,20 @@
 #include "nn/models.hh"
 #include "nn/summary.hh"
 #include "rt/hetero_runtime.hh"
+#include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace {
 
 using namespace hpim;
+
+const char *const kUsage =
+    "usage: hpim_cli [--model NAME] [--system NAME]\n"
+    "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
+    "  [--no-rc] [--no-op] [--fault-rate R]\n"
+    "  [--kill-banks N] [--fault-seed S] [--csv]\n"
+    "  [--json] [--summary] [--dot]";
 
 nn::ModelId
 parseModel(const std::string &name)
@@ -51,7 +61,10 @@ parseModel(const std::string &name)
     if (name == "inception3") return nn::ModelId::InceptionV3;
     if (name == "lstm") return nn::ModelId::Lstm;
     if (name == "word2vec") return nn::ModelId::Word2vec;
-    fatal("unknown model '", name, "'");
+    fatal("unknown model '", name,
+          "' (vgg19 alexnet dcgan resnet50 inception3 lstm "
+          "word2vec)\n",
+          kUsage);
 }
 
 baseline::SystemKind
@@ -63,7 +76,62 @@ parseSystem(const std::string &name)
     if (name == "fixed") return baseline::SystemKind::FixedPimOnly;
     if (name == "hetero") return baseline::SystemKind::HeteroPim;
     if (name == "neurocube") return baseline::SystemKind::Neurocube;
-    fatal("unknown system '", name, "'");
+    fatal("unknown system '", name,
+          "' (cpu gpu progr fixed hetero neurocube)\n", kUsage);
+}
+
+/** strtoull with full-consumption checking: '12x' and '-3' fail. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()
+        || text[0] == '-' || errno == ERANGE)
+        fatal(flag, " expects an unsigned integer, got '", text,
+              "'\n", kUsage);
+    return value;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        fatal(flag, " expects a number, got '", text, "'\n", kUsage);
+    return value;
+}
+
+/**
+ * What a valid hpim_cli invocation looks like: every flag's type and
+ * range. An out-of-range value or (via allowUnknown=false) any key a
+ * typo smuggled into the store fails fast with the full list of
+ * violations instead of silently simulating nonsense.
+ */
+sim::ConfigSchema
+cliSchema()
+{
+    using sim::ConfigType;
+    sim::ConfigSchema schema;
+    schema.keys = {
+        {"model", ConfigType::String, true, 0.0, 0.0},
+        {"system", ConfigType::String, true, 0.0, 0.0},
+        {"steps", ConfigType::Int, true, 1.0, 1e6},
+        {"freq_scale", ConfigType::Double, true, 1.0 / 64, 128.0},
+        {"progr_pims", ConfigType::Int, true, 1.0, 256.0},
+        {"rc", ConfigType::Bool, true, 0.0, 0.0},
+        {"op", ConfigType::Bool, true, 0.0, 0.0},
+        {"fault_rate", ConfigType::Double, true, 0.0, 1.0},
+        {"kill_banks", ConfigType::Int, true, 0.0, 4096.0},
+        {"csv", ConfigType::Bool, true, 0.0, 0.0},
+        {"json", ConfigType::Bool, true, 0.0, 0.0},
+        {"summary", ConfigType::Bool, true, 0.0, 0.0},
+        {"dot", ConfigType::Bool, true, 0.0, 0.0},
+    };
+    return schema;
 }
 
 } // namespace
@@ -71,57 +139,79 @@ parseSystem(const std::string &name)
 int
 main(int argc, char **argv)
 {
-    nn::ModelId model = nn::ModelId::AlexNet;
-    baseline::SystemKind system = baseline::SystemKind::HeteroPim;
-    std::uint32_t steps = 4;
-    double freq_scale = 1.0;
-    std::uint32_t progr_pims = 1;
-    bool rc = true, op = true;
-    bool csv = false, json = false, summary = false, dot = false;
-    double fault_rate = 0.0;
-    std::uint32_t kill_banks = 0;
+    // Flags accumulate into a typed config and are validated against
+    // cliSchema() in one pass before anything simulates.
+    sim::Config cli;
+    cli.set("model", "alexnet");
+    cli.set("system", "hetero");
+    cli.set("steps", 4);
+    cli.set("freq_scale", 1.0);
+    cli.set("progr_pims", 1);
+    cli.set("rc", true);
+    cli.set("op", true);
+    cli.set("fault_rate", 0.0);
+    cli.set("kill_banks", 0);
+    cli.set("csv", false);
+    cli.set("json", false);
+    cli.set("summary", false);
+    cli.set("dot", false);
     std::uint64_t fault_seed = hpim::sim::defaultSeed;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
-            fatal_if(i + 1 >= argc, "missing value for ", arg);
+            fatal_if(i + 1 >= argc, "missing value for ", arg, "\n",
+                     kUsage);
             return argv[++i];
         };
-        if (arg == "--model") model = parseModel(next());
-        else if (arg == "--system") system = parseSystem(next());
+        if (arg == "--model") cli.set("model", next());
+        else if (arg == "--system") cli.set("system", next());
         else if (arg == "--steps")
-            steps = static_cast<std::uint32_t>(std::stoul(next()));
+            cli.set("steps", static_cast<std::int64_t>(
+                                 parseU64(arg, next())));
         else if (arg == "--freq-scale")
-            freq_scale = std::stod(next());
+            cli.set("freq_scale", parseDouble(arg, next()));
         else if (arg == "--progr-pims")
-            progr_pims =
-                static_cast<std::uint32_t>(std::stoul(next()));
-        else if (arg == "--no-rc") rc = false;
-        else if (arg == "--no-op") op = false;
+            cli.set("progr_pims", static_cast<std::int64_t>(
+                                      parseU64(arg, next())));
+        else if (arg == "--no-rc") cli.set("rc", false);
+        else if (arg == "--no-op") cli.set("op", false);
         else if (arg == "--fault-rate")
-            fault_rate = std::stod(next());
+            cli.set("fault_rate", parseDouble(arg, next()));
         else if (arg == "--kill-banks")
-            kill_banks =
-                static_cast<std::uint32_t>(std::stoul(next()));
+            cli.set("kill_banks", static_cast<std::int64_t>(
+                                      parseU64(arg, next())));
         else if (arg == "--fault-seed")
-            fault_seed = std::stoull(next());
-        else if (arg == "--csv") csv = true;
-        else if (arg == "--json") json = true;
-        else if (arg == "--summary") summary = true;
-        else if (arg == "--dot") dot = true;
+            fault_seed = parseU64(arg, next());
+        else if (arg == "--csv") cli.set("csv", true);
+        else if (arg == "--json") cli.set("json", true);
+        else if (arg == "--summary") cli.set("summary", true);
+        else if (arg == "--dot") cli.set("dot", true);
         else if (arg == "--help" || arg == "-h") {
-            std::cout
-                << "usage: hpim_cli [--model NAME] [--system NAME]\n"
-                << "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
-                << "  [--no-rc] [--no-op] [--fault-rate R]\n"
-                << "  [--kill-banks N] [--fault-seed S] [--csv]\n"
-                << "  [--json] [--summary] [--dot]\n";
+            std::cout << kUsage << '\n';
             return 0;
         } else {
-            fatal("unknown argument '", arg, "' (try --help)");
+            fatal("unknown argument '", arg, "' (try --help)\n",
+                  kUsage);
         }
     }
+    cli.validateOrDie(cliSchema());
+
+    nn::ModelId model = parseModel(cli.requireString("model"));
+    baseline::SystemKind system =
+        parseSystem(cli.requireString("system"));
+    std::uint32_t steps =
+        static_cast<std::uint32_t>(cli.requireInt("steps"));
+    double freq_scale = cli.requireDouble("freq_scale");
+    std::uint32_t progr_pims =
+        static_cast<std::uint32_t>(cli.requireInt("progr_pims"));
+    bool rc = cli.requireBool("rc"), op = cli.requireBool("op");
+    bool csv = cli.requireBool("csv"), json = cli.requireBool("json");
+    bool summary = cli.requireBool("summary");
+    bool dot = cli.requireBool("dot");
+    double fault_rate = cli.requireDouble("fault_rate");
+    std::uint32_t kill_banks =
+        static_cast<std::uint32_t>(cli.requireInt("kill_banks"));
 
     nn::Graph graph = nn::buildModel(model);
 

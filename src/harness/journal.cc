@@ -1,0 +1,263 @@
+#include "harness/journal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/json.hh"
+#include "harness/report_io.hh"
+#include "sim/logging.hh"
+
+namespace hpim::harness {
+
+namespace {
+
+/**
+ * write(2) the whole buffer, then fsync. fatal() on any I/O error:
+ * a journal that cannot persist is worse than no journal.
+ */
+void
+writeAll(int fd, const std::string &data, const std::string &path)
+{
+    std::size_t written = 0;
+    while (written < data.size()) {
+        ssize_t n = ::write(fd, data.data() + written,
+                            data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("journal write to '", path,
+                  "' failed: ", std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    fatal_if(::fsync(fd) != 0, "journal fsync of '", path,
+             "' failed: ", std::strerror(errno));
+}
+
+/** fsync a directory so created/renamed entries are durable. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // best effort; the data files themselves are synced
+    ::fsync(fd);
+    ::close(fd);
+}
+
+std::string
+headerJson(const SweepJournal::Header &header)
+{
+    std::ostringstream os;
+    os << "{\"schema_version\":" << header.schemaVersion
+       << ",\"base_seed\":" << header.baseSeed
+       << ",\"grid_hash\":" << header.gridHash
+       << ",\"points\":" << header.points << "}\n";
+    return os.str();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot read journal file '", path, "'");
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
+
+std::uint64_t
+hashBytes(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL; // FNV prime
+    }
+    return hash;
+}
+
+std::uint64_t
+hashString(std::string_view text, std::uint64_t seed)
+{
+    return hashBytes(text.data(), text.size(), seed);
+}
+
+std::uint64_t
+hashU64(std::uint64_t value, std::uint64_t seed)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    return hashBytes(bytes, sizeof bytes, seed);
+}
+
+SweepJournal::SweepJournal(const std::string &dir,
+                           std::uint32_t segment, const Header &header)
+{
+    fatal_if(dir.empty(), "journal directory must not be empty");
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("cannot create journal directory '", dir,
+              "': ", std::strerror(errno));
+
+    const std::string base =
+        dir + "/sweep-" + std::to_string(segment);
+    const std::string meta_path = base + ".meta.json";
+    _recordsPath = base + ".records.jsonl";
+
+    if (fileExists(meta_path)) {
+        checkHeader(meta_path, header);
+        if (fileExists(_recordsPath))
+            replay(_recordsPath, header);
+    } else {
+        writeHeader(meta_path, header);
+    }
+
+    _fd = ::open(_recordsPath.c_str(),
+                 O_WRONLY | O_CREAT | O_APPEND, 0644);
+    fatal_if(_fd < 0, "cannot open journal records '", _recordsPath,
+             "': ", std::strerror(errno));
+    syncDir(dir);
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+SweepJournal::writeHeader(const std::string &path,
+                          const Header &header)
+{
+    // Atomic publish: a crash leaves either no header or a complete
+    // one, never a torn file that a resume would misparse.
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    fatal_if(fd < 0, "cannot create journal header '", tmp,
+             "': ", std::strerror(errno));
+    writeAll(fd, headerJson(header), tmp);
+    ::close(fd);
+    fatal_if(::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot publish journal header '", path,
+             "': ", std::strerror(errno));
+}
+
+void
+SweepJournal::checkHeader(const std::string &path,
+                          const Header &expect)
+{
+    Header found;
+    try {
+        json::Value root = json::parse(readFile(path));
+        found.schemaVersion =
+            static_cast<int>(root.at("schema_version").asInt64());
+        found.baseSeed = root.at("base_seed").asUInt64();
+        found.gridHash = root.at("grid_hash").asUInt64();
+        found.points = root.at("points").asUInt64();
+    } catch (const json::Error &e) {
+        fatal("journal header '", path, "' is corrupt (", e.what(),
+              "); delete the journal directory to start over");
+    }
+    if (found.schemaVersion != expect.schemaVersion)
+        fatal("journal '", path, "' has schema version ",
+              found.schemaVersion, ", this build writes ",
+              expect.schemaVersion,
+              "; delete the journal directory to start over");
+    if (found.baseSeed != expect.baseSeed)
+        fatal("journal '", path, "' was written with --seed ",
+              found.baseSeed, ", this run uses --seed ",
+              expect.baseSeed,
+              "; rerun with the original seed or delete the journal");
+    if (found.gridHash != expect.gridHash
+        || found.points != expect.points)
+        fatal("journal '", path,
+              "' was written for a different sweep grid (",
+              found.points, " points, grid hash ", found.gridHash,
+              "; this run: ", expect.points, " points, grid hash ",
+              expect.gridHash,
+              "); results will not mix -- delete the journal or rerun "
+              "the original binary");
+}
+
+void
+SweepJournal::replay(const std::string &path, const Header &header)
+{
+    const std::string text = readFile(path);
+    std::size_t pos = 0;
+    std::size_t keep = 0; // byte offset past the last good record
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        ++line_no;
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) {
+            // No terminator: the process died mid-append. Drop the
+            // tail; the point will simply be re-simulated.
+            std::cerr << "[journal] dropping truncated tail record "
+                         "(line "
+                      << line_no << ") of " << path << "\n";
+            break;
+        }
+        const std::string line = text.substr(pos, eol - pos);
+        try {
+            json::Value root = json::parse(line);
+            Record record;
+            record.index =
+                static_cast<std::size_t>(root.at("index").asUInt64());
+            record.pointHash = root.at("point_hash").asUInt64();
+            record.report = reportFromJson(root.at("report"));
+            if (record.index >= header.points)
+                throw ParseError("index out of range", root.line,
+                                 "index");
+            _loaded.push_back(std::move(record));
+        } catch (const std::exception &e) {
+            // A complete-looking but unparsable record: everything
+            // after it is suspect too, so stop replaying here.
+            std::cerr << "[journal] dropping corrupt record at line "
+                      << line_no << " of " << path << " (" << e.what()
+                      << "); resuming from the last good point\n";
+            break;
+        }
+        pos = eol + 1;
+        keep = pos;
+    }
+    // Cut the file back to the last good record so this run's appends
+    // start on a record boundary instead of gluing onto a torn tail.
+    if (keep < text.size())
+        fatal_if(::truncate(path.c_str(),
+                            static_cast<off_t>(keep)) != 0,
+                 "cannot drop bad tail of journal '", path,
+                 "': ", std::strerror(errno));
+}
+
+void
+SweepJournal::append(std::size_t index, std::uint64_t point_hash,
+                     const hpim::rt::ExecutionReport &report)
+{
+    std::string line = "{\"index\":" + std::to_string(index)
+                       + ",\"point_hash\":"
+                       + std::to_string(point_hash) + ",\"report\":"
+                       + jsonString(report) + "}\n";
+    std::lock_guard<std::mutex> lock(_mutex);
+    writeAll(_fd, line, _recordsPath);
+}
+
+} // namespace hpim::harness

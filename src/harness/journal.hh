@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Crash-safe sweep journal (docs/RESILIENCE.md, "Process-level
+ * resilience").
+ *
+ * A journal directory holds one *segment* per report-producing sweep
+ * a binary runs (fault_sweep runs two, most benches one). Segment k
+ * is a pair of files:
+ *
+ *   sweep-k.meta.json     header: schema version, base seed, grid
+ *                         hash, point count. Written once via atomic
+ *                         tmp-file + rename (both fsync'd), so a
+ *                         crash never leaves a half header.
+ *   sweep-k.records.jsonl append-only log, one JSON record per
+ *                         completed point:
+ *                         {"index":i,"point_hash":h,"report":{...}}
+ *                         Each append is a single write + fsync, so a
+ *                         crash can only truncate the final record.
+ *
+ * On reopen the header is validated against the current run -- a
+ * different grid, seed, point count or schema version is rejected
+ * with a fatal error instead of silently mixing results -- and the
+ * record log is replayed. A corrupt or truncated tail record (the
+ * crash case) is dropped with a warning; everything before it is
+ * reused. Reports are serialized with max_digits10 precision
+ * (report_io), so a resumed sweep is bit-identical to an
+ * uninterrupted one.
+ */
+
+#ifndef HPIM_HARNESS_JOURNAL_HH
+#define HPIM_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/execution_report.hh"
+
+namespace hpim::harness {
+
+/** Version of the journal directory layout and record format. */
+constexpr int journalSchemaVersion = 1;
+
+/** FNV-1a over raw bytes; the sweep grid/point hash primitive. */
+std::uint64_t hashBytes(const void *data, std::size_t size,
+                        std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** hashBytes over a string's characters. */
+std::uint64_t hashString(std::string_view text, std::uint64_t seed);
+
+/** hashBytes over one little-endian 64-bit word. */
+std::uint64_t hashU64(std::uint64_t value, std::uint64_t seed);
+
+/** One sweep's crash-safe record log. See file comment. */
+class SweepJournal
+{
+  public:
+    /** Identity of the sweep a segment belongs to. */
+    struct Header
+    {
+        int schemaVersion = journalSchemaVersion;
+        std::uint64_t baseSeed = 0;
+        std::uint64_t gridHash = 0;
+        std::uint64_t points = 0;
+    };
+
+    /** One replayed record. */
+    struct Record
+    {
+        std::size_t index = 0;
+        std::uint64_t pointHash = 0;
+        hpim::rt::ExecutionReport report;
+    };
+
+    /**
+     * Open segment @p segment of the journal in @p dir, creating the
+     * directory and files on first use. When the segment already
+     * exists its header must equal @p header (fatal otherwise) and
+     * its records are replayed into loaded().
+     */
+    SweepJournal(const std::string &dir, std::uint32_t segment,
+                 const Header &header);
+
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** Records replayed from an earlier run of this segment. */
+    const std::vector<Record> &loaded() const { return _loaded; }
+
+    /**
+     * Durably append one completed point. Thread-safe; the record is
+     * fsync'd before return, so after a crash every append that
+     * returned is replayable.
+     */
+    void append(std::size_t index, std::uint64_t point_hash,
+                const hpim::rt::ExecutionReport &report);
+
+  private:
+    void writeHeader(const std::string &path, const Header &header);
+    void checkHeader(const std::string &path, const Header &expect);
+    void replay(const std::string &path, const Header &header);
+
+    std::mutex _mutex;
+    std::string _recordsPath;
+    int _fd = -1;
+    std::vector<Record> _loaded;
+};
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_JOURNAL_HH

@@ -1,11 +1,160 @@
 #include "harness/report_io.hh"
 
-#include <iomanip>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "harness/json.hh"
 
 namespace hpim::harness {
 
 using hpim::rt::ExecutionReport;
+using hpim::rt::placedOnFromName;
 using hpim::rt::placedOnName;
+
+namespace {
+
+/** CSV version line; readCsv rejects any other version. */
+const char *const kCsvVersionLine = "#hpim-report-csv v1";
+
+/** %.17g: enough digits that strtod() recovers the exact double. */
+std::string
+num(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, value);
+    return buf;
+}
+
+std::string
+quoted(const std::string &text)
+{
+    std::string out = "\"";
+    json::escape(out, text);
+    out += '"';
+    return out;
+}
+
+// ---- Strict JSON object consumption. ------------------------------
+
+/**
+ * Walks one JSON object, handing out each known field exactly once;
+ * finish() turns every entry nobody asked for into a ParseError, so
+ * unknown and duplicated fields are both caught.
+ */
+class ObjectReader
+{
+  public:
+    explicit ObjectReader(const json::Value &value) : _value(value)
+    {
+        if (!value.isObject())
+            throw ParseError("expected a JSON object", value.line);
+        _used.assign(value.object.size(), false);
+    }
+
+    const json::Value &
+    get(const char *key)
+    {
+        const json::Value *found = nullptr;
+        for (std::size_t i = 0; i < _value.object.size(); ++i) {
+            if (_value.object[i].first != key)
+                continue;
+            if (found)
+                throw ParseError("duplicate field",
+                                 _value.object[i].second.line, key);
+            found = &_value.object[i].second;
+            _used[i] = true;
+        }
+        if (!found)
+            throw ParseError("missing field", _value.line, key);
+        return *found;
+    }
+
+    double
+    number(const char *key)
+    {
+        return get(key).asDouble();
+    }
+
+    std::uint64_t
+    u64(const char *key)
+    {
+        return get(key).asUInt64();
+    }
+
+    std::uint32_t
+    u32(const char *key)
+    {
+        std::uint64_t value = get(key).asUInt64();
+        if (value > std::numeric_limits<std::uint32_t>::max())
+            throw ParseError("value out of 32-bit range", _value.line,
+                             key);
+        return static_cast<std::uint32_t>(value);
+    }
+
+    std::string
+    str(const char *key)
+    {
+        return get(key).asString();
+    }
+
+    /** Every field must have been consumed. */
+    void
+    finish() const
+    {
+        for (std::size_t i = 0; i < _value.object.size(); ++i)
+            if (!_used[i])
+                throw ParseError("unknown field",
+                                 _value.object[i].second.line,
+                                 _value.object[i].first);
+    }
+
+  private:
+    const json::Value &_value;
+    std::vector<bool> _used;
+};
+
+// ---- Strict CSV cell parsing. -------------------------------------
+
+double
+csvDouble(const std::string &cell, std::size_t line, const char *col)
+{
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(cell.c_str(), &end);
+    if (cell.empty() || end != cell.c_str() + cell.size())
+        throw ParseError("expected a number, got '" + cell + "'", line,
+                         col);
+    return value;
+}
+
+std::uint64_t
+csvU64(const std::string &cell, std::size_t line, const char *col)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(cell.c_str(), &end, 10);
+    if (cell.empty() || end != cell.c_str() + cell.size()
+        || cell[0] == '-' || errno == ERANGE)
+        throw ParseError("expected a non-negative integer, got '"
+                             + cell + "'",
+                         line, col);
+    return value;
+}
+
+std::uint32_t
+csvU32(const std::string &cell, std::size_t line, const char *col)
+{
+    std::uint64_t value = csvU64(cell, line, col);
+    if (value > std::numeric_limits<std::uint32_t>::max())
+        throw ParseError("value out of 32-bit range", line, col);
+    return static_cast<std::uint32_t>(value);
+}
+
+} // namespace
 
 void
 writeCsvHeader(std::ostream &os)
@@ -22,26 +171,28 @@ writeCsvHeader(std::ostream &os)
 void
 writeCsvRow(std::ostream &os, const ExecutionReport &report)
 {
-    os << std::setprecision(9) << report.configName << ','
-       << report.workloadName << ',' << report.stepsSimulated << ','
-       << report.stepSec << ',' << report.opSec << ','
-       << report.dataMovementSec << ',' << report.syncSec << ','
-       << report.cpuBusySec << ',' << report.progrBusySec << ','
-       << report.fixedUnitSeconds << ',' << report.fixedUtilization
-       << ',' << report.hostLaunches << ','
-       << report.recursiveLaunches << ',' << report.linkBytes << ','
-       << report.internalBytes << ',' << report.energyPerStepJ << ','
-       << report.averagePowerW << ',' << report.edp << ','
+    os << report.configName << ',' << report.workloadName << ','
+       << report.stepsSimulated << ',' << num(report.stepSec) << ','
+       << num(report.opSec) << ',' << num(report.dataMovementSec)
+       << ',' << num(report.syncSec) << ',' << num(report.cpuBusySec)
+       << ',' << num(report.progrBusySec) << ','
+       << num(report.fixedUnitSeconds) << ','
+       << num(report.fixedUtilization) << ',' << report.hostLaunches
+       << ',' << report.recursiveLaunches << ','
+       << num(report.linkBytes) << ',' << num(report.internalBytes)
+       << ',' << num(report.energyPerStepJ) << ','
+       << num(report.averagePowerW) << ',' << num(report.edp) << ','
        << report.transientFaults << ',' << report.kernelStalls << ','
        << report.retries << ',' << report.opsDegraded << ','
-       << report.opsEvicted << ',' << report.retryBackoffSec << ','
-       << report.banksFailed << ',' << report.unitsLost << ','
+       << report.opsEvicted << ',' << num(report.retryBackoffSec)
+       << ',' << report.banksFailed << ',' << report.unitsLost << ','
        << report.throttleEvents << '\n';
 }
 
 void
 writeCsv(std::ostream &os, const std::vector<ExecutionReport> &reports)
 {
+    os << kCsvVersionLine << '\n';
     writeCsvHeader(os);
     for (const auto &report : reports)
         writeCsvRow(os, report);
@@ -50,26 +201,45 @@ writeCsv(std::ostream &os, const std::vector<ExecutionReport> &reports)
 void
 writeJson(std::ostream &os, const ExecutionReport &report)
 {
-    os << std::setprecision(9) << "{"
-       << "\"config\":\"" << report.configName << "\","
-       << "\"workload\":\"" << report.workloadName << "\","
+    os << "{"
+       << "\"schema_version\":" << reportSchemaVersion << ","
+       << "\"config\":" << quoted(report.configName) << ","
+       << "\"workload\":" << quoted(report.workloadName) << ","
        << "\"steps\":" << report.stepsSimulated << ","
-       << "\"step_s\":" << report.stepSec << ","
+       << "\"makespan_s\":" << num(report.makespanSec) << ","
+       << "\"step_s\":" << num(report.stepSec) << ","
        << "\"breakdown\":{"
-       << "\"op_s\":" << report.opSec << ","
-       << "\"data_movement_s\":" << report.dataMovementSec << ","
-       << "\"sync_s\":" << report.syncSec << "},"
-       << "\"fixed_utilization\":" << report.fixedUtilization << ","
-       << "\"energy_per_step_j\":" << report.energyPerStepJ << ","
-       << "\"avg_power_w\":" << report.averagePowerW << ","
-       << "\"edp\":" << report.edp << ","
+       << "\"op_s\":" << num(report.opSec) << ","
+       << "\"data_movement_s\":" << num(report.dataMovementSec) << ","
+       << "\"sync_s\":" << num(report.syncSec) << "},"
+       << "\"occupancy\":{"
+       << "\"cpu_busy_s\":" << num(report.cpuBusySec) << ","
+       << "\"progr_busy_s\":" << num(report.progrBusySec) << ","
+       << "\"fixed_unit_s\":" << num(report.fixedUnitSeconds) << "},"
+       << "\"fixed_utilization\":" << num(report.fixedUtilization)
+       << ","
+       << "\"launches\":{"
+       << "\"host\":" << report.hostLaunches << ","
+       << "\"recursive\":" << report.recursiveLaunches << "},"
+       << "\"traffic\":{"
+       << "\"link_bytes\":" << num(report.linkBytes) << ","
+       << "\"internal_bytes\":" << num(report.internalBytes) << "},"
+       << "\"energy\":{"
+       << "\"cpu_j\":" << num(report.cpuEnergyJ) << ","
+       << "\"progr_j\":" << num(report.progrEnergyJ) << ","
+       << "\"fixed_j\":" << num(report.fixedEnergyJ) << ","
+       << "\"dram_j\":" << num(report.dramEnergyJ) << ","
+       << "\"total_j\":" << num(report.totalEnergyJ) << "},"
+       << "\"energy_per_step_j\":" << num(report.energyPerStepJ) << ","
+       << "\"avg_power_w\":" << num(report.averagePowerW) << ","
+       << "\"edp\":" << num(report.edp) << ","
        << "\"placements\":{";
     bool first = true;
     for (const auto &[placement, count] : report.opsByPlacement) {
         if (!first)
             os << ',';
         first = false;
-        os << "\"" << placedOnName(placement) << "\":" << count;
+        os << quoted(placedOnName(placement)) << ":" << count;
     }
     os << "},"
        << "\"resilience\":{"
@@ -78,7 +248,7 @@ writeJson(std::ostream &os, const ExecutionReport &report)
        << "\"retries\":" << report.retries << ","
        << "\"ops_degraded\":" << report.opsDegraded << ","
        << "\"ops_evicted\":" << report.opsEvicted << ","
-       << "\"retry_backoff_s\":" << report.retryBackoffSec << ","
+       << "\"retry_backoff_s\":" << num(report.retryBackoffSec) << ","
        << "\"banks_failed\":" << report.banksFailed << ","
        << "\"units_lost\":" << report.unitsLost << ","
        << "\"throttle_events\":" << report.throttleEvents << ","
@@ -88,9 +258,215 @@ writeJson(std::ostream &os, const ExecutionReport &report)
         if (!first)
             os << ',';
         first = false;
-        os << "[" << sample.timeSec << "," << sample.units << "]";
+        os << "[" << num(sample.timeSec) << "," << sample.units << "]";
     }
     os << "]}}";
+}
+
+std::string
+jsonString(const ExecutionReport &report)
+{
+    std::ostringstream os;
+    writeJson(os, report);
+    return os.str();
+}
+
+ExecutionReport
+reportFromJson(const json::Value &root)
+{
+    ObjectReader top(root);
+
+    int version = static_cast<int>(top.get("schema_version").asInt64());
+    if (version != reportSchemaVersion)
+        throw ParseError("unsupported schema version "
+                             + std::to_string(version) + " (expected "
+                             + std::to_string(reportSchemaVersion)
+                             + ")",
+                         root.line, "schema_version");
+
+    ExecutionReport report;
+    report.configName = top.str("config");
+    report.workloadName = top.str("workload");
+    report.stepsSimulated = top.u32("steps");
+    report.makespanSec = top.number("makespan_s");
+    report.stepSec = top.number("step_s");
+
+    ObjectReader breakdown(top.get("breakdown"));
+    report.opSec = breakdown.number("op_s");
+    report.dataMovementSec = breakdown.number("data_movement_s");
+    report.syncSec = breakdown.number("sync_s");
+    breakdown.finish();
+
+    ObjectReader occupancy(top.get("occupancy"));
+    report.cpuBusySec = occupancy.number("cpu_busy_s");
+    report.progrBusySec = occupancy.number("progr_busy_s");
+    report.fixedUnitSeconds = occupancy.number("fixed_unit_s");
+    occupancy.finish();
+
+    report.fixedUtilization = top.number("fixed_utilization");
+
+    ObjectReader launches(top.get("launches"));
+    report.hostLaunches = launches.u64("host");
+    report.recursiveLaunches = launches.u64("recursive");
+    launches.finish();
+
+    ObjectReader traffic(top.get("traffic"));
+    report.linkBytes = traffic.number("link_bytes");
+    report.internalBytes = traffic.number("internal_bytes");
+    traffic.finish();
+
+    ObjectReader energy(top.get("energy"));
+    report.cpuEnergyJ = energy.number("cpu_j");
+    report.progrEnergyJ = energy.number("progr_j");
+    report.fixedEnergyJ = energy.number("fixed_j");
+    report.dramEnergyJ = energy.number("dram_j");
+    report.totalEnergyJ = energy.number("total_j");
+    energy.finish();
+
+    report.energyPerStepJ = top.number("energy_per_step_j");
+    report.averagePowerW = top.number("avg_power_w");
+    report.edp = top.number("edp");
+
+    const json::Value &placements = top.get("placements");
+    if (!placements.isObject())
+        throw ParseError("expected an object", placements.line,
+                         "placements");
+    for (const auto &[name, count] : placements.object) {
+        rt::PlacedOn placement;
+        if (!placedOnFromName(name, placement))
+            throw ParseError("unknown placement '" + name + "'",
+                             count.line, "placements");
+        if (report.opsByPlacement.count(placement))
+            throw ParseError("duplicate placement '" + name + "'",
+                             count.line, "placements");
+        report.opsByPlacement[placement] = count.asUInt64();
+    }
+
+    ObjectReader resilience(top.get("resilience"));
+    report.transientFaults = resilience.u64("transient_faults");
+    report.kernelStalls = resilience.u64("kernel_stalls");
+    report.retries = resilience.u64("retries");
+    report.opsDegraded = resilience.u64("ops_degraded");
+    report.opsEvicted = resilience.u64("ops_evicted");
+    report.retryBackoffSec = resilience.number("retry_backoff_s");
+    report.banksFailed = resilience.u32("banks_failed");
+    report.unitsLost = resilience.u32("units_lost");
+    report.throttleEvents = resilience.u64("throttle_events");
+    const json::Value &timeline = resilience.get("capacity_timeline");
+    if (!timeline.isArray())
+        throw ParseError("expected an array", timeline.line,
+                         "capacity_timeline");
+    for (const json::Value &sample : timeline.array) {
+        if (!sample.isArray() || sample.array.size() != 2)
+            throw ParseError("expected a [time, units] pair",
+                             sample.line, "capacity_timeline");
+        ExecutionReport::CapacitySample cs;
+        cs.timeSec = sample.array[0].asDouble();
+        std::uint64_t units = sample.array[1].asUInt64();
+        if (units > std::numeric_limits<std::uint32_t>::max())
+            throw ParseError("units out of 32-bit range", sample.line,
+                             "capacity_timeline");
+        cs.units = static_cast<std::uint32_t>(units);
+        report.capacityTimeline.push_back(cs);
+    }
+    resilience.finish();
+    top.finish();
+    return report;
+}
+
+ExecutionReport
+readJson(const std::string &text)
+{
+    try {
+        return reportFromJson(json::parse(text));
+    } catch (const json::Error &e) {
+        throw ParseError(e.what(), e.line);
+    }
+}
+
+std::vector<ExecutionReport>
+readCsv(std::istream &is)
+{
+    std::string line;
+    std::size_t line_no = 1;
+    if (!std::getline(is, line) || line != kCsvVersionLine)
+        throw ParseError("missing '" + std::string(kCsvVersionLine)
+                             + "' version line",
+                         line_no);
+
+    std::ostringstream expected_os;
+    writeCsvHeader(expected_os);
+    std::string expected = expected_os.str();
+    expected.pop_back(); // writeCsvHeader appends '\n'
+    ++line_no;
+    if (!std::getline(is, line) || line != expected)
+        throw ParseError("header row does not match schema v"
+                             + std::to_string(reportSchemaVersion),
+                         line_no);
+
+    // Column names, for error messages.
+    std::vector<std::string> columns;
+    {
+        std::istringstream hs(expected);
+        std::string col;
+        while (std::getline(hs, col, ','))
+            columns.push_back(col);
+    }
+
+    std::vector<ExecutionReport> reports;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            throw ParseError("blank row", line_no);
+        std::vector<std::string> cells;
+        std::string::size_type start = 0;
+        for (;;) {
+            auto comma = line.find(',', start);
+            cells.push_back(line.substr(start, comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (cells.size() != columns.size())
+            throw ParseError("expected "
+                                 + std::to_string(columns.size())
+                                 + " columns, got "
+                                 + std::to_string(cells.size()),
+                             line_no);
+
+        std::size_t c = 0;
+        auto col = [&]() { return columns[c].c_str(); };
+        ExecutionReport r;
+        r.configName = cells[c++];
+        r.workloadName = cells[c++];
+        r.stepsSimulated = csvU32(cells[c], line_no, col()); ++c;
+        r.stepSec = csvDouble(cells[c], line_no, col()); ++c;
+        r.opSec = csvDouble(cells[c], line_no, col()); ++c;
+        r.dataMovementSec = csvDouble(cells[c], line_no, col()); ++c;
+        r.syncSec = csvDouble(cells[c], line_no, col()); ++c;
+        r.cpuBusySec = csvDouble(cells[c], line_no, col()); ++c;
+        r.progrBusySec = csvDouble(cells[c], line_no, col()); ++c;
+        r.fixedUnitSeconds = csvDouble(cells[c], line_no, col()); ++c;
+        r.fixedUtilization = csvDouble(cells[c], line_no, col()); ++c;
+        r.hostLaunches = csvU64(cells[c], line_no, col()); ++c;
+        r.recursiveLaunches = csvU64(cells[c], line_no, col()); ++c;
+        r.linkBytes = csvDouble(cells[c], line_no, col()); ++c;
+        r.internalBytes = csvDouble(cells[c], line_no, col()); ++c;
+        r.energyPerStepJ = csvDouble(cells[c], line_no, col()); ++c;
+        r.averagePowerW = csvDouble(cells[c], line_no, col()); ++c;
+        r.edp = csvDouble(cells[c], line_no, col()); ++c;
+        r.transientFaults = csvU64(cells[c], line_no, col()); ++c;
+        r.kernelStalls = csvU64(cells[c], line_no, col()); ++c;
+        r.retries = csvU64(cells[c], line_no, col()); ++c;
+        r.opsDegraded = csvU64(cells[c], line_no, col()); ++c;
+        r.opsEvicted = csvU64(cells[c], line_no, col()); ++c;
+        r.retryBackoffSec = csvDouble(cells[c], line_no, col()); ++c;
+        r.banksFailed = csvU32(cells[c], line_no, col()); ++c;
+        r.unitsLost = csvU32(cells[c], line_no, col()); ++c;
+        r.throttleEvents = csvU64(cells[c], line_no, col()); ++c;
+        reports.push_back(std::move(r));
+    }
+    return reports;
 }
 
 } // namespace hpim::harness

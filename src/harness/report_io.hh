@@ -1,18 +1,58 @@
 /**
  * @file
  * ExecutionReport serialization: CSV rows (for plotting scripts) and
- * a small JSON object (for dashboards / regression tracking).
+ * a JSON object (for dashboards / regression tracking / the sweep
+ * journal), plus the strict parsers that read both formats back.
+ *
+ * The on-disk formats are versioned (reportSchemaVersion): writeCsv
+ * leads with a `#hpim-report-csv vN` line and writeJson emits a
+ * `schema_version` field, and the readers reject any other version
+ * instead of guessing. Doubles are written with max_digits10
+ * precision, so a write -> read -> write cycle is byte-identical --
+ * the property the crash-safe sweep journal (harness/journal) is
+ * built on. Parse failures carry the offending line and field in a
+ * typed ParseError rather than aborting, so a caller holding a
+ * half-written file (the crash case) can drop the bad tail and keep
+ * the good prefix.
  */
 
 #ifndef HPIM_HARNESS_REPORT_IO_HH
 #define HPIM_HARNESS_REPORT_IO_HH
 
+#include <istream>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rt/execution_report.hh"
 
 namespace hpim::harness {
+
+namespace json {
+class Value;
+}
+
+/** Version of both serialized report formats (CSV and JSON). */
+constexpr int reportSchemaVersion = 1;
+
+/** A report document that cannot be parsed. */
+struct ParseError : std::runtime_error
+{
+    ParseError(const std::string &message, std::size_t line_number = 0,
+               std::string field_name = {})
+        : std::runtime_error(
+              "report parse error: " + message
+              + (field_name.empty() ? "" : " (field '" + field_name + "')")
+              + (line_number ? " at line " + std::to_string(line_number)
+                             : "")),
+          line(line_number), field(std::move(field_name))
+    {
+    }
+
+    std::size_t line;  ///< 1-based line, 0 when unknown
+    std::string field; ///< offending field/column, may be empty
+};
 
 /** Write the CSV header matching reportToCsvRow(). */
 void writeCsvHeader(std::ostream &os);
@@ -21,13 +61,36 @@ void writeCsvHeader(std::ostream &os);
 void writeCsvRow(std::ostream &os,
                  const hpim::rt::ExecutionReport &report);
 
-/** Write a batch of reports as one CSV document. */
+/** Write a batch of reports as one versioned CSV document. */
 void writeCsv(std::ostream &os,
               const std::vector<hpim::rt::ExecutionReport> &reports);
 
-/** Write one report as a JSON object. */
+/** Write one report as a JSON object (all fields, lossless). */
 void writeJson(std::ostream &os,
                const hpim::rt::ExecutionReport &report);
+
+/** @return writeJson output as a string. */
+std::string jsonString(const hpim::rt::ExecutionReport &report);
+
+/**
+ * Parse one report from its JSON form. Strict: every known field
+ * must be present exactly once, unknown fields and version
+ * mismatches throw ParseError naming the line and field.
+ */
+hpim::rt::ExecutionReport readJson(const std::string &text);
+
+/** Parse an already-parsed JSON object (journal records reuse this). */
+hpim::rt::ExecutionReport reportFromJson(const json::Value &root);
+
+/**
+ * Parse a writeCsv document: version line, header, then one report
+ * per row. Strict: a wrong version, an unexpected header, a row with
+ * the wrong arity or a non-numeric cell throws ParseError with the
+ * line and column name. Fields the CSV does not carry (per-device
+ * energy, placements, capacity timeline) stay default-initialized;
+ * only the JSON form is lossless.
+ */
+std::vector<hpim::rt::ExecutionReport> readCsv(std::istream &is);
 
 } // namespace hpim::harness
 

@@ -1,17 +1,30 @@
 #include "harness/sweep.hh"
 
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <iostream>
 #include <string>
 #include <thread>
 
+#include "harness/journal.hh"
 #include "harness/table_printer.hh"
 #include "sim/logging.hh"
 
 namespace hpim::harness {
 
 namespace {
+
+constexpr std::uint32_t kMaxJobs = 4096;
+
+const char *const kUsage =
+    "usage: <binary> [--jobs N] [--seed S] [--journal DIR]\n"
+    "  --jobs N       worker threads, 1..4096 (0 or absent: all "
+    "hardware threads)\n"
+    "  --seed S       base seed of the per-point rng streams\n"
+    "  --journal DIR  crash-safe checkpoint/resume directory "
+    "(docs/RESILIENCE.md)";
 
 std::uint32_t
 resolveJobs(std::uint32_t requested)
@@ -27,17 +40,60 @@ parseUint(const char *flag, const std::string &text)
 {
     char *end = nullptr;
     std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
-    fatal_if(end == text.c_str() || *end != '\0',
-             flag, " expects an unsigned integer, got '", text, "'");
+    if (end == text.c_str() || *end != '\0' || text[0] == '-')
+        fatal(flag, " expects an unsigned integer, got '", text,
+              "'\n", kUsage);
     return value;
+}
+
+/** Identity of one journaled point: mixes (gridHash, index). */
+std::uint64_t
+pointHash(std::uint64_t grid_hash, std::size_t index)
+{
+    return hpim::sim::Rng::streamSeed(grid_hash, index);
 }
 
 } // namespace
 
+std::uint64_t
+gridHash(const std::vector<ExperimentPoint> &points)
+{
+    std::uint64_t hash = hashString("hpim ExperimentPoint grid v1",
+                                    0xcbf29ce484222325ULL);
+    for (const ExperimentPoint &p : points) {
+        hash = hashU64(static_cast<std::uint64_t>(p.kind), hash);
+        hash = hashU64(static_cast<std::uint64_t>(p.model), hash);
+        hash = hashU64(p.steps, hash);
+        hash = hashU64(std::bit_cast<std::uint64_t>(p.freqScale), hash);
+        hash = hashU64(p.progrPims, hash);
+        hash = hashU64(static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(p.batch)),
+                       hash);
+    }
+    return hash;
+}
+
+void
+exitResumable(const SweepStats &stats)
+{
+    // stderr, not stdout: the tables a resumed run prints must stay
+    // byte-identical to an uninterrupted run.
+    std::cerr << "[sweep] interrupted by signal " << interruptSignal()
+              << " after " << stats.points
+              << " points; in-flight points drained, journal "
+                 "flushed. Rerun the same command to resume (exit "
+              << resumableExitCode << ").\n";
+    std::exit(resumableExitCode);
+}
+
 SweepRunner::SweepRunner(SweepOptions options)
-    : _options(options), _jobs(resolveJobs(options.jobs))
+    : _options(std::move(options)), _jobs(resolveJobs(_options.jobs))
 {
     _stats.jobs = _jobs;
+    // Only journaled runs trade the default die-on-SIGINT for the
+    // drain + flush + resumable-exit path.
+    if (!_options.journalDir.empty())
+        installInterruptHandlers();
 }
 
 std::vector<hpim::rt::ExecutionReport>
@@ -46,13 +102,90 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points)
     // runSystem is a deterministic analytic simulation, so the
     // per-point stream is unused here; it exists so stochastic
     // extensions inherit the same (baseSeed, index) contract.
-    return map(points.size(),
-               [&points](std::size_t i, hpim::sim::Rng &) {
-                   const ExperimentPoint &p = points[i];
-                   return hpim::baseline::runSystem(
-                       p.kind, p.model, p.steps, p.freqScale,
-                       p.progrPims, p.batch);
-               });
+    return mapReports(points.size(), gridHash(points),
+                      [&points](std::size_t i, hpim::sim::Rng &) {
+                          const ExperimentPoint &p = points[i];
+                          return hpim::baseline::runSystem(
+                              p.kind, p.model, p.steps, p.freqScale,
+                              p.progrPims, p.batch);
+                      });
+}
+
+std::vector<hpim::rt::ExecutionReport>
+SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
+                          const ReportFn &fn)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    SweepJournal::Header header;
+    header.baseSeed = _options.baseSeed;
+    header.gridHash = grid_hash;
+    header.points = count;
+    SweepJournal journal(_options.journalDir, _segment++, header);
+
+    std::vector<hpim::rt::ExecutionReport> results(count);
+    std::vector<std::uint8_t> have(count, 0);
+    std::size_t resumed = 0;
+    for (const SweepJournal::Record &record : journal.loaded()) {
+        fatal_if(record.pointHash
+                     != pointHash(grid_hash, record.index),
+                 "journal record for point ", record.index,
+                 " does not match this sweep's grid; delete the "
+                 "journal directory '",
+                 _options.journalDir, "' to start over");
+        if (have[record.index])
+            continue; // duplicate record: first one wins
+        results[record.index] = record.report;
+        have[record.index] = 1;
+        ++resumed;
+    }
+
+    std::vector<double> durations(count, 0.0);
+    std::vector<std::uint8_t> failed(count, 0);
+    std::vector<std::string> errors(count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(count - resumed);
+    {
+        ThreadPool pool(_jobs > 1 ? _jobs : 0);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (have[i])
+                continue;
+            if (interruptRequested())
+                break;
+            futures.push_back(pool.submit(
+                [i, grid_hash, &fn, &results, &durations, &failed,
+                 &errors, &journal, seed = _options.baseSeed] {
+                    const double start = threadCpuSeconds();
+                    hpim::sim::Rng rng(
+                        hpim::sim::Rng::streamSeed(seed, i));
+                    try {
+                        results[i] = fn(i, rng);
+                        // Journal only successes: a failed point is
+                        // re-attempted by the next resume.
+                        journal.append(i, pointHash(grid_hash, i),
+                                       results[i]);
+                    } catch (const std::exception &e) {
+                        failed[i] = 1;
+                        errors[i] = e.what();
+                    } catch (...) {
+                        failed[i] = 1;
+                        errors[i] = "unknown exception";
+                    }
+                    durations[i] = threadCpuSeconds() - start;
+                }));
+        }
+    }
+    for (auto &future : futures)
+        future.get();
+    for (std::size_t i = 0; i < count; ++i) {
+        if (failed[i])
+            _stats.failures.push_back(PointFailure{i, errors[i]});
+    }
+    _stats.resumedPoints += resumed;
+    accumulateStats(durations, secondsSince(wall_start));
+    if (interruptRequested())
+        exitResumable(_stats);
+    return results;
 }
 
 double
@@ -94,20 +227,27 @@ parseSweepArgs(int argc, char **argv)
                 return true;
             }
             if (arg.size() == n) {
-                fatal_if(i + 1 >= argc, flag, " needs a value");
+                fatal_if(i + 1 >= argc, flag, " needs a value\n",
+                         kUsage);
                 value = argv[++i];
                 return true;
             }
             return false;
         };
         if (flagValue("--jobs")) {
-            options.jobs =
-                static_cast<std::uint32_t>(parseUint("--jobs", value));
+            std::uint64_t jobs = parseUint("--jobs", value);
+            if (jobs > kMaxJobs)
+                fatal("--jobs must be in 0..", kMaxJobs, ", got ",
+                      jobs, "\n", kUsage);
+            options.jobs = static_cast<std::uint32_t>(jobs);
         } else if (flagValue("--seed")) {
             options.baseSeed = parseUint("--seed", value);
+        } else if (flagValue("--journal")) {
+            if (value.empty())
+                fatal("--journal needs a directory\n", kUsage);
+            options.journalDir = value;
         } else {
-            warn("ignoring unknown argument '", arg,
-                 "' (supported: --jobs N, --seed S)");
+            fatal("unknown argument '", arg, "'\n", kUsage);
         }
     }
     return options;
@@ -121,6 +261,12 @@ printSweepSummary(std::ostream &os, const SweepStats &stats)
        << fmt(stats.wallSec, 2) << " s, serial-equivalent "
        << fmt(stats.serialSec, 2) << " s, speedup "
        << fmtRatio(stats.speedup()) << "\n";
+    if (stats.resumedPoints > 0) {
+        os << "[sweep] " << stats.resumedPoints
+           << (stats.resumedPoints == 1 ? " point" : " points")
+           << " resumed from journal, "
+           << stats.points - stats.resumedPoints << " simulated\n";
+    }
     if (!stats.failures.empty()) {
         os << "[sweep] " << stats.failures.size() << " point"
            << (stats.failures.size() == 1 ? "" : "s")

@@ -15,6 +15,18 @@
  * worker count, worker identity, or completion order -- so a sweep is
  * bit-identical across `--jobs 1..N` and across reruns with the same
  * seed. tests/test_sweep_determinism.cpp enforces this contract.
+ *
+ * Crash safety: with a journal directory set (`--journal DIR`),
+ * report-producing sweeps (run() and mapReports()) persist every
+ * completed point to an fsync'd journal (harness/journal) keyed by
+ * (pointHash, baseSeed, index). A rerun of the same grid and seed
+ * loads journaled points instead of re-simulating them; because a
+ * point's result depends only on (point, baseSeed, i), the resumed
+ * table is bit-identical to an uninterrupted run. A grid or seed
+ * mismatch is rejected via the journal header. SIGINT/SIGTERM during
+ * a journaled sweep drains in-flight points, flushes the journal and
+ * exits with resumableExitCode. tests/test_checkpoint.cpp enforces
+ * all of this.
  */
 
 #ifndef HPIM_HARNESS_SWEEP_HH
@@ -22,6 +34,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <ostream>
 #include <string>
@@ -47,6 +60,9 @@ struct ExperimentPoint
     int batch = 0; ///< minibatch size; 0 = the model's default
 };
 
+/** Journal identity of one ExperimentPoint grid. */
+std::uint64_t gridHash(const std::vector<ExperimentPoint> &points);
+
 /** Engine options, usually parsed from argv (parseSweepArgs). */
 struct SweepOptions
 {
@@ -54,6 +70,8 @@ struct SweepOptions
     std::uint32_t jobs = 0;
     /** Base seed of the per-point Rng streams. */
     std::uint64_t baseSeed = hpim::sim::defaultSeed;
+    /** Checkpoint/resume journal directory; empty = journaling off. */
+    std::string journalDir;
 };
 
 /** One sweep point that threw instead of producing a result. */
@@ -73,6 +91,8 @@ struct SweepStats
      *  same points would cost. CPU time (not per-task wall time) so
      *  preemption on an oversubscribed machine doesn't inflate it. */
     double serialSec = 0.0;
+    /** Points loaded from the journal instead of re-simulated. */
+    std::size_t resumedPoints = 0;
     /** Points whose fn threw; index order, independent of --jobs.
      *  Their result slots are default-constructed. */
     std::vector<PointFailure> failures;
@@ -84,6 +104,14 @@ struct SweepStats
         return wallSec > 0.0 ? serialSec / wallSec : 1.0;
     }
 };
+
+/**
+ * Drain-then-exit path of an interrupted journaled sweep: print where
+ * the run stopped and leave with resumableExitCode. Called by the
+ * engine once in-flight points have completed and the journal holds
+ * every finished point.
+ */
+[[noreturn]] void exitResumable(const SweepStats &stats);
 
 /** Runs experiment grids on a worker pool. See file comment. */
 class SweepRunner
@@ -97,12 +125,42 @@ class SweepRunner
     /** Base seed of the per-point streams. */
     std::uint64_t baseSeed() const { return _options.baseSeed; }
 
+    /** Journal directory; empty when journaling is off. */
+    const std::string &journalDir() const
+    {
+        return _options.journalDir;
+    }
+
     /**
-     * Simulate every point via baseline::runSystem.
+     * Simulate every point via baseline::runSystem. Journaled when a
+     * journal directory is set (see file comment).
      * @return reports, index-aligned with @p points
      */
     std::vector<hpim::rt::ExecutionReport>
     run(const std::vector<ExperimentPoint> &points);
+
+    /** Callable producing one report per sweep point. */
+    using ReportFn = std::function<hpim::rt::ExecutionReport(
+        std::size_t, hpim::sim::Rng &)>;
+
+    /**
+     * map() for report-producing sweeps, with checkpoint/resume.
+     * Behaves exactly like map(count, fn) when no journal directory
+     * is set. With one set, completed points are journaled under
+     * @p grid_hash -- the caller-supplied identity of this sweep's
+     * parameter grid (hash every input that shapes a point's result;
+     * harness/journal.hh has the hash helpers) -- and a rerun loads
+     * them instead of re-simulating.
+     */
+    template <typename Fn>
+    std::vector<hpim::rt::ExecutionReport>
+    mapReports(std::size_t count, std::uint64_t grid_hash, Fn &&fn)
+    {
+        if (_options.journalDir.empty())
+            return map(count, std::forward<Fn>(fn));
+        return mapJournaled(count, grid_hash,
+                            ReportFn(std::forward<Fn>(fn)));
+    }
 
     /**
      * Generic fan-out: evaluate `fn(i, rng)` for i in [0, count) on
@@ -137,6 +195,10 @@ class SweepRunner
             // scheduling, the obvious serial reference.
             ThreadPool pool(_jobs > 1 ? _jobs : 0);
             for (std::size_t i = 0; i < count; ++i) {
+                // Journaled runs install interrupt handlers: stop
+                // submitting, drain what is in flight, exit resumable.
+                if (interruptRequested())
+                    break;
                 futures.push_back(pool.submit([i, &fn, &durations,
                                                &failed, &errors,
                                                seed = _options.baseSeed] {
@@ -167,6 +229,8 @@ class SweepRunner
                 _stats.failures.push_back(PointFailure{i, errors[i]});
         }
         accumulateStats(durations, secondsSince(wall_start));
+        if (interruptRequested())
+            exitResumable(_stats);
         return results;
     }
 
@@ -185,19 +249,26 @@ class SweepRunner
     /** CPU seconds consumed by the calling thread so far. */
     static double threadCpuSeconds();
 
+    /** Journaled mapReports body; see file comment. */
+    std::vector<hpim::rt::ExecutionReport>
+    mapJournaled(std::size_t count, std::uint64_t grid_hash,
+                 const ReportFn &fn);
+
     void accumulateStats(const std::vector<double> &durations,
                          double wall_sec);
 
     SweepOptions _options;
     std::uint32_t _jobs;
+    std::uint32_t _segment = 0; ///< next journal segment number
     SweepStats _stats;
 };
 
 /**
  * Parse engine flags from a bench/example command line:
- * `--jobs N` (default hardware_concurrency) and `--seed S`.
- * Unknown arguments warn and are ignored so every harness binary
- * still runs bare.
+ * `--jobs N` (default hardware_concurrency), `--seed S`, and
+ * `--journal DIR` (crash-safe checkpoint/resume). Strict: an unknown
+ * flag or an out-of-range value prints usage and exits non-zero
+ * instead of being silently ignored.
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 

@@ -1,8 +1,48 @@
 #include "harness/thread_pool.hh"
 
+#include <csignal>
+
+#include <atomic>
+
 #include "sim/logging.hh"
 
 namespace hpim::harness {
+
+namespace {
+
+std::atomic<int> g_interrupt_signal{0};
+
+extern "C" void
+interruptHandler(int signal)
+{
+    // Async-signal-safe: one relaxed store, no allocation, no I/O.
+    g_interrupt_signal.store(signal, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction action{};
+    action.sa_handler = interruptHandler;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: a second signal while draining still interrupts.
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupt_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+interruptSignal()
+{
+    return g_interrupt_signal.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::uint32_t threads, std::size_t queue_capacity)
     : _thread_count(threads),

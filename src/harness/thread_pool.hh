@@ -31,6 +31,30 @@
 
 namespace hpim::harness {
 
+/**
+ * Exit code of a run stopped early by SIGINT/SIGTERM after draining
+ * in-flight work and flushing the sweep journal: rerunning the same
+ * command resumes from the journal (75 = BSD EX_TEMPFAIL, "temporary
+ * failure, retry").
+ */
+constexpr int resumableExitCode = 75;
+
+/**
+ * Install SIGINT/SIGTERM handlers that record the signal instead of
+ * killing the process. The sweep engine polls interruptRequested()
+ * between point submissions: in-flight points drain, the journal is
+ * flushed, and the process exits with resumableExitCode. Installed
+ * only for journaled sweeps -- plain runs keep default signal
+ * behaviour. Idempotent.
+ */
+void installInterruptHandlers();
+
+/** @return true once SIGINT or SIGTERM has been received. */
+bool interruptRequested();
+
+/** @return the received signal number, or 0. */
+int interruptSignal();
+
 /** Fixed worker pool; see file comment for the contract. */
 class ThreadPool
 {

@@ -30,6 +30,12 @@ enum class PlacedOn
 /** @return printable placement name. */
 std::string placedOnName(PlacedOn placement);
 
+/**
+ * Inverse of placedOnName, for report parsers.
+ * @return true and set @p out when @p name is a known placement.
+ */
+bool placedOnFromName(const std::string &name, PlacedOn &out);
+
 /** Simulation outcome for one configuration x workload. */
 struct ExecutionReport
 {

@@ -35,6 +35,20 @@ placedOnName(PlacedOn placement)
     panic("unknown placement");
 }
 
+bool
+placedOnFromName(const std::string &name, PlacedOn &out)
+{
+    for (PlacedOn placement :
+         {PlacedOn::Cpu, PlacedOn::FixedPool, PlacedOn::ProgrPim,
+          PlacedOn::ProgrRecursive, PlacedOn::FixedHostDriven}) {
+        if (placedOnName(placement) == name) {
+            out = placement;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Event driving the fixed pool's next phase completion. */
 class Executor::PoolEvent : public hpim::sim::Event
 {

@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include <sstream>
+
 namespace hpim::sim {
 
 double
@@ -64,11 +66,135 @@ Config::requireInt(const std::string &key) const
     return getInt(key, 0);
 }
 
+bool
+Config::requireBool(const std::string &key) const
+{
+    fatal_if(!has(key), "missing required config key '", key, "'");
+    return getBool(key, false);
+}
+
+std::string
+Config::requireString(const std::string &key) const
+{
+    fatal_if(!has(key), "missing required config key '", key, "'");
+    return getString(key, "");
+}
+
 void
 Config::merge(const Config &other)
 {
     for (const auto &[key, value] : other._values)
         _values[key] = value;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(_values.size());
+    for (const auto &[key, value] : _values)
+        out.push_back(key);
+    return out;
+}
+
+namespace {
+
+const char *
+typeName(ConfigType type)
+{
+    switch (type) {
+      case ConfigType::Double: return "double";
+      case ConfigType::Int:    return "int";
+      case ConfigType::Bool:   return "bool";
+      case ConfigType::String: return "string";
+    }
+    return "?";
+}
+
+const char *
+valueTypeName(const Config::Value &value)
+{
+    if (std::holds_alternative<double>(value)) return "double";
+    if (std::holds_alternative<std::int64_t>(value)) return "int";
+    if (std::holds_alternative<bool>(value)) return "bool";
+    return "string";
+}
+
+/** Numeric entries coerce between int and double; others must match. */
+bool
+typeMatches(const Config::Value &value, ConfigType wanted)
+{
+    bool numeric = std::holds_alternative<double>(value)
+                   || std::holds_alternative<std::int64_t>(value);
+    switch (wanted) {
+      case ConfigType::Double:
+      case ConfigType::Int:
+        return numeric;
+      case ConfigType::Bool:
+        return std::holds_alternative<bool>(value);
+      case ConfigType::String:
+        return std::holds_alternative<std::string>(value);
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string>
+Config::validate(const ConfigSchema &schema) const
+{
+    std::vector<std::string> errors;
+    for (const ConfigKeySpec &spec : schema.keys) {
+        auto it = _values.find(spec.key);
+        if (it == _values.end()) {
+            if (spec.required)
+                errors.push_back("missing required key '" + spec.key
+                                 + "'");
+            continue;
+        }
+        if (!typeMatches(it->second, spec.type)) {
+            errors.push_back("key '" + spec.key + "' must be "
+                             + typeName(spec.type) + ", got "
+                             + valueTypeName(it->second));
+            continue;
+        }
+        if (spec.type == ConfigType::Double
+            || spec.type == ConfigType::Int) {
+            double value = getDouble(spec.key, 0.0);
+            if (value < spec.minValue || value > spec.maxValue) {
+                std::ostringstream os;
+                os << "key '" << spec.key << "' = " << value
+                   << " out of range [" << spec.minValue << ", "
+                   << spec.maxValue << "]";
+                errors.push_back(os.str());
+            }
+        }
+    }
+    if (!schema.allowUnknown) {
+        for (const auto &[key, value] : _values) {
+            bool known = false;
+            for (const ConfigKeySpec &spec : schema.keys)
+                if (spec.key == key) {
+                    known = true;
+                    break;
+                }
+            if (!known)
+                errors.push_back("unknown key '" + key + "'");
+        }
+    }
+    return errors;
+}
+
+void
+Config::validateOrDie(const ConfigSchema &schema) const
+{
+    std::vector<std::string> errors = validate(schema);
+    if (errors.empty())
+        return;
+    std::string joined;
+    for (const std::string &error : errors)
+        joined += "\n  " + error;
+    fatal("invalid configuration:", joined);
 }
 
 } // namespace hpim::sim

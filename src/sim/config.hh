@@ -5,19 +5,48 @@
  * Experiment harnesses populate a Config; device constructors read their
  * parameters from it with defaults, so a single object can describe a
  * whole system configuration (paper Table IV plus PIM parameters).
+ *
+ * A ConfigSchema makes the store strict: validate() type-checks and
+ * range-checks every entry against the declared keys and flags
+ * unknown keys, so a typo'd parameter fails fast instead of silently
+ * falling back to a default.
  */
 
 #ifndef HPIM_SIM_CONFIG_HH
 #define HPIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "sim/logging.hh"
 
 namespace hpim::sim {
+
+/** Value categories a Config entry (and a schema key) can have. */
+enum class ConfigType { Double, Int, Bool, String };
+
+/** One declared key: its type, whether it must exist, and -- for
+ *  numeric types -- the closed range of acceptable values. */
+struct ConfigKeySpec
+{
+    std::string key;
+    ConfigType type = ConfigType::Double;
+    bool required = false;
+    double minValue = std::numeric_limits<double>::lowest();
+    double maxValue = std::numeric_limits<double>::max();
+};
+
+/** Set of declared keys a Config is validated against. */
+struct ConfigSchema
+{
+    std::vector<ConfigKeySpec> keys;
+    /** When false (default), keys absent from the schema are errors. */
+    bool allowUnknown = false;
+};
 
 /** Typed key/value store: double, int64, bool or string values. */
 class Config
@@ -51,9 +80,26 @@ class Config
     /** Required variants: fatal() when the key is missing. */
     double requireDouble(const std::string &key) const;
     std::int64_t requireInt(const std::string &key) const;
+    bool requireBool(const std::string &key) const;
+    std::string requireString(const std::string &key) const;
 
     /** Merge @p other into this config, overwriting duplicates. */
     void merge(const Config &other);
+
+    /** All keys currently set, in sorted order. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Check every entry against @p schema: declared type (numeric
+     * coercion between int and double is accepted), declared range,
+     * required keys present, and -- unless schema.allowUnknown --
+     * no keys outside the schema.
+     * @return one human-readable message per violation; empty = valid
+     */
+    std::vector<std::string> validate(const ConfigSchema &schema) const;
+
+    /** validate(), then fatal() listing every violation. */
+    void validateOrDie(const ConfigSchema &schema) const;
 
     std::size_t size() const { return _values.size(); }
 

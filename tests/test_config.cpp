@@ -1,13 +1,19 @@
 /**
  * @file
- * Unit tests for the typed key/value configuration store.
+ * Unit tests for the typed key/value configuration store and its
+ * schema validation.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/config.hh"
 
 using hpim::sim::Config;
+using hpim::sim::ConfigKeySpec;
+using hpim::sim::ConfigSchema;
+using hpim::sim::ConfigType;
 
 TEST(Config, FallbacksWhenMissing)
 {
@@ -90,4 +96,165 @@ TEST(ConfigDeath, TypeMismatchIsFatal)
     c.set("b", true);
     EXPECT_EXIT(c.getString("b", ""), testing::ExitedWithCode(1),
                 "not a string");
+}
+
+TEST(Config, RequireBoolAndStringReturnPresentValues)
+{
+    Config c;
+    c.set("rc", true);
+    c.set("model", "alexnet");
+    EXPECT_TRUE(c.requireBool("rc"));
+    EXPECT_EQ(c.requireString("model"), "alexnet");
+}
+
+TEST(ConfigDeath, RequireBoolAndStringMissingKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT(c.requireBool("nope"), testing::ExitedWithCode(1),
+                "missing required config key");
+    EXPECT_EXIT(c.requireString("nope"), testing::ExitedWithCode(1),
+                "missing required config key");
+}
+
+TEST(Config, KeysAreSorted)
+{
+    Config c;
+    c.set("zeta", 1);
+    c.set("alpha", 2);
+    c.set("mid", 3);
+    auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// ---- Schema validation. -------------------------------------------
+
+namespace {
+
+ConfigSchema
+sampleSchema()
+{
+    ConfigSchema schema;
+    schema.keys = {
+        {"freq", ConfigType::Double, true, 1e6, 1e10},
+        {"banks", ConfigType::Int, true, 1.0, 512.0},
+        {"rc", ConfigType::Bool, false, 0.0, 0.0},
+        {"name", ConfigType::String, false, 0.0, 0.0},
+    };
+    return schema;
+}
+
+Config
+validConfig()
+{
+    Config c;
+    c.set("freq", 312.5e6);
+    c.set("banks", 32);
+    c.set("rc", true);
+    c.set("name", "hetero");
+    return c;
+}
+
+/** @return true when some violation message contains @p needle. */
+bool
+mentions(const std::vector<std::string> &errors,
+         const std::string &needle)
+{
+    for (const auto &error : errors)
+        if (error.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(ConfigSchemaValidation, ValidConfigHasNoViolations)
+{
+    EXPECT_TRUE(validConfig().validate(sampleSchema()).empty());
+}
+
+TEST(ConfigSchemaValidation, MissingRequiredKeyIsReported)
+{
+    Config without;
+    without.set("freq", 312.5e6);
+    without.set("rc", false);
+    auto errors = without.validate(sampleSchema());
+    EXPECT_TRUE(mentions(errors, "missing required key 'banks'"));
+    // Optional keys may be absent.
+    EXPECT_FALSE(mentions(errors, "name"));
+}
+
+TEST(ConfigSchemaValidation, TypeMismatchIsReported)
+{
+    Config c = validConfig();
+    c.set("rc", "yes");
+    auto errors = c.validate(sampleSchema());
+    EXPECT_TRUE(mentions(errors, "'rc' must be bool"));
+}
+
+TEST(ConfigSchemaValidation, NumericCoercionIsAccepted)
+{
+    Config c = validConfig();
+    c.set("freq", 312500000); // int entry for a Double key
+    c.set("banks", 32.0);     // double entry for an Int key
+    EXPECT_TRUE(c.validate(sampleSchema()).empty());
+}
+
+TEST(ConfigSchemaValidation, OutOfRangeValueIsReported)
+{
+    Config c = validConfig();
+    c.set("banks", 100000);
+    auto errors = c.validate(sampleSchema());
+    EXPECT_TRUE(mentions(errors, "'banks'"));
+    EXPECT_TRUE(mentions(errors, "out of range"));
+
+    c.set("banks", 0);
+    EXPECT_TRUE(mentions(c.validate(sampleSchema()), "out of range"));
+}
+
+TEST(ConfigSchemaValidation, RangeEndpointsAreInclusive)
+{
+    Config c = validConfig();
+    c.set("banks", 1);
+    EXPECT_TRUE(c.validate(sampleSchema()).empty());
+    c.set("banks", 512);
+    EXPECT_TRUE(c.validate(sampleSchema()).empty());
+}
+
+TEST(ConfigSchemaValidation, UnknownKeyIsReported)
+{
+    Config c = validConfig();
+    c.set("bansk", 32); // typo'd duplicate
+    auto errors = c.validate(sampleSchema());
+    EXPECT_TRUE(mentions(errors, "unknown key 'bansk'"));
+}
+
+TEST(ConfigSchemaValidation, AllowUnknownSuppressesUnknownKeyErrors)
+{
+    Config c = validConfig();
+    c.set("extra", 1);
+    ConfigSchema schema = sampleSchema();
+    schema.allowUnknown = true;
+    EXPECT_TRUE(c.validate(schema).empty());
+}
+
+TEST(ConfigSchemaValidation, EveryViolationIsCollected)
+{
+    Config c;
+    c.set("freq", 1.0);   // below range
+    c.set("rc", 3);       // wrong type
+    c.set("oops", false); // unknown; 'banks' also missing
+    auto errors = c.validate(sampleSchema());
+    EXPECT_EQ(errors.size(), 4u);
+}
+
+TEST(ConfigSchemaDeath, ValidateOrDieListsViolations)
+{
+    Config c = validConfig();
+    c.set("banks", 100000);
+    c.set("oops", 1);
+    EXPECT_EXIT(c.validateOrDie(sampleSchema()),
+                testing::ExitedWithCode(1),
+                "invalid configuration");
+    EXPECT_TRUE(c.validate(sampleSchema()).size() == 2);
 }

@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for ExecutionReport CSV/JSON serialization.
+ * Unit tests for ExecutionReport CSV/JSON serialization and the
+ * strict versioned parsers that read both formats back.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "baseline/presets.hh"
@@ -23,19 +25,35 @@ sample()
     r.configName = "Hetero PIM";
     r.workloadName = "AlexNet";
     r.stepsSimulated = 4;
+    r.makespanSec = 0.4;
     r.stepSec = 0.1;
     r.opSec = 0.08;
     r.dataMovementSec = 0.015;
     r.syncSec = 0.005;
+    r.cpuBusySec = 0.02;
+    r.progrBusySec = 0.3;
+    r.fixedUnitSeconds = 12.5;
+    r.fixedUtilization = 0.73;
+    r.hostLaunches = 120;
+    r.recursiveLaunches = 64;
+    r.linkBytes = 1.25e9;
+    r.internalBytes = 9.5e9;
+    r.cpuEnergyJ = 1.0;
+    r.progrEnergyJ = 2.0;
+    r.fixedEnergyJ = 3.0;
+    r.dramEnergyJ = 4.0;
+    r.totalEnergyJ = 10.0;
     r.energyPerStepJ = 5.0;
     r.averagePowerW = 50.0;
     r.edp = 0.5;
     r.opsByPlacement[rt::PlacedOn::Cpu] = 10;
     r.opsByPlacement[rt::PlacedOn::FixedPool] = 20;
+    r.opsByPlacement[rt::PlacedOn::ProgrRecursive] = 7;
     r.transientFaults = 3;
     r.kernelStalls = 1;
     r.retries = 4;
     r.opsDegraded = 2;
+    r.opsEvicted = 1;
     r.retryBackoffSec = 1.5e-4;
     r.banksFailed = 1;
     r.unitsLost = 14;
@@ -58,13 +76,15 @@ TEST(ReportIo, CsvRowMatchesHeaderArity)
     EXPECT_EQ(count(header.str()), count(row.str()));
 }
 
-TEST(ReportIo, CsvBatchHasHeaderPlusRows)
+TEST(ReportIo, CsvBatchHasVersionHeaderPlusRows)
 {
     std::ostringstream os;
     writeCsv(os, {sample(), sample(), sample()});
     std::string text = os.str();
-    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
-    EXPECT_EQ(text.rfind("config,workload", 0), 0u);
+    // Version line + header + three rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+    EXPECT_EQ(text.rfind("#hpim-report-csv v1\n", 0), 0u);
+    EXPECT_NE(text.find("\nconfig,workload"), std::string::npos);
 }
 
 TEST(ReportIo, JsonContainsKeyFields)
@@ -117,4 +137,210 @@ TEST(ReportIo, RealReportRoundTripsThroughCsv)
     // The workload name and a plausible step time appear.
     EXPECT_NE(os.str().find("DCGAN"), std::string::npos);
     EXPECT_NE(os.str().find("Hetero PIM"), std::string::npos);
+}
+
+// ---- JSON round-tripping. -----------------------------------------
+
+TEST(ReportIo, JsonSerializeParseReserializeIsIdentical)
+{
+    // The crash-safe journal depends on this: a report written,
+    // parsed back, and written again must be byte-identical,
+    // including every PR2 resilience field and the timeline.
+    std::string once = jsonString(sample());
+    rt::ExecutionReport parsed = readJson(once);
+    EXPECT_EQ(jsonString(parsed), once);
+}
+
+TEST(ReportIo, JsonRoundTripPreservesEveryField)
+{
+    rt::ExecutionReport in = sample();
+    rt::ExecutionReport out = readJson(jsonString(in));
+    EXPECT_EQ(out.configName, in.configName);
+    EXPECT_EQ(out.workloadName, in.workloadName);
+    EXPECT_EQ(out.stepsSimulated, in.stepsSimulated);
+    EXPECT_EQ(out.makespanSec, in.makespanSec);
+    EXPECT_EQ(out.stepSec, in.stepSec);
+    EXPECT_EQ(out.opSec, in.opSec);
+    EXPECT_EQ(out.dataMovementSec, in.dataMovementSec);
+    EXPECT_EQ(out.syncSec, in.syncSec);
+    EXPECT_EQ(out.cpuBusySec, in.cpuBusySec);
+    EXPECT_EQ(out.progrBusySec, in.progrBusySec);
+    EXPECT_EQ(out.fixedUnitSeconds, in.fixedUnitSeconds);
+    EXPECT_EQ(out.fixedUtilization, in.fixedUtilization);
+    EXPECT_EQ(out.hostLaunches, in.hostLaunches);
+    EXPECT_EQ(out.recursiveLaunches, in.recursiveLaunches);
+    EXPECT_EQ(out.linkBytes, in.linkBytes);
+    EXPECT_EQ(out.internalBytes, in.internalBytes);
+    EXPECT_EQ(out.cpuEnergyJ, in.cpuEnergyJ);
+    EXPECT_EQ(out.progrEnergyJ, in.progrEnergyJ);
+    EXPECT_EQ(out.fixedEnergyJ, in.fixedEnergyJ);
+    EXPECT_EQ(out.dramEnergyJ, in.dramEnergyJ);
+    EXPECT_EQ(out.totalEnergyJ, in.totalEnergyJ);
+    EXPECT_EQ(out.energyPerStepJ, in.energyPerStepJ);
+    EXPECT_EQ(out.averagePowerW, in.averagePowerW);
+    EXPECT_EQ(out.edp, in.edp);
+    EXPECT_EQ(out.opsByPlacement, in.opsByPlacement);
+    EXPECT_EQ(out.transientFaults, in.transientFaults);
+    EXPECT_EQ(out.kernelStalls, in.kernelStalls);
+    EXPECT_EQ(out.retries, in.retries);
+    EXPECT_EQ(out.opsDegraded, in.opsDegraded);
+    EXPECT_EQ(out.opsEvicted, in.opsEvicted);
+    EXPECT_EQ(out.retryBackoffSec, in.retryBackoffSec);
+    EXPECT_EQ(out.banksFailed, in.banksFailed);
+    EXPECT_EQ(out.unitsLost, in.unitsLost);
+    EXPECT_EQ(out.throttleEvents, in.throttleEvents);
+    ASSERT_EQ(out.capacityTimeline.size(),
+              in.capacityTimeline.size());
+    for (std::size_t i = 0; i < in.capacityTimeline.size(); ++i) {
+        EXPECT_EQ(out.capacityTimeline[i].timeSec,
+                  in.capacityTimeline[i].timeSec);
+        EXPECT_EQ(out.capacityTimeline[i].units,
+                  in.capacityTimeline[i].units);
+    }
+}
+
+TEST(ReportIo, RealSimulatedReportRoundTripsThroughJson)
+{
+    auto report = baseline::runSystem(baseline::SystemKind::HeteroPim,
+                                      nn::ModelId::AlexNet, 2);
+    std::string once = jsonString(report);
+    EXPECT_EQ(jsonString(readJson(once)), once);
+}
+
+TEST(ReportIo, JsonAwkwardDoublesSurviveExactly)
+{
+    rt::ExecutionReport in = sample();
+    in.stepSec = 0.1 + 0.2;          // 0.30000000000000004
+    in.linkBytes = 1.0 / 3.0;
+    in.edp = 1e-308;                 // near-denormal
+    in.retryBackoffSec = 12345678.87654321;
+    rt::ExecutionReport out = readJson(jsonString(in));
+    EXPECT_EQ(out.stepSec, in.stepSec);
+    EXPECT_EQ(out.linkBytes, in.linkBytes);
+    EXPECT_EQ(out.edp, in.edp);
+    EXPECT_EQ(out.retryBackoffSec, in.retryBackoffSec);
+}
+
+TEST(ReportIo, JsonParserRejectsUnknownField)
+{
+    std::string text = jsonString(sample());
+    text.insert(1, "\"surprise\":1,");
+    try {
+        readJson(text);
+        FAIL() << "unknown field accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.field, "surprise");
+    }
+}
+
+TEST(ReportIo, JsonParserRejectsMissingField)
+{
+    std::string text = jsonString(sample());
+    auto pos = text.find("\"edp\":");
+    auto end = text.find(',', pos);
+    text.erase(pos, end - pos + 1);
+    try {
+        readJson(text);
+        FAIL() << "missing field accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.field, "edp");
+    }
+}
+
+TEST(ReportIo, JsonParserRejectsWrongSchemaVersion)
+{
+    std::string text = jsonString(sample());
+    auto pos = text.find("\"schema_version\":1");
+    text.replace(pos, std::strlen("\"schema_version\":1"),
+                 "\"schema_version\":999");
+    try {
+        readJson(text);
+        FAIL() << "wrong schema version accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.field, "schema_version");
+    }
+}
+
+TEST(ReportIo, JsonParserRejectsTruncatedDocument)
+{
+    std::string text = jsonString(sample());
+    EXPECT_THROW(readJson(text.substr(0, text.size() / 2)),
+                 ParseError);
+}
+
+TEST(ReportIo, JsonParserRejectsNegativeCounter)
+{
+    std::string text = jsonString(sample());
+    auto pos = text.find("\"retries\":4");
+    text.replace(pos, std::strlen("\"retries\":4"), "\"retries\":-4");
+    EXPECT_THROW(readJson(text), ParseError);
+}
+
+// ---- CSV parsing. -------------------------------------------------
+
+TEST(ReportIo, CsvRoundTripPreservesCarriedFields)
+{
+    std::ostringstream os;
+    writeCsv(os, {sample(), sample()});
+    std::istringstream is(os.str());
+    auto reports = readCsv(is);
+    ASSERT_EQ(reports.size(), 2u);
+    const auto &out = reports[0];
+    const auto in = sample();
+    EXPECT_EQ(out.configName, in.configName);
+    EXPECT_EQ(out.workloadName, in.workloadName);
+    EXPECT_EQ(out.stepsSimulated, in.stepsSimulated);
+    EXPECT_EQ(out.stepSec, in.stepSec);
+    EXPECT_EQ(out.fixedUtilization, in.fixedUtilization);
+    EXPECT_EQ(out.hostLaunches, in.hostLaunches);
+    EXPECT_EQ(out.energyPerStepJ, in.energyPerStepJ);
+    EXPECT_EQ(out.transientFaults, in.transientFaults);
+    EXPECT_EQ(out.retryBackoffSec, in.retryBackoffSec);
+    EXPECT_EQ(out.banksFailed, in.banksFailed);
+    EXPECT_EQ(out.throttleEvents, in.throttleEvents);
+
+    // And a re-serialization of what the CSV carries is identical.
+    std::ostringstream again;
+    writeCsv(again, reports);
+    EXPECT_EQ(again.str(), os.str());
+}
+
+TEST(ReportIo, CsvParserRejectsMissingVersionLine)
+{
+    std::istringstream is("config,workload\nfoo,bar\n");
+    try {
+        readCsv(is);
+        FAIL() << "unversioned CSV accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line, 1u);
+    }
+}
+
+TEST(ReportIo, CsvParserRejectsBadCellWithLineAndColumn)
+{
+    std::ostringstream os;
+    writeCsv(os, {sample()});
+    std::string text = os.str();
+    auto pos = text.find("AlexNet,4,"); // steps cell of the data row
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::strlen("AlexNet,4,"), "AlexNet,banana,");
+    std::istringstream is(text);
+    try {
+        readCsv(is);
+        FAIL() << "non-numeric cell accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line, 3u);
+        EXPECT_EQ(e.field, "steps");
+    }
+}
+
+TEST(ReportIo, CsvParserRejectsShortRow)
+{
+    std::ostringstream os;
+    writeCsv(os, {sample()});
+    std::string text = os.str();
+    text.erase(text.rfind(','));     // drop last column + value
+    text += "\n";
+    std::istringstream is(text);
+    EXPECT_THROW(readCsv(is), ParseError);
 }
