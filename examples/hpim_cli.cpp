@@ -6,7 +6,11 @@
  *   hpim_cli [--model NAME] [--system NAME] [--steps N]
  *            [--freq-scale F] [--progr-pims N] [--no-rc] [--no-op]
  *            [--fault-rate R] [--kill-banks N] [--fault-seed S]
- *            [--csv] [--json] [--summary] [--dot]
+ *            [--csv] [--json] [--summary] [--dot] [--trace FILE]
+ *
+ * --trace FILE writes a Chrome/Perfetto timeline of the run
+ * (docs/OBSERVABILITY.md). A MetricsRegistry is attached for every
+ * run, so --json reports carry the component metrics snapshot.
  *
  * Models : vgg19 alexnet dcgan resnet50 inception3 lstm word2vec
  * Systems: cpu gpu progr fixed hetero neurocube
@@ -35,6 +39,8 @@
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
 #include "nn/summary.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "rt/hetero_runtime.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
@@ -49,7 +55,7 @@ const char *const kUsage =
     "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
     "  [--no-rc] [--no-op] [--fault-rate R]\n"
     "  [--kill-banks N] [--fault-seed S] [--csv]\n"
-    "  [--json] [--summary] [--dot]";
+    "  [--json] [--summary] [--dot] [--trace FILE]";
 
 nn::ModelId
 parseModel(const std::string &name)
@@ -130,6 +136,7 @@ cliSchema()
         {"json", ConfigType::Bool, true, 0.0, 0.0},
         {"summary", ConfigType::Bool, true, 0.0, 0.0},
         {"dot", ConfigType::Bool, true, 0.0, 0.0},
+        {"trace", ConfigType::String, true, 0.0, 0.0},
     };
     return schema;
 }
@@ -155,6 +162,7 @@ main(int argc, char **argv)
     cli.set("json", false);
     cli.set("summary", false);
     cli.set("dot", false);
+    cli.set("trace", ""); // empty = tracing off
     std::uint64_t fault_seed = hpim::sim::defaultSeed;
 
     for (int i = 1; i < argc; ++i) {
@@ -187,6 +195,7 @@ main(int argc, char **argv)
         else if (arg == "--json") cli.set("json", true);
         else if (arg == "--summary") cli.set("summary", true);
         else if (arg == "--dot") cli.set("dot", true);
+        else if (arg == "--trace") cli.set("trace", next());
         else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage << '\n';
             return 0;
@@ -212,6 +221,16 @@ main(int argc, char **argv)
     double fault_rate = cli.requireDouble("fault_rate");
     std::uint32_t kill_banks =
         static_cast<std::uint32_t>(cli.requireInt("kill_banks"));
+    std::string trace_file = cli.requireString("trace");
+
+    // A single deterministic run, so unlike sweeps the registry
+    // snapshot can go straight into the report (and the --json
+    // output) without breaking any determinism contract.
+    obs::MetricsRegistry metrics;
+    metrics.attach();
+    obs::TraceSession trace;
+    if (!trace_file.empty())
+        trace.attach();
 
     nn::Graph graph = nn::buildModel(model);
 
@@ -252,6 +271,7 @@ main(int argc, char **argv)
         report = baseline::runSystem(system, model, steps, freq_scale,
                                      progr_pims);
     }
+    report.metrics = metrics.snapshot();
 
     if (csv) {
         harness::writeCsv(std::cout, {report});
@@ -284,6 +304,14 @@ main(int argc, char **argv)
         harness::TablePrinter table(headers);
         table.addRow(row);
         table.print(std::cout);
+    }
+
+    if (!trace_file.empty()) {
+        trace.detach();
+        trace.exportChromeTrace(trace_file);
+        // stderr so --csv/--json stdout stays clean for pipelines.
+        std::cerr << "[trace] wrote " << trace_file << " ("
+                  << trace.eventCount() << " events)\n";
     }
     return 0;
 }

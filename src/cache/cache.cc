@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace hpim::cache {
@@ -94,6 +95,26 @@ Cache::flush()
 {
     for (auto &line : _lines)
         line = Line{};
+}
+
+void
+Cache::publishMetrics() const
+{
+    auto *registry = hpim::obs::MetricsRegistry::current();
+    if (registry == nullptr)
+        return;
+    const std::string prefix = "cache." + name() + ".";
+    registry->gauge(prefix + "accesses")
+        .set(static_cast<double>(_stats.accesses));
+    registry->gauge(prefix + "hits")
+        .set(static_cast<double>(_stats.hits));
+    registry->gauge(prefix + "misses")
+        .set(static_cast<double>(_stats.misses));
+    registry->gauge(prefix + "evictions")
+        .set(static_cast<double>(_stats.evictions));
+    registry->gauge(prefix + "writebacks")
+        .set(static_cast<double>(_stats.writebacks));
+    registry->gauge(prefix + "miss_rate").set(_stats.missRate());
 }
 
 } // namespace hpim::cache

@@ -75,6 +75,14 @@ class Cache : public hpim::sim::Named
     /** Invalidate everything (keeps statistics). */
     void flush();
 
+    /**
+     * Publish the hit/miss counters into the attached
+     * obs::MetricsRegistry as "cache.<name>.*" gauges. No-op when no
+     * registry is attached. Deliberately a snapshot call rather than
+     * per-access instrumentation: access() is the hot path.
+     */
+    void publishMetrics() const;
+
     const CacheConfig &config() const { return _config; }
     const CacheStats &stats() const { return _stats; }
     std::uint32_t sets() const { return _sets; }

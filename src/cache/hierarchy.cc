@@ -70,4 +70,11 @@ CacheHierarchy::flushAll()
         level->flush();
 }
 
+void
+CacheHierarchy::publishMetrics() const
+{
+    for (const auto &level : _levels)
+        level->publishMetrics();
+}
+
 } // namespace hpim::cache

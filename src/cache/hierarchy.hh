@@ -53,6 +53,10 @@ class CacheHierarchy
 
     void flushAll();
 
+    /** Publish every level's counters ("cache.L1.*", ...); see
+     *  Cache::publishMetrics. */
+    void publishMetrics() const;
+
   private:
     std::vector<std::unique_ptr<Cache>> _levels;
     std::uint64_t _mm_accesses = 0;

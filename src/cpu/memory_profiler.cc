@@ -76,6 +76,7 @@ MemoryProfiler::profileGraph(const Graph &graph)
         report.totalMainMemoryAccesses += p.mainMemoryAccesses;
         report.ops.push_back(p);
     }
+    hierarchy.publishMetrics();
     return report;
 }
 

@@ -1,0 +1,176 @@
+#include "harness/json_writer.hh"
+
+#include <cstdio>
+#include <limits>
+
+#include "harness/json.hh"
+#include "sim/logging.hh"
+
+namespace hpim::harness::json {
+
+std::string
+numberToString(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, value);
+    return buf;
+}
+
+Writer::~Writer()
+{
+    // A half-written document is a bug in the caller, but a destructor
+    // must not throw/abort during unwinding; leave the stream as-is.
+}
+
+void
+Writer::preValue()
+{
+    panic_if(_root_done, "json writer: value after complete document");
+    if (_expect_value) {
+        _expect_value = false;
+        return;
+    }
+    if (_stack.empty())
+        return;
+    panic_if(_stack.back() == Frame::Object,
+             "json writer: object member needs key() first");
+    if (!_first.back())
+        _os << ',';
+    _first.back() = false;
+}
+
+Writer &
+Writer::beginObject()
+{
+    preValue();
+    _os << '{';
+    _stack.push_back(Frame::Object);
+    _first.push_back(true);
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    panic_if(_stack.empty() || _stack.back() != Frame::Object
+                 || _expect_value,
+             "json writer: endObject() without matching beginObject()");
+    _os << '}';
+    _stack.pop_back();
+    _first.pop_back();
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    preValue();
+    _os << '[';
+    _stack.push_back(Frame::Array);
+    _first.push_back(true);
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    panic_if(_stack.empty() || _stack.back() != Frame::Array,
+             "json writer: endArray() without matching beginArray()");
+    _os << ']';
+    _stack.pop_back();
+    _first.pop_back();
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::key(std::string_view name)
+{
+    panic_if(_stack.empty() || _stack.back() != Frame::Object
+                 || _expect_value,
+             "json writer: key() outside an object");
+    if (!_first.back())
+        _os << ',';
+    _first.back() = false;
+    std::string out = "\"";
+    escape(out, std::string(name));
+    out += "\":";
+    _os << out;
+    _expect_value = true;
+    return *this;
+}
+
+Writer &
+Writer::value(std::string_view text)
+{
+    preValue();
+    std::string out = "\"";
+    escape(out, std::string(text));
+    out += '"';
+    _os << out;
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::value(double number)
+{
+    preValue();
+    _os << numberToString(number);
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::value(std::int64_t number)
+{
+    preValue();
+    _os << number;
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::value(std::uint64_t number)
+{
+    preValue();
+    _os << number;
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::value(bool flag)
+{
+    preValue();
+    _os << (flag ? "true" : "false");
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+Writer &
+Writer::valueNull()
+{
+    preValue();
+    _os << "null";
+    if (_stack.empty())
+        _root_done = true;
+    return *this;
+}
+
+bool
+Writer::done() const
+{
+    return _root_done && _stack.empty() && !_expect_value;
+}
+
+} // namespace hpim::harness::json

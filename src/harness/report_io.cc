@@ -1,12 +1,12 @@
 #include "harness/report_io.hh"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
 
 #include "harness/json.hh"
+#include "harness/json_writer.hh"
 
 namespace hpim::harness {
 
@@ -19,23 +19,11 @@ namespace {
 /** CSV version line; readCsv rejects any other version. */
 const char *const kCsvVersionLine = "#hpim-report-csv v1";
 
-/** %.17g: enough digits that strtod() recovers the exact double. */
+/** CSV cells share the writer's lossless double format. */
 std::string
 num(double value)
 {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.*g",
-                  std::numeric_limits<double>::max_digits10, value);
-    return buf;
-}
-
-std::string
-quoted(const std::string &text)
-{
-    std::string out = "\"";
-    json::escape(out, text);
-    out += '"';
-    return out;
+    return json::numberToString(value);
 }
 
 // ---- Strict JSON object consumption. ------------------------------
@@ -201,66 +189,109 @@ writeCsv(std::ostream &os, const std::vector<ExecutionReport> &reports)
 void
 writeJson(std::ostream &os, const ExecutionReport &report)
 {
-    os << "{"
-       << "\"schema_version\":" << reportSchemaVersion << ","
-       << "\"config\":" << quoted(report.configName) << ","
-       << "\"workload\":" << quoted(report.workloadName) << ","
-       << "\"steps\":" << report.stepsSimulated << ","
-       << "\"makespan_s\":" << num(report.makespanSec) << ","
-       << "\"step_s\":" << num(report.stepSec) << ","
-       << "\"breakdown\":{"
-       << "\"op_s\":" << num(report.opSec) << ","
-       << "\"data_movement_s\":" << num(report.dataMovementSec) << ","
-       << "\"sync_s\":" << num(report.syncSec) << "},"
-       << "\"occupancy\":{"
-       << "\"cpu_busy_s\":" << num(report.cpuBusySec) << ","
-       << "\"progr_busy_s\":" << num(report.progrBusySec) << ","
-       << "\"fixed_unit_s\":" << num(report.fixedUnitSeconds) << "},"
-       << "\"fixed_utilization\":" << num(report.fixedUtilization)
-       << ","
-       << "\"launches\":{"
-       << "\"host\":" << report.hostLaunches << ","
-       << "\"recursive\":" << report.recursiveLaunches << "},"
-       << "\"traffic\":{"
-       << "\"link_bytes\":" << num(report.linkBytes) << ","
-       << "\"internal_bytes\":" << num(report.internalBytes) << "},"
-       << "\"energy\":{"
-       << "\"cpu_j\":" << num(report.cpuEnergyJ) << ","
-       << "\"progr_j\":" << num(report.progrEnergyJ) << ","
-       << "\"fixed_j\":" << num(report.fixedEnergyJ) << ","
-       << "\"dram_j\":" << num(report.dramEnergyJ) << ","
-       << "\"total_j\":" << num(report.totalEnergyJ) << "},"
-       << "\"energy_per_step_j\":" << num(report.energyPerStepJ) << ","
-       << "\"avg_power_w\":" << num(report.averagePowerW) << ","
-       << "\"edp\":" << num(report.edp) << ","
-       << "\"placements\":{";
-    bool first = true;
-    for (const auto &[placement, count] : report.opsByPlacement) {
-        if (!first)
-            os << ',';
-        first = false;
-        os << quoted(placedOnName(placement)) << ":" << count;
-    }
-    os << "},"
-       << "\"resilience\":{"
-       << "\"transient_faults\":" << report.transientFaults << ","
-       << "\"kernel_stalls\":" << report.kernelStalls << ","
-       << "\"retries\":" << report.retries << ","
-       << "\"ops_degraded\":" << report.opsDegraded << ","
-       << "\"ops_evicted\":" << report.opsEvicted << ","
-       << "\"retry_backoff_s\":" << num(report.retryBackoffSec) << ","
-       << "\"banks_failed\":" << report.banksFailed << ","
-       << "\"units_lost\":" << report.unitsLost << ","
-       << "\"throttle_events\":" << report.throttleEvents << ","
-       << "\"capacity_timeline\":[";
-    first = true;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::int64_t>(reportSchemaVersion));
+    w.field("config", report.configName);
+    w.field("workload", report.workloadName);
+    w.field("steps", report.stepsSimulated);
+    w.field("makespan_s", report.makespanSec);
+    w.field("step_s", report.stepSec);
+
+    w.key("breakdown").beginObject();
+    w.field("op_s", report.opSec);
+    w.field("data_movement_s", report.dataMovementSec);
+    w.field("sync_s", report.syncSec);
+    w.endObject();
+
+    w.key("occupancy").beginObject();
+    w.field("cpu_busy_s", report.cpuBusySec);
+    w.field("progr_busy_s", report.progrBusySec);
+    w.field("fixed_unit_s", report.fixedUnitSeconds);
+    w.endObject();
+
+    w.field("fixed_utilization", report.fixedUtilization);
+
+    w.key("launches").beginObject();
+    w.field("host", report.hostLaunches);
+    w.field("recursive", report.recursiveLaunches);
+    w.endObject();
+
+    w.key("traffic").beginObject();
+    w.field("link_bytes", report.linkBytes);
+    w.field("internal_bytes", report.internalBytes);
+    w.endObject();
+
+    w.key("energy").beginObject();
+    w.field("cpu_j", report.cpuEnergyJ);
+    w.field("progr_j", report.progrEnergyJ);
+    w.field("fixed_j", report.fixedEnergyJ);
+    w.field("dram_j", report.dramEnergyJ);
+    w.field("total_j", report.totalEnergyJ);
+    w.endObject();
+
+    w.field("energy_per_step_j", report.energyPerStepJ);
+    w.field("avg_power_w", report.averagePowerW);
+    w.field("edp", report.edp);
+
+    w.key("placements").beginObject();
+    for (const auto &[placement, count] : report.opsByPlacement)
+        w.field(placedOnName(placement), count);
+    w.endObject();
+
+    w.key("resilience").beginObject();
+    w.field("transient_faults", report.transientFaults);
+    w.field("kernel_stalls", report.kernelStalls);
+    w.field("retries", report.retries);
+    w.field("ops_degraded", report.opsDegraded);
+    w.field("ops_evicted", report.opsEvicted);
+    w.field("retry_backoff_s", report.retryBackoffSec);
+    w.field("banks_failed", report.banksFailed);
+    w.field("units_lost", report.unitsLost);
+    w.field("throttle_events", report.throttleEvents);
+    w.key("capacity_timeline").beginArray();
     for (const auto &sample : report.capacityTimeline) {
-        if (!first)
-            os << ',';
-        first = false;
-        os << "[" << num(sample.timeSec) << "," << sample.units << "]";
+        w.beginArray();
+        w.value(sample.timeSec);
+        w.value(sample.units);
+        w.endArray();
     }
-    os << "]}}";
+    w.endArray();
+    w.endObject();
+
+    w.key("metrics").beginArray();
+    for (const auto &metric : report.metrics) {
+        w.beginObject();
+        w.field("name", metric.name);
+        w.field("kind", metricKindName(metric.kind));
+        switch (metric.kind) {
+          case obs::MetricKind::Counter:
+            w.field("count", metric.count);
+            break;
+          case obs::MetricKind::Gauge:
+            w.field("value", metric.value);
+            break;
+          case obs::MetricKind::Histogram:
+            w.field("count", metric.count);
+            w.field("sum", metric.sum);
+            w.field("min", metric.min);
+            w.field("max", metric.max);
+            w.key("buckets").beginArray();
+            for (const auto &bucket : metric.buckets) {
+                w.beginArray();
+                w.value(bucket.index);
+                w.value(bucket.count);
+                w.endArray();
+            }
+            w.endArray();
+            break;
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
 }
 
 std::string
@@ -370,6 +401,52 @@ reportFromJson(const json::Value &root)
         report.capacityTimeline.push_back(cs);
     }
     resilience.finish();
+
+    const json::Value &metrics = top.get("metrics");
+    if (!metrics.isArray())
+        throw ParseError("expected an array", metrics.line, "metrics");
+    for (const json::Value &entry : metrics.array) {
+        ObjectReader metric(entry);
+        obs::MetricSample sample;
+        sample.name = metric.str("name");
+        std::string kind = metric.str("kind");
+        if (kind == "counter") {
+            sample.kind = obs::MetricKind::Counter;
+            sample.count = metric.u64("count");
+        } else if (kind == "gauge") {
+            sample.kind = obs::MetricKind::Gauge;
+            sample.value = metric.number("value");
+        } else if (kind == "histogram") {
+            sample.kind = obs::MetricKind::Histogram;
+            sample.count = metric.u64("count");
+            sample.sum = metric.number("sum");
+            sample.min = metric.number("min");
+            sample.max = metric.number("max");
+            const json::Value &buckets = metric.get("buckets");
+            if (!buckets.isArray())
+                throw ParseError("expected an array", buckets.line,
+                                 "buckets");
+            for (const json::Value &bucket : buckets.array) {
+                if (!bucket.isArray() || bucket.array.size() != 2)
+                    throw ParseError("expected an [index, count] pair",
+                                     bucket.line, "buckets");
+                obs::HistogramBucket hb;
+                std::uint64_t index = bucket.array[0].asUInt64();
+                if (index >= obs::kHistogramBuckets)
+                    throw ParseError("bucket index out of range",
+                                     bucket.line, "buckets");
+                hb.index = static_cast<std::uint32_t>(index);
+                hb.count = bucket.array[1].asUInt64();
+                sample.buckets.push_back(hb);
+            }
+        } else {
+            throw ParseError("unknown metric kind '" + kind + "'",
+                             entry.line, "kind");
+        }
+        metric.finish();
+        report.metrics.push_back(std::move(sample));
+    }
+
     top.finish();
     return report;
 }
@@ -400,8 +477,8 @@ readCsv(std::istream &is)
     expected.pop_back(); // writeCsvHeader appends '\n'
     ++line_no;
     if (!std::getline(is, line) || line != expected)
-        throw ParseError("header row does not match schema v"
-                             + std::to_string(reportSchemaVersion),
+        throw ParseError("header row does not match CSV v"
+                             + std::to_string(reportCsvVersion),
                          line_no);
 
     // Column names, for error messages.

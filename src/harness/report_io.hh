@@ -33,8 +33,18 @@ namespace json {
 class Value;
 }
 
-/** Version of both serialized report formats (CSV and JSON). */
-constexpr int reportSchemaVersion = 1;
+/**
+ * Version of the serialized JSON report. v2 added the "metrics"
+ * array (obs::MetricsRegistry snapshot).
+ */
+constexpr int reportSchemaVersion = 2;
+
+/**
+ * Version of the CSV layout, tracked separately: v2 of the JSON
+ * schema left the CSV columns untouched (metrics are JSON-only), so
+ * CSV documents remain v1 and stay readable by older tooling.
+ */
+constexpr int reportCsvVersion = 1;
 
 /** A report document that cannot be parsed. */
 struct ParseError : std::runtime_error

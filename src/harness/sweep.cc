@@ -19,12 +19,15 @@ namespace {
 constexpr std::uint32_t kMaxJobs = 4096;
 
 const char *const kUsage =
-    "usage: <binary> [--jobs N] [--seed S] [--journal DIR]\n"
+    "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
+    "[--trace FILE]\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
     "  --seed S       base seed of the per-point rng streams\n"
     "  --journal DIR  crash-safe checkpoint/resume directory "
-    "(docs/RESILIENCE.md)";
+    "(docs/RESILIENCE.md)\n"
+    "  --trace FILE   write a Chrome/Perfetto timeline of the run "
+    "(docs/OBSERVABILITY.md)";
 
 std::uint32_t
 resolveJobs(std::uint32_t requested)
@@ -94,6 +97,22 @@ SweepRunner::SweepRunner(SweepOptions options)
     // drain + flush + resumable-exit path.
     if (!_options.journalDir.empty())
         installInterruptHandlers();
+    if (!_options.traceFile.empty()) {
+        _trace = std::make_unique<hpim::obs::TraceSession>();
+        _trace->attach();
+    }
+}
+
+SweepRunner::~SweepRunner()
+{
+    if (!_trace)
+        return;
+    _trace->detach();
+    _trace->exportChromeTrace(_options.traceFile);
+    // stderr: a bench's stdout tables must stay byte-identical
+    // whether or not tracing is on.
+    std::cerr << "[trace] wrote " << _options.traceFile << " ("
+              << _trace->eventCount() << " events)\n";
 }
 
 std::vector<hpim::rt::ExecutionReport>
@@ -140,6 +159,10 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
         ++resumed;
     }
 
+    // Same scope discipline as map(); see the comment there. A
+    // resumed point records no events (it never simulates), which is
+    // why trace comparisons always use uninterrupted runs.
+    const std::size_t scope_base = _stats.points;
     std::vector<double> durations(count, 0.0);
     std::vector<std::uint8_t> failed(count, 0);
     std::vector<std::string> errors(count);
@@ -153,11 +176,21 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
             if (interruptRequested())
                 break;
             futures.push_back(pool.submit(
-                [i, grid_hash, &fn, &results, &durations, &failed,
-                 &errors, &journal, seed = _options.baseSeed] {
+                [i, scope_base, grid_hash, &fn, &results, &durations,
+                 &failed, &errors, &journal,
+                 seed = _options.baseSeed] {
                     const double start = threadCpuSeconds();
                     hpim::sim::Rng rng(
                         hpim::sim::Rng::streamSeed(seed, i));
+                    hpim::obs::TraceSession::Scope trace_scope(
+                        static_cast<std::uint32_t>(scope_base + i + 1));
+                    if (auto *session =
+                            hpim::obs::TraceSession::current()) {
+                        session->instant(
+                            session->track("sweep"), "point start",
+                            0.0,
+                            {{"index", static_cast<std::int64_t>(i)}});
+                    }
                     try {
                         results[i] = fn(i, rng);
                         // Journal only successes: a failed point is
@@ -170,6 +203,15 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
                     } catch (...) {
                         failed[i] = 1;
                         errors[i] = "unknown exception";
+                    }
+                    if (auto *session =
+                            hpim::obs::TraceSession::current()) {
+                        session->instant(
+                            session->track("sweep"), "point done", 0.0,
+                            {{"index", static_cast<std::int64_t>(i)},
+                             {"outcome",
+                              std::string(failed[i] ? "failed"
+                                                    : "ok")}});
                     }
                     durations[i] = threadCpuSeconds() - start;
                 }));
@@ -246,6 +288,10 @@ parseSweepArgs(int argc, char **argv)
             if (value.empty())
                 fatal("--journal needs a directory\n", kUsage);
             options.journalDir = value;
+        } else if (flagValue("--trace")) {
+            if (value.empty())
+                fatal("--trace needs a file path\n", kUsage);
+            options.traceFile = value;
         } else {
             fatal("unknown argument '", arg, "'\n", kUsage);
         }

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -43,6 +44,7 @@
 #include "baseline/presets.hh"
 #include "harness/thread_pool.hh"
 #include "nn/models.hh"
+#include "obs/trace.hh"
 #include "rt/execution_report.hh"
 #include "sim/rng.hh"
 
@@ -72,6 +74,8 @@ struct SweepOptions
     std::uint64_t baseSeed = hpim::sim::defaultSeed;
     /** Checkpoint/resume journal directory; empty = journaling off. */
     std::string journalDir;
+    /** Chrome/Perfetto trace output path; empty = tracing off. */
+    std::string traceFile;
 };
 
 /** One sweep point that threw instead of producing a result. */
@@ -118,6 +122,9 @@ class SweepRunner
 {
   public:
     explicit SweepRunner(SweepOptions options = {});
+
+    /** Exports the trace (if tracing was requested) to traceFile. */
+    ~SweepRunner();
 
     /** Worker count after resolving jobs=0 to the hardware. */
     std::uint32_t jobs() const { return _jobs; }
@@ -184,6 +191,10 @@ class SweepRunner
         using Result = decltype(fn(std::size_t{0},
                                    std::declval<hpim::sim::Rng &>()));
         const auto wall_start = std::chrono::steady_clock::now();
+        // Trace scopes must stay unique across successive sweeps on
+        // one runner, or two sweeps' point-i events would interleave
+        // ambiguously; offset by the points already run.
+        const std::size_t scope_base = _stats.points;
         std::vector<double> durations(count, 0.0);
         // Not vector<bool>: workers write distinct indices in parallel.
         std::vector<std::uint8_t> failed(count, 0);
@@ -199,13 +210,28 @@ class SweepRunner
                 // submitting, drain what is in flight, exit resumable.
                 if (interruptRequested())
                     break;
-                futures.push_back(pool.submit([i, &fn, &durations,
-                                               &failed, &errors,
+                futures.push_back(pool.submit([i, scope_base, &fn,
+                                               &durations, &failed,
+                                               &errors,
                                                seed = _options.baseSeed] {
                     const double start = threadCpuSeconds();
                     hpim::sim::Rng rng(
                         hpim::sim::Rng::streamSeed(seed, i));
                     Result result{};
+                    // The point's simulation events record under this
+                    // scope so the export reproduces program order
+                    // whatever worker ran it. The bracketing instants
+                    // use synthetic ts=0 (a point's simulated clock
+                    // starts at 0); wall-clock would break the
+                    // byte-identical-across---jobs contract.
+                    hpim::obs::TraceSession::Scope trace_scope(
+                        static_cast<std::uint32_t>(scope_base + i + 1));
+                    if (auto *session =
+                            hpim::obs::TraceSession::current()) {
+                        session->instant(
+                            session->track("sweep"), "point start", 0.0,
+                            {{"index", static_cast<std::int64_t>(i)}});
+                    }
                     try {
                         result = fn(i, rng);
                     } catch (const std::exception &e) {
@@ -214,6 +240,15 @@ class SweepRunner
                     } catch (...) {
                         failed[i] = 1;
                         errors[i] = "unknown exception";
+                    }
+                    if (auto *session =
+                            hpim::obs::TraceSession::current()) {
+                        session->instant(
+                            session->track("sweep"), "point done", 0.0,
+                            {{"index", static_cast<std::int64_t>(i)},
+                             {"outcome",
+                              std::string(failed[i] ? "failed"
+                                                    : "ok")}});
                     }
                     durations[i] = threadCpuSeconds() - start;
                     return result;
@@ -261,14 +296,17 @@ class SweepRunner
     std::uint32_t _jobs;
     std::uint32_t _segment = 0; ///< next journal segment number
     SweepStats _stats;
+    /** Owned session when options.traceFile is set; else null. */
+    std::unique_ptr<hpim::obs::TraceSession> _trace;
 };
 
 /**
  * Parse engine flags from a bench/example command line:
- * `--jobs N` (default hardware_concurrency), `--seed S`, and
- * `--journal DIR` (crash-safe checkpoint/resume). Strict: an unknown
- * flag or an out-of-range value prints usage and exits non-zero
- * instead of being silently ignored.
+ * `--jobs N` (default hardware_concurrency), `--seed S`,
+ * `--journal DIR` (crash-safe checkpoint/resume) and `--trace FILE`
+ * (Chrome/Perfetto timeline, docs/OBSERVABILITY.md). Strict: an
+ * unknown flag or an out-of-range value prints usage and exits
+ * non-zero instead of being silently ignored.
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace hpim::harness {
@@ -69,6 +70,8 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    if (auto *registry = hpim::obs::MetricsRegistry::current())
+        registry->counter("pool.tasks_submitted").add(1);
     {
         std::unique_lock<std::mutex> lock(_mutex);
         panic_if(_stopping, "submit() on a stopping ThreadPool");
@@ -109,6 +112,8 @@ ThreadPool::workerLoop()
         // A packaged_task captures its own exceptions into the future,
         // so the worker never dies on a throwing task.
         task();
+        if (auto *registry = hpim::obs::MetricsRegistry::current())
+            registry->counter("pool.tasks_completed").add(1);
         {
             std::unique_lock<std::mutex> lock(_mutex);
             --_active;

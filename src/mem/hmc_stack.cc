@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace hpim::mem {
@@ -19,6 +20,7 @@ HmcStack::HmcStack(const HmcConfig &config, const std::string &name)
     for (std::uint32_t v = 0; v < config.vaults; ++v) {
         _vaults.push_back(std::make_unique<VaultController>(
             _timing, config.banksPerVault, config.policy));
+        _vaults.back()->setName(name + " vault " + std::to_string(v));
     }
 }
 
@@ -70,6 +72,19 @@ HmcStack::harvestEnergy()
             _energy.addBankActivity(vault->bank(b).counters(),
                                     _timing.burstBytes);
         }
+    }
+    if (auto *registry = hpim::obs::MetricsRegistry::current()) {
+        std::uint64_t activates = 0;
+        std::uint64_t refreshes = 0;
+        for (auto &vault : _vaults) {
+            refreshes += vault->stats().refreshRounds;
+            for (std::uint32_t b = 0; b < vault->bankCount(); ++b)
+                activates += vault->bank(b).counters().activates;
+        }
+        registry->gauge("mem." + name() + ".bank_activates")
+            .set(static_cast<double>(activates));
+        registry->gauge("mem." + name() + ".refresh_rounds")
+            .set(static_cast<double>(refreshes));
     }
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/ticks.hh"
 
 namespace hpim::mem {
 
@@ -84,6 +87,10 @@ VaultController::drain()
     std::vector<MemoryRequest> done;
     done.reserve(_queue.size());
 
+    auto *session = hpim::obs::TraceSession::current();
+    auto *registry = hpim::obs::MetricsRegistry::current();
+    hpim::obs::TrackId track = session ? session->track(_name) : 0;
+
     Tick now = 0;
     while (!_queue.empty()) {
         // Advance "now" to at least the oldest arrival so picks are sane.
@@ -97,6 +104,12 @@ VaultController::drain()
         std::uint32_t bursts =
             (p.req.bytes + _timing.burstBytes - 1) / _timing.burstBytes;
         bursts = std::max(bursts, 1u);
+
+        // A closed or mismatching row means the first burst will
+        // activate; record the DRAM row activation on the timeline.
+        const Bank &target = _banks[p.coord.bank];
+        bool row_hit =
+            target.rowOpen() && target.openRow() == p.coord.row;
 
         Tick completion = earliest;
         for (std::uint32_t b = 0; b < bursts; ++b) {
@@ -116,6 +129,36 @@ VaultController::drain()
         _stats.totalLatency +=
             static_cast<double>(completion - p.req.arrival);
         _stats.lastCompletion = std::max(_stats.lastCompletion, completion);
+
+        if (session) {
+            double start = hpim::sim::ticksToSeconds(earliest);
+            double end = hpim::sim::ticksToSeconds(completion);
+            if (!row_hit) {
+                session->instant(
+                    track, "row activate", start,
+                    {{"bank", static_cast<std::int64_t>(p.coord.bank)},
+                     {"row", static_cast<std::int64_t>(p.coord.row)}});
+            }
+            session->span(
+                track,
+                p.req.type == AccessType::Read ? "read" : "write",
+                start, end - start,
+                {{"bank", static_cast<std::int64_t>(p.coord.bank)},
+                 {"bytes", static_cast<std::int64_t>(p.req.bytes)},
+                 {"row_hit", std::string(row_hit ? "yes" : "no")}});
+        }
+        if (registry) {
+            registry->counter("mem.requests").add(1);
+            registry->counter(p.req.type == AccessType::Read
+                                  ? "mem.read_bytes"
+                                  : "mem.write_bytes")
+                .add(p.req.bytes);
+            if (!row_hit)
+                registry->counter("mem.row_activates").add(1);
+            registry->histogram("mem.request_latency_s")
+                .observe(hpim::sim::ticksToSeconds(completion)
+                         - hpim::sim::ticksToSeconds(p.req.arrival));
+        }
         done.push_back(p.req);
     }
 

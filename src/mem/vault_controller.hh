@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "mem/address_mapping.hh"
@@ -78,6 +79,11 @@ class VaultController
     /** Frequency scaling support; affects future requests only. */
     void setTiming(const DramTiming &timing);
 
+    /** Label used as the obs trace track ("vault 3"); the enclosing
+     *  HmcStack assigns one per vault. */
+    void setName(std::string name) { _name = std::move(name); }
+    const std::string &name() const { return _name; }
+
   private:
     struct Pending
     {
@@ -99,6 +105,7 @@ class VaultController
     hpim::sim::Tick _bus_free = 0;
     hpim::sim::Tick _next_refresh = 0;
     VaultStats _stats;
+    std::string _name = "vault";
 };
 
 } // namespace hpim::mem

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hh"
+
 namespace hpim::pim {
 
 const char *
@@ -49,6 +51,10 @@ StatusRegisterFile::acquire(std::uint32_t bank, std::uint32_t units)
     if (_capacity[bank] - _busy[bank] < units)
         return false;
     _busy[bank] += units;
+    if (auto *registry = hpim::obs::MetricsRegistry::current()) {
+        registry->counter("pim.unit_acquires").add(1);
+        registry->histogram("pim.acquire_units").observe(units);
+    }
     return true;
 }
 
@@ -112,6 +118,10 @@ StatusRegisterFile::markFailed(std::uint32_t bank)
         return;
     _state[bank] = BankState::Failed;
     ++_failed_banks;
+    if (auto *registry = hpim::obs::MetricsRegistry::current()) {
+        registry->counter("pim.banks_failed").add(1);
+        registry->gauge("pim.alive_units").set(aliveUnits());
+    }
 }
 
 void
@@ -122,6 +132,11 @@ StatusRegisterFile::setThrottled(std::uint32_t bank, bool throttled)
         return;
     _state[bank] =
         throttled ? BankState::Throttled : BankState::Healthy;
+    if (auto *registry = hpim::obs::MetricsRegistry::current()) {
+        if (throttled)
+            registry->counter("pim.throttle_windows").add(1);
+        registry->gauge("pim.available_units").set(availableUnits());
+    }
 }
 
 std::uint32_t

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace hpim::rt {
 
 /** Devices an operation may be placed on. */
@@ -112,6 +114,13 @@ struct ExecutionReport
      *  one after every bank failure / throttle transition. Empty when
      *  fault injection is off. */
     std::vector<CapacitySample> capacityTimeline;
+
+    // ---- Observability (schema v2).
+    /** Snapshot of the obs::MetricsRegistry taken by single-run tools
+     *  (hpim_cli). Empty for sweep-produced reports: a global registry
+     *  accumulating across parallel points would not be deterministic,
+     *  so SweepRunner never captures it. */
+    std::vector<obs::MetricSample> metrics;
 };
 
 } // namespace hpim::rt

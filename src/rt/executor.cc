@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "model/thermal.hh"
+#include "obs/metrics.hh"
 #include "pim/placement.hh"
 #include "sim/logging.hh"
 
@@ -122,6 +123,46 @@ const Operation &
 Executor::op(const OpKey &key) const
 {
     return _workloads[key.workload].spec.graph->op(key.op);
+}
+
+void
+Executor::obsSpan(const char *track_name, const OpKey &key,
+                  double start_sec, double energy_j,
+                  std::vector<hpim::obs::TraceArg> extra)
+{
+    if (auto *registry = hpim::obs::MetricsRegistry::current()) {
+        registry->histogram("rt.span_s").observe(nowSec() - start_sec);
+        registry->histogram("rt.span_energy_j").observe(energy_j);
+    }
+    auto *session = hpim::obs::TraceSession::current();
+    if (session == nullptr)
+        return;
+    std::vector<hpim::obs::TraceArg> args;
+    args.reserve(extra.size() + 2);
+    args.push_back({"op", keyStr(key)});
+    args.push_back({"energy_j", energy_j});
+    for (auto &arg : extra)
+        args.push_back(std::move(arg));
+    session->span(session->track(track_name), op(key).label, start_sec,
+                  nowSec() - start_sec, std::move(args));
+}
+
+void
+Executor::obsInstant(const char *track_name, std::string name,
+                     std::vector<hpim::obs::TraceArg> args)
+{
+    auto *session = hpim::obs::TraceSession::current();
+    if (session == nullptr)
+        return;
+    session->instant(session->track(track_name), std::move(name),
+                     nowSec(), std::move(args));
+}
+
+void
+Executor::obsCount(const char *name, std::uint64_t n)
+{
+    if (auto *registry = hpim::obs::MetricsRegistry::current())
+        registry->counter(name).add(n);
 }
 
 Executor::OpState &
@@ -418,10 +459,14 @@ Executor::startOnCpu(const OpKey &key)
     _dm_accum += dm;
 
     _cpu_busy = true;
+    double start = nowSec();
     _queue.scheduleCallback(
-        toTick(nowSec() + dur),
-        [this, key] {
+        toTick(start + dur),
+        [this, key, start, dur] {
             _cpu_busy = false;
+            obsSpan("cpu", key, start,
+                    dur * _config.cpu.dynamicPowerW);
+            obsCount("rt.ops.cpu");
             onOpComplete(key);
         },
         hpim::sim::Event::completionPriority);
@@ -454,10 +499,14 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
             double hold = _fault_model->stallTimeoutSec(dur);
             _report.progrBusySec += hold;
             _sync_accum += hold;
+            double start = nowSec();
             _queue.scheduleCallback(
-                toTick(nowSec() + hold),
-                [this, key] {
+                toTick(start + hold),
+                [this, key, start, hold] {
                     ++_progr_free;
+                    obsSpan("progr", key, start,
+                            hold * _config.progr.powerW(),
+                            {{"outcome", std::string("stall")}});
                     failAttempt(key, FailKind::Stall);
                 },
                 hpim::sim::Event::completionPriority);
@@ -478,14 +527,22 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
             _op_accum += dur - launch - dm;
             _dm_accum += dm;
         }
+        double start = nowSec();
         _queue.scheduleCallback(
-            toTick(nowSec() + dur),
-            [this, key, faulty] {
+            toTick(start + dur),
+            [this, key, faulty, start, dur] {
                 ++_progr_free;
-                if (faulty)
+                obsSpan("progr", key, start,
+                        dur * _config.progr.powerW(),
+                        faulty ? std::vector<hpim::obs::TraceArg>{
+                                     {"outcome", std::string("fault")}}
+                               : std::vector<hpim::obs::TraceArg>{});
+                if (faulty) {
                     failAttempt(key, FailKind::Transient);
-                else
+                } else {
+                    obsCount("rt.ops.progr");
                     onOpComplete(key);
+                }
             },
             hpim::sim::Event::completionPriority);
         return;
@@ -505,10 +562,15 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
         double hold = _fault_model->stallTimeoutSec(dur);
         _report.progrBusySec += hold;
         _sync_accum += hold;
+        double start = nowSec();
         _queue.scheduleCallback(
-            toTick(nowSec() + hold),
-            [this, key] {
+            toTick(start + hold),
+            [this, key, start, hold] {
                 ++_progr_free;
+                obsSpan("progr", key, start,
+                        hold * _config.progr.powerW(),
+                        {{"outcome", std::string("stall")},
+                         {"part", std::string("rc-control")}});
                 failAttempt(key, FailKind::Stall);
             },
             hpim::sim::Event::completionPriority);
@@ -543,10 +605,14 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
         std::min<double>(cap / tree, std::ceil(o.parallelism.lanes))));
     addPhase(key, flops, intensity, tree, max_trees, true, faulty);
 
+    double start = nowSec();
     _queue.scheduleCallback(
-        toTick(nowSec() + dur),
-        [this, key] {
+        toTick(start + dur),
+        [this, key, start, dur] {
             ++_progr_free;
+            obsSpan("progr", key, start,
+                    dur * _config.progr.powerW(),
+                    {{"part", std::string("rc-control")}});
             onJoinedPartDone(key, false);
         },
         hpim::sim::Event::completionPriority);
@@ -643,10 +709,14 @@ Executor::startHostDriven(const OpKey &key)
     addPhase(key, flops, intensity, tree, std::max(max_trees, 1u), true,
              faulty);
 
+    double start = nowSec();
     _queue.scheduleCallback(
-        toTick(nowSec() + cpu_dur),
-        [this, key] {
+        toTick(start + cpu_dur),
+        [this, key, start, cpu_dur] {
             _cpu_busy = false;
+            obsSpan("cpu", key, start,
+                    cpu_dur * _config.cpu.dynamicPowerW,
+                    {{"part", std::string("host-driven")}});
             onJoinedPartDone(key, false);
         },
         hpim::sim::Event::completionPriority);
@@ -681,6 +751,7 @@ Executor::poolDrain()
     for (FixedPhase &phase : _phases) {
         if (phase.alloc > 0) {
             phase.remainingFlops -= phaseRate(phase) * elapsed;
+            phase.unitSeconds += phase.alloc * elapsed;
             _report.fixedUnitSeconds += phase.alloc * elapsed;
         }
     }
@@ -787,6 +858,20 @@ Executor::onPoolEvent()
             _sync_accum += span; // wasted attempt; retry recovers it
         else
             _op_accum += span;
+        {
+            std::vector<hpim::obs::TraceArg> extra;
+            extra.push_back(
+                {"tree_units",
+                 static_cast<std::int64_t>(phase.treeUnits)});
+            extra.push_back({"unit_s", phase.unitSeconds});
+            if (phase.faulty)
+                extra.push_back({"outcome", std::string("fault")});
+            obsSpan("fixed", phase.key, phase.startSec,
+                    phase.unitSeconds * _config.fixed.unitPowerW(),
+                    std::move(extra));
+            if (!phase.faulty)
+                obsCount("rt.ops.fixed_phases");
+        }
         if (phase.joined)
             onJoinedPartDone(phase.key, true);
         else if (phase.faulty)
@@ -832,13 +917,27 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
         }
     }
     _running_placement.erase(k);
+    const char *kind_name = nullptr;
     switch (kind) {
-      case FailKind::Transient: ++_report.transientFaults; break;
-      case FailKind::Stall:     ++_report.kernelStalls;    break;
-      case FailKind::Evicted:   ++_report.opsEvicted;      break;
+      case FailKind::Transient:
+        ++_report.transientFaults;
+        kind_name = "fault.transient";
+        break;
+      case FailKind::Stall:
+        ++_report.kernelStalls;
+        kind_name = "fault.stall";
+        break;
+      case FailKind::Evicted:
+        ++_report.opsEvicted;
+        kind_name = "fault.evicted";
+        break;
     }
     ++_report.retries;
+    obsCount("rt.retries");
     std::uint32_t attempts = ++_attempts[k];
+    obsInstant("sched", kind_name,
+               {{"op", k},
+                {"attempt", static_cast<std::int64_t>(attempts)}});
     if (attempts >= _config.faults.maxAttempts) {
         // Rung exhausted: drop one level on the degradation ladder
         // (fixed-function -> programmable PIM -> CPU) and start the
@@ -846,6 +945,11 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
         _attempts[k] = 0;
         ++_degraded[k];
         ++_report.opsDegraded;
+        obsCount("rt.ops_degraded");
+        obsInstant("sched", "degrade",
+                   {{"op", k},
+                    {"level",
+                     static_cast<std::int64_t>(_degraded[k])}});
     }
     OpState &s = state(key);
     s.running = false;
@@ -879,6 +983,12 @@ void
 Executor::recordCapacity()
 {
     _report.capacityTimeline.push_back({nowSec(), _fixed_capacity});
+    if (auto *session = hpim::obs::TraceSession::current()) {
+        session->counter(session->track("fixed"), "fixed capacity",
+                         nowSec(), _fixed_capacity);
+    }
+    if (auto *registry = hpim::obs::MetricsRegistry::current())
+        registry->gauge("rt.fixed_capacity").set(_fixed_capacity);
 }
 
 bool
@@ -930,6 +1040,10 @@ Executor::onBankFailed(std::uint32_t bank)
     _regs->markFailed(bank);
     ++_report.banksFailed;
     _report.unitsLost += lost;
+    obsCount("rt.banks_failed");
+    obsInstant("sched", "bank.failed",
+               {{"bank", static_cast<std::int64_t>(bank)},
+                {"units_lost", static_cast<std::int64_t>(lost)}});
     refreshFixedCapacity();
     recordCapacity();
     inform("fault: bank ", bank, " failed at ", nowSec(), " s (-",
@@ -948,8 +1062,12 @@ Executor::onThrottle(std::size_t index, bool start)
     if (_regs == nullptr || spec.bank >= _regs->banks())
         return;
     poolDrain();
-    if (start)
+    if (start) {
         ++_report.throttleEvents;
+        obsCount("rt.throttle_events");
+    }
+    obsInstant("sched", start ? "throttle.start" : "throttle.end",
+               {{"bank", static_cast<std::int64_t>(spec.bank)}});
     _regs->setThrottled(spec.bank, start);
     refreshFixedCapacity();
     recordCapacity();
@@ -1015,6 +1133,8 @@ Executor::onOpComplete(const OpKey &key)
             _trace_tokens.erase(it);
         }
     }
+
+    obsCount("rt.ops_completed");
 
     const Graph &graph = *wl.spec.graph;
     for (OpId consumer : graph.consumers()[key.op]) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/graph.hh"
+#include "obs/trace.hh"
 #include "pim/status_registers.hh"
 #include "rt/execution_report.hh"
 #include "rt/offload_selector.hh"
@@ -111,6 +112,9 @@ class Executor
         /** Injected transient fault: completing re-dispatches the op. */
         bool faulty = false;
         double startSec = 0.0;
+        /** Integral of allocated units over this phase's lifetime;
+         *  feeds the per-span energy annotation in the obs trace. */
+        double unitSeconds = 0.0;
     };
 
     struct WorkloadState
@@ -222,6 +226,18 @@ class Executor
     // Optional schedule recording.
     ScheduleTrace *_trace = nullptr;
     std::map<std::string, std::size_t> _trace_tokens;
+
+    // ---- Observability (obs/). Each hook is one atomic load when no
+    // session/registry is attached, so untraced runs stay bit-identical.
+    /** Record a completed device span [start, now] in the obs trace. */
+    void obsSpan(const char *track_name, const OpKey &key,
+                 double start_sec, double energy_j,
+                 std::vector<hpim::obs::TraceArg> extra = {});
+    /** Record an instant event (fault, retry, degradation, ...). */
+    void obsInstant(const char *track_name, std::string name,
+                    std::vector<hpim::obs::TraceArg> args = {});
+    /** Bump a named counter in the attached MetricsRegistry. */
+    static void obsCount(const char *name, std::uint64_t n = 1);
 };
 
 } // namespace hpim::rt

@@ -1,13 +1,19 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace hpim::sim {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::Warn;
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+
+/** Serializes emission so concurrent warn()/inform() calls (e.g.
+ *  SweepRunner workers) cannot interleave mid-line. */
+std::mutex g_log_mutex;
 
 const char *
 levelName(LogLevel level)
@@ -26,13 +32,13 @@ levelName(LogLevel level)
 void
 setLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    g_threshold.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    return g_threshold.load(std::memory_order_relaxed);
 }
 
 void
@@ -40,13 +46,24 @@ logMessage(LogLevel level, const std::string &where,
            const std::string &message)
 {
     bool is_error = level == LogLevel::Fatal || level == LogLevel::Panic;
-    if (is_error || static_cast<int>(level) >= static_cast<int>(g_threshold))
+    if (is_error
+        || static_cast<int>(level) >= static_cast<int>(logThreshold()))
     {
+        // Build the whole line first, then emit it as one write under
+        // the mutex: concurrent callers get whole-line interleaving,
+        // never spliced fragments.
+        std::string line = levelName(level);
+        line += ": ";
+        line += message;
+        if (is_error) {
+            line += " (";
+            line += where;
+            line += ")";
+        }
+        line += '\n';
         std::ostream &os = is_error ? std::cerr : std::cout;
-        os << levelName(level) << ": " << message;
-        if (is_error)
-            os << " (" << where << ")";
-        os << std::endl;
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        os << line << std::flush;
     }
 
     if (level == LogLevel::Fatal)

@@ -12,6 +12,7 @@
 #include "baseline/presets.hh"
 #include "harness/report_io.hh"
 #include "nn/models.hh"
+#include "obs/metrics.hh"
 
 using namespace hpim;
 using namespace hpim::harness;
@@ -60,6 +61,25 @@ sample()
     r.throttleEvents = 6;
     r.capacityTimeline.push_back({0.0, 444});
     r.capacityTimeline.push_back({0.01, 430});
+
+    // Schema v2: the obs metrics snapshot rides in the report.
+    obs::MetricSample counter;
+    counter.name = "rt.ops.cpu";
+    counter.kind = obs::MetricKind::Counter;
+    counter.count = 10;
+    obs::MetricSample gauge;
+    gauge.name = "pim.alive_units";
+    gauge.kind = obs::MetricKind::Gauge;
+    gauge.value = 430.5;
+    obs::MetricSample hist;
+    hist.name = "mem.request_latency_s";
+    hist.kind = obs::MetricKind::Histogram;
+    hist.count = 3;
+    hist.sum = 3.5e-7;
+    hist.min = 1e-7;
+    hist.max = 1.5e-7;
+    hist.buckets = {{40, 1}, {41, 2}};
+    r.metrics = {counter, gauge, hist};
     return r;
 }
 
@@ -189,6 +209,7 @@ TEST(ReportIo, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(out.banksFailed, in.banksFailed);
     EXPECT_EQ(out.unitsLost, in.unitsLost);
     EXPECT_EQ(out.throttleEvents, in.throttleEvents);
+    EXPECT_EQ(out.metrics, in.metrics);
     ASSERT_EQ(out.capacityTimeline.size(),
               in.capacityTimeline.size());
     for (std::size_t i = 0; i < in.capacityTimeline.size(); ++i) {
@@ -250,8 +271,9 @@ TEST(ReportIo, JsonParserRejectsMissingField)
 TEST(ReportIo, JsonParserRejectsWrongSchemaVersion)
 {
     std::string text = jsonString(sample());
-    auto pos = text.find("\"schema_version\":1");
-    text.replace(pos, std::strlen("\"schema_version\":1"),
+    auto pos = text.find("\"schema_version\":2");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::strlen("\"schema_version\":2"),
                  "\"schema_version\":999");
     try {
         readJson(text);
