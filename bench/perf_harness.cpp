@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Simulator performance harness (docs/PERFORMANCE.md).
+ *
+ * Times the simulator's hot paths in-process (the paper benches spend
+ * a meaningful fraction of their ~tens-of-ms wall time in process
+ * startup, which says nothing about simulator throughput):
+ *
+ *  - fig8_exec_time: the full Fig. 8 grid (5 models x 5 systems),
+ *    run serially -- the representative end-to-end sweep;
+ *  - fault_sweep: the resilience bench's two sweeps (bank kills +
+ *    fault rates) -- exercises the retry/degrade machinery;
+ *  - event_queue_micro: schedule/reschedule/deschedule/callback storm
+ *    on sim::EventQueue;
+ *  - vault_micro: enqueue/drain storm on mem::VaultController.
+ *
+ * Each workload runs --repeat times and reports the fastest wall
+ * time (robust to scheduling noise; later repetitions also run with
+ * the memo cache warm, which is the steady state sweeps see). The
+ * result goes to --out as BENCH_sim_core.json, the repo's recorded
+ * perf trajectory. With --baseline FILE the harness compares against
+ * a previous file and exits non-zero when any workload regressed
+ * more than --max-regress percent (CI perf-smoke).
+ *
+ * usage: perf_harness [--out FILE] [--repeat N] [--baseline FILE]
+ *                     [--max-regress PCT]
+ */
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.hh"
+#include "harness/json.hh"
+#include "harness/json_writer.hh"
+#include "harness/table_printer.hh"
+#include "mem/dram_timing.hh"
+#include "mem/vault_controller.hh"
+#include "nn/models.hh"
+#include "rt/executor.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace hpim;
+
+double
+nowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Checksum sink so the optimizer cannot drop a workload's body. */
+volatile double g_sink = 0.0;
+
+void
+runFig8Grid()
+{
+    const std::vector<baseline::SystemKind> systems = {
+        baseline::SystemKind::CpuOnly, baseline::SystemKind::Gpu,
+        baseline::SystemKind::ProgrPimOnly,
+        baseline::SystemKind::FixedPimOnly,
+        baseline::SystemKind::HeteroPim};
+    double sum = 0.0;
+    for (nn::ModelId model : nn::cnnModels()) {
+        for (baseline::SystemKind kind : systems)
+            sum += baseline::runSystem(kind, model, 4).stepSec;
+    }
+    g_sink = sum;
+}
+
+void
+runFaultSweep()
+{
+    auto faulted = [](sim::FaultConfig faults) {
+        rt::SystemConfig config =
+            baseline::makeConfig(baseline::SystemKind::HeteroPim);
+        config.faults = faults;
+        config.faults.enabled = true;
+        nn::Graph graph = nn::buildModel(nn::ModelId::AlexNet);
+        rt::Executor executor(config);
+        return executor.run(graph, 2).stepSec;
+    };
+    double sum = 0.0;
+    for (std::uint32_t kills : {0u, 4u, 8u, 12u, 16u, 24u, 32u}) {
+        sim::FaultConfig faults;
+        faults.killBanks = kills;
+        faults.transientRatePerOp = 1e-3;
+        sum += faulted(faults);
+    }
+    const double rates[][2] = {{0.0, 0.0},   {1e-4, 0.0},
+                               {1e-3, 1e-4}, {1e-2, 1e-3},
+                               {0.05, 1e-2}, {1.0, 0.0}};
+    for (const auto &rate : rates) {
+        sim::FaultConfig faults;
+        faults.transientRatePerOp = rate[0];
+        faults.stallRatePerOp = rate[1];
+        sum += faulted(faults);
+    }
+    g_sink = sum;
+}
+
+void
+runEventQueueMicro()
+{
+    sim::EventQueue queue;
+    // A rotating population of events with interleaved reschedules
+    // and deschedules: the access pattern the executor produces.
+    constexpr std::size_t kEvents = 512;
+    constexpr std::uint64_t kRounds = 2000;
+    std::deque<sim::LambdaEvent> events; // Events are pinned in place
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < kEvents; ++i)
+        events.emplace_back([&fired] { ++fired; });
+    sim::Tick t = 1;
+    for (std::size_t i = 0; i < kEvents; ++i)
+        queue.schedule(&events[i], t + (i * 37) % 1024);
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+        // Touch a window of events: reschedule most, deschedule and
+        // re-add some, and pump callbacks through the pool.
+        for (std::size_t i = 0; i < 64; ++i) {
+            sim::LambdaEvent &ev =
+                events[(round * 17 + i * 5) % kEvents];
+            queue.reschedule(&ev,
+                             queue.now() + 1 + (round + i * 13) % 512);
+        }
+        sim::LambdaEvent &victim = events[(round * 29) % kEvents];
+        if (victim.scheduled())
+            queue.deschedule(&victim);
+        queue.schedule(&victim, queue.now() + 1 + round % 256);
+        queue.scheduleCallback(queue.now() + 1 + round % 128,
+                               [&fired] { ++fired; });
+        for (int i = 0; i < 8; ++i)
+            queue.runOne();
+    }
+    while (queue.runOne()) {
+    }
+    g_sink = static_cast<double>(fired + queue.processedCount());
+}
+
+void
+runVaultMicro()
+{
+    mem::VaultController vault(mem::hmc2Timing(), 8);
+    constexpr std::uint64_t kRounds = 200;
+    constexpr std::uint32_t kRequests = 512;
+    double sum = 0.0;
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+        for (std::uint32_t i = 0; i < kRequests; ++i) {
+            mem::MemoryRequest req;
+            req.id = i;
+            req.type = (i % 3 == 0) ? mem::AccessType::Write
+                                    : mem::AccessType::Read;
+            req.bytes = 64;
+            req.arrival = i * 2;
+            mem::DramCoord coord{};
+            coord.bank = i % 8;
+            // Bursts of row locality with periodic conflicts.
+            coord.row = (i / 16) % 32 + (i % 7 == 0 ? 1000 : 0);
+            vault.enqueue(req, coord);
+        }
+        auto done = vault.drain();
+        sum += static_cast<double>(done.back().completion);
+    }
+    g_sink = sum;
+}
+
+struct Workload
+{
+    const char *name;
+    void (*fn)();
+};
+
+const Workload kWorkloads[] = {
+    {"fig8_exec_time", runFig8Grid},
+    {"fault_sweep", runFaultSweep},
+    {"event_queue_micro", runEventQueueMicro},
+    {"vault_micro", runVaultMicro},
+};
+
+struct Result
+{
+    std::string name;
+    double bestSec = 0.0;
+    std::vector<double> runsSec;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_sim_core.json";
+    std::string baseline;
+    int repeat = 5;
+    double max_regress_pct = 25.0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            fatal_if(i + 1 >= argc, flag, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out = next("--out");
+        else if (arg == "--repeat")
+            repeat = std::stoi(next("--repeat"));
+        else if (arg == "--baseline")
+            baseline = next("--baseline");
+        else if (arg == "--max-regress")
+            max_regress_pct = std::stod(next("--max-regress"));
+        else
+            fatal("unknown argument '", arg,
+                  "'\nusage: perf_harness [--out FILE] [--repeat N] "
+                  "[--baseline FILE] [--max-regress PCT]");
+    }
+    fatal_if(repeat < 1, "--repeat must be at least 1");
+
+    std::vector<Result> results;
+    for (const Workload &workload : kWorkloads) {
+        Result result;
+        result.name = workload.name;
+        result.bestSec = 1e300;
+        for (int r = 0; r < repeat; ++r) {
+            double start = nowSec();
+            workload.fn();
+            double elapsed = nowSec() - start;
+            result.runsSec.push_back(elapsed);
+            result.bestSec = std::min(result.bestSec, elapsed);
+        }
+        results.push_back(std::move(result));
+    }
+
+    hpim::harness::TablePrinter table(
+        {"workload", "best (ms)", "runs"});
+    for (const Result &result : results) {
+        table.addRow({result.name,
+                      hpim::harness::fmt(result.bestSec * 1e3, 2),
+                      std::to_string(result.runsSec.size())});
+    }
+    table.print(std::cout);
+
+    {
+        std::ofstream file(out, std::ios::trunc);
+        fatal_if(!file, "cannot write ", out);
+        hpim::harness::json::Writer writer(file);
+        writer.beginObject();
+        writer.field("schema", std::int64_t(1));
+        writer.field("bench", "sim_core");
+        writer.field("repeat", std::int64_t(repeat));
+        writer.key("workloads").beginObject();
+        for (const Result &result : results) {
+            writer.key(result.name).beginObject();
+            writer.field("best_wall_s", result.bestSec);
+            writer.key("runs_wall_s").beginArray();
+            for (double sec : result.runsSec)
+                writer.value(sec);
+            writer.endArray();
+            writer.endObject();
+        }
+        writer.endObject();
+        writer.endObject();
+        file << "\n";
+    }
+    std::cout << "[perf] wrote " << out << "\n";
+
+    if (baseline.empty())
+        return 0;
+
+    std::ifstream base_file(baseline);
+    fatal_if(!base_file, "cannot read baseline ", baseline);
+    std::stringstream buffer;
+    buffer << base_file.rdbuf();
+    hpim::harness::json::Value base =
+        hpim::harness::json::parse(buffer.str());
+    const auto &base_workloads = base.at("workloads");
+    bool failed = false;
+    for (const Result &result : results) {
+        const auto *entry = base_workloads.find(result.name);
+        if (entry == nullptr) {
+            std::cout << "[perf] " << result.name
+                      << ": no baseline entry, skipping\n";
+            continue;
+        }
+        double base_sec = entry->at("best_wall_s").asDouble();
+        double limit = base_sec * (1.0 + max_regress_pct / 100.0);
+        double ratio = base_sec > 0.0 ? result.bestSec / base_sec : 1.0;
+        std::cout << "[perf] " << result.name << ": "
+                  << hpim::harness::fmt(result.bestSec * 1e3, 2)
+                  << " ms vs baseline "
+                  << hpim::harness::fmt(base_sec * 1e3, 2) << " ms ("
+                  << hpim::harness::fmt(ratio * 100.0, 1) << "%)";
+        if (result.bestSec > limit) {
+            std::cout << " REGRESSION (> "
+                      << hpim::harness::fmt(max_regress_pct, 0)
+                      << "% over baseline)";
+            failed = true;
+        }
+        std::cout << "\n";
+    }
+    return failed ? 1 : 0;
+}

@@ -14,6 +14,7 @@
 #include "harness/json.hh"
 #include "harness/json_writer.hh"
 #include "harness/report_io.hh"
+#include "sim/hash.hh"
 #include "sim/logging.hh"
 
 namespace hpim::harness {
@@ -89,31 +90,24 @@ fileExists(const std::string &path)
 
 } // namespace
 
+// The primitives moved to sim/hash.hh (shared with graph signatures
+// and the memo cache); these wrappers keep the journal API stable.
 std::uint64_t
 hashBytes(const void *data, std::size_t size, std::uint64_t seed)
 {
-    const auto *bytes = static_cast<const unsigned char *>(data);
-    std::uint64_t hash = seed;
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= bytes[i];
-        hash *= 0x100000001b3ULL; // FNV prime
-    }
-    return hash;
+    return hpim::sim::hashBytes(data, size, seed);
 }
 
 std::uint64_t
 hashString(std::string_view text, std::uint64_t seed)
 {
-    return hashBytes(text.data(), text.size(), seed);
+    return hpim::sim::hashString(text, seed);
 }
 
 std::uint64_t
 hashU64(std::uint64_t value, std::uint64_t seed)
 {
-    unsigned char bytes[8];
-    for (int i = 0; i < 8; ++i)
-        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
-    return hashBytes(bytes, sizeof bytes, seed);
+    return hpim::sim::hashU64(value, seed);
 }
 
 SweepJournal::SweepJournal(const std::string &dir,

@@ -11,6 +11,7 @@
 #include "harness/journal.hh"
 #include "harness/table_printer.hh"
 #include "sim/logging.hh"
+#include "sim/memo_cache.hh"
 
 namespace hpim::harness {
 
@@ -20,14 +21,16 @@ constexpr std::uint32_t kMaxJobs = 4096;
 
 const char *const kUsage =
     "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
-    "[--trace FILE]\n"
+    "[--trace FILE] [--no-sim-cache]\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
     "  --seed S       base seed of the per-point rng streams\n"
     "  --journal DIR  crash-safe checkpoint/resume directory "
     "(docs/RESILIENCE.md)\n"
     "  --trace FILE   write a Chrome/Perfetto timeline of the run "
-    "(docs/OBSERVABILITY.md)";
+    "(docs/OBSERVABILITY.md)\n"
+    "  --no-sim-cache disable the cross-point memo cache "
+    "(docs/PERFORMANCE.md)";
 
 std::uint32_t
 resolveJobs(std::uint32_t requested)
@@ -93,6 +96,7 @@ SweepRunner::SweepRunner(SweepOptions options)
     : _options(std::move(options)), _jobs(resolveJobs(_options.jobs))
 {
     _stats.jobs = _jobs;
+    hpim::sim::MemoCache::setEnabled(_options.simCache);
     // Only journaled runs trade the default die-on-SIGINT for the
     // drain + flush + resumable-exit path.
     if (!_options.journalDir.empty())
@@ -292,6 +296,8 @@ parseSweepArgs(int argc, char **argv)
             if (value.empty())
                 fatal("--trace needs a file path\n", kUsage);
             options.traceFile = value;
+        } else if (arg == "--no-sim-cache") {
+            options.simCache = false;
         } else {
             fatal("unknown argument '", arg, "'\n", kUsage);
         }

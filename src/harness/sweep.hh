@@ -76,6 +76,9 @@ struct SweepOptions
     std::string journalDir;
     /** Chrome/Perfetto trace output path; empty = tracing off. */
     std::string traceFile;
+    /** Cross-point memo cache (sim::MemoCache); `--no-sim-cache`
+     *  clears it. Cached and uncached runs are byte-identical. */
+    bool simCache = true;
 };
 
 /** One sweep point that threw instead of producing a result. */

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A growable power-of-two ring buffer used as the request arena of
+ * the vault controllers.
+ *
+ * The controller's FR-FCFS queue only ever erases inside its small
+ * reorder window (the first few entries), so removal shifts at most
+ * window-1 elements instead of half the container the way a
+ * std::deque erase can. Capacity grows geometrically and is never
+ * returned, so the steady-state enqueue/issue cycle performs no
+ * allocation; grows() exposes the (cumulative) grow count so tests
+ * and the obs metrics can verify that (docs/PERFORMANCE.md).
+ */
+
+#ifndef HPIM_MEM_REQUEST_RING_HH
+#define HPIM_MEM_REQUEST_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hpim::mem {
+
+template <typename T>
+class RequestRing
+{
+  public:
+    explicit RequestRing(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 1;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        _slots.resize(cap);
+    }
+
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** Times the backing storage grew since construction. */
+    std::uint64_t grows() const { return _grows; }
+
+    /** @param i logical index: 0 is the oldest entry. */
+    T &operator[](std::size_t i) { return _slots[slot(i)]; }
+    const T &operator[](std::size_t i) const { return _slots[slot(i)]; }
+
+    T &front() { return _slots[_head]; }
+    const T &front() const { return _slots[_head]; }
+
+    void
+    push_back(T value)
+    {
+        if (_count == _slots.size())
+            grow();
+        _slots[slot(_count)] = std::move(value);
+        ++_count;
+    }
+
+    /**
+     * Remove logical index @p i, preserving the order of the rest.
+     * Shifts the i entries in front of it (the erase sites keep i
+     * inside the reorder window, so this stays O(window)).
+     */
+    void
+    erase(std::size_t i)
+    {
+        for (std::size_t j = i; j > 0; --j)
+            _slots[slot(j)] = std::move(_slots[slot(j - 1)]);
+        _head = (_head + 1) & (_slots.size() - 1);
+        --_count;
+    }
+
+  private:
+    std::size_t slot(std::size_t i) const
+    { return (_head + i) & (_slots.size() - 1); }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(_slots.size() * 2);
+        for (std::size_t i = 0; i < _count; ++i)
+            bigger[i] = std::move(_slots[slot(i)]);
+        _slots.swap(bigger);
+        _head = 0;
+        ++_grows;
+    }
+
+    std::vector<T> _slots; ///< power-of-two capacity
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+    std::uint64_t _grows = 0;
+};
+
+} // namespace hpim::mem
+
+#endif // HPIM_MEM_REQUEST_RING_HH

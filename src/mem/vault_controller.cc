@@ -20,6 +20,7 @@ VaultController::VaultController(const DramTiming &timing,
     fatal_if(banks == 0, "vault needs at least one bank");
     fatal_if(window == 0, "reorder window must be at least 1");
     _banks.assign(banks, Bank(timing));
+    _bank_epochs.assign(banks, 1);
 }
 
 void
@@ -41,25 +42,36 @@ void
 VaultController::setTiming(const DramTiming &timing)
 {
     _timing = timing;
-    for (auto &bank : _banks)
-        bank.setTiming(timing);
+    for (std::size_t b = 0; b < _banks.size(); ++b) {
+        _banks[b].setTiming(timing);
+        ++_bank_epochs[b];
+    }
 }
 
 std::size_t
-VaultController::pickNext(Tick now) const
+VaultController::pickNext(Tick now)
 {
     if (_policy == SchedulingPolicy::FCFS)
         return 0;
 
     // FR-FCFS: among the first `window` arrived requests, prefer a
-    // row hit to an already-open row; break ties oldest-first.
+    // row hit to an already-open row; break ties oldest-first. The
+    // row-hit bit is cached per entry and recomputed only when the
+    // target bank's epoch moved, so issuing to bank A does not make
+    // entries for bank B re-derive their state next pick.
     std::size_t limit = std::min(_window, _queue.size());
     for (std::size_t i = 0; i < limit; ++i) {
-        const Pending &p = _queue[i];
+        Pending &p = _queue[i];
         if (p.req.arrival > now)
             continue;
-        const Bank &bank = _banks[p.coord.bank];
-        if (bank.rowOpen() && bank.openRow() == p.coord.row)
+        std::uint64_t epoch = _bank_epochs[p.coord.bank];
+        if (p.epochSeen != epoch) {
+            const Bank &bank = _banks[p.coord.bank];
+            p.rowHit =
+                bank.rowOpen() && bank.openRow() == p.coord.row;
+            p.epochSeen = epoch;
+        }
+        if (p.rowHit)
             return i;
     }
     return 0;
@@ -73,11 +85,18 @@ VaultController::catchUpRefresh(Tick now)
     Tick refi = Tick(_timing.tREFI) * _timing.tCK;
     if (_next_refresh == 0)
         _next_refresh = refi;
+    bool refreshed = false;
     while (_next_refresh <= now) {
         for (auto &bank : _banks)
             bank.refresh(_next_refresh);
         ++_stats.refreshRounds;
         _next_refresh += refi;
+        refreshed = true;
+    }
+    if (refreshed) {
+        // Refresh closed every row; all cached row-hit bits are stale.
+        for (std::uint64_t &epoch : _bank_epochs)
+            ++epoch;
     }
 }
 
@@ -97,7 +116,7 @@ VaultController::drain()
         now = std::max(now, _queue.front().req.arrival);
         std::size_t idx = pickNext(now);
         Pending p = _queue[idx];
-        _queue.erase(_queue.begin() + static_cast<std::ptrdiff_t>(idx));
+        _queue.erase(idx);
 
         Tick earliest = std::max({p.req.arrival, _bus_free, now});
         catchUpRefresh(earliest);
@@ -116,6 +135,9 @@ VaultController::drain()
             completion = _banks[p.coord.bank].access(
                 p.coord.row, p.req.type, completion);
         }
+        // The access changed the bank's open row; cached row-hit bits
+        // for other entries on this bank must recompute.
+        ++_bank_epochs[p.coord.bank];
         // The shared data path is occupied until the last beat.
         _bus_free = completion;
         now = std::max(now, earliest);
@@ -160,6 +182,15 @@ VaultController::drain()
                          - hpim::sim::ticksToSeconds(p.req.arrival));
         }
         done.push_back(p.req);
+    }
+
+    if (registry) {
+        // Request-arena health: steady-state runs hold both flat
+        // (no allocation per request, see docs/PERFORMANCE.md).
+        registry->gauge("mem.arena.capacity")
+            .set(static_cast<std::int64_t>(_queue.capacity()));
+        registry->gauge("mem.arena.grows")
+            .set(static_cast<std::int64_t>(_queue.grows()));
     }
 
     std::sort(done.begin(), done.end(),

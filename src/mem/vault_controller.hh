@@ -11,7 +11,6 @@
 #define HPIM_MEM_VAULT_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "mem/bank.hh"
 #include "mem/dram_timing.hh"
 #include "mem/memory_request.hh"
+#include "mem/request_ring.hh"
 
 namespace hpim::mem {
 
@@ -84,15 +84,24 @@ class VaultController
     void setName(std::string name) { _name = std::move(name); }
     const std::string &name() const { return _name; }
 
+    /** Request-arena capacity (ring slots); flat in steady state. */
+    std::size_t queueCapacity() const { return _queue.capacity(); }
+    /** Times the request arena grew since construction. */
+    std::uint64_t queueGrows() const { return _queue.grows(); }
+
   private:
     struct Pending
     {
         MemoryRequest req;
         DramCoord coord;
+        /** Row-hit cache: valid while the target bank's epoch still
+         *  equals epochSeen (0 = never computed). */
+        std::uint64_t epochSeen = 0;
+        bool rowHit = false;
     };
 
     /** Pick the next queue index to service at time @p now. */
-    std::size_t pickNext(hpim::sim::Tick now) const;
+    std::size_t pickNext(hpim::sim::Tick now);
 
     DramTiming _timing;
     SchedulingPolicy _policy;
@@ -101,7 +110,11 @@ class VaultController
     void catchUpRefresh(hpim::sim::Tick now);
 
     std::vector<Bank> _banks;
-    std::deque<Pending> _queue;
+    /** One counter per bank, bumped whenever that bank's open-row
+     *  state may have changed; pending entries recheck their row-hit
+     *  bit only when the epoch moved past the one they cached. */
+    std::vector<std::uint64_t> _bank_epochs;
+    RequestRing<Pending> _queue;
     hpim::sim::Tick _bus_free = 0;
     hpim::sim::Tick _next_refresh = 0;
     VaultStats _stats;

@@ -28,6 +28,24 @@ Graph::add(OpType type, std::string label, CostStructure cost,
     for (OpId in : op.inputs)
         _consumers[in].push_back(id);
 
+    // Fold this op into the structural signature (see graph.hh).
+    using hpim::sim::hashDouble;
+    using hpim::sim::hashString;
+    using hpim::sim::hashU64;
+    std::uint64_t h = hashU64(static_cast<std::uint64_t>(type),
+                              _signature);
+    h = hashString(op.label, h);
+    h = hashDouble(cost.muls, h);
+    h = hashDouble(cost.adds, h);
+    h = hashDouble(cost.specials, h);
+    h = hashDouble(cost.bytesRead, h);
+    h = hashDouble(cost.bytesWritten, h);
+    h = hashU64(parallelism.unitsPerLane, h);
+    h = hashDouble(parallelism.lanes, h);
+    for (OpId in : op.inputs)
+        h = hashU64(in, h);
+    _signature = h;
+
     _ops.push_back(std::move(op));
     return id;
 }

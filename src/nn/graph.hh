@@ -17,6 +17,7 @@
 
 #include "nn/op_cost.hh"
 #include "nn/op_type.hh"
+#include "sim/hash.hh"
 
 namespace hpim::nn {
 
@@ -51,7 +52,10 @@ struct Operation
 class Graph
 {
   public:
-    explicit Graph(std::string name) : _name(std::move(name)) {}
+    explicit Graph(std::string name)
+        : _name(std::move(name)),
+          _signature(hpim::sim::hashString(_name))
+    {}
 
     /**
      * Append an operation.
@@ -89,10 +93,19 @@ class Graph
     /** Longest path length (in ops) -- a depth/parallelism measure. */
     std::size_t criticalPathLength() const;
 
+    /**
+     * Deterministic structural digest over the name and every op
+     * (type, label, cost, parallelism, inputs), folded incrementally
+     * by add(). Two graphs with equal signatures went through the
+     * same construction; sim::MemoCache keys on it.
+     */
+    std::uint64_t signature() const { return _signature; }
+
   private:
     std::string _name;
     std::vector<Operation> _ops;
     std::vector<std::vector<OpId>> _consumers;
+    std::uint64_t _signature;
 };
 
 } // namespace hpim::nn

@@ -5,6 +5,7 @@
 
 #include "harness/json_writer.hh"
 #include "sim/logging.hh"
+#include "sim/memo_cache.hh"
 
 namespace hpim::obs {
 
@@ -49,6 +50,9 @@ TraceSession::attach()
                                                 std::memory_order_acq_rel),
              "obs: a TraceSession is already attached");
     _attached = true;
+    // A memo-cache hit would skip a simulation whose events this
+    // session expects to record; suspend reuse while attached.
+    hpim::sim::MemoCache::suspend();
 }
 
 void
@@ -60,6 +64,7 @@ TraceSession::detach()
     s_current.compare_exchange_strong(expected, nullptr,
                                       std::memory_order_acq_rel);
     _attached = false;
+    hpim::sim::MemoCache::resume();
 }
 
 TraceSession::Buffer &

@@ -192,14 +192,6 @@ Executor::stepWindow(const WorkloadState &w) const
                : 1;
 }
 
-bool
-Executor::offloadCandidate(const OpKey &key) const
-{
-    if (_selection == nullptr)
-        return true;
-    return _selection->isCandidate(op(key).type);
-}
-
 void
 Executor::seedStep(std::uint32_t w, std::uint32_t step)
 {
@@ -219,6 +211,7 @@ Executor::seedStep(std::uint32_t w, std::uint32_t step)
         if (states[o.id].remainingDeps == 0) {
             states[o.id].ready = true;
             _pending.push_back(OpKey{w, step, o.id});
+            _pending_dirty = true;
         }
     }
 }
@@ -226,14 +219,14 @@ Executor::seedStep(std::uint32_t w, std::uint32_t step)
 std::optional<PlacedOn>
 Executor::decidePlacement(const OpKey &key) const
 {
-    const Operation &o = op(key);
-    OffloadClass cls = opTraits(o.type).offloadClass;
     const WorkloadState &wl = _workloads[key.workload];
+    const OpMeta &meta = wl.meta[key.op];
+    OffloadClass cls = meta.cls;
     bool has_fixed = _config.hasFixedPim;
     bool has_progr = _config.hasProgrPim && _progr_free > 0;
     bool fixed_tree_free =
         has_fixed && _fixed_capacity > 0
-        && _fixed_free >= std::min(o.parallelism.unitsPerLane,
+        && _fixed_free >= std::min(meta.unitsPerLane,
                                    _fixed_capacity);
 
     if (faultsOn()) {
@@ -291,7 +284,7 @@ Executor::decidePlacement(const OpKey &key) const
     }
 
     // ---- Dynamic scheduling (paper SectionIII-C step 2).
-    bool candidate = offloadCandidate(key);
+    bool candidate = meta.candidate;
 
     if (!candidate) {
         // Class-1/4 ops stay on the CPU unless it is busy and PIMs
@@ -313,11 +306,8 @@ Executor::decidePlacement(const OpKey &key) const
         // rather than letting it idle; large kernels wait for trees.
         if (fixed_tree_free)
             return PlacedOn::FixedPool;
-        if (!_cpu_busy
-            && _cpu_model.opSeconds(o.cost)
-                   <= _config.cpuFallbackThresholdSec) {
+        if (!_cpu_busy && meta.smallOnCpu)
             return PlacedOn::Cpu;
-        }
         return std::nullopt;
       case OffloadClass::Recursive:
         if (_config.recursiveKernels && has_progr && _config.hasFixedPim)
@@ -326,22 +316,15 @@ Executor::decidePlacement(const OpKey &key) const
             && !_cpu_busy && fixed_tree_free) {
             return PlacedOn::FixedHostDriven;
         }
-        if (!_cpu_busy
-            && (!_config.hasFixedPim
-                || _cpu_model.opSeconds(o.cost)
-                       <= _config.cpuFallbackThresholdSec)) {
+        if (!_cpu_busy && (!_config.hasFixedPim || meta.smallOnCpu))
             return PlacedOn::Cpu;
-        }
         return std::nullopt;
       case OffloadClass::ProgrammableOnly:
       case OffloadClass::DataMovement:
         if (has_progr)
             return PlacedOn::ProgrPim;
-        if (!_cpu_busy
-            && _cpu_model.opSeconds(o.cost)
-                   <= _config.cpuFallbackThresholdSec) {
+        if (!_cpu_busy && meta.smallOnCpu)
             return PlacedOn::Cpu;
-        }
         return std::nullopt;
     }
     return std::nullopt;
@@ -350,15 +333,14 @@ Executor::decidePlacement(const OpKey &key) const
 std::uint32_t
 Executor::degradeLevel(const OpKey &key) const
 {
-    auto it = _degraded.find(keyStr(key));
+    auto it = _degraded.find(key.packed());
     return it == _degraded.end() ? 0 : it->second;
 }
 
 std::optional<PlacedOn>
 Executor::ladderPlacement(const OpKey &key, std::uint32_t level) const
 {
-    const Operation &o = op(key);
-    OffloadClass cls = opTraits(o.type).offloadClass;
+    OffloadClass cls = _workloads[key.workload].meta[key.op].cls;
     // Rung 1 is the programmable PIM -- unless the op started there
     // (ProgrammableOnly / DataMovement classes), in which case the
     // first drop already lands on the host.
@@ -387,12 +369,12 @@ Executor::tryDispatch(const OpKey &key)
     // With faults on, the census counts where the op *completes*; a
     // faulted attempt must not leave a phantom tally behind.
     if (faultsOn())
-        _running_placement[keyStr(key)] = *placement;
+        _running_placement[key.packed()] = *placement;
     else
         ++_report.opsByPlacement[*placement];
 
     if (_trace) {
-        _trace_tokens[keyStr(key)] =
+        _trace_tokens[key.packed()] =
             _trace->begin(op(key).label, key.op, *placement,
                           key.workload, key.step, nowSec());
     }
@@ -420,28 +402,42 @@ Executor::tryDispatch(const OpKey &key)
 void
 Executor::dispatchAll()
 {
+    if (_pending.empty())
+        return;
     // Priority: managed workloads first, then (step, op id) order.
-    std::stable_sort(_pending.begin(), _pending.end(),
-                     [this](const OpKey &a, const OpKey &b) {
-                         bool am = _workloads[a.workload].spec.pimManaged;
-                         bool bm = _workloads[b.workload].spec.pimManaged;
-                         if (am != bm)
-                             return am;
-                         if (a.step != b.step)
-                             return a.step < b.step;
-                         return a.op < b.op;
-                     });
+    // Dispatching never reorders the survivors, so the sort is needed
+    // only after new ops were pushed (stable_sort on an already
+    // sorted list is the identity, so skipping it changes nothing).
+    if (_pending_dirty) {
+        std::stable_sort(
+            _pending.begin(), _pending.end(),
+            [this](const OpKey &a, const OpKey &b) {
+                bool am = _workloads[a.workload].spec.pimManaged;
+                bool bm = _workloads[b.workload].spec.pimManaged;
+                if (am != bm)
+                    return am;
+                if (a.step != b.step)
+                    return a.step < b.step;
+                return a.op < b.op;
+            });
+        _pending_dirty = false;
+    }
+    // Keep sweeping until a pass places nothing: a dispatch can free
+    // pool units for *earlier* entries (poolReallocate may shrink an
+    // older phase's extra trees when a new phase claims its base
+    // tree), so one pass is not always a fixed point. Survivors are
+    // compacted in place instead of erased one by one.
     bool progress = true;
     while (progress) {
         progress = false;
-        for (auto it = _pending.begin(); it != _pending.end();) {
-            if (tryDispatch(*it)) {
-                it = _pending.erase(it);
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < _pending.size(); ++i) {
+            if (tryDispatch(_pending[i]))
                 progress = true;
-            } else {
-                ++it;
-            }
+            else
+                _pending[out++] = _pending[i];
         }
+        _pending.resize(out);
     }
 }
 
@@ -464,9 +460,11 @@ Executor::startOnCpu(const OpKey &key)
         toTick(start + dur),
         [this, key, start, dur] {
             _cpu_busy = false;
-            obsSpan("cpu", key, start,
-                    dur * _config.cpu.dynamicPowerW);
-            obsCount("rt.ops.cpu");
+            if (obsActive()) {
+                obsSpan("cpu", key, start,
+                        dur * _config.cpu.dynamicPowerW);
+                obsCount("rt.ops.cpu");
+            }
             onOpComplete(key);
         },
         hpim::sim::Event::completionPriority);
@@ -504,9 +502,11 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
                 toTick(start + hold),
                 [this, key, start, hold] {
                     ++_progr_free;
-                    obsSpan("progr", key, start,
-                            hold * _config.progr.powerW(),
-                            {{"outcome", std::string("stall")}});
+                    if (obsActive()) {
+                        obsSpan("progr", key, start,
+                                hold * _config.progr.powerW(),
+                                {{"outcome", std::string("stall")}});
+                    }
                     failAttempt(key, FailKind::Stall);
                 },
                 hpim::sim::Event::completionPriority);
@@ -532,17 +532,21 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
             toTick(start + dur),
             [this, key, faulty, start, dur] {
                 ++_progr_free;
-                obsSpan("progr", key, start,
-                        dur * _config.progr.powerW(),
-                        faulty ? std::vector<hpim::obs::TraceArg>{
-                                     {"outcome", std::string("fault")}}
-                               : std::vector<hpim::obs::TraceArg>{});
-                if (faulty) {
-                    failAttempt(key, FailKind::Transient);
-                } else {
-                    obsCount("rt.ops.progr");
-                    onOpComplete(key);
+                if (obsActive()) {
+                    obsSpan("progr", key, start,
+                            dur * _config.progr.powerW(),
+                            faulty
+                                ? std::vector<hpim::obs::TraceArg>{
+                                      {"outcome",
+                                       std::string("fault")}}
+                                : std::vector<hpim::obs::TraceArg>{});
+                    if (!faulty)
+                        obsCount("rt.ops.progr");
                 }
+                if (faulty)
+                    failAttempt(key, FailKind::Transient);
+                else
+                    onOpComplete(key);
             },
             hpim::sim::Event::completionPriority);
         return;
@@ -567,10 +571,12 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
             toTick(start + hold),
             [this, key, start, hold] {
                 ++_progr_free;
-                obsSpan("progr", key, start,
-                        hold * _config.progr.powerW(),
-                        {{"outcome", std::string("stall")},
-                         {"part", std::string("rc-control")}});
+                if (obsActive()) {
+                    obsSpan("progr", key, start,
+                            hold * _config.progr.powerW(),
+                            {{"outcome", std::string("stall")},
+                             {"part", std::string("rc-control")}});
+                }
                 failAttempt(key, FailKind::Stall);
             },
             hpim::sim::Event::completionPriority);
@@ -592,7 +598,7 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
         join.faulty = true;
         join.failKind = FailKind::Transient;
     }
-    _joins[keyStr(key)] = join;
+    _joins[key.packed()] = join;
 
     double flops = o.cost.flops();
     double intensity =
@@ -610,9 +616,11 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
         toTick(start + dur),
         [this, key, start, dur] {
             ++_progr_free;
-            obsSpan("progr", key, start,
-                    dur * _config.progr.powerW(),
-                    {{"part", std::string("rc-control")}});
+            if (obsActive()) {
+                obsSpan("progr", key, start,
+                        dur * _config.progr.powerW(),
+                        {{"part", std::string("rc-control")}});
+            }
             onJoinedPartDone(key, false);
         },
         hpim::sim::Event::completionPriority);
@@ -694,7 +702,7 @@ Executor::startHostDriven(const OpKey &key)
         join.faulty = true;
         join.failKind = FailKind::Transient;
     }
-    _joins[keyStr(key)] = join;
+    _joins[key.packed()] = join;
 
     double flops = std::max(o.cost.flops(), 1.0);
     double intensity =
@@ -714,9 +722,11 @@ Executor::startHostDriven(const OpKey &key)
         toTick(start + cpu_dur),
         [this, key, start, cpu_dur] {
             _cpu_busy = false;
-            obsSpan("cpu", key, start,
-                    cpu_dur * _config.cpu.dynamicPowerW,
-                    {{"part", std::string("host-driven")}});
+            if (obsActive()) {
+                obsSpan("cpu", key, start,
+                        cpu_dur * _config.cpu.dynamicPowerW,
+                        {{"part", std::string("host-driven")}});
+            }
             onJoinedPartDone(key, false);
         },
         hpim::sim::Event::completionPriority);
@@ -858,7 +868,7 @@ Executor::onPoolEvent()
             _sync_accum += span; // wasted attempt; retry recovers it
         else
             _op_accum += span;
-        {
+        if (obsActive()) {
             std::vector<hpim::obs::TraceArg> extra;
             extra.push_back(
                 {"tree_units",
@@ -885,7 +895,7 @@ Executor::onPoolEvent()
 void
 Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
 {
-    auto it = _joins.find(keyStr(key));
+    auto it = _joins.find(key.packed());
     panic_if(it == _joins.end(), "join record missing for op");
     if (fixed_part)
         it->second.fixedDone = true;
@@ -908,7 +918,7 @@ Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
 void
 Executor::failAttempt(const OpKey &key, FailKind kind)
 {
-    const std::string k = keyStr(key);
+    const std::uint64_t k = key.packed();
     if (_trace) {
         auto it = _trace_tokens.find(k);
         if (it != _trace_tokens.end()) {
@@ -935,9 +945,11 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
     ++_report.retries;
     obsCount("rt.retries");
     std::uint32_t attempts = ++_attempts[k];
-    obsInstant("sched", kind_name,
-               {{"op", k},
-                {"attempt", static_cast<std::int64_t>(attempts)}});
+    if (obsActive()) {
+        obsInstant("sched", kind_name,
+                   {{"op", keyStr(key)},
+                    {"attempt", static_cast<std::int64_t>(attempts)}});
+    }
     if (attempts >= _config.faults.maxAttempts) {
         // Rung exhausted: drop one level on the degradation ladder
         // (fixed-function -> programmable PIM -> CPU) and start the
@@ -946,10 +958,12 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
         ++_degraded[k];
         ++_report.opsDegraded;
         obsCount("rt.ops_degraded");
-        obsInstant("sched", "degrade",
-                   {{"op", k},
-                    {"level",
-                     static_cast<std::int64_t>(_degraded[k])}});
+        if (obsActive()) {
+            obsInstant("sched", "degrade",
+                       {{"op", keyStr(key)},
+                        {"level",
+                         static_cast<std::int64_t>(_degraded[k])}});
+        }
     }
     OpState &s = state(key);
     s.running = false;
@@ -965,6 +979,7 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
                 return;
             st.ready = true;
             _pending.push_back(key);
+            _pending_dirty = true;
             dispatchAll();
         },
         hpim::sim::Event::schedulePriority);
@@ -1016,7 +1031,7 @@ Executor::evictDeadPoolPhases()
     victims.swap(_phases);
     for (const FixedPhase &phase : victims) {
         if (phase.joined) {
-            auto it = _joins.find(keyStr(phase.key));
+            auto it = _joins.find(phase.key.packed());
             if (it != _joins.end()) {
                 it->second.faulty = true;
                 it->second.failKind = FailKind::Evicted;
@@ -1041,9 +1056,11 @@ Executor::onBankFailed(std::uint32_t bank)
     ++_report.banksFailed;
     _report.unitsLost += lost;
     obsCount("rt.banks_failed");
-    obsInstant("sched", "bank.failed",
-               {{"bank", static_cast<std::int64_t>(bank)},
-                {"units_lost", static_cast<std::int64_t>(lost)}});
+    if (obsActive()) {
+        obsInstant("sched", "bank.failed",
+                   {{"bank", static_cast<std::int64_t>(bank)},
+                    {"units_lost", static_cast<std::int64_t>(lost)}});
+    }
     refreshFixedCapacity();
     recordCapacity();
     inform("fault: bank ", bank, " failed at ", nowSec(), " s (-",
@@ -1066,8 +1083,10 @@ Executor::onThrottle(std::size_t index, bool start)
         ++_report.throttleEvents;
         obsCount("rt.throttle_events");
     }
-    obsInstant("sched", start ? "throttle.start" : "throttle.end",
-               {{"bank", static_cast<std::int64_t>(spec.bank)}});
+    if (obsActive()) {
+        obsInstant("sched", start ? "throttle.start" : "throttle.end",
+                   {{"bank", static_cast<std::int64_t>(spec.bank)}});
+    }
     _regs->setThrottled(spec.bank, start);
     refreshFixedCapacity();
     recordCapacity();
@@ -1119,7 +1138,7 @@ Executor::onOpComplete(const OpKey &key)
     s.running = false;
 
     if (faultsOn()) {
-        auto it = _running_placement.find(keyStr(key));
+        auto it = _running_placement.find(key.packed());
         panic_if(it == _running_placement.end(),
                  "op completed without a recorded placement");
         ++_report.opsByPlacement[it->second];
@@ -1127,7 +1146,7 @@ Executor::onOpComplete(const OpKey &key)
     }
 
     if (_trace) {
-        auto it = _trace_tokens.find(keyStr(key));
+        auto it = _trace_tokens.find(key.packed());
         if (it != _trace_tokens.end()) {
             _trace->end(it->second, nowSec());
             _trace_tokens.erase(it);
@@ -1143,6 +1162,7 @@ Executor::onOpComplete(const OpKey &key)
         if (--cs.remainingDeps == 0) {
             cs.ready = true;
             _pending.push_back(OpKey{key.workload, key.step, consumer});
+            _pending_dirty = true;
         }
     }
 
@@ -1177,13 +1197,32 @@ Executor::run(const std::vector<WorkloadSpec> &workloads)
     _report = ExecutionReport{};
     _report.configName = _config.name;
 
+    // OpKey::packed() gives workloads 8 bits and steps 24; far beyond
+    // any study in the paper, but check rather than silently alias.
+    fatal_if(workloads.size() > 255, "too many workloads to pack");
     for (const WorkloadSpec &spec : workloads) {
         fatal_if(spec.graph == nullptr, "workload without a graph");
         fatal_if(spec.steps == 0, "workload with zero steps");
+        fatal_if(spec.steps >= (1u << 24), "too many steps to pack");
         WorkloadState wl;
         wl.spec = spec;
         wl.steps.resize(spec.steps);
         wl.remainingOps.assign(spec.steps, 0);
+        // Precompute the placement-relevant facts for every op once;
+        // decidePlacement() reads these on every pending-list scan.
+        const Graph &graph = *spec.graph;
+        wl.meta.reserve(graph.size());
+        for (OpId id = 0; id < graph.size(); ++id) {
+            const Operation &o = graph.op(id);
+            OpMeta meta;
+            meta.cls = hpim::nn::opTraits(o.type).offloadClass;
+            meta.candidate = _selection == nullptr
+                             || _selection->isCandidate(o.type);
+            meta.smallOnCpu = _cpu_model.opSeconds(o.cost)
+                              <= _config.cpuFallbackThresholdSec;
+            meta.unitsPerLane = o.parallelism.unitsPerLane;
+            wl.meta.push_back(meta);
+        }
         _workloads.push_back(std::move(wl));
     }
     _report.workloadName = workloads[0].graph->name();

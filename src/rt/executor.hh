@@ -26,9 +26,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/graph.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "pim/status_registers.hh"
 #include "rt/execution_report.hh"
@@ -89,6 +91,35 @@ class Executor
         std::uint32_t workload;
         std::uint32_t step;
         hpim::nn::OpId op;
+
+        /**
+         * Dense 64-bit identity used as the hash-map key on the hot
+         * path (no string building). run() checks the field bounds
+         * (workloads < 2^8, steps < 2^24) up front.
+         */
+        std::uint64_t
+        packed() const
+        {
+            return (std::uint64_t(workload) << 56)
+                   | (std::uint64_t(step) << 32) | std::uint64_t(op);
+        }
+    };
+
+    /**
+     * Placement-relevant facts about one op, precomputed per workload
+     * when run() starts. decidePlacement() is the simulator's hottest
+     * function; reading these instead of chasing Graph::op ->
+     * opTraits -> CpuModel -> selection-set lookups on every pending
+     * scan is a large share of the PR-5 speedup
+     * (docs/PERFORMANCE.md).
+     */
+    struct OpMeta
+    {
+        hpim::nn::OffloadClass cls = hpim::nn::OffloadClass::FixedFunction;
+        bool candidate = true; ///< offload candidate per _selection
+        /** CPU run time is under config.cpuFallbackThresholdSec. */
+        bool smallOnCpu = false;
+        std::uint32_t unitsPerLane = 1;
     };
 
     struct OpState
@@ -120,6 +151,7 @@ class Executor
     struct WorkloadState
     {
         WorkloadSpec spec;
+        std::vector<OpMeta> meta;                ///< [op]
         std::vector<std::vector<OpState>> steps; ///< [step][op]
         std::vector<std::uint32_t> remainingOps; ///< per step
         std::uint32_t completedSteps = 0;
@@ -171,7 +203,6 @@ class Executor
     const hpim::nn::Operation &op(const OpKey &key) const;
     OpState &state(const OpKey &key);
     std::uint32_t stepWindow(const WorkloadState &w) const;
-    bool offloadCandidate(const OpKey &key) const;
     double nowSec() const;
     hpim::sim::Tick toTick(double seconds) const;
 
@@ -182,6 +213,10 @@ class Executor
     hpim::sim::EventQueue _queue;
     std::vector<WorkloadState> _workloads;
     std::vector<OpKey> _pending; ///< ready, not yet placed
+    /** _pending gained entries since its last priority sort; cleared
+     *  by dispatchAll() (dispatch keeps the order, so a clean list
+     *  skips the re-sort entirely). */
+    bool _pending_dirty = false;
 
     // Device state.
     bool _cpu_busy = false;
@@ -203,7 +238,8 @@ class Executor
         bool faulty = false;
         FailKind failKind = FailKind::Transient;
     };
-    std::map<std::string, Join> _joins; // keyed by op key string
+    std::unordered_map<std::uint64_t, Join> _joins; // by OpKey::packed
+    /** Human-readable "w:step:op" form, for trace/obs output only. */
     static std::string keyStr(const OpKey &key);
 
     // Resilience state (see docs/RESILIENCE.md). The capacity pair is
@@ -213,9 +249,10 @@ class Executor
     std::unique_ptr<hpim::pim::StatusRegisterFile> _regs;
     std::uint32_t _fixed_capacity = 0; ///< allocatable (Healthy) units
     std::uint32_t _fixed_alive = 0;    ///< non-Failed units
-    std::map<std::string, std::uint32_t> _attempts; ///< fails this rung
-    std::map<std::string, std::uint32_t> _degraded; ///< ladder level
-    std::map<std::string, PlacedOn> _running_placement;
+    /// All three keyed by OpKey::packed().
+    std::unordered_map<std::uint64_t, std::uint32_t> _attempts;
+    std::unordered_map<std::uint64_t, std::uint32_t> _degraded;
+    std::unordered_map<std::uint64_t, PlacedOn> _running_placement;
 
     // Accounting.
     ExecutionReport _report;
@@ -225,10 +262,18 @@ class Executor
 
     // Optional schedule recording.
     ScheduleTrace *_trace = nullptr;
-    std::map<std::string, std::size_t> _trace_tokens;
+    std::unordered_map<std::uint64_t, std::size_t> _trace_tokens;
 
     // ---- Observability (obs/). Each hook is one atomic load when no
     // session/registry is attached, so untraced runs stay bit-identical.
+    /** True when a trace session or metrics registry is attached;
+     *  call sites use this to skip building argument vectors. */
+    static bool
+    obsActive()
+    {
+        return hpim::obs::TraceSession::current() != nullptr
+               || hpim::obs::MetricsRegistry::current() != nullptr;
+    }
     /** Record a completed device span [start, now] in the obs trace. */
     void obsSpan(const char *track_name, const OpKey &key,
                  double start_sec, double energy_j,

@@ -1,20 +1,71 @@
 #include "rt/hetero_runtime.hh"
 
 #include <algorithm>
+#include <memory>
+
+#include "sim/hash.hh"
+#include "sim/memo_cache.hh"
 
 namespace hpim::rt {
 
 using hpim::nn::Graph;
+
+namespace {
+
+/** The memoizable part of prepare(): profile + candidate selection. */
+struct Prepared
+{
+    ProfileReport profile;
+    OffloadSelection selection;
+};
+
+/**
+ * Canonical key over *every* input of the profile/selection pair:
+ * the graph's structural signature, the CPU the profiler models
+ * (field by field) and the coverage target. Exact match only, so a
+ * memo hit is bit-identical to re-running the profiler
+ * (sim/memo_cache.hh).
+ */
+std::uint64_t
+prepareKey(const Graph &graph, const SystemConfig &config)
+{
+    using hpim::sim::hashDouble;
+    using hpim::sim::hashU64;
+    std::uint64_t h = hashU64(graph.signature());
+    h = hashDouble(config.offloadCoveragePct, h);
+    const hpim::cpu::CpuParams &cpu = config.cpu;
+    h = hashDouble(cpu.frequencyHz, h);
+    h = hashU64(static_cast<std::uint64_t>(cpu.cores), h);
+    h = hashDouble(cpu.flopsPerSec, h);
+    h = hashDouble(cpu.specialsPerSec, h);
+    h = hashDouble(cpu.memBandwidth, h);
+    h = hashDouble(cpu.opOverheadSec, h);
+    h = hashDouble(cpu.dynamicPowerW, h);
+    h = hashDouble(cpu.idlePowerW, h);
+    return h;
+}
+
+} // namespace
 
 TrainingResult
 HeteroRuntime::prepare(const Graph &graph) const
 {
     TrainingResult result;
     if (_config.dynamicScheduling) {
+        auto &cache = hpim::sim::MemoCache::instance();
+        std::uint64_t key = prepareKey(graph, _config);
+        if (auto hit = cache.find<Prepared>(key, "rt.prepared")) {
+            result.profile = hit->profile;
+            result.selection = hit->selection;
+            return result;
+        }
         Profiler profiler{hpim::cpu::CpuModel(_config.cpu)};
         result.profile = profiler.profile(graph);
         result.selection = selectOffloadCandidates(
             result.profile, _config.offloadCoveragePct);
+        auto made = std::make_shared<const Prepared>(
+            Prepared{result.profile, result.selection});
+        cache.put<Prepared>(key, "rt.prepared", std::move(made));
     }
     return result;
 }

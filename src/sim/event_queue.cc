@@ -6,9 +6,71 @@
 
 namespace hpim::sim {
 
+namespace {
+
+/** Heap arity: 4 children per node keeps the tree shallow and the
+ *  sift loops cache-friendly (children are contiguous). */
+constexpr std::size_t kArity = 4;
+
+} // namespace
+
 Event::~Event()
 {
     panic_if(_scheduled, "destroying a scheduled event");
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry entry = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / kArity;
+        if (!entry.before(_heap[parent]))
+            break;
+        placeAt(i, _heap[parent]);
+        i = parent;
+    }
+    placeAt(i, entry);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Entry entry = _heap[i];
+    const std::size_t size = _heap.size();
+    while (true) {
+        std::size_t first_child = i * kArity + 1;
+        if (first_child >= size)
+            break;
+        std::size_t last_child =
+            std::min(first_child + kArity, size);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (_heap[c].before(_heap[best]))
+                best = c;
+        }
+        if (!_heap[best].before(entry))
+            break;
+        placeAt(i, _heap[best]);
+        i = best;
+    }
+    placeAt(i, entry);
+}
+
+void
+EventQueue::removeAt(std::size_t i)
+{
+    Entry last = _heap.back();
+    _heap.pop_back();
+    if (i == _heap.size())
+        return; // removed the trailing slot
+    placeAt(i, last);
+    // The filler may violate the heap property in either direction
+    // relative to its new neighbourhood.
+    if (i > 0 && last.before(_heap[(i - 1) / kArity]))
+        siftUp(i);
+    else
+        siftDown(i);
 }
 
 void
@@ -23,9 +85,10 @@ EventQueue::schedule(Event *event, Tick when)
     event->_when = when;
     event->_sequence = _next_sequence++;
     event->_scheduled = true;
-    event->_squashed = false;
-    _heap.push(Entry{when, event->priority(), event->_sequence, event});
-    ++_live_count;
+    event->_heap_index = _heap.size();
+    _heap.push_back(
+        Entry{when, event->priority(), event->_sequence, event});
+    siftUp(_heap.size() - 1);
 }
 
 void
@@ -33,10 +96,11 @@ EventQueue::deschedule(Event *event)
 {
     panic_if(event == nullptr, "descheduling a null event");
     panic_if(!event->_scheduled, "descheduling an unscheduled event");
-    // Lazy deletion: mark squashed; the heap entry is skipped on pop.
+    std::size_t i = event->_heap_index;
+    panic_if(i >= _heap.size() || _heap[i].event != event,
+             "event heap index out of sync");
     event->_scheduled = false;
-    event->_squashed = true;
-    --_live_count;
+    removeAt(i);
 }
 
 void
@@ -47,43 +111,20 @@ EventQueue::reschedule(Event *event, Tick when)
     schedule(event, when);
 }
 
-Tick
-EventQueue::nextEventTick() const
-{
-    // Skip squashed entries without mutating state: the heap top may be
-    // stale, so scan a copy only when the top is squashed (rare).
-    if (_live_count == 0)
-        return maxTick;
-    auto heap_copy = _heap;
-    while (!heap_copy.empty()) {
-        const Entry &top = heap_copy.top();
-        if (top.event->_scheduled && top.event->_sequence == top.sequence)
-            return top.when;
-        heap_copy.pop();
-    }
-    return maxTick;
-}
-
 bool
 EventQueue::runOne()
 {
-    while (!_heap.empty()) {
-        Entry top = _heap.top();
-        _heap.pop();
-        Event *ev = top.event;
-        // A stale entry: the event was descheduled (and possibly
-        // rescheduled, giving it a new sequence number).
-        if (!ev->_scheduled || ev->_sequence != top.sequence)
-            continue;
-        panic_if(top.when < _now, "event time went backwards");
-        _now = top.when;
-        ev->_scheduled = false;
-        --_live_count;
-        ++_processed;
-        ev->process();
-        return true;
-    }
-    return false;
+    if (_heap.empty())
+        return false;
+    Entry top = _heap.front();
+    Event *ev = top.event;
+    panic_if(top.when < _now, "event time went backwards");
+    ev->_scheduled = false;
+    removeAt(0);
+    _now = top.when;
+    ++_processed;
+    ev->process();
+    return true;
 }
 
 void
@@ -101,26 +142,33 @@ EventQueue::runAll(std::uint64_t limit)
 void
 EventQueue::runUntil(Tick until)
 {
-    while (_live_count > 0 && nextEventTick() <= until)
+    while (!_heap.empty() && _heap.front().when <= until)
         runOne();
     _now = std::max(_now, until);
 }
 
-void
-EventQueue::scheduleCallback(Tick when, std::function<void()> callback,
-                             Event::Priority priority)
+EventQueue::PooledCallback *
+EventQueue::acquireCallback()
 {
-    auto *ev = new LambdaEvent(std::move(callback), priority);
-    _owned.push_back(ev);
-    schedule(ev, when);
+    if (!_callback_free.empty()) {
+        PooledCallback *ev = _callback_free.back();
+        _callback_free.pop_back();
+        return ev;
+    }
+    _callback_storage.push_back(
+        std::make_unique<PooledCallback>(*this));
+    return _callback_storage.back().get();
 }
 
 EventQueue::~EventQueue()
 {
-    for (Event *ev : _owned) {
+    // Pooled callbacks may still be scheduled (a run can stop before
+    // the queue drains); deschedule them so ~Event doesn't panic and
+    // release their captures.
+    for (const auto &ev : _callback_storage) {
         if (ev->scheduled())
-            deschedule(ev);
-        delete ev;
+            deschedule(ev.get());
+        ev->disarm();
     }
 }
 

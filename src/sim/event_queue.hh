@@ -4,15 +4,27 @@
  *
  * An EventQueue orders Events by (tick, priority, sequence). The executor
  * in hpim::rt drives device models by scheduling completion events here.
+ *
+ * The queue is an *indexed* 4-ary min-heap: every scheduled event
+ * remembers its heap slot, so deschedule() and reschedule() are
+ * O(log n) in-place removals instead of lazy squash markers, the heap
+ * never holds stale entries, and nextEventTick() is a single O(1)
+ * read of the root. One-shot callbacks run on pooled event objects
+ * with inline callable storage, so the steady-state schedule/fire
+ * cycle performs no heap allocation (docs/PERFORMANCE.md).
  */
 
 #ifndef HPIM_SIM_EVENT_QUEUE_HH
 #define HPIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -67,9 +79,9 @@ class Event
 
     Tick _when = 0;
     std::uint64_t _sequence = 0;
+    std::size_t _heap_index = 0; ///< slot in the owning queue's heap
     Priority _priority;
     bool _scheduled = false;
-    bool _squashed = false;
 };
 
 /** An Event that invokes a callable. */
@@ -89,9 +101,12 @@ class LambdaEvent : public Event
 };
 
 /**
- * The event queue: a priority queue over (when, priority, sequence).
+ * The event queue: an indexed 4-ary min-heap over
+ * (when, priority, sequence).
  *
  * Deterministic: ties in (when, priority) break by insertion order.
+ * Since the sequence number makes the order strict and total, the pop
+ * order is independent of the heap arity or internal layout.
  */
 class EventQueue
 {
@@ -104,7 +119,7 @@ class EventQueue
      */
     void schedule(Event *event, Tick when);
 
-    /** Remove a scheduled event without running it. */
+    /** Remove a scheduled event without running it. O(log n). */
     void deschedule(Event *event);
 
     /** Reschedule: deschedule (if scheduled) then schedule at @p when. */
@@ -114,13 +129,17 @@ class EventQueue
     Tick now() const { return _now; }
 
     /** @return true if no events are pending. */
-    bool empty() const { return _live_count == 0; }
+    bool empty() const { return _heap.empty(); }
 
-    /** @return number of pending (non-squashed) events. */
-    std::size_t size() const { return _live_count; }
+    /** @return number of pending events. */
+    std::size_t size() const { return _heap.size(); }
 
     /** @return tick of the next pending event; maxTick when empty. */
-    Tick nextEventTick() const;
+    Tick
+    nextEventTick() const
+    {
+        return _heap.empty() ? maxTick : _heap.front().when;
+    }
 
     /**
      * Run the next event.
@@ -139,10 +158,36 @@ class EventQueue
 
     /**
      * Convenience: schedule a one-shot callback. The queue owns the
-     * temporary event and frees it after it fires (or at destruction).
+     * backing event object; after the callback fires the object is
+     * recycled into a free list, so steady-state callback traffic
+     * allocates nothing. The callable is stored inline (its captures
+     * must fit callbackBufferBytes) and must be nothrow-movable.
      */
-    void scheduleCallback(Tick when, std::function<void()> callback,
-                          Event::Priority priority = Event::defaultPriority);
+    template <typename F>
+    void
+    scheduleCallback(Tick when, F &&callback,
+                     Event::Priority priority = Event::defaultPriority)
+    {
+        PooledCallback *ev = acquireCallback();
+        ev->arm(std::forward<F>(callback));
+        ev->_priority = priority;
+        schedule(ev, when);
+    }
+
+    /** Inline capture budget of a pooled callback. */
+    static constexpr std::size_t callbackBufferBytes = 64;
+
+    /**
+     * Pooled callback events ever allocated (== peak concurrently
+     * scheduled callbacks). Flat in steady state: the arena counter
+     * the perf tests watch.
+     */
+    std::size_t callbackPoolCapacity() const
+    { return _callback_storage.size(); }
+
+    /** Pooled callback events currently idle in the free list. */
+    std::size_t callbackPoolFree() const
+    { return _callback_free.size(); }
 
     ~EventQueue();
 
@@ -154,24 +199,99 @@ class EventQueue
         std::uint64_t sequence;
         Event *event;
 
+        /** Strict total order: (when, priority, sequence). */
         bool
-        operator>(const Entry &o) const
+        before(const Entry &o) const
         {
             if (when != o.when)
-                return when > o.when;
+                return when < o.when;
             if (priority != o.priority)
-                return priority > o.priority;
-            return sequence > o.sequence;
+                return priority < o.priority;
+            return sequence < o.sequence;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        _heap;
+    /** A recyclable one-shot event with inline callable storage. */
+    class PooledCallback : public Event
+    {
+      public:
+        explicit PooledCallback(EventQueue &queue) : _queue(queue) {}
+
+        ~PooledCallback() override { disarm(); }
+
+        template <typename F>
+        void
+        arm(F &&callback)
+        {
+            using Fn = std::decay_t<F>;
+            static_assert(sizeof(Fn) <= callbackBufferBytes,
+                          "callback captures exceed the pooled "
+                          "callback's inline buffer");
+            static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                          "over-aligned callback");
+            new (_buffer) Fn(std::forward<F>(callback));
+            _invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+            _destroy = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        }
+
+        void
+        disarm()
+        {
+            if (_destroy != nullptr) {
+                _destroy(_buffer);
+                _invoke = nullptr;
+                _destroy = nullptr;
+            }
+        }
+
+        void
+        process() override
+        {
+            // Run, then release the captures and return to the free
+            // list. Recycling only *after* the invocation keeps the
+            // buffer stable if the callback schedules new callbacks
+            // (those draw other objects from the pool).
+            _invoke(_buffer);
+            disarm();
+            _queue.recycleCallback(this);
+        }
+
+        std::string description() const override
+        { return "pooled callback"; }
+
+      private:
+        friend class EventQueue;
+
+        alignas(std::max_align_t) unsigned char
+            _buffer[callbackBufferBytes];
+        void (*_invoke)(void *) = nullptr;
+        void (*_destroy)(void *) = nullptr;
+        EventQueue &_queue;
+    };
+
+    PooledCallback *acquireCallback();
+    void recycleCallback(PooledCallback *event)
+    { _callback_free.push_back(event); }
+
+    /** Write @p entry to slot @p i and update the back-pointer. */
+    void
+    placeAt(std::size_t i, const Entry &entry)
+    {
+        _heap[i] = entry;
+        entry.event->_heap_index = i;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    /** Remove slot @p i, restoring the heap property. */
+    void removeAt(std::size_t i);
+
+    std::vector<Entry> _heap; ///< indexed 4-ary min-heap
     Tick _now = 0;
     std::uint64_t _next_sequence = 0;
     std::uint64_t _processed = 0;
-    std::size_t _live_count = 0;
-    std::vector<Event *> _owned;
+    std::vector<std::unique_ptr<PooledCallback>> _callback_storage;
+    std::vector<PooledCallback *> _callback_free;
 };
 
 } // namespace hpim::sim

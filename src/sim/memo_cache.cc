@@ -1,0 +1,97 @@
+#include "sim/memo_cache.hh"
+
+#include <atomic>
+
+namespace hpim::sim {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<int> g_suspended{0};
+
+} // namespace
+
+MemoCache &
+MemoCache::instance()
+{
+    static MemoCache cache;
+    return cache;
+}
+
+void
+MemoCache::setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+MemoCache::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+MemoCache::suspend()
+{
+    g_suspended.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MemoCache::resume()
+{
+    g_suspended.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool
+MemoCache::active()
+{
+    return enabled()
+           && g_suspended.load(std::memory_order_relaxed) == 0;
+}
+
+std::shared_ptr<const void>
+MemoCache::lookup(std::uint64_t key)
+{
+    if (!active())
+        return nullptr;
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return nullptr;
+    }
+    ++_hits;
+    return it->second;
+}
+
+void
+MemoCache::insert(std::uint64_t key, std::shared_ptr<const void> value)
+{
+    if (!active() || value == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    // First writer wins: with several sweep workers racing, every
+    // candidate value is the result of the identical computation, so
+    // which one sticks cannot matter.
+    if (_entries.emplace(key, std::move(value)).second)
+        ++_insertions;
+}
+
+MemoCache::Stats
+MemoCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return Stats{_hits, _misses, _insertions, _entries.size()};
+}
+
+void
+MemoCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _hits = 0;
+    _misses = 0;
+    _insertions = 0;
+}
+
+} // namespace hpim::sim

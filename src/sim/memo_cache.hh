@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic cross-point memo cache (docs/PERFORMANCE.md).
+ *
+ * Sweeps re-run identical sub-simulations thousands of times: every
+ * system kind of a fig8 point rebuilds the same model graph, and every
+ * RC/OP variant of a fig13 point re-profiles the same graph against
+ * the same CPU. The cache keys such results on a canonical FNV-1a
+ * hash of *all* inputs (sim/hash.hh) and reuses them on exact match
+ * only, so cached and uncached runs are bit-identical by
+ * construction -- a hit returns the very object an identical
+ * computation produced.
+ *
+ * Two rules keep that guarantee honest:
+ *  - exact-match keys: every input that can influence the result is
+ *    hashed (graph signature, config slice field by field); nothing
+ *    is rounded or canonicalized beyond its bit pattern;
+ *  - observability wins over reuse: while a TraceSession or
+ *    MetricsRegistry is attached the cache is suspended, because a
+ *    cache hit would skip the simulation whose trace events and
+ *    counters the observer expects (obs attach()/detach() call
+ *    suspend()/resume()).
+ *
+ * `--no-sim-cache` (harness sweeps) maps to setEnabled(false).
+ */
+
+#ifndef HPIM_SIM_MEMO_CACHE_HH
+#define HPIM_SIM_MEMO_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/hash.hh"
+
+namespace hpim::sim {
+
+/** Process-wide memo cache for deterministic sub-simulation results. */
+class MemoCache
+{
+  public:
+    static MemoCache &instance();
+
+    /** Master switch (the `--no-sim-cache` sweep flag clears it). */
+    static void setEnabled(bool on);
+    static bool enabled();
+
+    /**
+     * Suspend/resume reuse (counted; nestable). Held by obs trace
+     * sessions and metrics registries for their attachment lifetime.
+     */
+    static void suspend();
+    static void resume();
+
+    /** True when lookups may hit: enabled and not suspended. */
+    static bool active();
+
+    /**
+     * Find a cached value. @p tag names the value type ("nn.graph",
+     * "rt.prepared") and is mixed into the key, so two consumers can
+     * never alias each other's entries. Returns nullptr on miss or
+     * when the cache is inactive.
+     */
+    template <typename T>
+    std::shared_ptr<const T>
+    find(std::uint64_t key, const char *tag)
+    {
+        return std::static_pointer_cast<const T>(lookup(mix(key, tag)));
+    }
+
+    /** Insert a value (no-op while inactive). */
+    template <typename T>
+    void
+    put(std::uint64_t key, const char *tag,
+        std::shared_ptr<const T> value)
+    {
+        insert(mix(key, tag), std::move(value));
+    }
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::size_t entries = 0;
+    };
+
+    Stats stats() const;
+
+    /** Drop all entries and reset the stats (tests). */
+    void clear();
+
+  private:
+    MemoCache() = default;
+
+    static std::uint64_t mix(std::uint64_t key, const char *tag)
+    { return hashString(tag, hashU64(key)); }
+
+    std::shared_ptr<const void> lookup(std::uint64_t key);
+    void insert(std::uint64_t key, std::shared_ptr<const void> value);
+
+    mutable std::mutex _mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const void>>
+        _entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _insertions = 0;
+};
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_MEMO_CACHE_HH

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -184,6 +185,147 @@ TEST(EventQueue, ProcessedCountAccumulates)
         queue.scheduleCallback(t, [] {});
     queue.runAll();
     EXPECT_EQ(queue.processedCount(), 10u);
+}
+
+TEST(EventQueue, RescheduleAfterDescheduleFiresOnce)
+{
+    // The descheduled ("squashed") entry must not linger: a
+    // subsequent reschedule fires exactly once, at the new tick.
+    EventQueue queue;
+    std::vector<Tick> fired;
+    LambdaEvent ev([&] { fired.push_back(queue.now()); });
+    queue.schedule(&ev, 10);
+    queue.deschedule(&ev);
+    queue.reschedule(&ev, 25);
+    queue.runAll();
+    EXPECT_EQ(fired, (std::vector<Tick>{25}));
+    EXPECT_EQ(queue.processedCount(), 1u);
+}
+
+TEST(EventQueue, DescheduleRescheduleLoopKeepsHeapConsistent)
+{
+    // Repeated in-place removals from interior heap slots must keep
+    // every back-pointer valid; firing order stays time-ordered.
+    EventQueue queue;
+    std::vector<int> fired;
+    std::vector<LambdaEvent *> events;
+    for (int i = 0; i < 32; ++i)
+        events.push_back(
+            new LambdaEvent([&fired, i] { fired.push_back(i); }));
+    for (int i = 0; i < 32; ++i)
+        queue.schedule(events[static_cast<std::size_t>(i)],
+                       static_cast<Tick>(1 + (i * 7) % 31));
+    // Deschedule every third event out of the middle of the heap,
+    // then put them back at later ticks.
+    for (int i = 0; i < 32; i += 3)
+        queue.deschedule(events[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < 32; i += 3)
+        queue.schedule(events[static_cast<std::size_t>(i)],
+                       static_cast<Tick>(100 + i));
+    queue.runAll();
+    EXPECT_EQ(fired.size(), 32u);
+    for (auto *ev : events)
+        delete ev;
+}
+
+TEST(EventQueue, InterleavedDeschedulePreservesPriorityTies)
+{
+    // Three same-tick events at mixed priorities; descheduling and
+    // re-adding the middle one must not disturb the (priority,
+    // insertion-order) contract among the survivors.
+    EventQueue queue;
+    std::vector<int> order;
+    LambdaEvent first([&] { order.push_back(0); },
+                      Event::completionPriority);
+    LambdaEvent second([&] { order.push_back(1); });
+    LambdaEvent third([&] { order.push_back(2); },
+                      Event::schedulePriority);
+    queue.schedule(&third, 5);
+    queue.schedule(&second, 5);
+    queue.schedule(&first, 5);
+    // Pull the default-priority event out and put it back: it gets a
+    // fresh sequence number but its priority class still slots it
+    // between the completion and the scheduler event.
+    queue.deschedule(&second);
+    queue.schedule(&second, 5);
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, RescheduleAssignsFreshSequenceForTieBreaks)
+{
+    // Sequence numbers break (when, priority) ties by *scheduling*
+    // order, not construction order: rescheduling an event moves it
+    // behind events already queued at that tick.
+    EventQueue queue;
+    std::vector<int> order;
+    LambdaEvent a([&] { order.push_back(0); });
+    LambdaEvent b([&] { order.push_back(1); });
+    queue.schedule(&a, 5);
+    queue.schedule(&b, 5);
+    queue.reschedule(&a, 5); // a now sequences after b
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(EventQueue, CallbackPoolRecyclesAfterRelease)
+{
+    // The pooled-callback arena must reach a steady state: once every
+    // in-flight callback has fired and been released, new callbacks
+    // reuse pooled objects instead of growing the arena.
+    EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 16; ++i)
+        queue.scheduleCallback(static_cast<Tick>(1 + i),
+                               [&fired] { ++fired; });
+    const std::size_t peak = queue.callbackPoolCapacity();
+    EXPECT_EQ(peak, 16u);
+    EXPECT_EQ(queue.callbackPoolFree(), 0u);
+    queue.runAll();
+    EXPECT_EQ(fired, 16);
+    EXPECT_EQ(queue.callbackPoolFree(), peak); // all returned
+    // Steady-state churn: never more than 16 in flight again, so the
+    // arena must not grow past its peak.
+    for (int round = 0; round < 64; ++round) {
+        for (int i = 0; i < 16; ++i)
+            queue.scheduleCallback(queue.now() + 1 + i,
+                                   [&fired] { ++fired; });
+        queue.runAll();
+    }
+    EXPECT_EQ(queue.callbackPoolCapacity(), peak);
+    EXPECT_EQ(queue.callbackPoolFree(), peak);
+    EXPECT_EQ(fired, 16 + 64 * 16);
+}
+
+TEST(EventQueue, CallbacksSchedulingCallbacksDrawFreshPoolObjects)
+{
+    // A callback that schedules another callback while running must
+    // not clobber its own inline captures: the new callback draws a
+    // different pooled object (recycling happens after invocation).
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleCallback(1, [&] {
+        order.push_back(1);
+        queue.scheduleCallback(queue.now() + 1,
+                               [&order] { order.push_back(2); });
+    });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_GE(queue.callbackPoolCapacity(), 1u);
+    EXPECT_EQ(queue.callbackPoolFree(), queue.callbackPoolCapacity());
+}
+
+TEST(EventQueue, DestructorReleasesPendingPooledCallbacks)
+{
+    // Destroying a queue with armed, never-fired pooled callbacks
+    // must not trip the scheduled-event destructor panic.
+    auto queue = std::make_unique<EventQueue>();
+    int fired = 0;
+    for (int i = 0; i < 4; ++i)
+        queue->scheduleCallback(static_cast<Tick>(10 + i),
+                                [&fired] { ++fired; });
+    queue.reset(); // no panic, no leak (ASan job watches the latter)
+    EXPECT_EQ(fired, 0);
 }
 
 // Property: interleaved schedule/run at random times preserves

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the cross-point memo cache (sim/memo_cache.hh): exact
+ * keying, the enabled/suspended switches, and the end-to-end
+ * guarantee the bench goldens rely on -- cached, uncached and
+ * parallel sweeps produce byte-identical reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.hh"
+#include "harness/report_io.hh"
+#include "harness/sweep.hh"
+#include "nn/models.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/memo_cache.hh"
+
+using hpim::sim::MemoCache;
+
+namespace {
+
+/** Reset the process-wide cache around each test. */
+class SimCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MemoCache::setEnabled(true);
+        MemoCache::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        MemoCache::setEnabled(true);
+        MemoCache::instance().clear();
+    }
+};
+
+std::vector<std::string>
+serialize(const std::vector<hpim::rt::ExecutionReport> &reports)
+{
+    std::vector<std::string> out;
+    out.reserve(reports.size());
+    for (const auto &report : reports)
+        out.push_back(hpim::harness::jsonString(report));
+    return out;
+}
+
+/** A small fig8-style grid: every CNN on two systems. */
+std::vector<hpim::harness::ExperimentPoint>
+smallGrid()
+{
+    std::vector<hpim::harness::ExperimentPoint> points;
+    for (hpim::nn::ModelId model : hpim::nn::cnnModels()) {
+        for (auto kind : {hpim::baseline::SystemKind::CpuOnly,
+                          hpim::baseline::SystemKind::HeteroPim}) {
+            hpim::harness::ExperimentPoint p;
+            p.kind = kind;
+            p.model = model;
+            p.steps = 2;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+TEST_F(SimCacheTest, FindReturnsExactlyWhatPutStored)
+{
+    auto &cache = MemoCache::instance();
+    auto value = std::make_shared<const int>(42);
+    cache.put<int>(7, "test.int", value);
+    auto hit = cache.find<int>(7, "test.int");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit.get(), value.get()); // the very object, not a copy
+    EXPECT_EQ(*hit, 42);
+}
+
+TEST_F(SimCacheTest, DifferentKeyOrTagMisses)
+{
+    auto &cache = MemoCache::instance();
+    cache.put<int>(7, "test.int", std::make_shared<const int>(1));
+    EXPECT_EQ(cache.find<int>(8, "test.int"), nullptr);
+    EXPECT_EQ(cache.find<int>(7, "test.other"), nullptr);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST_F(SimCacheTest, FirstWriterWins)
+{
+    // Racing sweep workers compute identical values for one key; the
+    // first insert sticks so every later find returns one object.
+    auto &cache = MemoCache::instance();
+    auto first = std::make_shared<const int>(1);
+    cache.put<int>(3, "test.int", first);
+    cache.put<int>(3, "test.int", std::make_shared<const int>(1));
+    auto hit = cache.find<int>(3, "test.int");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit.get(), first.get());
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST_F(SimCacheTest, DisabledCacheNeverStoresOrHits)
+{
+    MemoCache::setEnabled(false);
+    EXPECT_FALSE(MemoCache::active());
+    auto &cache = MemoCache::instance();
+    cache.put<int>(5, "test.int", std::make_shared<const int>(9));
+    EXPECT_EQ(cache.find<int>(5, "test.int"), nullptr);
+    MemoCache::setEnabled(true);
+    EXPECT_EQ(cache.find<int>(5, "test.int"), nullptr); // never stored
+}
+
+TEST_F(SimCacheTest, SuspendIsCountedAndNestable)
+{
+    EXPECT_TRUE(MemoCache::active());
+    MemoCache::suspend();
+    MemoCache::suspend();
+    EXPECT_FALSE(MemoCache::active());
+    MemoCache::resume();
+    EXPECT_FALSE(MemoCache::active()); // one suspender still holds it
+    MemoCache::resume();
+    EXPECT_TRUE(MemoCache::active());
+}
+
+TEST_F(SimCacheTest, AttachedTraceSessionSuspendsReuse)
+{
+    auto &cache = MemoCache::instance();
+    cache.put<int>(11, "test.int", std::make_shared<const int>(2));
+    ASSERT_NE(cache.find<int>(11, "test.int"), nullptr);
+    {
+        hpim::obs::TraceSession session;
+        session.attach();
+        // A hit here would skip the simulation whose events the
+        // session expects to record.
+        EXPECT_FALSE(MemoCache::active());
+        EXPECT_EQ(cache.find<int>(11, "test.int"), nullptr);
+        session.detach();
+    }
+    EXPECT_TRUE(MemoCache::active());
+    EXPECT_NE(cache.find<int>(11, "test.int"), nullptr);
+}
+
+TEST_F(SimCacheTest, AttachedMetricsRegistrySuspendsReuse)
+{
+    auto &cache = MemoCache::instance();
+    cache.put<int>(13, "test.int", std::make_shared<const int>(3));
+    {
+        hpim::obs::MetricsRegistry registry;
+        registry.attach();
+        EXPECT_FALSE(MemoCache::active());
+        EXPECT_EQ(cache.find<int>(13, "test.int"), nullptr);
+        registry.detach();
+    }
+    EXPECT_TRUE(MemoCache::active());
+}
+
+TEST_F(SimCacheTest, CachedAndUncachedSweepsAreByteIdentical)
+{
+    const auto points = smallGrid();
+
+    // Reference: cache disabled end to end (the --no-sim-cache path).
+    hpim::harness::SweepOptions off;
+    off.jobs = 1;
+    off.simCache = false;
+    const auto reference =
+        serialize(hpim::harness::SweepRunner(off).run(points));
+
+    // Cold cache, then warm cache: the second run hits on every
+    // memoized sub-result and must not change a byte.
+    hpim::harness::SweepOptions on;
+    on.jobs = 1;
+    on.simCache = true;
+    MemoCache::instance().clear();
+    const auto cold =
+        serialize(hpim::harness::SweepRunner(on).run(points));
+    const auto hit_stats_before = MemoCache::instance().stats();
+    const auto warm =
+        serialize(hpim::harness::SweepRunner(on).run(points));
+    const auto hit_stats_after = MemoCache::instance().stats();
+
+    EXPECT_EQ(reference, cold);
+    EXPECT_EQ(reference, warm);
+    // The warm run actually exercised the hit path.
+    EXPECT_GT(hit_stats_after.hits, hit_stats_before.hits);
+}
+
+TEST_F(SimCacheTest, CachedSweepIsByteIdenticalAcrossJobCounts)
+{
+    const auto points = smallGrid();
+
+    hpim::harness::SweepOptions serial;
+    serial.jobs = 1;
+    MemoCache::instance().clear();
+    const auto j1 =
+        serialize(hpim::harness::SweepRunner(serial).run(points));
+
+    for (std::uint32_t jobs : {2u, 4u}) {
+        hpim::harness::SweepOptions parallel;
+        parallel.jobs = jobs;
+        MemoCache::instance().clear();
+        const auto jn = serialize(
+            hpim::harness::SweepRunner(parallel).run(points));
+        EXPECT_EQ(j1, jn) << "sweep diverged at --jobs " << jobs;
+        // And with workers racing on a shared warm cache:
+        const auto jn_warm = serialize(
+            hpim::harness::SweepRunner(parallel).run(points));
+        EXPECT_EQ(j1, jn_warm)
+            << "warm-cache sweep diverged at --jobs " << jobs;
+    }
+}
+
+TEST_F(SimCacheTest, GraphSignatureDistinguishesStructure)
+{
+    using hpim::nn::ModelId;
+    hpim::nn::Graph a = hpim::nn::buildModel(ModelId::AlexNet);
+    hpim::nn::Graph b = hpim::nn::buildModel(ModelId::AlexNet);
+    hpim::nn::Graph c = hpim::nn::buildModel(ModelId::Vgg19);
+    EXPECT_EQ(a.signature(), b.signature());
+    EXPECT_NE(a.signature(), c.signature());
+}

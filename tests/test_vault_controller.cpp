@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/vault_controller.hh"
+#include "obs/metrics.hh"
 
 using hpim::mem::AccessType;
 using hpim::mem::DramCoord;
@@ -183,4 +184,49 @@ TEST(VaultController, RefreshDelaysCollidingRequest)
     EXPECT_GE(done[0].completion,
               refi + hpim::sim::Tick(hmc2Timing().tRFC)
                          * hmc2Timing().tCK);
+}
+
+TEST(VaultController, RequestArenaIsFlatInSteadyState)
+{
+    // The ring may grow while it learns the working-set size, but
+    // repeated enqueue/drain cycles of the same depth must then run
+    // allocation-free: capacity and grow-count stay put.
+    VaultController vault(hmc2Timing(), 8);
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            vault.enqueue(makeReq(i, AccessType::Read, i * 2),
+                          DramCoord{0, std::uint32_t(i % 8),
+                                    std::uint32_t(i % 5), 0});
+        }
+        vault.drain();
+    }
+    const std::size_t capacity = vault.queueCapacity();
+    const std::uint64_t grows = vault.queueGrows();
+    EXPECT_GE(capacity, 64u);
+    for (int round = 0; round < 16; ++round) {
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            vault.enqueue(makeReq(i, AccessType::Read, i * 2),
+                          DramCoord{0, std::uint32_t(i % 8),
+                                    std::uint32_t(i % 5), 0});
+        }
+        vault.drain();
+    }
+    EXPECT_EQ(vault.queueCapacity(), capacity);
+    EXPECT_EQ(vault.queueGrows(), grows);
+}
+
+TEST(VaultController, ArenaGaugesReachMetricsRegistry)
+{
+    // The no-allocations-per-request acceptance check: drain() pushes
+    // the arena counters into an attached obs::MetricsRegistry.
+    hpim::obs::MetricsRegistry registry;
+    registry.attach();
+    VaultController vault(hmc2Timing(), 8);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        vault.enqueue(makeReq(i), DramCoord{0, 0, 0, 0});
+    vault.drain();
+    registry.detach();
+    EXPECT_GE(registry.gauge("mem.arena.capacity").value(), 8.0);
+    EXPECT_EQ(registry.gauge("mem.arena.grows").value(),
+              static_cast<double>(vault.queueGrows()));
 }
