@@ -12,12 +12,18 @@
  *     time, degradations and the resulting step-time inflation.
  *
  * Flags: --jobs N, --seed S (sweep engine), --journal DIR
- * (crash-safe checkpoint/resume), --fault-seed S (fault schedule;
- * default the engine's defaultSeed). Output is deterministic in
- * --fault-seed whatever --jobs says; CI diffs reruns of this binary
- * (minus the [sweep] footer) to enforce it, and the kill-and-resume
- * job SIGKILLs a journaled run partway and diffs the resumed output
- * against a clean run.
+ * (crash-safe checkpoint/resume), --shard i/N (own one slice of a
+ * distributed run; merge the journals with hpim_merge,
+ * docs/SWEEP_ENGINE.md), --fault-seed S (fault schedule; default the
+ * engine's defaultSeed). Output is deterministic in --fault-seed
+ * whatever --jobs says; CI diffs reruns of this binary (minus the
+ * [sweep] footer) to enforce it, the kill-and-resume job SIGKILLs a
+ * journaled run partway and diffs the resumed output against a clean
+ * run, and the shard-validation job runs three --shard processes
+ * (one SIGKILLed and restarted), merges, and demands the byte-
+ * identical unsharded journal. A sharded process prints a partial
+ * table (rows outside its slice default-initialized); only the
+ * merged journal's resumed table is contractual.
  */
 
 #include <cstring>

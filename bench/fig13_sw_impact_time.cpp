@@ -5,6 +5,11 @@
  * RC/OP, then adds RC, OP, and RC+OP. Expectations: Hetero hardware
  * alone beats Progr/Fixed by up to 8.5x but only 7%-30% over Fixed;
  * RC+OP improves Hetero by up to 3.8x.
+ *
+ * Accepts every sweep-engine flag (parseSweepArgs): --jobs, --seed,
+ * --journal, and --shard i/N for distributed runs whose shard
+ * journals hpim_merge fuses back into the single-process table
+ * (docs/SWEEP_ENGINE.md).
  */
 
 #include <iostream>

@@ -4,6 +4,11 @@
  * Hetero PIM with both. Expectations: Hetero hardware without runtime
  * scheduling beats Progr/Fixed PIM by up to 2.7x; RC+OP reduce Hetero
  * energy by up to 3.9x more.
+ *
+ * Accepts every sweep-engine flag (parseSweepArgs): --jobs, --seed,
+ * --journal, and --shard i/N for distributed runs whose shard
+ * journals hpim_merge fuses back into the single-process table
+ * (docs/SWEEP_ENGINE.md).
  */
 
 #include <iostream>

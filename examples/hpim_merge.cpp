@@ -1,0 +1,93 @@
+/**
+ * @file
+ * hpim_merge -- fuse the shard journals of a distributed sweep back
+ * into one unsharded journal (docs/SWEEP_ENGINE.md, "Sharded
+ * distributed sweeps").
+ *
+ * Usage:
+ *   hpim_merge DIR [--out DIR]
+ *
+ * DIR is the journal directory N `--shard i/N` processes shared.
+ * Every segment is validated -- shard headers must agree on schema,
+ * seed, grid hash and point count; every grid point must be recorded
+ * exactly once (identical duplicates tolerated, conflicts and gaps
+ * fatal, a dead shard's journal may be absent if its slice was
+ * stolen); leftover claim files must be complete stale records, not
+ * torn writes -- and a
+ * one-line summary per segment is printed. With `--out` the merged
+ * segments are written as a normal unsharded journal: resuming the
+ * original bench from that directory replays every point and prints
+ * the byte-identical single-process table.
+ *
+ * Exit status: 0 on a complete, consistent merge; 1 with a one-line
+ * diagnostic naming the offending shard file otherwise.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/shard_merge.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+const char *const kUsage =
+    "usage: hpim_merge DIR [--out DIR]\n"
+    "  DIR        journal directory shared by the --shard processes\n"
+    "  --out DIR  write the merged unsharded journal here (resume a\n"
+    "             bench from it to reproduce the full table)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpim;
+
+    std::string journal_dir;
+    std::string out_dir;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out") {
+            fatal_if(i + 1 >= argc, "--out needs a "
+                              "directory\n", kUsage);
+            out_dir = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_dir = arg.substr(6);
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown argument '", arg, "'\n", kUsage);
+        } else if (journal_dir.empty()) {
+            journal_dir = arg;
+        } else {
+            fatal("more than one journal directory given\n",
+                           kUsage);
+        }
+    }
+    if (journal_dir.empty())
+        fatal("no journal directory given\n", kUsage);
+
+    std::vector<harness::SegmentMerge> merged;
+    try {
+        merged = harness::mergeShardJournals(journal_dir);
+        if (!out_dir.empty())
+            harness::writeMergedJournal(out_dir, merged);
+    } catch (const harness::ShardMergeError &e) {
+        fatal(e.what());
+    } catch (const harness::JournalFormatError &e) {
+        fatal(e.what());
+    }
+
+    for (const harness::SegmentMerge &segment : merged) {
+        std::cout << "[merge] segment " << segment.segment << ": "
+                  << segment.records.size() << " points, seed "
+                  << segment.header.baseSeed << ", grid hash "
+                  << segment.header.gridHash << "\n";
+    }
+    if (!out_dir.empty()) {
+        std::cout << "[merge] wrote " << merged.size()
+                  << (merged.size() == 1 ? " segment" : " segments")
+                  << " to '" << out_dir << "'\n";
+    }
+    return 0;
+}

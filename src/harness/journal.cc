@@ -1,6 +1,7 @@
 #include "harness/journal.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -16,6 +17,7 @@
 #include "harness/report_io.hh"
 #include "sim/hash.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace hpim::harness {
 
@@ -66,18 +68,10 @@ headerJson(const SweepJournal::Header &header)
     w.field("base_seed", header.baseSeed);
     w.field("grid_hash", header.gridHash);
     w.field("points", header.points);
+    w.field("shard_index", header.shardIndex);
+    w.field("shard_count", header.shardCount);
     w.endObject();
     os << '\n';
-    return os.str();
-}
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    fatal_if(!is, "cannot read journal file '", path, "'");
-    std::ostringstream os;
-    os << is.rdbuf();
     return os.str();
 }
 
@@ -86,6 +80,23 @@ fileExists(const std::string &path)
 {
     struct stat st{};
     return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string
+segmentBase(const std::string &dir, std::uint32_t segment)
+{
+    return dir + "/sweep-" + std::to_string(segment);
+}
+
+std::string
+shardSuffix(std::uint32_t shard_index, std::uint32_t shard_count)
+{
+    // 1/1 keeps the legacy unsharded names, so single-process
+    // journals (and every pre-shard journal consumer) are unchanged.
+    if (shard_count <= 1)
+        return "";
+    return ".shard-" + std::to_string(shard_index) + "of"
+           + std::to_string(shard_count);
 }
 
 } // namespace
@@ -110,6 +121,168 @@ hashU64(std::uint64_t value, std::uint64_t seed)
     return hpim::sim::hashU64(value, seed);
 }
 
+std::uint64_t
+journalPointHash(std::uint64_t grid_hash, std::size_t index)
+{
+    return hpim::sim::Rng::streamSeed(grid_hash, index);
+}
+
+std::uint32_t
+journalShardOwner(std::size_t index, std::uint32_t shard_count)
+{
+    if (shard_count <= 1)
+        return 1;
+    return static_cast<std::uint32_t>(index % shard_count) + 1;
+}
+
+std::string
+journalMetaPath(const std::string &dir, std::uint32_t segment,
+                std::uint32_t shard_index, std::uint32_t shard_count)
+{
+    return segmentBase(dir, segment)
+           + shardSuffix(shard_index, shard_count) + ".meta.json";
+}
+
+std::string
+journalRecordsPath(const std::string &dir, std::uint32_t segment,
+                   std::uint32_t shard_index,
+                   std::uint32_t shard_count)
+{
+    return segmentBase(dir, segment)
+           + shardSuffix(shard_index, shard_count) + ".records.jsonl";
+}
+
+std::string
+journalClaimPath(const std::string &dir, std::uint32_t segment,
+                 std::size_t index)
+{
+    return segmentBase(dir, segment) + ".claim-"
+           + std::to_string(index);
+}
+
+SweepJournal::Header
+readJournalHeader(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw JournalFormatError("cannot read header", path);
+    std::ostringstream os;
+    os << is.rdbuf();
+
+    SweepJournal::Header header;
+    json::Value root;
+    try {
+        root = json::parse(os.str());
+        header.schemaVersion =
+            static_cast<int>(root.at("schema_version").asInt64());
+    } catch (const json::Error &e) {
+        throw JournalFormatError(e.what(), path, "schema_version");
+    }
+    // An unknown version cannot be parsed further; hand the version
+    // back so the caller can produce the right diagnostic.
+    if (header.schemaVersion != journalSchemaVersion)
+        return header;
+    try {
+        header.baseSeed = root.at("base_seed").asUInt64();
+        header.gridHash = root.at("grid_hash").asUInt64();
+        header.points = root.at("points").asUInt64();
+        header.shardIndex = static_cast<std::uint32_t>(
+            root.at("shard_index").asUInt64());
+        header.shardCount = static_cast<std::uint32_t>(
+            root.at("shard_count").asUInt64());
+    } catch (const json::Error &e) {
+        throw JournalFormatError(e.what(), path);
+    }
+    if (header.shardCount == 0)
+        throw JournalFormatError("shard_count must be >= 1", path,
+                                 "shard_count");
+    if (header.shardIndex == 0 || header.shardIndex > header.shardCount)
+        throw JournalFormatError(
+            "shard_index " + std::to_string(header.shardIndex)
+                + " outside 1.." + std::to_string(header.shardCount),
+            path, "shard_index");
+    return header;
+}
+
+void
+writeJournalHeaderFile(const std::string &path,
+                       const SweepJournal::Header &header)
+{
+    // Atomic publish: a crash leaves either no header or a complete
+    // one, never a torn file that a resume would misparse.
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    fatal_if(fd < 0, "cannot create journal header '", tmp,
+             "': ", std::strerror(errno));
+    writeAll(fd, headerJson(header), tmp);
+    ::close(fd);
+    fatal_if(::rename(tmp.c_str(), path.c_str()) != 0,
+             "cannot publish journal header '", path,
+             "': ", std::strerror(errno));
+}
+
+bool
+scanJournalRecords(const std::string &path, std::uint64_t points,
+                   std::vector<RawRecord> &out,
+                   std::string *tail_note, std::size_t *good_bytes)
+{
+    if (tail_note)
+        tail_note->clear();
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    const std::string text = os.str();
+
+    std::size_t pos = 0;
+    std::size_t keep = 0; // byte offset past the last good record
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        ++line_no;
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) {
+            // No terminator: a process died (or is still) mid-append.
+            if (tail_note)
+                *tail_note = "truncated tail record at line "
+                             + std::to_string(line_no);
+            break;
+        }
+        const std::string line = text.substr(pos, eol - pos);
+        RawRecord record;
+        try {
+            json::Value root = json::parse(line);
+            record.index =
+                static_cast<std::size_t>(root.at("index").asUInt64());
+            record.pointHash = root.at("point_hash").asUInt64();
+            if (!root.find("report"))
+                throw json::Error("record has no report", root.line);
+            if (record.index >= points)
+                throw json::Error("index " + std::to_string(record.index)
+                                      + " out of range (grid has "
+                                      + std::to_string(points)
+                                      + " points)",
+                                  root.line);
+        } catch (const std::exception &e) {
+            // A complete-looking but unparsable record: everything
+            // after it is suspect too, so stop scanning here.
+            if (tail_note)
+                *tail_note = std::string("corrupt record at line ")
+                             + std::to_string(line_no) + " (" + e.what()
+                             + ")";
+            break;
+        }
+        record.lineNo = line_no;
+        record.line = line;
+        out.push_back(std::move(record));
+        pos = eol + 1;
+        keep = pos;
+    }
+    if (good_bytes)
+        *good_bytes = keep;
+    return true;
+}
+
 SweepJournal::SweepJournal(const std::string &dir,
                            std::uint32_t segment, const Header &header)
 {
@@ -118,17 +291,17 @@ SweepJournal::SweepJournal(const std::string &dir,
         fatal("cannot create journal directory '", dir,
               "': ", std::strerror(errno));
 
-    const std::string base =
-        dir + "/sweep-" + std::to_string(segment);
-    const std::string meta_path = base + ".meta.json";
-    _recordsPath = base + ".records.jsonl";
+    const std::string meta_path = journalMetaPath(
+        dir, segment, header.shardIndex, header.shardCount);
+    _recordsPath = journalRecordsPath(dir, segment, header.shardIndex,
+                                      header.shardCount);
 
     if (fileExists(meta_path)) {
         checkHeader(meta_path, header);
         if (fileExists(_recordsPath))
             replay(_recordsPath, header);
     } else {
-        writeHeader(meta_path, header);
+        writeJournalHeaderFile(meta_path, header);
     }
 
     _fd = ::open(_recordsPath.c_str(),
@@ -145,35 +318,13 @@ SweepJournal::~SweepJournal()
 }
 
 void
-SweepJournal::writeHeader(const std::string &path,
-                          const Header &header)
-{
-    // Atomic publish: a crash leaves either no header or a complete
-    // one, never a torn file that a resume would misparse.
-    const std::string tmp = path + ".tmp";
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    fatal_if(fd < 0, "cannot create journal header '", tmp,
-             "': ", std::strerror(errno));
-    writeAll(fd, headerJson(header), tmp);
-    ::close(fd);
-    fatal_if(::rename(tmp.c_str(), path.c_str()) != 0,
-             "cannot publish journal header '", path,
-             "': ", std::strerror(errno));
-}
-
-void
 SweepJournal::checkHeader(const std::string &path,
                           const Header &expect)
 {
     Header found;
     try {
-        json::Value root = json::parse(readFile(path));
-        found.schemaVersion =
-            static_cast<int>(root.at("schema_version").asInt64());
-        found.baseSeed = root.at("base_seed").asUInt64();
-        found.gridHash = root.at("grid_hash").asUInt64();
-        found.points = root.at("points").asUInt64();
-    } catch (const json::Error &e) {
+        found = readJournalHeader(path);
+    } catch (const JournalFormatError &e) {
         fatal("journal header '", path, "' is corrupt (", e.what(),
               "); delete the journal directory to start over");
     }
@@ -187,61 +338,69 @@ SweepJournal::checkHeader(const std::string &path,
               found.baseSeed, ", this run uses --seed ",
               expect.baseSeed,
               "; rerun with the original seed or delete the journal");
-    if (found.gridHash != expect.gridHash
-        || found.points != expect.points)
+    if (found.gridHash != expect.gridHash)
         fatal("journal '", path,
-              "' was written for a different sweep grid (",
-              found.points, " points, grid hash ", found.gridHash,
-              "; this run: ", expect.points, " points, grid hash ",
-              expect.gridHash,
-              "); results will not mix -- delete the journal or rerun "
+              "' was written for a different sweep grid: this run "
+              "expects grid hash ",
+              expect.gridHash, ", found grid hash ", found.gridHash,
+              "; results will not mix -- delete the journal or rerun "
               "the original binary");
+    if (found.points != expect.points)
+        fatal("journal '", path,
+              "' was written for a different sweep grid: this run "
+              "sweeps ",
+              expect.points, " points, the journal holds ",
+              found.points,
+              "; results will not mix -- delete the journal or rerun "
+              "the original binary");
+    if (found.shardIndex != expect.shardIndex
+        || found.shardCount != expect.shardCount)
+        fatal("journal '", path, "' belongs to shard ",
+              found.shardIndex, "/", found.shardCount,
+              ", this run is shard ", expect.shardIndex, "/",
+              expect.shardCount,
+              "; every process must keep its original --shard "
+              "assignment for the life of a journal");
 }
 
 void
 SweepJournal::replay(const std::string &path, const Header &header)
 {
-    const std::string text = readFile(path);
-    std::size_t pos = 0;
-    std::size_t keep = 0; // byte offset past the last good record
-    std::size_t line_no = 0;
-    while (pos < text.size()) {
-        ++line_no;
-        std::size_t eol = text.find('\n', pos);
-        if (eol == std::string::npos) {
-            // No terminator: the process died mid-append. Drop the
-            // tail; the point will simply be re-simulated.
-            std::cerr << "[journal] dropping truncated tail record "
-                         "(line "
-                      << line_no << ") of " << path << "\n";
-            break;
-        }
-        const std::string line = text.substr(pos, eol - pos);
+    std::vector<RawRecord> raw;
+    std::string tail_note;
+    std::size_t keep = 0;
+    if (!scanJournalRecords(path, header.points, raw, &tail_note,
+                            &keep))
+        fatal("cannot read journal records '", path, "'");
+    std::size_t replayed_bytes = 0;
+    for (const RawRecord &record : raw) {
+        Record loaded;
+        loaded.index = record.index;
+        loaded.pointHash = record.pointHash;
         try {
-            json::Value root = json::parse(line);
-            Record record;
-            record.index =
-                static_cast<std::size_t>(root.at("index").asUInt64());
-            record.pointHash = root.at("point_hash").asUInt64();
-            record.report = reportFromJson(root.at("report"));
-            if (record.index >= header.points)
-                throw ParseError("index out of range", root.line,
-                                 "index");
-            _loaded.push_back(std::move(record));
+            json::Value root = json::parse(record.line);
+            loaded.report = reportFromJson(root.at("report"));
         } catch (const std::exception &e) {
-            // A complete-looking but unparsable record: everything
-            // after it is suspect too, so stop replaying here.
-            std::cerr << "[journal] dropping corrupt record at line "
-                      << line_no << " of " << path << " (" << e.what()
-                      << "); resuming from the last good point\n";
+            // The scanner checked syntax; a report that does not
+            // round-trip means a schema change mid-journal. Stop at
+            // it like any other bad record.
+            tail_note = "unreadable report at line "
+                        + std::to_string(record.lineNo) + " ("
+                        + e.what() + ")";
+            keep = replayed_bytes;
             break;
         }
-        pos = eol + 1;
-        keep = pos;
+        replayed_bytes += record.line.size() + 1;
+        _loaded.push_back(std::move(loaded));
     }
+    if (!tail_note.empty())
+        std::cerr << "[journal] dropping " << tail_note << " of "
+                  << path << "; resuming from the last good point\n";
     // Cut the file back to the last good record so this run's appends
     // start on a record boundary instead of gluing onto a torn tail.
-    if (keep < text.size())
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0
+        && static_cast<std::size_t>(st.st_size) > keep)
         fatal_if(::truncate(path.c_str(),
                             static_cast<off_t>(keep)) != 0,
                  "cannot drop bad tail of journal '", path,
@@ -261,6 +420,82 @@ SweepJournal::append(std::size_t index, std::uint64_t point_hash,
                        + jsonString(report) + "}\n";
     std::lock_guard<std::mutex> lock(_mutex);
     writeAll(_fd, line, _recordsPath);
+}
+
+std::optional<ShardClaim>
+ShardClaim::tryAcquire(const std::string &dir, std::uint32_t segment,
+                       std::size_t index, std::uint32_t shard_index)
+{
+    const std::string path = journalClaimPath(dir, segment, index);
+    // The claim file may be retired (unlinked) by its owner between
+    // our open and flock; detect the stale handle and retry against
+    // the fresh inode. Bounded: a lost race is never an error, the
+    // caller just rescans.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+        if (fd < 0)
+            fatal("cannot open claim file '", path,
+                  "': ", std::strerror(errno));
+        if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+            // A live process holds the point. (A SIGKILLed holder's
+            // lock is released by the kernel, so its points do not
+            // stay stuck -- no timeout heuristic needed.)
+            ::close(fd);
+            return std::nullopt;
+        }
+        struct stat fst{}, pst{};
+        if (::fstat(fd, &fst) != 0 || ::stat(path.c_str(), &pst) != 0
+            || fst.st_ino != pst.st_ino || fst.st_dev != pst.st_dev) {
+            // We locked an inode that was already retired; whoever
+            // retired it completed the point or a sibling re-created
+            // the path. Start over against the current file.
+            ::close(fd);
+            continue;
+        }
+        // Ownership established. Record the claimant (shard, pid) --
+        // purely diagnostic: if this process dies here, the leftover
+        // bytes tell the next owner (and hpim_merge) who to blame.
+        std::string note = "{\"index\":" + std::to_string(index)
+                           + ",\"shard\":"
+                           + std::to_string(shard_index) + ",\"pid\":"
+                           + std::to_string(::getpid()) + "}\n";
+        if (::ftruncate(fd, 0) == 0)
+            writeAll(fd, note, path);
+        return ShardClaim(fd, path);
+    }
+    return std::nullopt;
+}
+
+ShardClaim::~ShardClaim()
+{
+    if (_fd < 0)
+        return;
+    // Unlink before releasing the lock: a sibling that acquires the
+    // point afterwards re-creates the path fresh and re-checks the
+    // record logs, so it can never act on our leftover claim bytes.
+    ::unlink(_path.c_str());
+    ::close(_fd);
+}
+
+ShardClaim::ShardClaim(ShardClaim &&other) noexcept
+    : _fd(other._fd), _path(std::move(other._path))
+{
+    other._fd = -1;
+}
+
+ShardClaim &
+ShardClaim::operator=(ShardClaim &&other) noexcept
+{
+    if (this != &other) {
+        if (_fd >= 0) {
+            ::unlink(_path.c_str());
+            ::close(_fd);
+        }
+        _fd = other._fd;
+        _path = std::move(other._path);
+        other._fd = -1;
+    }
+    return *this;
 }
 
 } // namespace hpim::harness

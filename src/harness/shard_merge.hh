@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Merge the shard journals of a distributed sweep back into the
+ * single-process layout (docs/SWEEP_ENGINE.md, "Sharded distributed
+ * sweeps").
+ *
+ * An N-way `--shard i/N` run leaves N record logs per segment in the
+ * shared journal directory. mergeShardJournals() validates that every
+ * present shard header describes the same sweep (schema version, base
+ * seed, grid hash, point count, shard count), that every grid point
+ * is recorded exactly once (identical duplicate records -- e.g. a
+ * point both journaled and re-stolen across hosts -- are tolerated,
+ * conflicting ones are not), and that no torn claim file is left
+ * behind. A shard journal may be missing entirely -- a host that died
+ * and never restarted -- as long as siblings stole and recorded its
+ * whole slice; any unrecorded point is fatal and named together with
+ * its owning shard. The merged records are the
+ * shards' record lines verbatim, ordered by point index, which makes
+ * the merged records file byte-identical to the one an unsharded
+ * `--jobs 1` run writes. writeMergedJournal() persists that as a
+ * valid unsharded journal a bench can resume from to reproduce the
+ * full table.
+ *
+ * Every validation failure throws ShardMergeError naming the
+ * offending file (and field where one applies), mirroring report_io's
+ * ParseError so tools can print one actionable line.
+ */
+
+#ifndef HPIM_HARNESS_SHARD_MERGE_HH
+#define HPIM_HARNESS_SHARD_MERGE_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hh"
+
+namespace hpim::harness {
+
+/** A shard journal set that cannot be merged. */
+struct ShardMergeError : std::runtime_error
+{
+    ShardMergeError(const std::string &message, std::string path,
+                    std::string field_name = {})
+        : std::runtime_error("shard merge: " + message + " [file '"
+                             + path + "'"
+                             + (field_name.empty()
+                                    ? "]"
+                                    : ", field '" + field_name + "']")),
+          file(std::move(path)), field(std::move(field_name))
+    {
+    }
+
+    std::string file;  ///< offending shard file
+    std::string field; ///< offending header field, may be empty
+};
+
+/** One merged segment: the unsharded header plus every record line,
+ *  ordered by point index. */
+struct SegmentMerge
+{
+    std::uint32_t segment = 0;
+    SweepJournal::Header header; ///< shardIndex/shardCount == 1
+    std::vector<RawRecord> records;
+};
+
+/**
+ * Validate and merge every segment found in journal directory
+ * @p dir. Segments may be unsharded (passed through after record
+ * validation) or N-way sharded. @return the merged segments in
+ * segment order. Throws ShardMergeError (or JournalFormatError for
+ * an unreadable header) on any inconsistency; never mutates @p dir.
+ */
+std::vector<SegmentMerge>
+mergeShardJournals(const std::string &dir);
+
+/**
+ * Write @p segments into @p out_dir (created if absent) as an
+ * unsharded journal: sweep-k.meta.json + sweep-k.records.jsonl per
+ * segment, records in point order. The result is byte-identical to
+ * the journal an uninterrupted `--jobs 1` run of the same sweep
+ * writes, and any bench accepts it for `--journal` resume.
+ */
+void writeMergedJournal(const std::string &out_dir,
+                        const std::vector<SegmentMerge> &segments);
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_SHARD_MERGE_HH

@@ -1,5 +1,6 @@
 #include "harness/sweep.hh"
 
+#include <atomic>
 #include <bit>
 #include <cstdlib>
 #include <cstring>
@@ -18,15 +19,19 @@ namespace hpim::harness {
 namespace {
 
 constexpr std::uint32_t kMaxJobs = 4096;
+constexpr std::uint32_t kMaxShards = 4096;
 
 const char *const kUsage =
     "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
-    "[--trace FILE] [--no-sim-cache]\n"
+    "[--shard i/N] [--no-steal] [--trace FILE] [--no-sim-cache]\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
     "  --seed S       base seed of the per-point rng streams\n"
     "  --journal DIR  crash-safe checkpoint/resume directory "
     "(docs/RESILIENCE.md)\n"
+    "  --shard i/N    own slice i of an N-way distributed sweep; "
+    "requires --journal (docs/SWEEP_ENGINE.md)\n"
+    "  --no-steal     do not steal unfinished sibling-shard points\n"
     "  --trace FILE   write a Chrome/Perfetto timeline of the run "
     "(docs/OBSERVABILITY.md)\n"
     "  --no-sim-cache disable the cross-point memo cache "
@@ -50,13 +55,6 @@ parseUint(const char *flag, const std::string &text)
         fatal(flag, " expects an unsigned integer, got '", text,
               "'\n", kUsage);
     return value;
-}
-
-/** Identity of one journaled point: mixes (gridHash, index). */
-std::uint64_t
-pointHash(std::uint64_t grid_hash, std::size_t index)
-{
-    return hpim::sim::Rng::streamSeed(grid_hash, index);
 }
 
 } // namespace
@@ -95,7 +93,16 @@ exitResumable(const SweepStats &stats)
 SweepRunner::SweepRunner(SweepOptions options)
     : _options(std::move(options)), _jobs(resolveJobs(_options.jobs))
 {
+    fatal_if(_options.shardCount == 0 || _options.shardIndex == 0
+                 || _options.shardIndex > _options.shardCount,
+             "shard assignment ", _options.shardIndex, "/",
+             _options.shardCount, " is invalid (need 1 <= i <= N)");
+    fatal_if(_options.shardCount > 1 && _options.journalDir.empty(),
+             "--shard requires --journal: shards coordinate and "
+             "publish results through the journal directory");
     _stats.jobs = _jobs;
+    _stats.shardIndex = _options.shardIndex;
+    _stats.shardCount = _options.shardCount;
     hpim::sim::MemoCache::setEnabled(_options.simCache);
     // Only journaled runs trade the default die-on-SIGINT for the
     // drain + flush + resumable-exit path.
@@ -139,23 +146,30 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
                           const ReportFn &fn)
 {
     const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint32_t shard = _options.shardIndex;
+    const std::uint32_t shards = _options.shardCount;
+    const std::string &dir = _options.journalDir;
 
     SweepJournal::Header header;
     header.baseSeed = _options.baseSeed;
     header.gridHash = grid_hash;
     header.points = count;
-    SweepJournal journal(_options.journalDir, _segment++, header);
+    header.shardIndex = shard;
+    header.shardCount = shards;
+    const std::uint32_t segment = _segment++;
+    SweepJournal journal(dir, segment, header);
 
     std::vector<hpim::rt::ExecutionReport> results(count);
+    // Not vector<bool>: workers mark distinct indices in parallel.
     std::vector<std::uint8_t> have(count, 0);
     std::size_t resumed = 0;
     for (const SweepJournal::Record &record : journal.loaded()) {
         fatal_if(record.pointHash
-                     != pointHash(grid_hash, record.index),
+                     != journalPointHash(grid_hash, record.index),
                  "journal record for point ", record.index,
                  " does not match this sweep's grid; delete the "
                  "journal directory '",
-                 _options.journalDir, "' to start over");
+                 dir, "' to start over");
         if (have[record.index])
             continue; // duplicate record: first one wins
         results[record.index] = record.report;
@@ -170,64 +184,180 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
     std::vector<double> durations(count, 0.0);
     std::vector<std::uint8_t> failed(count, 0);
     std::vector<std::string> errors(count);
-    std::vector<std::future<void>> futures;
-    futures.reserve(count - resumed);
+    // attempted[i]: this process simulated point i (successfully or
+    // not). Bounds work-stealing on deterministically failing points
+    // to one attempt per process.
+    std::vector<std::uint8_t> attempted(count, 0);
+
+    // Simulate point i on the calling worker thread: the journaled
+    // twin of the map() task body. Exactly one process runs this per
+    // point at a time (claim-arbitrated when sharded).
+    auto simulate = [&, seed = _options.baseSeed](std::size_t i) {
+        const double start = threadCpuSeconds();
+        hpim::sim::Rng rng(hpim::sim::Rng::streamSeed(seed, i));
+        hpim::obs::TraceSession::Scope trace_scope(
+            static_cast<std::uint32_t>(scope_base + i + 1));
+        if (auto *session = hpim::obs::TraceSession::current()) {
+            session->instant(session->track("sweep"), "point start",
+                             0.0,
+                             {{"index", static_cast<std::int64_t>(i)}});
+        }
+        try {
+            results[i] = fn(i, rng);
+            // Journal only successes: a failed point is re-attempted
+            // by the next resume (or by a sibling shard).
+            journal.append(i, journalPointHash(grid_hash, i),
+                           results[i]);
+            have[i] = 1;
+        } catch (const std::exception &e) {
+            failed[i] = 1;
+            errors[i] = e.what();
+        } catch (...) {
+            failed[i] = 1;
+            errors[i] = "unknown exception";
+        }
+        if (auto *session = hpim::obs::TraceSession::current()) {
+            session->instant(
+                session->track("sweep"), "point done", 0.0,
+                {{"index", static_cast<std::int64_t>(i)},
+                 {"outcome",
+                  std::string(failed[i] ? "failed" : "ok")}});
+        }
+        attempted[i] = 1;
+        durations[i] = threadCpuSeconds() - start;
+    };
+
+    // Is point i already recorded in a sibling shard's log? A scan of
+    // the sibling record files (their good prefixes; a torn tail or
+    // an in-flight append is simply not visible yet).
+    auto recordedBySibling = [&](std::size_t i) {
+        for (std::uint32_t s = 1; s <= shards; ++s) {
+            if (s == shard)
+                continue;
+            std::vector<RawRecord> raw;
+            if (!scanJournalRecords(
+                    journalRecordsPath(dir, segment, s, shards),
+                    count, raw))
+                continue;
+            for (const RawRecord &record : raw) {
+                if (record.index == i)
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    // Phase 1: this shard's own slice. Claims keep a restarted shard
+    // and an actively stealing sibling from simulating a point twice.
+    std::size_t slice_points = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (journalShardOwner(i, shards) == shard)
+            ++slice_points;
+    }
     {
+        std::vector<std::future<void>> futures;
+        futures.reserve(count);
+        // jobs=1 runs inline on the calling thread: no pool, no
+        // scheduling, the obvious serial reference.
         ThreadPool pool(_jobs > 1 ? _jobs : 0);
         for (std::size_t i = 0; i < count; ++i) {
-            if (have[i])
+            if (have[i] || journalShardOwner(i, shards) != shard)
                 continue;
+            // Journaled runs install interrupt handlers: stop
+            // submitting, drain what is in flight, exit resumable.
             if (interruptRequested())
                 break;
-            futures.push_back(pool.submit(
-                [i, scope_base, grid_hash, &fn, &results, &durations,
-                 &failed, &errors, &journal,
-                 seed = _options.baseSeed] {
-                    const double start = threadCpuSeconds();
-                    hpim::sim::Rng rng(
-                        hpim::sim::Rng::streamSeed(seed, i));
-                    hpim::obs::TraceSession::Scope trace_scope(
-                        static_cast<std::uint32_t>(scope_base + i + 1));
-                    if (auto *session =
-                            hpim::obs::TraceSession::current()) {
-                        session->instant(
-                            session->track("sweep"), "point start",
-                            0.0,
-                            {{"index", static_cast<std::int64_t>(i)}});
-                    }
-                    try {
-                        results[i] = fn(i, rng);
-                        // Journal only successes: a failed point is
-                        // re-attempted by the next resume.
-                        journal.append(i, pointHash(grid_hash, i),
-                                       results[i]);
-                    } catch (const std::exception &e) {
-                        failed[i] = 1;
-                        errors[i] = e.what();
-                    } catch (...) {
-                        failed[i] = 1;
-                        errors[i] = "unknown exception";
-                    }
-                    if (auto *session =
-                            hpim::obs::TraceSession::current()) {
-                        session->instant(
-                            session->track("sweep"), "point done", 0.0,
-                            {{"index", static_cast<std::int64_t>(i)},
-                             {"outcome",
-                              std::string(failed[i] ? "failed"
-                                                    : "ok")}});
-                    }
-                    durations[i] = threadCpuSeconds() - start;
-                }));
+            futures.push_back(pool.submit([&, i] {
+                if (shards > 1) {
+                    auto claim = ShardClaim::tryAcquire(dir, segment,
+                                                        i, shard);
+                    if (!claim)
+                        return; // a live sibling stole it already
+                    if (recordedBySibling(i))
+                        return; // finished elsewhere; drop the claim
+                    simulate(i);
+                } else {
+                    simulate(i);
+                }
+            }));
+        }
+        for (auto &future : futures)
+            future.get();
+    }
+
+    // Phase 2: work-stealing. The slice is done (or failed), so scan
+    // the sibling logs for points nobody has finished and claim them
+    // one by one. A SIGKILLed sibling's claims were released by the
+    // kernel, so its unfinished points are immediately stealable;
+    // points a live sibling is working on stay claimed and are left
+    // alone. Loop until a scan finds nothing this process can take.
+    std::size_t stolen = 0;
+    if (shards > 1 && _options.workSteal) {
+        while (!interruptRequested()) {
+            std::vector<std::uint8_t> done = have;
+            for (std::uint32_t s = 1; s <= shards; ++s) {
+                if (s == shard)
+                    continue;
+                std::vector<RawRecord> raw;
+                if (!scanJournalRecords(
+                        journalRecordsPath(dir, segment, s, shards),
+                        count, raw))
+                    continue;
+                for (const RawRecord &record : raw)
+                    done[record.index] = 1;
+            }
+            std::vector<std::size_t> todo;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (!done[i] && !attempted[i])
+                    todo.push_back(i);
+            }
+            if (todo.empty())
+                break;
+            std::atomic<std::size_t> progress{0};
+            std::atomic<std::size_t> stolen_now{0};
+            {
+                std::vector<std::future<void>> futures;
+                futures.reserve(todo.size());
+                ThreadPool pool(_jobs > 1 ? _jobs : 0);
+                for (std::size_t i : todo) {
+                    if (interruptRequested())
+                        break;
+                    futures.push_back(pool.submit([&, i] {
+                        auto claim = ShardClaim::tryAcquire(
+                            dir, segment, i, shard);
+                        if (!claim)
+                            return; // a live process owns the point
+                        if (recordedBySibling(i)) {
+                            // Completed between our scan and claim;
+                            // rescan will pick it up.
+                            progress.fetch_add(1);
+                            return;
+                        }
+                        simulate(i);
+                        if (!failed[i])
+                            stolen_now.fetch_add(1);
+                        progress.fetch_add(1);
+                    }));
+                }
+                for (auto &future : futures)
+                    future.get();
+            }
+            stolen += stolen_now.load();
+            // No claim acquired and nothing newly finished: whatever
+            // remains is being worked by live siblings. Their crash
+            // would be recovered by the next resume of any shard.
+            if (progress.load() == 0)
+                break;
         }
     }
-    for (auto &future : futures)
-        future.get();
+
     for (std::size_t i = 0; i < count; ++i) {
         if (failed[i])
             _stats.failures.push_back(PointFailure{i, errors[i]});
     }
     _stats.resumedPoints += resumed;
+    _stats.slicePoints += slice_points;
+    _stats.stolenPoints += stolen;
     accumulateStats(durations, secondsSince(wall_start));
     if (interruptRequested())
         exitResumable(_stats);
@@ -296,12 +426,34 @@ parseSweepArgs(int argc, char **argv)
             if (value.empty())
                 fatal("--trace needs a file path\n", kUsage);
             options.traceFile = value;
+        } else if (flagValue("--shard")) {
+            std::size_t slash = value.find('/');
+            if (slash == std::string::npos || slash == 0
+                || slash + 1 >= value.size())
+                fatal("--shard expects i/N (e.g. --shard 2/3), got '",
+                      value, "'\n", kUsage);
+            std::uint64_t index =
+                parseUint("--shard", value.substr(0, slash));
+            std::uint64_t count =
+                parseUint("--shard", value.substr(slash + 1));
+            if (count == 0 || count > kMaxShards || index == 0
+                || index > count)
+                fatal("--shard needs 1 <= i <= N <= ", kMaxShards,
+                      ", got ", value, "\n", kUsage);
+            options.shardIndex = static_cast<std::uint32_t>(index);
+            options.shardCount = static_cast<std::uint32_t>(count);
+        } else if (arg == "--no-steal") {
+            options.workSteal = false;
         } else if (arg == "--no-sim-cache") {
             options.simCache = false;
         } else {
             fatal("unknown argument '", arg, "'\n", kUsage);
         }
     }
+    if (options.shardCount > 1 && options.journalDir.empty())
+        fatal("--shard requires --journal: shards coordinate and "
+              "publish results through the journal directory\n",
+              kUsage);
     return options;
 }
 
@@ -318,6 +470,13 @@ printSweepSummary(std::ostream &os, const SweepStats &stats)
            << (stats.resumedPoints == 1 ? " point" : " points")
            << " resumed from journal, "
            << stats.points - stats.resumedPoints << " simulated\n";
+    }
+    if (stats.shardCount > 1) {
+        os << "[sweep] shard " << stats.shardIndex << "/"
+           << stats.shardCount << ": " << stats.slicePoints
+           << " slice point"
+           << (stats.slicePoints == 1 ? "" : "s") << ", "
+           << stats.stolenPoints << " stolen from siblings\n";
     }
     if (!stats.failures.empty()) {
         os << "[sweep] " << stats.failures.size() << " point"

@@ -27,6 +27,19 @@
  * a journaled sweep drains in-flight points, flushes the journal and
  * exits with resumableExitCode. tests/test_checkpoint.cpp enforces
  * all of this.
+ *
+ * Sharded distribution: with `--shard i/N` (requires --journal), N
+ * independent processes -- or hosts on a shared filesystem -- split
+ * one grid. Shard i owns the deterministic slice { j : j % N == i-1 }
+ * and journals it to its own per-shard segment files; per-point
+ * `Rng::streamSeed(baseSeed, j)` makes a point's bytes independent of
+ * which shard computes it. A shard that finishes its slice scans the
+ * sibling record logs for unfinished points and steals them under
+ * per-point claim files (flock-arbitrated, so a point has exactly one
+ * live owner and a SIGKILLed shard never strands work). The merged
+ * table comes from `hpim_merge` (harness/shard_merge), which
+ * validates the shard headers and emits the byte-identical unsharded
+ * journal. tests/test_shard_sweep.cpp enforces all of this.
  */
 
 #ifndef HPIM_HARNESS_SWEEP_HH
@@ -79,6 +92,15 @@ struct SweepOptions
     /** Cross-point memo cache (sim::MemoCache); `--no-sim-cache`
      *  clears it. Cached and uncached runs are byte-identical. */
     bool simCache = true;
+    /** This process's 1-based shard (`--shard i/N`); 1/1 = unsharded.
+     *  Sharding requires a journal directory. */
+    std::uint32_t shardIndex = 1;
+    /** Total shards splitting the grid (`--shard i/N`). */
+    std::uint32_t shardCount = 1;
+    /** Steal unfinished sibling points after this shard's slice is
+     *  done; `--no-steal` disables (each shard then computes exactly
+     *  its slice). Meaningless when shardCount == 1. */
+    bool workSteal = true;
 };
 
 /** One sweep point that threw instead of producing a result. */
@@ -100,6 +122,13 @@ struct SweepStats
     double serialSec = 0.0;
     /** Points loaded from the journal instead of re-simulated. */
     std::size_t resumedPoints = 0;
+    /** Shard assignment of this process (1/1 when unsharded). */
+    std::uint32_t shardIndex = 1;
+    std::uint32_t shardCount = 1;
+    /** Points in this shard's own slices, cumulative over sweeps. */
+    std::size_t slicePoints = 0;
+    /** Sibling-slice points this shard completed via work-stealing. */
+    std::size_t stolenPoints = 0;
     /** Points whose fn threw; index order, independent of --jobs.
      *  Their result slots are default-constructed. */
     std::vector<PointFailure> failures;
@@ -306,7 +335,9 @@ class SweepRunner
 /**
  * Parse engine flags from a bench/example command line:
  * `--jobs N` (default hardware_concurrency), `--seed S`,
- * `--journal DIR` (crash-safe checkpoint/resume) and `--trace FILE`
+ * `--journal DIR` (crash-safe checkpoint/resume), `--shard i/N`
+ * (own slice i of an N-way distributed sweep; requires --journal),
+ * `--no-steal` (disable sibling work-stealing) and `--trace FILE`
  * (Chrome/Perfetto timeline, docs/OBSERVABILITY.md). Strict: an
  * unknown flag or an out-of-range value prints usage and exits
  * non-zero instead of being silently ignored.

@@ -251,6 +251,22 @@ TEST(CheckpointDeath, GridMismatchIsRejected)
                 testing::ExitedWithCode(1), "different sweep grid");
 }
 
+TEST(CheckpointDeath, GridMismatchNamesExpectedAndFoundHashes)
+{
+    // Multi-host misconfiguration (two hosts sweeping different
+    // grids into one directory) must be diagnosable from one log
+    // line: the fatal message carries both hash values.
+    auto dir = tempJournalDir();
+    runSweep(journaledOptions(dir));
+    SweepRunner runner(journaledOptions(dir));
+    const std::string both = "expects grid hash "
+                             + std::to_string(kGridHash + 1)
+                             + ".*found grid hash "
+                             + std::to_string(kGridHash);
+    EXPECT_EXIT(runner.mapReports(kPoints, kGridHash + 1, makePoint),
+                testing::ExitedWithCode(1), both);
+}
+
 TEST(CheckpointDeath, PointCountMismatchIsRejected)
 {
     auto dir = tempJournalDir();
