@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Load generator for the hpim_serve daemon (docs/SERVING.md).
+ *
+ * Three phases against one daemon:
+ *
+ *  1. *Closed loop*: --clients threads each issue --requests
+ *     back-to-back simulate requests (two alternating configs, so
+ *     after the first misses the shared memo cache answers most of
+ *     them) and record per-request latency.
+ *  2. *Open-loop burst*: one connection pipelines --burst simulate
+ *     requests without waiting for responses -- deliberately past the
+ *     admission limit -- then collects every response. This is the
+ *     overload probe: the daemon must answer each request with
+ *     either a report or a typed `overloaded` rejection, never hang.
+ *  3. *Deadline probe*: --deadline-probes requests carrying a
+ *     microscopic deadline_ms; every one must come back as
+ *     `deadline_exceeded`.
+ *
+ * Every response is accounted for: sent == answered is asserted, so
+ * a hung request fails the bench (CI serve-smoke runs it). Results
+ * (latency percentiles, outcome counts, memo hit rate, drain time)
+ * go to --out as BENCH_serve.json.
+ *
+ * By default the bench starts an in-process Server on a scratch
+ * socket; --socket PATH targets an externally started daemon
+ * instead (then drain_ms is reported as 0).
+ *
+ * usage: serve_load [--out FILE] [--socket PATH] [--clients N]
+ *                   [--requests N] [--burst N] [--deadline-probes N]
+ *                   [--admission-limit N] [--workers N]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/json.hh"
+#include "harness/json_writer.hh"
+#include "harness/table_printer.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace hpim;
+using Clock = std::chrono::steady_clock;
+
+struct Outcomes
+{
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> deadline{0};
+    std::atomic<std::uint64_t> shuttingDown{0};
+    std::atomic<std::uint64_t> error{0};
+
+    void
+    record(const serve::Response &response)
+    {
+        if (response.ok) {
+            ok.fetch_add(1);
+            return;
+        }
+        switch (response.code) {
+          case serve::ErrorCode::Overloaded:
+            overloaded.fetch_add(1);
+            break;
+          case serve::ErrorCode::DeadlineExceeded:
+            deadline.fetch_add(1);
+            break;
+          case serve::ErrorCode::ShuttingDown:
+            shuttingDown.fetch_add(1);
+            break;
+          default:
+            error.fetch_add(1);
+            break;
+        }
+    }
+
+    std::uint64_t
+    total() const
+    {
+        return ok.load() + overloaded.load() + deadline.load()
+               + shuttingDown.load() + error.load();
+    }
+};
+
+double
+percentile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/** Pipeline @p count requests on one raw connection, then read every
+ *  response. Returns false if any response never arrived. */
+bool
+runBurst(const std::string &socket_path, std::size_t count,
+         Outcomes &outcomes)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatal_if(socket_path.size() >= sizeof(addr.sun_path),
+             "socket path too long");
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    fatal_if(fd < 0, "socket: ", std::strerror(errno));
+    fatal_if(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr))
+                 != 0,
+             "connect '", socket_path, "': ", std::strerror(errno));
+    timeval tv{60, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string wire;
+    for (std::size_t i = 0; i < count; ++i) {
+        serve::Request request;
+        request.id = 1000 + i;
+        request.kind = serve::RequestKind::Simulate;
+        request.sim.model = "alexnet";
+        request.sim.system = "hetero";
+        request.sim.steps = 1;
+        serve::appendFrame(wire, serve::encodeRequest(request));
+    }
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    std::string rbuf;
+    std::size_t answered = 0;
+    char chunk[65536];
+    while (answered < count) {
+        serve::FrameSplit split =
+            serve::splitFrame(rbuf, serve::defaultMaxFrameBytes);
+        if (split.status == serve::FrameSplit::Status::Frame) {
+            outcomes.record(
+                serve::parseResponse(std::string(split.payload)));
+            rbuf.erase(0, split.frameEnd);
+            ++answered;
+            continue;
+        }
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0)
+            break; // timeout, EOF: some response never came
+        rbuf.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return answered == count;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_serve.json";
+    std::string socket_path;
+    std::size_t clients = 4;
+    std::size_t requests = 25;
+    std::size_t burst = 64;
+    std::size_t deadline_probes = 8;
+    std::size_t admission_limit = 8;
+    std::uint32_t workers = 4;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out") out = next();
+        else if (arg == "--socket") socket_path = next();
+        else if (arg == "--clients") clients = std::stoul(next());
+        else if (arg == "--requests") requests = std::stoul(next());
+        else if (arg == "--burst") burst = std::stoul(next());
+        else if (arg == "--deadline-probes")
+            deadline_probes = std::stoul(next());
+        else if (arg == "--admission-limit")
+            admission_limit = std::stoul(next());
+        else if (arg == "--workers")
+            workers = static_cast<std::uint32_t>(std::stoul(next()));
+        else
+            fatal("unknown argument '", arg,
+                  "'\nusage: serve_load [--out FILE] [--socket PATH] "
+                  "[--clients N] [--requests N] [--burst N] "
+                  "[--deadline-probes N] [--admission-limit N] "
+                  "[--workers N]");
+    }
+
+    // In-process daemon unless --socket names an external one.
+    std::unique_ptr<serve::Server> server;
+    std::thread server_thread;
+    if (socket_path.empty()) {
+        socket_path = "/tmp/hpim_serve_load."
+                      + std::to_string(::getpid()) + ".sock";
+        serve::ServerOptions options;
+        options.socketPath = socket_path;
+        options.workers = workers;
+        options.admissionLimit = admission_limit;
+        server = std::make_unique<serve::Server>(options);
+        server_thread = std::thread([&server] { server->run(); });
+    }
+
+    Outcomes outcomes;
+    std::uint64_t sent = 0;
+
+    // Phase 1: closed loop.
+    std::vector<std::vector<double>> latencies(clients);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                serve::ClientOptions options;
+                options.socketPath = socket_path;
+                options.ioTimeoutMs = 60'000.0;
+                serve::Client client(options);
+                for (std::size_t r = 0; r < requests; ++r) {
+                    serve::Request request;
+                    request.id = c * requests + r + 1;
+                    request.kind = serve::RequestKind::Simulate;
+                    request.sim.model = "alexnet";
+                    request.sim.system = "hetero";
+                    // Two alternating configs: the first visits miss
+                    // the memo cache, the rest hit it.
+                    request.sim.steps = 1 + (r % 2);
+                    const Clock::time_point start = Clock::now();
+                    outcomes.record(client.call(request));
+                    latencies[c].push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count());
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+        sent += clients * requests;
+    }
+
+    // Phase 2: open-loop overload burst.
+    bool burst_answered = true;
+    if (burst > 0) {
+        burst_answered = runBurst(socket_path, burst, outcomes);
+        sent += burst;
+    }
+
+    // Phase 3: deadline probes.
+    {
+        serve::ClientOptions options;
+        options.socketPath = socket_path;
+        options.ioTimeoutMs = 60'000.0;
+        serve::Client client(options);
+        for (std::size_t i = 0; i < deadline_probes; ++i) {
+            serve::Request request;
+            request.id = 500'000 + i;
+            request.kind = serve::RequestKind::Simulate;
+            request.deadlineMs = 0.001;
+            request.sim.model = "vgg19";
+            request.sim.system = "hetero";
+            request.sim.steps = 64;
+            outcomes.record(client.call(request));
+            ++sent;
+        }
+    }
+
+    // Final stats snapshot (memo hit rate comes from the daemon).
+    std::uint64_t memo_hits = 0, memo_misses = 0;
+    {
+        serve::ClientOptions options;
+        options.socketPath = socket_path;
+        options.ioTimeoutMs = 60'000.0;
+        serve::Client client(options);
+        serve::Request request;
+        request.id = 999'999;
+        request.kind = serve::RequestKind::Stats;
+        serve::Response response = client.call(request);
+        fatal_if(!response.ok || response.statsJson.empty(),
+                 "stats request failed");
+        harness::json::Value stats =
+            harness::json::parse(response.statsJson);
+        memo_hits = stats.at("memo").at("hits").asUInt64();
+        memo_misses = stats.at("memo").at("misses").asUInt64();
+    }
+
+    double drain_ms = 0.0;
+    if (server != nullptr) {
+        server->requestStop();
+        server_thread.join();
+        drain_ms = server->drainMs();
+    }
+
+    // Accounting: every request must have been answered.
+    const std::uint64_t answered = outcomes.total();
+    fatal_if(!burst_answered || answered != sent,
+             "hang detected: sent ", sent, " requests but only ",
+             answered, " were answered");
+
+    std::vector<double> all;
+    for (const std::vector<double> &per_client : latencies)
+        all.insert(all.end(), per_client.begin(), per_client.end());
+    std::sort(all.begin(), all.end());
+    double mean = 0.0;
+    for (double ms : all)
+        mean += ms;
+    if (!all.empty())
+        mean /= static_cast<double>(all.size());
+    const double p50 = percentile(all, 0.50);
+    const double p90 = percentile(all, 0.90);
+    const double p99 = percentile(all, 0.99);
+    const double worst = all.empty() ? 0.0 : all.back();
+    const std::uint64_t lookups = memo_hits + memo_misses;
+    const double hit_rate =
+        lookups > 0
+            ? static_cast<double>(memo_hits)
+                  / static_cast<double>(lookups)
+            : 0.0;
+
+    harness::TablePrinter table({"metric", "value"});
+    table.addRow({"requests sent", std::to_string(sent)});
+    table.addRow({"ok", std::to_string(outcomes.ok.load())});
+    table.addRow(
+        {"overloaded", std::to_string(outcomes.overloaded.load())});
+    table.addRow({"deadline_exceeded",
+                  std::to_string(outcomes.deadline.load())});
+    table.addRow({"p50 (ms)", harness::fmt(p50, 2)});
+    table.addRow({"p90 (ms)", harness::fmt(p90, 2)});
+    table.addRow({"p99 (ms)", harness::fmt(p99, 2)});
+    table.addRow({"max (ms)", harness::fmt(worst, 2)});
+    table.addRow({"memo hit rate", harness::fmtPct(hit_rate * 100.0)});
+    table.addRow({"drain (ms)", harness::fmt(drain_ms, 2)});
+    table.print(std::cout);
+
+    {
+        std::ofstream file(out, std::ios::trunc);
+        fatal_if(!file, "cannot write ", out);
+        harness::json::Writer writer(file);
+        writer.beginObject();
+        writer.field("schema", std::int64_t(1));
+        writer.field("bench", "serve");
+        writer.field("clients", std::int64_t(clients));
+        writer.field("requests_per_client", std::int64_t(requests));
+        writer.field("burst", std::int64_t(burst));
+        writer.field("deadline_probes",
+                     std::int64_t(deadline_probes));
+        writer.field("admission_limit",
+                     std::int64_t(admission_limit));
+        writer.field("requests_sent", std::int64_t(sent));
+        writer.key("latency_ms").beginObject();
+        writer.field("p50", p50);
+        writer.field("p90", p90);
+        writer.field("p99", p99);
+        writer.field("max", worst);
+        writer.field("mean", mean);
+        writer.endObject();
+        writer.key("outcomes").beginObject();
+        writer.field("ok", std::int64_t(outcomes.ok.load()));
+        writer.field("overloaded",
+                     std::int64_t(outcomes.overloaded.load()));
+        writer.field("deadline_exceeded",
+                     std::int64_t(outcomes.deadline.load()));
+        writer.field("shutting_down",
+                     std::int64_t(outcomes.shuttingDown.load()));
+        writer.field("error", std::int64_t(outcomes.error.load()));
+        writer.endObject();
+        writer.key("memo").beginObject();
+        writer.field("hits", std::int64_t(memo_hits));
+        writer.field("misses", std::int64_t(memo_misses));
+        writer.field("hit_rate", hit_rate);
+        writer.endObject();
+        writer.field("drain_ms", drain_ms);
+        writer.endObject();
+        file << "\n";
+    }
+    std::cout << "[serve_load] wrote " << out << "\n";
+    return outcomes.error.load() == 0 ? 0 : 1;
+}

@@ -6,11 +6,27 @@
  *   hpim_cli [--model NAME] [--system NAME] [--steps N]
  *            [--freq-scale F] [--progr-pims N] [--no-rc] [--no-op]
  *            [--fault-rate R] [--kill-banks N] [--fault-seed S]
+ *            [--timeout-ms MS] [--connect SOCK] [--no-metrics]
  *            [--csv] [--json] [--summary] [--dot] [--trace FILE]
  *
  * --trace FILE writes a Chrome/Perfetto timeline of the run
  * (docs/OBSERVABILITY.md). A MetricsRegistry is attached for every
- * run, so --json reports carry the component metrics snapshot.
+ * local run unless --no-metrics, so --json reports carry the
+ * component metrics snapshot. Note the memo-cache interaction: an
+ * attached registry suspends sim::MemoCache, so --no-metrics is also
+ * how a local run exercises the memo path.
+ *
+ * --timeout-ms MS bounds the run: once the budget is spent the
+ * simulation unwinds at its next phase boundary (docs/SERVING.md,
+ * "Deadlines") and hpim_cli exits with code 124 (the coreutils
+ * timeout(1) convention).
+ *
+ * --connect SOCK runs the simulation on an hpim_serve daemon instead
+ * of in-process: the same flags are sent over the wire, the response
+ * is printed exactly as a local run would print it (a served --json
+ * report is byte-identical to `hpim_cli --json --no-metrics`), and
+ * typed rejections map to exit codes -- 124 for deadline_exceeded,
+ * 75 (EX_TEMPFAIL, retryable) for overloaded/shutting_down.
  *
  * Models : vgg19 alexnet dcgan resnet50 inception3 lstm word2vec
  * Systems: cpu gpu progr fixed hetero neurocube
@@ -25,24 +41,27 @@
  *   hpim_cli --model resnet50 --system hetero --steps 8 --json
  *   hpim_cli --model vgg19 --system hetero --freq-scale 4 --csv
  *   hpim_cli --model alexnet --kill-banks 8 --fault-rate 0.001
- *   hpim_cli --model alexnet --summary --dot > alexnet.dot
+ *   hpim_cli --connect /tmp/hpim.sock --model alexnet --json
  */
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include "baseline/presets.hh"
 #include "harness/report_io.hh"
 #include "harness/table_printer.hh"
+#include "harness/thread_pool.hh"
 #include "nn/models.hh"
 #include "nn/summary.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "rt/hetero_runtime.hh"
+#include "serve/client.hh"
+#include "serve/simulate.hh"
 #include "sim/config.hh"
+#include "sim/deadline.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -50,41 +69,16 @@ namespace {
 
 using namespace hpim;
 
+/** Exit code for a spent --timeout-ms budget (timeout(1) style). */
+constexpr int kDeadlineExitCode = 124;
+
 const char *const kUsage =
     "usage: hpim_cli [--model NAME] [--system NAME]\n"
     "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
     "  [--no-rc] [--no-op] [--fault-rate R]\n"
-    "  [--kill-banks N] [--fault-seed S] [--csv]\n"
-    "  [--json] [--summary] [--dot] [--trace FILE]";
-
-nn::ModelId
-parseModel(const std::string &name)
-{
-    if (name == "vgg19") return nn::ModelId::Vgg19;
-    if (name == "alexnet") return nn::ModelId::AlexNet;
-    if (name == "dcgan") return nn::ModelId::Dcgan;
-    if (name == "resnet50") return nn::ModelId::ResNet50;
-    if (name == "inception3") return nn::ModelId::InceptionV3;
-    if (name == "lstm") return nn::ModelId::Lstm;
-    if (name == "word2vec") return nn::ModelId::Word2vec;
-    fatal("unknown model '", name,
-          "' (vgg19 alexnet dcgan resnet50 inception3 lstm "
-          "word2vec)\n",
-          kUsage);
-}
-
-baseline::SystemKind
-parseSystem(const std::string &name)
-{
-    if (name == "cpu") return baseline::SystemKind::CpuOnly;
-    if (name == "gpu") return baseline::SystemKind::Gpu;
-    if (name == "progr") return baseline::SystemKind::ProgrPimOnly;
-    if (name == "fixed") return baseline::SystemKind::FixedPimOnly;
-    if (name == "hetero") return baseline::SystemKind::HeteroPim;
-    if (name == "neurocube") return baseline::SystemKind::Neurocube;
-    fatal("unknown system '", name,
-          "' (cpu gpu progr fixed hetero neurocube)\n", kUsage);
-}
+    "  [--kill-banks N] [--fault-seed S]\n"
+    "  [--timeout-ms MS] [--connect SOCK] [--no-metrics]\n"
+    "  [--csv] [--json] [--summary] [--dot] [--trace FILE]";
 
 /** strtoull with full-consumption checking: '12x' and '-3' fail. */
 std::uint64_t
@@ -132,6 +126,9 @@ cliSchema()
         {"op", ConfigType::Bool, true, 0.0, 0.0},
         {"fault_rate", ConfigType::Double, true, 0.0, 1.0},
         {"kill_banks", ConfigType::Int, true, 0.0, 4096.0},
+        {"timeout_ms", ConfigType::Double, true, 0.0, 1e9},
+        {"connect", ConfigType::String, true, 0.0, 0.0},
+        {"metrics", ConfigType::Bool, true, 0.0, 0.0},
         {"csv", ConfigType::Bool, true, 0.0, 0.0},
         {"json", ConfigType::Bool, true, 0.0, 0.0},
         {"summary", ConfigType::Bool, true, 0.0, 0.0},
@@ -139,6 +136,98 @@ cliSchema()
         {"trace", ConfigType::String, true, 0.0, 0.0},
     };
     return schema;
+}
+
+/** Print @p report the way the chosen output flags ask for. */
+void
+emitReport(const rt::ExecutionReport &report, bool csv, bool json,
+           bool faults)
+{
+    if (csv) {
+        harness::writeCsv(std::cout, {report});
+        return;
+    }
+    if (json) {
+        harness::writeJson(std::cout, report);
+        std::cout << '\n';
+        return;
+    }
+    std::vector<std::string> headers = {
+        "config", "workload", "step (ms)", "op", "data mv",
+        "sync", "J/step", "avg W", "fixed util"};
+    std::vector<std::string> row = {
+        report.configName, report.workloadName,
+        harness::fmt(report.stepSec * 1e3, 2),
+        harness::fmt(report.opSec * 1e3, 2),
+        harness::fmt(report.dataMovementSec * 1e3, 2),
+        harness::fmt(report.syncSec * 1e3, 2),
+        harness::fmt(report.energyPerStepJ, 2),
+        harness::fmt(report.averagePowerW, 1),
+        harness::fmtPct(report.fixedUtilization * 100.0)};
+    if (faults) {
+        headers.insert(headers.end(),
+                       {"faults", "retries", "degraded",
+                        "banks lost"});
+        row.insert(row.end(),
+                   {std::to_string(report.transientFaults),
+                    std::to_string(report.retries),
+                    std::to_string(report.opsDegraded),
+                    std::to_string(report.banksFailed)});
+    }
+    harness::TablePrinter table(headers);
+    table.addRow(row);
+    table.print(std::cout);
+}
+
+/** Run @p spec on the daemon at @p socket; returns the exit code. */
+int
+runConnected(const std::string &socket,
+             const serve::SimulateSpec &spec, double timeout_ms,
+             bool csv, bool json, bool faults)
+{
+    serve::ClientOptions options;
+    options.socketPath = socket;
+    // The daemon enforces the deadline; the local socket timeout
+    // only guards against a wedged daemon, so leave it generous.
+    if (timeout_ms > 0.0)
+        options.ioTimeoutMs = timeout_ms + 10'000.0;
+
+    serve::Request request;
+    request.id = 1;
+    request.kind = serve::RequestKind::Simulate;
+    request.deadlineMs = timeout_ms;
+    request.sim = spec;
+
+    serve::Client client(options);
+    serve::Response response;
+    try {
+        response = client.call(request);
+    } catch (const serve::ProtocolError &e) {
+        std::cerr << "hpim_cli: " << e.what() << '\n';
+        return 1;
+    }
+
+    if (!response.ok) {
+        std::cerr << "hpim_cli: daemon rejected the request: "
+                  << serve::errorCodeName(response.code) << ": "
+                  << response.message << '\n';
+        switch (response.code) {
+          case serve::ErrorCode::DeadlineExceeded:
+            return kDeadlineExitCode;
+          case serve::ErrorCode::Overloaded:
+          case serve::ErrorCode::ShuttingDown:
+            return harness::resumableExitCode; // retryable
+          default:
+            return 1;
+        }
+    }
+    if (!response.hasReport) {
+        std::cerr << "hpim_cli: daemon sent a " << response.kind
+                  << " response to a simulate request\n";
+        return 1;
+    }
+    emitReport(response.report, csv, json, faults);
+    return 0;
 }
 
 } // namespace
@@ -158,6 +247,9 @@ main(int argc, char **argv)
     cli.set("op", true);
     cli.set("fault_rate", 0.0);
     cli.set("kill_banks", 0);
+    cli.set("timeout_ms", 0.0); // 0 = no deadline
+    cli.set("connect", "");     // empty = run in-process
+    cli.set("metrics", true);
     cli.set("csv", false);
     cli.set("json", false);
     cli.set("summary", false);
@@ -191,6 +283,10 @@ main(int argc, char **argv)
                                       parseU64(arg, next())));
         else if (arg == "--fault-seed")
             fault_seed = parseU64(arg, next());
+        else if (arg == "--timeout-ms")
+            cli.set("timeout_ms", parseDouble(arg, next()));
+        else if (arg == "--connect") cli.set("connect", next());
+        else if (arg == "--no-metrics") cli.set("metrics", false);
         else if (arg == "--csv") cli.set("csv", true);
         else if (arg == "--json") cli.set("json", true);
         else if (arg == "--summary") cli.set("summary", true);
@@ -206,105 +302,89 @@ main(int argc, char **argv)
     }
     cli.validateOrDie(cliSchema());
 
-    nn::ModelId model = parseModel(cli.requireString("model"));
-    baseline::SystemKind system =
-        parseSystem(cli.requireString("system"));
-    std::uint32_t steps =
+    serve::SimulateSpec spec;
+    spec.model = cli.requireString("model");
+    spec.system = cli.requireString("system");
+    spec.steps =
         static_cast<std::uint32_t>(cli.requireInt("steps"));
-    double freq_scale = cli.requireDouble("freq_scale");
-    std::uint32_t progr_pims =
+    spec.freqScale = cli.requireDouble("freq_scale");
+    spec.progrPims =
         static_cast<std::uint32_t>(cli.requireInt("progr_pims"));
-    bool rc = cli.requireBool("rc"), op = cli.requireBool("op");
+    spec.rc = cli.requireBool("rc");
+    spec.op = cli.requireBool("op");
+    spec.faultRate = cli.requireDouble("fault_rate");
+    spec.killBanks =
+        static_cast<std::uint32_t>(cli.requireInt("kill_banks"));
+    spec.faultSeed = fault_seed;
+
+    double timeout_ms = cli.requireDouble("timeout_ms");
+    std::string connect = cli.requireString("connect");
+    bool with_metrics = cli.requireBool("metrics");
     bool csv = cli.requireBool("csv"), json = cli.requireBool("json");
     bool summary = cli.requireBool("summary");
     bool dot = cli.requireBool("dot");
-    double fault_rate = cli.requireDouble("fault_rate");
-    std::uint32_t kill_banks =
-        static_cast<std::uint32_t>(cli.requireInt("kill_banks"));
     std::string trace_file = cli.requireString("trace");
+
+    // Token validation up front (the same tables serve the daemon's
+    // wire validation, so CLI and wire agree on the name space).
+    std::optional<nn::ModelId> model = serve::modelFromToken(spec.model);
+    fatal_if(!model, "unknown model '", spec.model, "' (",
+             serve::modelTokenList(), ")\n", kUsage);
+    fatal_if(!serve::systemFromToken(spec.system),
+             "unknown system '", spec.system, "' (",
+             serve::systemTokenList(), ")\n", kUsage);
+
+    bool faults = spec.faultRate > 0.0 || spec.killBanks > 0;
+    fatal_if(faults && spec.system == "gpu",
+             "--fault-rate/--kill-banks need a simulated system; the "
+             "analytic GPU model has no fault layer");
+
+    if (summary || dot) {
+        nn::Graph graph = nn::buildModel(*model);
+        if (summary)
+            nn::summarize(graph).print(std::cout);
+        if (dot) {
+            nn::exportDot(graph, std::cout);
+            if (!csv && !json && !summary)
+                return 0;
+        }
+    }
+
+    if (!connect.empty()) {
+        // Thin-client mode: the daemon owns metrics and tracing.
+        fatal_if(!trace_file.empty(),
+                 "--trace traces a local run; start hpim_serve with "
+                 "--trace to trace served requests");
+        return runConnected(connect, spec, timeout_ms, csv, json,
+                            faults);
+    }
 
     // A single deterministic run, so unlike sweeps the registry
     // snapshot can go straight into the report (and the --json
-    // output) without breaking any determinism contract.
+    // output) without breaking any determinism contract. Skipped
+    // with --no-metrics, which matches what a served request reports
+    // (the daemon never attaches a registry to simulations).
     obs::MetricsRegistry metrics;
-    metrics.attach();
+    if (with_metrics)
+        metrics.attach();
     obs::TraceSession trace;
     if (!trace_file.empty())
         trace.attach();
 
-    nn::Graph graph = nn::buildModel(model);
-
-    if (summary)
-        nn::summarize(graph).print(std::cout);
-    if (dot) {
-        nn::exportDot(graph, std::cout);
-        if (!csv && !json && !summary)
-            return 0;
-    }
-
-    bool faults = fault_rate > 0.0 || kill_banks > 0;
-    fatal_if(faults && system == baseline::SystemKind::Gpu,
-             "--fault-rate/--kill-banks need a simulated system; the "
-             "analytic GPU model has no fault layer");
-
     rt::ExecutionReport report;
-    if (system == baseline::SystemKind::Gpu) {
-        report = baseline::runSystem(system, model, steps);
-    } else if (faults
-               || (system == baseline::SystemKind::HeteroPim
-                   && (!rc || !op))) {
-        auto config =
-            system == baseline::SystemKind::HeteroPim
-                ? baseline::makeHetero(true, rc, op, freq_scale,
-                                       progr_pims)
-                : baseline::makeConfig(system, freq_scale, progr_pims);
-        config.steps = steps;
-        if (faults) {
-            config.faults.enabled = true;
-            config.faults.transientRatePerOp = fault_rate;
-            config.faults.killBanks = kill_banks;
-            config.faults.seed = fault_seed;
-        }
-        rt::HeteroRuntime runtime(config);
-        report = runtime.train(graph).execution;
-    } else {
-        report = baseline::runSystem(system, model, steps, freq_scale,
-                                     progr_pims);
+    try {
+        std::optional<sim::DeadlineScope> scope;
+        if (timeout_ms > 0.0)
+            scope.emplace(sim::Deadline::afterMs(timeout_ms));
+        report = serve::runSimulate(spec);
+    } catch (const sim::DeadlineExceeded &e) {
+        std::cerr << "hpim_cli: " << e.what() << '\n';
+        return kDeadlineExitCode;
     }
-    report.metrics = metrics.snapshot();
+    if (with_metrics)
+        report.metrics = metrics.snapshot();
 
-    if (csv) {
-        harness::writeCsv(std::cout, {report});
-    } else if (json) {
-        harness::writeJson(std::cout, report);
-        std::cout << '\n';
-    } else {
-        std::vector<std::string> headers = {
-            "config", "workload", "step (ms)", "op", "data mv",
-            "sync", "J/step", "avg W", "fixed util"};
-        std::vector<std::string> row = {
-            report.configName, report.workloadName,
-            harness::fmt(report.stepSec * 1e3, 2),
-            harness::fmt(report.opSec * 1e3, 2),
-            harness::fmt(report.dataMovementSec * 1e3, 2),
-            harness::fmt(report.syncSec * 1e3, 2),
-            harness::fmt(report.energyPerStepJ, 2),
-            harness::fmt(report.averagePowerW, 1),
-            harness::fmtPct(report.fixedUtilization * 100.0)};
-        if (faults) {
-            headers.insert(headers.end(),
-                           {"faults", "retries", "degraded",
-                            "banks lost"});
-            row.insert(row.end(),
-                       {std::to_string(report.transientFaults),
-                        std::to_string(report.retries),
-                        std::to_string(report.opsDegraded),
-                        std::to_string(report.banksFailed)});
-        }
-        harness::TablePrinter table(headers);
-        table.addRow(row);
-        table.print(std::cout);
-    }
+    emitReport(report, csv, json, faults);
 
     if (!trace_file.empty()) {
         trace.detach();

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# hpim_fleet.sh -- run a sweep bench as an N-process sharded fleet and
+# prove the merged journal is byte-identical to a serial unsharded run.
+#
+# This is the distributed-sweep contract from docs/SWEEP_ENGINE.md,
+# exercised end to end with real processes:
+#
+#   1. serial reference:  BENCH --jobs 1 --journal <work>/reference
+#   2. fleet:             N x BENCH --shard i/N --journal <work>/fleet
+#      (concurrent processes; shard indices are 1-based)
+#   3. merge:             hpim_merge <work>/fleet --out <work>/merged
+#   4. verdict:           diff -r reference merged  (must be empty)
+#
+# Any shard exiting non-zero, a failed merge, or a single differing
+# byte fails the script. Used by CI and as an operator smoke test for
+# multi-host sweep deployments (run step 2 on separate hosts against a
+# shared filesystem, then steps 3-4 anywhere).
+#
+# usage: scripts/hpim_fleet.sh [-n SHARDS] [-j JOBS] [-b BENCH]
+#                              [-B BUILDDIR] [-d WORKDIR] [-k]
+#   -n SHARDS    number of shard processes (default 4)
+#   -j JOBS      worker threads per shard process (default 2)
+#   -b BENCH     sweep bench binary name (default fault_sweep)
+#   -B BUILDDIR  cmake build directory (default <repo>/build)
+#   -d WORKDIR   scratch directory (default: mktemp -d, removed on exit)
+#   -k           keep the scratch directory for inspection
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+shards=4
+jobs=2
+bench=fault_sweep
+build_dir="$repo_root/build"
+work_dir=""
+keep=0
+
+while getopts "n:j:b:B:d:kh" opt; do
+    case "$opt" in
+        n) shards="$OPTARG" ;;
+        j) jobs="$OPTARG" ;;
+        b) bench="$OPTARG" ;;
+        B) build_dir="$OPTARG" ;;
+        d) work_dir="$OPTARG" ;;
+        k) keep=1 ;;
+        h|*) grep '^# ' "$0" | sed 's/^# \{0,1\}//'; exit 2 ;;
+    esac
+done
+
+case "$shards" in
+    ''|*[!0-9]*) echo "hpim_fleet: -n must be a positive integer" >&2; exit 2 ;;
+esac
+if [ "$shards" -lt 1 ] || [ "$shards" -gt 64 ]; then
+    echo "hpim_fleet: -n must be in 1..64, got $shards" >&2
+    exit 2
+fi
+
+bench_bin="$build_dir/bench/$bench"
+merge_bin="$build_dir/examples/hpim_merge"
+for bin in "$bench_bin" "$merge_bin"; do
+    if [ ! -x "$bin" ]; then
+        echo "hpim_fleet: missing binary '$bin' (build the repo first:" \
+             "cmake -B build -S . && cmake --build build -j)" >&2
+        exit 2
+    fi
+done
+
+made_tmp=0
+if [ -z "$work_dir" ]; then
+    work_dir="$(mktemp -d /tmp/hpim_fleet.XXXXXX)"
+    made_tmp=1
+fi
+mkdir -p "$work_dir"
+
+cleanup() {
+    if [ "$keep" -eq 0 ] && [ "$made_tmp" -eq 1 ]; then
+        rm -rf "$work_dir"
+    else
+        echo "[fleet] scratch kept at $work_dir"
+    fi
+}
+trap cleanup EXIT
+
+echo "[fleet] bench=$bench shards=$shards jobs/shard=$jobs work=$work_dir"
+
+# -- 1. serial unsharded reference ------------------------------------
+# --jobs 1 journals records in grid order, which is exactly what the
+# merge reconstructs; a parallel unsharded run would journal in
+# completion order and the byte-diff below would be meaningless.
+echo "[fleet] serial reference run..."
+"$bench_bin" --jobs 1 --journal "$work_dir/reference" \
+    > "$work_dir/reference.out" 2>&1 \
+    || { echo "hpim_fleet: reference run failed; see $work_dir/reference.out" >&2
+         keep=1; exit 1; }
+
+# -- 2. the sharded fleet (shard indices are 1-based) -----------------
+echo "[fleet] launching $shards shard processes..."
+pids=()
+for i in $(seq 1 "$shards"); do
+    "$bench_bin" --jobs "$jobs" --journal "$work_dir/fleet" \
+        --shard "$i/$shards" > "$work_dir/shard-$i.out" 2>&1 &
+    pids+=("$!")
+done
+
+failed=0
+for i in $(seq 1 "$shards"); do
+    if ! wait "${pids[$((i - 1))]}"; then
+        echo "hpim_fleet: shard $i/$shards failed; see $work_dir/shard-$i.out" >&2
+        failed=1
+    fi
+done
+if [ "$failed" -ne 0 ]; then
+    keep=1
+    exit 1
+fi
+
+# -- 3. merge the shard segments into an unsharded journal ------------
+echo "[fleet] merging..."
+"$merge_bin" "$work_dir/fleet" --out "$work_dir/merged" \
+    > "$work_dir/merge.out" 2>&1 \
+    || { echo "hpim_fleet: merge failed; see $work_dir/merge.out" >&2
+         keep=1; exit 1; }
+sed 's/^/[fleet] /' "$work_dir/merge.out"
+
+# -- 4. the verdict: merged fleet == serial reference, byte for byte --
+if diff -r "$work_dir/reference" "$work_dir/merged" > "$work_dir/diff.out" 2>&1; then
+    echo "[fleet] OK: merged $shards-shard journal is byte-identical" \
+         "to the serial run"
+else
+    echo "hpim_fleet: MERGE DIVERGES from the serial reference:" >&2
+    head -20 "$work_dir/diff.out" >&2
+    keep=1
+    exit 1
+fi

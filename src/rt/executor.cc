@@ -6,6 +6,7 @@
 #include "model/thermal.hh"
 #include "obs/metrics.hh"
 #include "pim/placement.hh"
+#include "sim/deadline.hh"
 #include "sim/logging.hh"
 
 namespace hpim::rt {
@@ -1244,9 +1245,17 @@ Executor::run(const std::vector<WorkloadSpec> &workloads)
     // With faults off the queue drains exactly at the last completion,
     // so the allComplete() guard never changes behaviour; with faults
     // on it stops the run before any still-pending throttle window.
+    hpim::sim::checkDeadline("simulate");
     std::uint64_t guard = 50'000'000;
     while (!allComplete() && _queue.runOne()) {
         panic_if(--guard == 0, "executor exceeded event budget");
+        // Deadline phase boundary: cheap enough to sit in the event
+        // loop because 65535 of 65536 iterations only test a counter,
+        // and a no-deadline run additionally pays just a TLS load
+        // (sim/deadline.hh). Expiry unwinds before the run finalizes,
+        // so an aborted run can never publish a partial report.
+        if ((guard & 0xFFFF) == 0)
+            hpim::sim::checkDeadline("simulate");
     }
 
     for (const WorkloadState &wl : _workloads) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/deadline.hh"
 #include "sim/hash.hh"
 #include "sim/memo_cache.hh"
 
@@ -59,6 +60,9 @@ HeteroRuntime::prepare(const Graph &graph) const
             result.selection = hit->selection;
             return result;
         }
+        // A memo hit above is free; only an actual profile pass is
+        // worth a deadline phase boundary (docs/SERVING.md).
+        hpim::sim::checkDeadline("profile");
         Profiler profiler{hpim::cpu::CpuModel(_config.cpu)};
         result.profile = profiler.profile(graph);
         result.selection = selectOffloadCandidates(
@@ -74,6 +78,7 @@ TrainingResult
 HeteroRuntime::train(const Graph &graph, std::uint32_t steps) const
 {
     TrainingResult result = prepare(graph);
+    hpim::sim::checkDeadline("execute");
     Executor executor(_config, _config.dynamicScheduling
                                    ? &result.selection
                                    : nullptr);

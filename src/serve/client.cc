@@ -1,0 +1,192 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hpim::serve {
+
+double
+backoffMs(const ClientOptions &options, std::uint32_t attempt)
+{
+    if (attempt <= 1)
+        return std::min(options.backoffBaseMs, options.backoffCapMs);
+    const double exp =
+        options.backoffBaseMs
+        * std::pow(2.0, static_cast<double>(attempt - 1));
+    return std::min(exp, options.backoffCapMs);
+}
+
+namespace {
+
+void
+setTimeout(int fd, int option, double ms)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+} // namespace
+
+Client::Client(ClientOptions options) : _options(std::move(options))
+{
+    if (_options.connectAttempts == 0)
+        _options.connectAttempts = 1;
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::disconnect()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _rbuf.clear();
+}
+
+void
+Client::ensureConnected()
+{
+    if (_fd >= 0)
+        return;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (_options.socketPath.size() >= sizeof(addr.sun_path))
+        throw ProtocolError("socket path '" + _options.socketPath
+                            + "' exceeds the AF_UNIX limit");
+    std::strncpy(addr.sun_path, _options.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int last_errno = 0;
+    for (std::uint32_t attempt = 1;
+         attempt <= _options.connectAttempts; ++attempt) {
+        if (attempt > 1) {
+            const double delay = backoffMs(_options, attempt - 1);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay));
+        }
+        int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr))
+            == 0) {
+            if (_options.ioTimeoutMs > 0.0) {
+                setTimeout(fd, SO_RCVTIMEO, _options.ioTimeoutMs);
+                setTimeout(fd, SO_SNDTIMEO, _options.ioTimeoutMs);
+            }
+            _fd = fd;
+            _rbuf.clear();
+            return;
+        }
+        last_errno = errno;
+        ::close(fd);
+    }
+    throw ProtocolError(
+        "cannot connect to '" + _options.socketPath + "' after "
+        + std::to_string(_options.connectAttempts)
+        + " attempts: " + std::strerror(last_errno));
+}
+
+bool
+Client::sendFrame(const std::string &payload)
+{
+    std::string frame;
+    appendFrame(frame, payload);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        // MSG_NOSIGNAL: a daemon that hung up must surface as EPIPE,
+        // not kill the client process with SIGPIPE.
+        ssize_t n = ::send(_fd, frame.data() + off,
+                           frame.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::receiveFrame(std::string &payload)
+{
+    char chunk[65536];
+    while (true) {
+        FrameSplit split =
+            splitFrame(_rbuf, _options.maxFrameBytes);
+        if (split.status == FrameSplit::Status::Frame) {
+            payload.assign(split.payload);
+            _rbuf.erase(0, split.frameEnd);
+            return true;
+        }
+        if (split.status == FrameSplit::Status::Invalid)
+            throw ProtocolError(
+                "response frame of " + std::to_string(split.announced)
+                + " bytes exceeds the "
+                + std::to_string(_options.maxFrameBytes)
+                + "-byte client limit");
+        ssize_t n = ::read(_fd, chunk, sizeof chunk);
+        if (n > 0) {
+            _rbuf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            throw ProtocolError(
+                "timed out waiting for a response on '"
+                + _options.socketPath + "'");
+        return false; // EOF or hard error
+    }
+}
+
+Response
+Client::call(const Request &request)
+{
+    const std::string payload = encodeRequest(request);
+    // One transparent retry, and only when a *reused* connection
+    // turned out to be dead; a failure on a fresh connection is a
+    // real error. Requests are idempotent, so the resend is safe.
+    for (int round = 0; round < 2; ++round) {
+        const bool reused = _fd >= 0;
+        ensureConnected();
+        std::string reply;
+        if (sendFrame(payload) && receiveFrame(reply)) {
+            Response response = parseResponse(reply);
+            if (response.id != request.id)
+                throw ProtocolError(
+                    "response id " + std::to_string(response.id)
+                    + " does not match request id "
+                    + std::to_string(request.id));
+            return response;
+        }
+        disconnect();
+        if (!reused)
+            break;
+    }
+    throw ProtocolError("connection to '" + _options.socketPath
+                        + "' was closed before a response arrived");
+}
+
+} // namespace hpim::serve

@@ -1,0 +1,56 @@
+#include "serve/simulate.hh"
+
+#include "baseline/presets.hh"
+#include "nn/models.hh"
+#include "rt/hetero_runtime.hh"
+#include "sim/logging.hh"
+
+namespace hpim::serve {
+
+hpim::rt::ExecutionReport
+runSimulate(const SimulateSpec &spec)
+{
+    std::optional<hpim::nn::ModelId> model = modelFromToken(spec.model);
+    std::optional<hpim::baseline::SystemKind> system =
+        systemFromToken(spec.system);
+    panic_if(!model || !system,
+             "runSimulate() called with an unvalidated spec (model '",
+             spec.model, "', system '", spec.system, "')");
+
+    const bool faults = spec.faultRate > 0.0 || spec.killBanks > 0;
+    panic_if(faults && *system == hpim::baseline::SystemKind::Gpu,
+             "fault injection on the analytic GPU model must be "
+             "rejected at request validation");
+
+    // The branch structure deliberately mirrors what hpim_cli always
+    // did: the common paths go through baseline::runSystem (and its
+    // memoized model build); only fault injection and explicit
+    // hetero feature flags need a hand-built SystemConfig.
+    if (faults
+        || (*system == hpim::baseline::SystemKind::HeteroPim
+            && (!spec.rc || !spec.op))) {
+        hpim::rt::SystemConfig config =
+            *system == hpim::baseline::SystemKind::HeteroPim
+                ? hpim::baseline::makeHetero(true, spec.rc, spec.op,
+                                             spec.freqScale,
+                                             spec.progrPims)
+                : hpim::baseline::makeConfig(*system, spec.freqScale,
+                                             spec.progrPims);
+        config.steps = spec.steps;
+        if (faults) {
+            config.faults.enabled = true;
+            config.faults.transientRatePerOp = spec.faultRate;
+            config.faults.killBanks = spec.killBanks;
+            config.faults.seed = spec.faultSeed;
+        }
+        hpim::rt::HeteroRuntime runtime(config);
+        hpim::nn::Graph graph =
+            hpim::nn::buildModel(*model, spec.batch);
+        return runtime.train(graph).execution;
+    }
+    return hpim::baseline::runSystem(*system, *model, spec.steps,
+                                     spec.freqScale, spec.progrPims,
+                                     spec.batch);
+}
+
+} // namespace hpim::serve

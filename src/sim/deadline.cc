@@ -1,0 +1,91 @@
+#include "sim/deadline.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hpim::sim {
+
+namespace {
+
+thread_local const Deadline *t_current = nullptr;
+
+/** Drain hard-stop; relaxed is enough (a flag, no data it guards). */
+std::atomic<bool> g_global_stop{false};
+
+} // namespace
+
+std::string
+DeadlineExceeded::formatMs(double ms)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    return buf;
+}
+
+Deadline
+Deadline::afterMs(double ms)
+{
+    if (ms < 0.0)
+        ms = 0.0;
+    auto budget = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+    return Deadline(Clock::now() + budget, ms);
+}
+
+double
+Deadline::remainingMs() const
+{
+    return std::chrono::duration<double, std::milli>(_expiry
+                                                     - Clock::now())
+        .count();
+}
+
+DeadlineScope::DeadlineScope(const Deadline &deadline)
+    : _deadline(deadline), _saved(t_current)
+{
+    // An inner scope may only tighten: keep the earlier expiry.
+    if (_saved != nullptr && _saved->expiry() < _deadline.expiry())
+        _deadline = *_saved;
+    t_current = &_deadline;
+}
+
+DeadlineScope::~DeadlineScope()
+{
+    t_current = _saved;
+}
+
+const Deadline *
+DeadlineScope::current()
+{
+    return t_current;
+}
+
+void
+checkDeadline(const char *phase)
+{
+    const Deadline *deadline = t_current;
+    if (deadline != nullptr && deadline->expired())
+        throw DeadlineExceeded(phase, deadline->budgetMs());
+    if (g_global_stop.load(std::memory_order_relaxed))
+        throw DeadlineExceeded(phase, 0.0);
+}
+
+void
+armGlobalStop()
+{
+    g_global_stop.store(true, std::memory_order_relaxed);
+}
+
+void
+disarmGlobalStop()
+{
+    g_global_stop.store(false, std::memory_order_relaxed);
+}
+
+bool
+globalStopArmed()
+{
+    return g_global_stop.load(std::memory_order_relaxed);
+}
+
+} // namespace hpim::sim

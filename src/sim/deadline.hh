@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Wall-clock deadlines for simulations (docs/SERVING.md).
+ *
+ * A simulation normally runs to completion however long it takes; a
+ * serving daemon (hpim_serve) and a one-shot CLI run under
+ * --timeout-ms cannot afford that. A Deadline is a steady-clock
+ * expiry; DeadlineScope installs one for the calling thread, and
+ * instrumented phase boundaries (HeteroRuntime profile/execute,
+ * the Executor event loop every ~64Ki events) call checkDeadline(),
+ * which throws the typed DeadlineExceeded when the budget is gone.
+ * The simulation unwinds cleanly -- no partial result is ever
+ * published to sim::MemoCache, because insertions happen only after
+ * a computation completes.
+ *
+ * With no deadline installed checkDeadline() is one thread-local
+ * load and a null test, so plain runs pay nothing and stay
+ * bit-identical (a deadline can only *abort* a run, never change
+ * its result: expiry raises, it does not alter any simulated value).
+ *
+ * A second, process-global stop deadline (armGlobalStop) serves the
+ * daemon's drain hard-limit: once armed, every thread's next
+ * checkDeadline() throws regardless of per-request budgets, so
+ * in-flight work unwinds at its next phase boundary and SIGTERM
+ * drain is bounded even for requests that asked for no deadline.
+ */
+
+#ifndef HPIM_SIM_DEADLINE_HH
+#define HPIM_SIM_DEADLINE_HH
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace hpim::sim {
+
+/** Thrown at a phase boundary once the installed budget is spent. */
+struct DeadlineExceeded : std::runtime_error
+{
+    DeadlineExceeded(std::string phase_name, double budget_ms)
+        : std::runtime_error("deadline exceeded after " + formatMs(budget_ms)
+                             + " ms (phase '" + phase_name + "')"),
+          phase(std::move(phase_name)), budgetMs(budget_ms)
+    {
+    }
+
+    std::string phase; ///< phase boundary that observed the expiry
+    double budgetMs;   ///< the budget that was exhausted
+
+  private:
+    static std::string formatMs(double ms);
+};
+
+/** A wall-clock expiry on the steady clock. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** @return a deadline @p ms milliseconds from now. */
+    static Deadline afterMs(double ms);
+
+    /** @return an already-expired deadline (a zero budget). */
+    static Deadline expiredNow() { return afterMs(0.0); }
+
+    /** True once the expiry has passed. */
+    bool expired() const { return Clock::now() >= _expiry; }
+
+    /** Milliseconds until expiry; negative once expired. */
+    double remainingMs() const;
+
+    /** The budget this deadline was created with, for messages. */
+    double budgetMs() const { return _budget_ms; }
+
+    Clock::time_point expiry() const { return _expiry; }
+
+  private:
+    Deadline(Clock::time_point expiry, double budget_ms)
+        : _expiry(expiry), _budget_ms(budget_ms)
+    {
+    }
+
+    Clock::time_point _expiry{};
+    double _budget_ms = 0.0;
+};
+
+/**
+ * Install @p deadline as the calling thread's active deadline for
+ * the guard's lifetime. Nests: the previous deadline (if any) is
+ * restored on destruction, and the *tighter* of the two applies
+ * while both are live (an inner scope can never loosen an outer
+ * budget).
+ */
+class DeadlineScope
+{
+  public:
+    explicit DeadlineScope(const Deadline &deadline);
+    ~DeadlineScope();
+
+    DeadlineScope(const DeadlineScope &) = delete;
+    DeadlineScope &operator=(const DeadlineScope &) = delete;
+
+    /** The calling thread's active deadline, or nullptr. */
+    static const Deadline *current();
+
+  private:
+    Deadline _deadline;
+    const Deadline *_saved;
+};
+
+/**
+ * Throw DeadlineExceeded naming @p phase when the calling thread's
+ * deadline has expired or the global stop is armed. One TLS load +
+ * null test + one relaxed atomic load when neither is set.
+ */
+void checkDeadline(const char *phase);
+
+/**
+ * Arm the process-global stop: every subsequent checkDeadline() on
+ * any thread throws. Used by hpim_serve when the drain grace period
+ * runs out. Async-signal-safe (one relaxed atomic store).
+ */
+void armGlobalStop();
+
+/** Disarm the global stop (tests; a fresh server start). */
+void disarmGlobalStop();
+
+/** @return true once armGlobalStop() has been called. */
+bool globalStopArmed();
+
+} // namespace hpim::sim
+
+#endif // HPIM_SIM_DEADLINE_HH

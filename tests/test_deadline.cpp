@@ -1,0 +1,135 @@
+/**
+ * @file
+ * sim::Deadline / DeadlineScope / checkDeadline unit tests plus the
+ * integration contract: an expired deadline unwinds a simulation at
+ * a phase boundary with the typed DeadlineExceeded, and an aborted
+ * run never poisons the memo cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/simulate.hh"
+#include "sim/deadline.hh"
+#include "sim/memo_cache.hh"
+
+namespace {
+
+using namespace hpim;
+
+TEST(Deadline, NoDeadlineInstalledIsANoOp)
+{
+    EXPECT_EQ(sim::DeadlineScope::current(), nullptr);
+    EXPECT_NO_THROW(sim::checkDeadline("anywhere"));
+}
+
+TEST(Deadline, ExpiredNowExpiresImmediately)
+{
+    sim::Deadline deadline = sim::Deadline::expiredNow();
+    EXPECT_TRUE(deadline.expired());
+    EXPECT_LE(deadline.remainingMs(), 0.0);
+    EXPECT_EQ(deadline.budgetMs(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetDoesNotExpire)
+{
+    sim::Deadline deadline = sim::Deadline::afterMs(60'000.0);
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_GT(deadline.remainingMs(), 0.0);
+    EXPECT_EQ(deadline.budgetMs(), 60'000.0);
+}
+
+TEST(Deadline, CheckThrowsTypedErrorNamingThePhase)
+{
+    sim::DeadlineScope scope(sim::Deadline::expiredNow());
+    try {
+        sim::checkDeadline("profile");
+        FAIL() << "checkDeadline did not throw";
+    } catch (const sim::DeadlineExceeded &e) {
+        EXPECT_EQ(e.phase, "profile");
+        EXPECT_EQ(e.budgetMs, 0.0);
+        EXPECT_NE(std::string(e.what()).find("profile"),
+                  std::string::npos);
+    }
+}
+
+TEST(Deadline, ScopeInstallsAndRestores)
+{
+    EXPECT_EQ(sim::DeadlineScope::current(), nullptr);
+    {
+        sim::DeadlineScope scope(sim::Deadline::afterMs(60'000.0));
+        ASSERT_NE(sim::DeadlineScope::current(), nullptr);
+        EXPECT_NO_THROW(sim::checkDeadline("inside"));
+    }
+    EXPECT_EQ(sim::DeadlineScope::current(), nullptr);
+    EXPECT_NO_THROW(sim::checkDeadline("after"));
+}
+
+TEST(Deadline, InnerScopeTightens)
+{
+    sim::DeadlineScope outer(sim::Deadline::afterMs(60'000.0));
+    {
+        sim::DeadlineScope inner(sim::Deadline::expiredNow());
+        EXPECT_THROW(sim::checkDeadline("inner"),
+                     sim::DeadlineExceeded);
+    }
+    // The outer (generous) deadline is back in force.
+    EXPECT_NO_THROW(sim::checkDeadline("outer"));
+}
+
+TEST(Deadline, InnerScopeCannotLoosen)
+{
+    sim::DeadlineScope outer(sim::Deadline::expiredNow());
+    sim::DeadlineScope inner(sim::Deadline::afterMs(60'000.0));
+    // The tighter of the two applies: still expired.
+    EXPECT_THROW(sim::checkDeadline("nested"),
+                 sim::DeadlineExceeded);
+}
+
+TEST(Deadline, GlobalStopOverridesEverything)
+{
+    EXPECT_NO_THROW(sim::checkDeadline("before"));
+    EXPECT_FALSE(sim::globalStopArmed());
+    sim::armGlobalStop();
+    EXPECT_TRUE(sim::globalStopArmed());
+    // No per-thread deadline installed, yet every check throws.
+    EXPECT_THROW(sim::checkDeadline("stopping"),
+                 sim::DeadlineExceeded);
+    sim::disarmGlobalStop();
+    EXPECT_FALSE(sim::globalStopArmed());
+    EXPECT_NO_THROW(sim::checkDeadline("after"));
+}
+
+TEST(Deadline, SimulationUnwindsAndDoesNotPoisonMemoCache)
+{
+    serve::SimulateSpec spec;
+    spec.model = "alexnet";
+    spec.system = "hetero";
+    spec.steps = 3;
+
+    {
+        sim::DeadlineScope scope(sim::Deadline::expiredNow());
+        EXPECT_THROW(serve::runSimulate(spec),
+                     sim::DeadlineExceeded);
+    }
+
+    // The aborted run must not have published a partial result: the
+    // same spec now runs to completion and matches a fresh run.
+    rt::ExecutionReport first = serve::runSimulate(spec);
+    rt::ExecutionReport second = serve::runSimulate(spec);
+    EXPECT_EQ(first.stepSec, second.stepSec);
+    EXPECT_EQ(first.energyPerStepJ, second.energyPerStepJ);
+    EXPECT_GT(first.stepSec, 0.0);
+}
+
+TEST(Deadline, TinyBudgetAbortsALongSimulation)
+{
+    serve::SimulateSpec spec;
+    spec.model = "vgg19";
+    spec.system = "hetero";
+    spec.steps = 93; // unique steps: never memoized by other tests
+
+    sim::DeadlineScope scope(sim::Deadline::afterMs(0.001));
+    EXPECT_THROW(serve::runSimulate(spec), sim::DeadlineExceeded);
+}
+
+} // namespace
