@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Chaos harness for the host-IO fail-point machinery
+ * (docs/RESILIENCE.md, "Host-IO fault injection"). Two legs:
+ *
+ *  1. *Journal chaos*: fork/exec the fault_sweep bench with
+ *     HPIM_FAILPOINTS armed in the child environment, journaling
+ *     into a scratch directory. Per scenario the child must exit 0
+ *     (transient faults absorbed by the bounded retry) or 75
+ *     (durable failure: journal sealed at the last good record, the
+ *     typed `[sweep] journal IO failure` diagnostic on stderr) --
+ *     never any other status, never a signal death. A clean rerun
+ *     over the surviving journal must exit 0 and print a data table
+ *     byte-identical to the uninjected reference (footer lines
+ *     excluded, exactly like the CI determinism diff).
+ *
+ *  2. *Serve chaos*: an in-process serve::Server with serve.send /
+ *     serve.recv fail points armed. A transient (EINTR) storm must
+ *     be invisible -- every request answered. A hard-fault (EIO)
+ *     storm may tear individual connections (the client reconnects
+ *     and resends, or surfaces a typed ProtocolError), but the
+ *     daemon must keep running, answer a clean probe once the fail
+ *     points are cleared, and shut down cleanly.
+ *
+ * Exits 0 when every invariant held, 1 otherwise, with one line per
+ * violated invariant. CI's chaos job runs this under ASan.
+ *
+ * usage: chaos_sweep [--fault-sweep PATH] [--keep]
+ */
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/failpoint.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sim/logging.hh"
+
+extern char **environ;
+
+namespace {
+
+using namespace hpim;
+
+int g_failures = 0;
+
+/** Record one invariant check; prints and counts a violation. */
+void
+check(bool ok, const std::string &what)
+{
+    if (ok) {
+        std::cout << "[chaos] ok: " << what << "\n";
+    } else {
+        std::cout << "[chaos] FAIL: " << what << "\n";
+        ++g_failures;
+    }
+}
+
+/** A finished child process: status plus captured output. */
+struct ChildResult
+{
+    bool exited = false;  ///< false: killed by a signal
+    int exitCode = -1;
+    std::string out;
+    std::string err;
+};
+
+/**
+ * Fork/exec @p argv (argv[0] is the binary path) with
+ * HPIM_FAILPOINTS=@p failpoints in the environment (removed when
+ * empty), capturing stdout and stderr separately.
+ */
+ChildResult
+runChild(const std::vector<std::string> &argv,
+         const std::string &failpoints)
+{
+    int out_pipe[2], err_pipe[2];
+    fatal_if(::pipe(out_pipe) != 0 || ::pipe(err_pipe) != 0,
+             "pipe: ", std::strerror(errno));
+
+    // Child environment: parent's, with HPIM_FAILPOINTS replaced.
+    std::vector<std::string> env_store;
+    for (char **e = environ; *e != nullptr; ++e) {
+        if (std::strncmp(*e, "HPIM_FAILPOINTS=", 16) != 0)
+            env_store.push_back(*e);
+    }
+    if (!failpoints.empty())
+        env_store.push_back("HPIM_FAILPOINTS=" + failpoints);
+    std::vector<char *> envp;
+    for (std::string &e : env_store)
+        envp.push_back(e.data());
+    envp.push_back(nullptr);
+    std::vector<std::string> arg_store = argv;
+    std::vector<char *> argp;
+    for (std::string &a : arg_store)
+        argp.push_back(a.data());
+    argp.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    fatal_if(pid < 0, "fork: ", std::strerror(errno));
+    if (pid == 0) {
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        ::dup2(err_pipe[1], STDERR_FILENO);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
+        ::execve(argp[0], argp.data(), envp.data());
+        std::perror("execve");
+        ::_exit(127);
+    }
+    ::close(out_pipe[1]);
+    ::close(err_pipe[1]);
+
+    ChildResult result;
+    auto drain = [](int fd, std::string &into) {
+        char chunk[4096];
+        for (;;) {
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break;
+            into.append(chunk, static_cast<std::size_t>(n));
+        }
+        ::close(fd);
+    };
+    // stderr stays small (diagnostic lines); drain stdout first.
+    drain(out_pipe[0], result.out);
+    drain(err_pipe[0], result.err);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    result.exited = WIFEXITED(status);
+    result.exitCode = result.exited ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/**
+ * Drop the nondeterministic `[sweep] ...` footer lines -- the same
+ * normalization CI's determinism diff applies -- leaving the data
+ * tables, which must be byte-identical across runs.
+ */
+std::string
+stripFooter(const std::string &text)
+{
+    std::istringstream is(text);
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("[sweep]", 0) == 0)
+            continue;
+        os << line << '\n';
+    }
+    return os.str();
+}
+
+/** One journal-chaos scenario. */
+struct Scenario
+{
+    const char *name;
+    const char *failpoints;
+    bool transientOnly; ///< absorbed: the injected run must exit 0
+};
+
+void
+journalChaos(const std::string &fault_sweep, const std::string &scratch,
+             bool keep)
+{
+    // Uninjected reference table.
+    const ChildResult ref = runChild(
+        {fault_sweep, "--jobs", "2"}, "");
+    check(ref.exited && ref.exitCode == 0,
+          "reference fault_sweep run exits 0");
+    const std::string ref_table = stripFooter(ref.out);
+    check(!ref_table.empty(), "reference run printed a data table");
+
+    const std::vector<Scenario> scenarios = {
+        {"append-enospc", "journal.append.write=after(4):enospc",
+         false},
+        {"append-fsync", "journal.append.fsync=after(2):fsync", false},
+        {"append-eio-every", "journal.append.write=every(6):eio",
+         false},
+        {"header-rename", "journal.header.rename=after(0):rename",
+         false},
+        {"dir-fsync", "journal.dir.fsync=after(1):fsync", false},
+        {"claim-open", "journal.claim.open=after(2):eio", false},
+        {"append-alloc", "journal.append.write=after(5):alloc", false},
+        {"short-writes", "journal.append.write=every(4):short(7)",
+         true},
+        {"eintr-storm",
+         "journal.append.write=every(3):eintr;"
+         "journal.append.fsync=every(5):eintr",
+         true},
+        {"prob-enospc", "journal.append.write=prob(0.35,42):enospc",
+         false},
+    };
+
+    for (const Scenario &scenario : scenarios) {
+        const std::string dir =
+            scratch + "/journal-" + scenario.name;
+        const std::string label(scenario.name);
+
+        const ChildResult injected = runChild(
+            {fault_sweep, "--jobs", "2", "--journal", dir},
+            scenario.failpoints);
+        if (scenario.transientOnly) {
+            check(injected.exited && injected.exitCode == 0,
+                  label + ": transient faults absorbed (exit 0)");
+            check(stripFooter(injected.out) == ref_table,
+                  label + ": injected table byte-identical");
+        } else {
+            const bool clean_status =
+                injected.exited
+                && (injected.exitCode == 0 || injected.exitCode == 75);
+            check(clean_status,
+                  label + ": exit 0 or 75 (got "
+                      + (injected.exited
+                             ? std::to_string(injected.exitCode)
+                             : std::string("signal death"))
+                      + ")");
+            if (injected.exited && injected.exitCode == 75) {
+                check(injected.err.find("journal IO failure")
+                          != std::string::npos,
+                      label + ": typed diagnostic on stderr");
+            }
+        }
+
+        // Clean resume over the surviving journal: byte-identical
+        // data table, whatever the injection tore mid-run.
+        const ChildResult resumed = runChild(
+            {fault_sweep, "--jobs", "2", "--journal", dir}, "");
+        check(resumed.exited && resumed.exitCode == 0,
+              label + ": clean resume exits 0");
+        check(stripFooter(resumed.out) == ref_table,
+              label + ": resumed table byte-identical to reference");
+
+        if (!keep) {
+            const ChildResult rm = runChild(
+                {"/bin/rm", "-rf", dir}, "");
+            (void)rm;
+        }
+    }
+}
+
+void
+serveChaos()
+{
+    const std::string socket_path =
+        "/tmp/hpim_chaos." + std::to_string(::getpid()) + ".sock";
+    serve::ServerOptions options;
+    options.socketPath = socket_path;
+    options.workers = 2;
+    serve::Server server(options);
+    std::thread server_thread([&server] { server.run(); });
+
+    auto hammer = [&](std::size_t count, std::uint64_t id_base,
+                      std::size_t &answered, std::size_t &torn) {
+        serve::ClientOptions copts;
+        copts.socketPath = socket_path;
+        copts.ioTimeoutMs = 60'000.0;
+        answered = 0;
+        torn = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            // Fresh client per request: a torn connection must not
+            // poison later calls.
+            serve::Client client(copts);
+            serve::Request request;
+            request.id = id_base + i;
+            request.kind = serve::RequestKind::Simulate;
+            request.sim.model = "alexnet";
+            request.sim.system = "hetero";
+            request.sim.steps = 1 + (i % 2);
+            try {
+                serve::Response response = client.call(request);
+                if (response.ok)
+                    ++answered;
+                else
+                    ++torn; // typed rejection still counts as a reply
+            } catch (const serve::ProtocolError &) {
+                ++torn; // connection torn by an injected hard fault
+            }
+        }
+    };
+
+    // Warm-up: populate the memo cache so the storm rounds are IO
+    // bound, not simulation bound.
+    std::size_t answered = 0, torn = 0;
+    hammer(2, 1, answered, torn);
+    check(answered == 2, "serve warm-up answered");
+
+    // Transient storm: EINTR on send and recv must be invisible.
+    harness::configureFailPoints(
+        "serve.send=every(3):eintr;serve.recv=every(4):eintr");
+    hammer(24, 100, answered, torn);
+    harness::clearFailPoints();
+    check(answered == 24 && torn == 0,
+          "EINTR storm absorbed: 24/24 answered ("
+              + std::to_string(answered) + " answered, "
+              + std::to_string(torn) + " torn)");
+
+    // Hard-fault storm: EIO teardowns and short frames may tear
+    // connections but must never kill the daemon or hang a client.
+    harness::configureFailPoints(
+        "serve.send=every(5):eio;serve.recv=every(7):short(3)");
+    hammer(24, 200, answered, torn);
+    harness::clearFailPoints();
+    check(answered + torn == 24,
+          "EIO storm: every request answered or torn ("
+              + std::to_string(answered) + " answered, "
+              + std::to_string(torn) + " torn)");
+
+    // The daemon must have survived: a clean probe succeeds.
+    hammer(2, 300, answered, torn);
+    check(answered == 2, "daemon alive after the storm");
+
+    server.requestStop();
+    server_thread.join();
+    check(true, "daemon shut down cleanly");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string fault_sweep;
+    bool keep = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--fault-sweep") {
+            fatal_if(i + 1 >= argc, "--fault-sweep needs a path");
+            fault_sweep = argv[++i];
+        } else if (arg == "--keep") {
+            keep = true;
+        } else {
+            fatal("unknown argument '", arg,
+                  "'\nusage: chaos_sweep [--fault-sweep PATH] "
+                  "[--keep]");
+        }
+    }
+    if (fault_sweep.empty()) {
+        // Default: the fault_sweep binary next to this one.
+        std::string self = argv[0];
+        std::size_t slash = self.rfind('/');
+        fault_sweep = (slash == std::string::npos
+                           ? std::string(".")
+                           : self.substr(0, slash))
+                      + "/fault_sweep";
+    }
+    if (::access(fault_sweep.c_str(), X_OK) != 0)
+        fatal("fault_sweep binary not found at '", fault_sweep,
+              "' (build it, or pass --fault-sweep PATH)");
+
+    std::string scratch = "/tmp/hpim_chaos." + std::to_string(::getpid());
+    fatal_if(::mkdir(scratch.c_str(), 0755) != 0 && errno != EEXIST,
+             "mkdir '", scratch, "': ", std::strerror(errno));
+
+    journalChaos(fault_sweep, scratch, keep);
+    serveChaos();
+
+    if (!keep)
+        (void)runChild({"/bin/rm", "-rf", scratch}, "");
+
+    if (g_failures > 0) {
+        std::cout << "[chaos] " << g_failures
+                  << " invariant(s) violated\n";
+        return 1;
+    }
+    std::cout << "[chaos] all invariants held\n";
+    return 0;
+}

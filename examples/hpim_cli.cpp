@@ -51,6 +51,7 @@
 #include <optional>
 #include <string>
 
+#include "harness/failpoint.hh"
 #include "harness/report_io.hh"
 #include "harness/table_printer.hh"
 #include "harness/thread_pool.hh"
@@ -78,7 +79,9 @@ const char *const kUsage =
     "  [--no-rc] [--no-op] [--fault-rate R]\n"
     "  [--kill-banks N] [--fault-seed S]\n"
     "  [--timeout-ms MS] [--connect SOCK] [--no-metrics]\n"
-    "  [--csv] [--json] [--summary] [--dot] [--trace FILE]";
+    "  [--csv] [--json] [--summary] [--dot] [--trace FILE]\n"
+    "  [--failpoints SPEC]  arm deterministic host-IO fault\n"
+    "                       injection (docs/RESILIENCE.md)";
 
 /** strtoull with full-consumption checking: '12x' and '-3' fail. */
 std::uint64_t
@@ -134,6 +137,7 @@ cliSchema()
         {"summary", ConfigType::Bool, true, 0.0, 0.0},
         {"dot", ConfigType::Bool, true, 0.0, 0.0},
         {"trace", ConfigType::String, true, 0.0, 0.0},
+        {"failpoints", ConfigType::String, true, 0.0, 0.0},
     };
     return schema;
 }
@@ -143,14 +147,19 @@ void
 emitReport(const rt::ExecutionReport &report, bool csv, bool json,
            bool faults)
 {
-    if (csv) {
-        harness::writeCsv(std::cout, {report});
-        return;
-    }
-    if (json) {
-        harness::writeJson(std::cout, report);
-        std::cout << '\n';
-        return;
+    try {
+        if (csv) {
+            harness::writeCsv(std::cout, {report});
+            return;
+        }
+        if (json) {
+            harness::writeJson(std::cout, report);
+            std::cout << '\n';
+            return;
+        }
+    } catch (const harness::IoError &e) {
+        // The simulation finished; only the output write failed.
+        fatal("cannot emit report: ", e.what());
     }
     std::vector<std::string> headers = {
         "config", "workload", "step (ms)", "op", "data mv",
@@ -254,7 +263,8 @@ main(int argc, char **argv)
     cli.set("json", false);
     cli.set("summary", false);
     cli.set("dot", false);
-    cli.set("trace", ""); // empty = tracing off
+    cli.set("trace", "");      // empty = tracing off
+    cli.set("failpoints", ""); // empty = no host-IO fault injection
     std::uint64_t fault_seed = hpim::sim::defaultSeed;
 
     for (int i = 1; i < argc; ++i) {
@@ -292,6 +302,8 @@ main(int argc, char **argv)
         else if (arg == "--summary") cli.set("summary", true);
         else if (arg == "--dot") cli.set("dot", true);
         else if (arg == "--trace") cli.set("trace", next());
+        else if (arg == "--failpoints")
+            cli.set("failpoints", next());
         else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage << '\n';
             return 0;
@@ -301,6 +313,16 @@ main(int argc, char **argv)
         }
     }
     cli.validateOrDie(cliSchema());
+
+    harness::configureFailPointsFromEnv();
+    if (!cli.requireString("failpoints").empty()) {
+        try {
+            harness::configureFailPoints(
+                cli.requireString("failpoints"));
+        } catch (const harness::FailPointError &e) {
+            fatal("--failpoints: ", e.what(), "\n", kUsage);
+        }
+    }
 
     serve::SimulateSpec spec;
     spec.model = cli.requireString("model");
@@ -388,10 +410,18 @@ main(int argc, char **argv)
 
     if (!trace_file.empty()) {
         trace.detach();
-        trace.exportChromeTrace(trace_file);
-        // stderr so --csv/--json stdout stays clean for pipelines.
-        std::cerr << "[trace] wrote " << trace_file << " ("
-                  << trace.eventCount() << " events)\n";
+        // The report is already emitted; a lost trace artifact
+        // warns on stderr but never fails the run.
+        try {
+            trace.exportChromeTrace(trace_file);
+            // stderr so --csv/--json stdout stays clean for
+            // pipelines.
+            std::cerr << "[trace] wrote " << trace_file << " ("
+                      << trace.eventCount() << " events)\n";
+        } catch (const obs::TraceExportError &e) {
+            std::cerr << "[trace] export of " << trace_file
+                      << " failed: " << e.what() << '\n';
+        }
     }
     return 0;
 }

@@ -27,16 +27,19 @@
 #include <string>
 #include <vector>
 
+#include "harness/failpoint.hh"
 #include "harness/shard_merge.hh"
 #include "sim/logging.hh"
 
 namespace {
 
 const char *const kUsage =
-    "usage: hpim_merge DIR [--out DIR]\n"
+    "usage: hpim_merge DIR [--out DIR] [--failpoints SPEC]\n"
     "  DIR        journal directory shared by the --shard processes\n"
     "  --out DIR  write the merged unsharded journal here (resume a\n"
-    "             bench from it to reproduce the full table)";
+    "             bench from it to reproduce the full table)\n"
+    "  --failpoints SPEC  arm host-IO fail points "
+    "(docs/RESILIENCE.md)";
 
 } // namespace
 
@@ -55,6 +58,14 @@ main(int argc, char **argv)
             out_dir = argv[++i];
         } else if (arg.rfind("--out=", 0) == 0) {
             out_dir = arg.substr(6);
+        } else if (arg == "--failpoints") {
+            fatal_if(i + 1 >= argc, "--failpoints needs a spec\n",
+                     kUsage);
+            try {
+                harness::configureFailPoints(argv[++i]);
+            } catch (const harness::FailPointError &e) {
+                fatal(e.what(), "\n", kUsage);
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown argument '", arg, "'\n", kUsage);
         } else if (journal_dir.empty()) {
@@ -66,6 +77,7 @@ main(int argc, char **argv)
     }
     if (journal_dir.empty())
         fatal("no journal directory given\n", kUsage);
+    harness::configureFailPointsFromEnv();
 
     std::vector<harness::SegmentMerge> merged;
     try {
@@ -75,6 +87,8 @@ main(int argc, char **argv)
     } catch (const harness::ShardMergeError &e) {
         fatal(e.what());
     } catch (const harness::JournalFormatError &e) {
+        fatal(e.what());
+    } catch (const harness::IoError &e) {
         fatal(e.what());
     }
 

@@ -6,7 +6,7 @@
  *   hpim_serve --socket PATH [--workers N] [--admission-limit N]
  *              [--max-frame-bytes N] [--io-timeout-ms MS]
  *              [--drain-grace-ms MS] [--max-connections N]
- *              [--trace FILE]
+ *              [--trace FILE] [--failpoints SPEC]
  *
  * Listens on a Unix-domain socket for framed JSON requests (ping /
  * stats / simulate) and executes simulations on a worker pool with a
@@ -25,6 +25,7 @@
 #include <iostream>
 #include <string>
 
+#include "harness/failpoint.hh"
 #include "serve/server.hh"
 #include "sim/logging.hh"
 
@@ -34,7 +35,9 @@ const char *const kUsage =
     "usage: hpim_serve --socket PATH [--workers N]\n"
     "  [--admission-limit N] [--max-frame-bytes N]\n"
     "  [--io-timeout-ms MS] [--drain-grace-ms MS]\n"
-    "  [--max-connections N] [--trace FILE]";
+    "  [--max-connections N] [--trace FILE] [--failpoints SPEC]\n"
+    "  --failpoints arms deterministic host-IO fault injection,\n"
+    "  e.g. 'serve.send=every(3):eintr' (docs/RESILIENCE.md)";
 
 hpim::serve::Server *g_server = nullptr;
 
@@ -102,7 +105,13 @@ main(int argc, char **argv)
             options.maxConnections =
                 static_cast<std::size_t>(parseU64(arg, next()));
         else if (arg == "--trace") options.traceFile = next();
-        else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--failpoints") {
+            try {
+                hpim::harness::configureFailPoints(next());
+            } catch (const hpim::harness::FailPointError &e) {
+                fatal("--failpoints: ", e.what(), "\n", kUsage);
+            }
+        } else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage << '\n';
             return 0;
         } else {

@@ -13,7 +13,9 @@
 
 #include "baseline/presets.hh"
 #include "cl/codegen.hh"
+#include "harness/failpoint.hh"
 #include "harness/report_io.hh"
+#include "sim/logging.hh"
 #include "nn/models.hh"
 #include "rt/executor.hh"
 #include "rt/hetero_runtime.hh"
@@ -56,10 +58,14 @@ main(int argc, char **argv)
               << out_dir << "/schedule.json (chrome://tracing)\n";
 
     // ---- Report export.
-    std::ofstream rep_csv(out_dir + "/report.csv");
-    harness::writeCsv(rep_csv, {report});
-    std::ofstream rep_json(out_dir + "/report.json");
-    harness::writeJson(rep_json, report);
+    try {
+        std::ofstream rep_csv(out_dir + "/report.csv");
+        harness::writeCsv(rep_csv, {report});
+        std::ofstream rep_json(out_dir + "/report.json");
+        harness::writeJson(rep_json, report);
+    } catch (const harness::IoError &e) {
+        fatal("cannot export reports: ", e.what());
+    }
     std::cout << "wrote " << out_dir << "/report.{csv,json}\n";
 
     // ---- What the programmer writes vs what the compiler emits.

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "harness/failpoint.hh"
 #include "harness/json.hh"
 #include "harness/json_writer.hh"
 #include "harness/report_io.hh"
@@ -23,37 +24,54 @@ namespace hpim::harness {
 
 namespace {
 
+// Injection sites for every durability decision this file makes
+// (docs/RESILIENCE.md, "Host-IO fault injection"). All are plain
+// relaxed-load no-ops until armed via --failpoints/HPIM_FAILPOINTS.
+FailPoint fpAppendWrite("journal.append.write");
+FailPoint fpAppendFsync("journal.append.fsync");
+FailPoint fpHeaderWrite("journal.header.write");
+FailPoint fpHeaderFsync("journal.header.fsync");
+FailPoint fpHeaderRename("journal.header.rename");
+FailPoint fpDirFsync("journal.dir.fsync");
+FailPoint fpClaimOpen("journal.claim.open");
+
 /**
- * write(2) the whole buffer, then fsync. fatal() on any I/O error:
- * a journal that cannot persist is worse than no journal.
+ * fsync(2) through @p fp with bounded EINTR retry. Throws IoError on
+ * a durable failure (EIO, ENOSPC, injected fsync-fail): an fsync the
+ * kernel rejected means the bytes may not survive a crash, and no
+ * retry can make them durable after the page-cache state is
+ * undefined -- the caller must seal and escalate, not loop.
  */
 void
-writeAll(int fd, const std::string &data, const std::string &path)
+syncAll(FailPoint &fp, int fd, const std::string &path)
 {
-    std::size_t written = 0;
-    while (written < data.size()) {
-        ssize_t n = ::write(fd, data.data() + written,
-                            data.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            fatal("journal write to '", path,
-                  "' failed: ", std::strerror(errno));
-        }
-        written += static_cast<std::size_t>(n);
+    std::uint32_t stalled = 0;
+    while (fpFsync(fp, fd) != 0) {
+        if (errno != EINTR
+            || ++stalled > failPointTransientRetryLimit)
+            throw IoError("fsync", path, errno);
     }
-    fatal_if(::fsync(fd) != 0, "journal fsync of '", path,
-             "' failed: ", std::strerror(errno));
 }
 
-/** fsync a directory so created/renamed entries are durable. */
+/**
+ * fsync a directory so created/renamed entries are durable. An
+ * unopenable directory stays best-effort (the data files themselves
+ * are synced, and some filesystems refuse O_DIRECTORY reads), but a
+ * *failed* fsync on an open handle is a real durability loss and
+ * propagates as a typed IoError.
+ */
 void
 syncDir(const std::string &dir)
 {
     int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0)
-        return; // best effort; the data files themselves are synced
-    ::fsync(fd);
+        return;
+    try {
+        syncAll(fpDirFsync, fd, dir);
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
     ::close(fd);
 }
 
@@ -209,16 +227,27 @@ writeJournalHeaderFile(const std::string &path,
                        const SweepJournal::Header &header)
 {
     // Atomic publish: a crash leaves either no header or a complete
-    // one, never a torn file that a resume would misparse.
+    // one, never a torn file that a resume would misparse. Any IO
+    // failure throws IoError with the leftover tmp file removed, so
+    // a retried run starts from a clean slate.
     const std::string tmp = path + ".tmp";
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    fatal_if(fd < 0, "cannot create journal header '", tmp,
-             "': ", std::strerror(errno));
-    writeAll(fd, headerJson(header), tmp);
+    if (fd < 0)
+        throw IoError("open", tmp, errno);
+    try {
+        fpWriteAll(fpHeaderWrite, fd, headerJson(header), tmp);
+        syncAll(fpHeaderFsync, fd, tmp);
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
     ::close(fd);
-    fatal_if(::rename(tmp.c_str(), path.c_str()) != 0,
-             "cannot publish journal header '", path,
-             "': ", std::strerror(errno));
+    if (fpRename(fpHeaderRename, tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw IoError("rename", tmp, err);
+    }
 }
 
 bool
@@ -288,8 +317,7 @@ SweepJournal::SweepJournal(const std::string &dir,
 {
     fatal_if(dir.empty(), "journal directory must not be empty");
     if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
-        fatal("cannot create journal directory '", dir,
-              "': ", std::strerror(errno));
+        throw IoError("mkdir", dir, errno);
 
     const std::string meta_path = journalMetaPath(
         dir, segment, header.shardIndex, header.shardCount);
@@ -306,8 +334,13 @@ SweepJournal::SweepJournal(const std::string &dir,
 
     _fd = ::open(_recordsPath.c_str(),
                  O_WRONLY | O_CREAT | O_APPEND, 0644);
-    fatal_if(_fd < 0, "cannot open journal records '", _recordsPath,
-             "': ", std::strerror(errno));
+    if (_fd < 0)
+        throw IoError("open", _recordsPath, errno);
+    // Everything on disk right now (the replayed good prefix, or
+    // nothing) is durable; seal() may cut back to this watermark.
+    struct stat st{};
+    if (::fstat(_fd, &st) == 0)
+        _durableBytes = static_cast<std::size_t>(st.st_size);
     syncDir(dir);
 }
 
@@ -419,7 +452,36 @@ SweepJournal::append(std::size_t index, std::uint64_t point_hash,
                        + std::to_string(point_hash) + ",\"report\":"
                        + jsonString(report) + "}\n";
     std::lock_guard<std::mutex> lock(_mutex);
-    writeAll(_fd, line, _recordsPath);
+    if (_sealed)
+        throw IoError("append", _recordsPath, EROFS);
+    try {
+        fpWriteAll(fpAppendWrite, _fd, line, _recordsPath);
+        syncAll(fpAppendFsync, _fd, _recordsPath);
+    } catch (const std::bad_alloc &) {
+        seal();
+        throw IoError("append", _recordsPath, ENOMEM);
+    } catch (const IoError &) {
+        seal();
+        throw;
+    }
+    _durableBytes += line.size();
+}
+
+void
+SweepJournal::seal()
+{
+    // A durable failure leaves the tail of the records file in an
+    // undefined state (partially written, or written but never
+    // fsync'd). Cut back to the last record known durable so a
+    // resumed run replays a clean prefix and re-simulates only the
+    // genuinely lost points -- byte-identical to a SIGKILL crash at
+    // the same spot. Best-effort: if even the truncate fails, the
+    // replay scanner will drop the torn tail on resume anyway.
+    _sealed = true;
+    struct stat st{};
+    if (::fstat(_fd, &st) == 0
+        && static_cast<std::size_t>(st.st_size) > _durableBytes)
+        (void)::ftruncate(_fd, static_cast<off_t>(_durableBytes));
 }
 
 std::optional<ShardClaim>
@@ -432,10 +494,13 @@ ShardClaim::tryAcquire(const std::string &dir, std::uint32_t segment,
     // the fresh inode. Bounded: a lost race is never an error, the
     // caller just rescans.
     for (int attempt = 0; attempt < 4; ++attempt) {
-        int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-        if (fd < 0)
-            fatal("cannot open claim file '", path,
-                  "': ", std::strerror(errno));
+        int fd = fpOpen(fpClaimOpen, path.c_str(),
+                        O_RDWR | O_CREAT, 0644);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue; // transient; bounded by the attempt loop
+            throw IoError("open", path, errno);
+        }
         if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
             // A live process holds the point. (A SIGKILLed holder's
             // lock is released by the kernel, so its points do not
@@ -459,8 +524,11 @@ ShardClaim::tryAcquire(const std::string &dir, std::uint32_t segment,
                            + ",\"shard\":"
                            + std::to_string(shard_index) + ",\"pid\":"
                            + std::to_string(::getpid()) + "}\n";
+        // Best effort, no fsync: the claim *lock* is what carries
+        // ownership; these bytes only name the holder for post-mortem
+        // diagnostics, so losing them must never fail the point.
         if (::ftruncate(fd, 0) == 0)
-            writeAll(fd, note, path);
+            (void)!::write(fd, note.data(), note.size());
         return ShardClaim(fd, path);
     }
     return std::nullopt;

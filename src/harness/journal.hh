@@ -164,6 +164,15 @@ class SweepJournal
      * Durably append one completed point. Thread-safe; the record is
      * fsync'd before return, so after a crash every append that
      * returned is replayable.
+     *
+     * Transient IO conditions (EINTR, short writes) are retried with
+     * bounded backoff inside the call. A durable failure (ENOSPC,
+     * EIO, a rejected fsync) *seals* the journal -- the records file
+     * is cut back to the last fsync'd record, exactly the state a
+     * SIGKILL at that point would leave -- and throws IoError. The
+     * caller should escalate to resumableExitCode so the operator
+     * can clear the condition and resume byte-identically; further
+     * appends on a sealed journal throw immediately.
      */
     void append(std::size_t index, std::uint64_t point_hash,
                 const hpim::rt::ExecutionReport &report);
@@ -171,10 +180,15 @@ class SweepJournal
   private:
     void checkHeader(const std::string &path, const Header &expect);
     void replay(const std::string &path, const Header &header);
+    /** Cut the records file back to the durable watermark. */
+    void seal();
 
     std::mutex _mutex;
     std::string _recordsPath;
     int _fd = -1;
+    /** Bytes of _recordsPath known fsync'd (the seal watermark). */
+    std::size_t _durableBytes = 0;
+    bool _sealed = false;
     std::vector<Record> _loaded;
 };
 

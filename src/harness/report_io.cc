@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "harness/failpoint.hh"
 #include "harness/json.hh"
 #include "harness/json_writer.hh"
 
@@ -18,6 +19,20 @@ namespace {
 
 /** CSV version line; readCsv rejects any other version. */
 const char *const kCsvVersionLine = "#hpim-report-csv v1";
+
+// Covers every report serialization: CLI stdout, inspect_schedule
+// files, journal record bodies (jsonString) and the daemon's
+// encodeReport payloads. A relaxed-load no-op until armed.
+FailPoint fpReportWrite("report.write");
+
+/** Typed escalation of a stream that went bad mid-write. Streams
+ *  hide the errno, so the best available classification is EIO. */
+void
+checkStream(const std::ostream &os, const char *what)
+{
+    if (!os)
+        throw IoError("write", what, EIO);
+}
 
 /** CSV cells share the writer's lossless double format. */
 std::string
@@ -180,15 +195,18 @@ writeCsvRow(std::ostream &os, const ExecutionReport &report)
 void
 writeCsv(std::ostream &os, const std::vector<ExecutionReport> &reports)
 {
+    fpCheck(fpReportWrite, "write", "report csv stream");
     os << kCsvVersionLine << '\n';
     writeCsvHeader(os);
     for (const auto &report : reports)
         writeCsvRow(os, report);
+    checkStream(os, "report csv stream");
 }
 
 void
 writeJson(std::ostream &os, const ExecutionReport &report)
 {
+    fpCheck(fpReportWrite, "write", "report json stream");
     json::Writer w(os);
     w.beginObject();
     w.field("schema_version",
@@ -292,6 +310,7 @@ writeJson(std::ostream &os, const ExecutionReport &report)
     w.endArray();
 
     w.endObject();
+    checkStream(os, "report json stream");
 }
 
 std::string

@@ -71,11 +71,14 @@ void writeCsvHeader(std::ostream &os);
 void writeCsvRow(std::ostream &os,
                  const hpim::rt::ExecutionReport &report);
 
-/** Write a batch of reports as one versioned CSV document. */
+/** Write a batch of reports as one versioned CSV document. Throws
+ *  harness::IoError if the stream goes bad (or by injection via the
+ *  `report.write` fail point). */
 void writeCsv(std::ostream &os,
               const std::vector<hpim::rt::ExecutionReport> &reports);
 
-/** Write one report as a JSON object (all fields, lossless). */
+/** Write one report as a JSON object (all fields, lossless). Throws
+ *  harness::IoError like writeCsv. */
 void writeJson(std::ostream &os,
                const hpim::rt::ExecutionReport &report);
 

@@ -11,11 +11,29 @@
 #include <map>
 #include <sstream>
 
+#include "harness/failpoint.hh"
 #include "harness/json.hh"
 
 namespace hpim::harness {
 
 namespace {
+
+FailPoint fpMergeRead("merge.read");
+
+/**
+ * Fire the merge.read fail point for one shard-file read, converting
+ * an injected IoError into the ShardMergeError contract every caller
+ * of mergeShardJournals() already handles.
+ */
+void
+checkMergeRead(const std::string &path)
+{
+    try {
+        fpCheck(fpMergeRead, "read", path);
+    } catch (const IoError &e) {
+        throw ShardMergeError(e.what(), path);
+    }
+}
 
 /** One journal file discovered in the directory scan. */
 struct ShardFile
@@ -115,6 +133,7 @@ parseClaimName(const std::string &name, std::uint32_t &segment,
 void
 checkClaimFile(const std::string &path, std::uint64_t points)
 {
+    checkMergeRead(path);
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw ShardMergeError("cannot read leftover claim record",
@@ -188,6 +207,7 @@ mergeSegment(const std::string &dir, std::uint32_t segment,
         if (by_shard[s] == nullptr)
             continue;
         const std::string &path = by_shard[s]->metaPath;
+        checkMergeRead(path);
         SweepJournal::Header header = readJournalHeader(path);
         if (header.schemaVersion != journalSchemaVersion)
             throw ShardMergeError(
@@ -253,6 +273,7 @@ mergeSegment(const std::string &dir, std::uint32_t segment,
         // A shard that crashed before its first append may have no
         // records file at all; the gap check below attributes any
         // missing points to it.
+        checkMergeRead(path);
         scanJournalRecords(path, ref.points, per_shard[s - 1]);
         for (const RawRecord &record : per_shard[s - 1]) {
             if (record.index >= ref.points)
@@ -356,8 +377,13 @@ writeMergedJournal(const std::string &out_dir,
                 + std::strerror(errno),
             out_dir);
     for (const SegmentMerge &merged : segments) {
-        writeJournalHeaderFile(
-            journalMetaPath(out_dir, merged.segment), merged.header);
+        const std::string meta_path =
+            journalMetaPath(out_dir, merged.segment);
+        try {
+            writeJournalHeaderFile(meta_path, merged.header);
+        } catch (const IoError &e) {
+            throw ShardMergeError(e.what(), meta_path);
+        }
         const std::string records_path =
             journalRecordsPath(out_dir, merged.segment);
         std::ofstream os(records_path,

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "harness/failpoint.hh"
 #include "harness/journal.hh"
 #include "harness/table_printer.hh"
 #include "sim/logging.hh"
@@ -23,7 +24,8 @@ constexpr std::uint32_t kMaxShards = 4096;
 
 const char *const kUsage =
     "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
-    "[--shard i/N] [--no-steal] [--trace FILE] [--no-sim-cache]\n"
+    "[--shard i/N] [--no-steal] [--trace FILE] [--no-sim-cache] "
+    "[--failpoints SPEC]\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
     "  --seed S       base seed of the per-point rng streams\n"
@@ -35,7 +37,9 @@ const char *const kUsage =
     "  --trace FILE   write a Chrome/Perfetto timeline of the run "
     "(docs/OBSERVABILITY.md)\n"
     "  --no-sim-cache disable the cross-point memo cache "
-    "(docs/PERFORMANCE.md)";
+    "(docs/PERFORMANCE.md)\n"
+    "  --failpoints SPEC arm host-IO fail points, e.g. "
+    "'journal.append.write=after(3):enospc' (docs/RESILIENCE.md)";
 
 std::uint32_t
 resolveJobs(std::uint32_t requested)
@@ -44,6 +48,33 @@ resolveJobs(std::uint32_t requested)
         return requested;
     std::uint32_t hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 1;
+}
+
+// The trace file is written by obs (which sits below the harness in
+// the link order and cannot name FailPoint), so the injection site
+// lives here at the call boundary instead.
+FailPoint fpTraceExport("trace.export.write");
+
+/**
+ * Typed escalation of a durable journal IO failure (ENOSPC, EIO,
+ * rejected fsync): everything appended before the failure is sealed
+ * and durable, so the operator clears the condition and reruns the
+ * same command for a byte-identical resume -- exactly the SIGINT
+ * drain contract, with the cause spelled out.
+ */
+[[noreturn]] void
+exitJournalFailure(const std::string &what, const SweepStats &stats)
+{
+    // stderr, not stdout: the tables a resumed run prints must stay
+    // byte-identical to an uninterrupted run.
+    std::cerr << "[sweep] journal IO failure: " << what
+              << "; journal sealed at the last durable record after "
+              << stats.points
+              << " points, in-flight points drained. Clear the "
+                 "condition and rerun the same command to resume "
+                 "(exit "
+              << resumableExitCode << ").\n";
+    std::exit(resumableExitCode);
 }
 
 std::uint64_t
@@ -103,6 +134,14 @@ SweepRunner::SweepRunner(SweepOptions options)
     _stats.jobs = _jobs;
     _stats.shardIndex = _options.shardIndex;
     _stats.shardCount = _options.shardCount;
+    configureFailPointsFromEnv();
+    if (!_options.failPoints.empty()) {
+        try {
+            configureFailPoints(_options.failPoints);
+        } catch (const FailPointError &e) {
+            fatal("--failpoints: ", e.what(), "\n", kUsage);
+        }
+    }
     hpim::sim::MemoCache::setEnabled(_options.simCache);
     // Only journaled runs trade the default die-on-SIGINT for the
     // drain + flush + resumable-exit path.
@@ -119,11 +158,19 @@ SweepRunner::~SweepRunner()
     if (!_trace)
         return;
     _trace->detach();
-    _trace->exportChromeTrace(_options.traceFile);
-    // stderr: a bench's stdout tables must stay byte-identical
-    // whether or not tracing is on.
-    std::cerr << "[trace] wrote " << _options.traceFile << " ("
-              << _trace->eventCount() << " events)\n";
+    // A trace that cannot be written costs an artifact, not the
+    // sweep: the tables are already printed, so warn and move on.
+    try {
+        fpCheck(fpTraceExport, "write", _options.traceFile);
+        _trace->exportChromeTrace(_options.traceFile);
+        // stderr: a bench's stdout tables must stay byte-identical
+        // whether or not tracing is on.
+        std::cerr << "[trace] wrote " << _options.traceFile << " ("
+                  << _trace->eventCount() << " events)\n";
+    } catch (const std::exception &e) {
+        std::cerr << "[trace] export of " << _options.traceFile
+                  << " failed: " << e.what() << "\n";
+    }
 }
 
 std::vector<hpim::rt::ExecutionReport>
@@ -157,7 +204,18 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
     header.shardIndex = shard;
     header.shardCount = shards;
     const std::uint32_t segment = _segment++;
-    SweepJournal journal(dir, segment, header);
+    // An IO failure opening the journal (disk full creating the
+    // directory, header publish rejected, ...) is already the
+    // resumable case: nothing was lost, the header publish is atomic.
+    auto journal_ptr = [&]() -> std::unique_ptr<SweepJournal> {
+        try {
+            return std::make_unique<SweepJournal>(dir, segment,
+                                                  header);
+        } catch (const IoError &e) {
+            exitJournalFailure(e.what(), _stats);
+        }
+    }();
+    SweepJournal &journal = *journal_ptr;
 
     std::vector<hpim::rt::ExecutionReport> results(count);
     // Not vector<bool>: workers mark distinct indices in parallel.
@@ -189,6 +247,19 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
     // to one attempt per process.
     std::vector<std::uint8_t> attempted(count, 0);
 
+    // First durable journal IO failure, if any: workers stop
+    // submitting, in-flight points drain, and the run escalates to
+    // the resumable exit below instead of mislabelling the sweep as
+    // complete with silently unjournaled points.
+    std::atomic<bool> journal_failed{false};
+    std::mutex journal_error_mutex;
+    std::string journal_error;
+    auto recordJournalFailure = [&](const std::exception &e) {
+        std::lock_guard<std::mutex> lock(journal_error_mutex);
+        if (!journal_failed.exchange(true, std::memory_order_release))
+            journal_error = e.what();
+    };
+
     // Simulate point i on the calling worker thread: the journaled
     // twin of the map() task body. Exactly one process runs this per
     // point at a time (claim-arbitrated when sharded).
@@ -202,19 +273,32 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
                              0.0,
                              {{"index", static_cast<std::int64_t>(i)}});
         }
+        bool simulated = false;
         try {
             results[i] = fn(i, rng);
-            // Journal only successes: a failed point is re-attempted
-            // by the next resume (or by a sibling shard).
-            journal.append(i, journalPointHash(grid_hash, i),
-                           results[i]);
-            have[i] = 1;
+            simulated = true;
         } catch (const std::exception &e) {
             failed[i] = 1;
             errors[i] = e.what();
         } catch (...) {
             failed[i] = 1;
             errors[i] = "unknown exception";
+        }
+        // Journal only successes: a failed point is re-attempted by
+        // the next resume (or by a sibling shard). The append sits
+        // outside the fn catch on purpose -- a journal IO failure is
+        // a property of the run, not of the point, and must escalate
+        // (the point stays unjournaled and is re-simulated on
+        // resume) rather than masquerade as a point failure in the
+        // table.
+        if (simulated && !journal_failed.load(std::memory_order_acquire)) {
+            try {
+                journal.append(i, journalPointHash(grid_hash, i),
+                               results[i]);
+                have[i] = 1;
+            } catch (const IoError &e) {
+                recordJournalFailure(e);
+            }
         }
         if (auto *session = hpim::obs::TraceSession::current()) {
             session->instant(
@@ -265,12 +349,23 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
                 continue;
             // Journaled runs install interrupt handlers: stop
             // submitting, drain what is in flight, exit resumable.
-            if (interruptRequested())
+            // A sealed journal stops submission the same way.
+            if (interruptRequested()
+                || journal_failed.load(std::memory_order_acquire))
                 break;
             futures.push_back(pool.submit([&, i] {
                 if (shards > 1) {
-                    auto claim = ShardClaim::tryAcquire(dir, segment,
-                                                        i, shard);
+                    std::optional<ShardClaim> claim;
+                    try {
+                        claim = ShardClaim::tryAcquire(dir, segment,
+                                                       i, shard);
+                    } catch (const IoError &e) {
+                        // Claim files live on the same volume as the
+                        // records: an unopenable claim is the same
+                        // durable condition, escalated the same way.
+                        recordJournalFailure(e);
+                        return;
+                    }
                     if (!claim)
                         return; // a live sibling stole it already
                     if (recordedBySibling(i))
@@ -293,7 +388,8 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
     // alone. Loop until a scan finds nothing this process can take.
     std::size_t stolen = 0;
     if (shards > 1 && _options.workSteal) {
-        while (!interruptRequested()) {
+        while (!interruptRequested()
+               && !journal_failed.load(std::memory_order_acquire)) {
             std::vector<std::uint8_t> done = have;
             for (std::uint32_t s = 1; s <= shards; ++s) {
                 if (s == shard)
@@ -320,11 +416,19 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
                 futures.reserve(todo.size());
                 ThreadPool pool(_jobs > 1 ? _jobs : 0);
                 for (std::size_t i : todo) {
-                    if (interruptRequested())
+                    if (interruptRequested()
+                        || journal_failed.load(
+                            std::memory_order_acquire))
                         break;
                     futures.push_back(pool.submit([&, i] {
-                        auto claim = ShardClaim::tryAcquire(
-                            dir, segment, i, shard);
+                        std::optional<ShardClaim> claim;
+                        try {
+                            claim = ShardClaim::tryAcquire(
+                                dir, segment, i, shard);
+                        } catch (const IoError &e) {
+                            recordJournalFailure(e);
+                            return;
+                        }
                         if (!claim)
                             return; // a live process owns the point
                         if (recordedBySibling(i)) {
@@ -359,6 +463,8 @@ SweepRunner::mapJournaled(std::size_t count, std::uint64_t grid_hash,
     _stats.slicePoints += slice_points;
     _stats.stolenPoints += stolen;
     accumulateStats(durations, secondsSince(wall_start));
+    if (journal_failed.load(std::memory_order_acquire))
+        exitJournalFailure(journal_error, _stats);
     if (interruptRequested())
         exitResumable(_stats);
     return results;
@@ -426,6 +532,12 @@ parseSweepArgs(int argc, char **argv)
             if (value.empty())
                 fatal("--trace needs a file path\n", kUsage);
             options.traceFile = value;
+        } else if (flagValue("--failpoints")) {
+            if (value.empty())
+                fatal("--failpoints needs a spec, e.g. "
+                      "'journal.append.write=after(3):enospc'\n",
+                      kUsage);
+            options.failPoints = value;
         } else if (flagValue("--shard")) {
             std::size_t slash = value.find('/');
             if (slash == std::string::npos || slash == 0

@@ -101,6 +101,9 @@ struct SweepOptions
      *  done; `--no-steal` disables (each shard then computes exactly
      *  its slice). Meaningless when shardCount == 1. */
     bool workSteal = true;
+    /** Host-IO fail-point spec (`--failpoints`, harness/failpoint.hh);
+     *  empty = nothing armed and every site is a relaxed-load no-op. */
+    std::string failPoints;
 };
 
 /** One sweep point that threw instead of producing a result. */
@@ -337,8 +340,10 @@ class SweepRunner
  * `--jobs N` (default hardware_concurrency), `--seed S`,
  * `--journal DIR` (crash-safe checkpoint/resume), `--shard i/N`
  * (own slice i of an N-way distributed sweep; requires --journal),
- * `--no-steal` (disable sibling work-stealing) and `--trace FILE`
- * (Chrome/Perfetto timeline, docs/OBSERVABILITY.md). Strict: an
+ * `--no-steal` (disable sibling work-stealing), `--trace FILE`
+ * (Chrome/Perfetto timeline, docs/OBSERVABILITY.md) and
+ * `--failpoints SPEC` (deterministic host-IO fault injection,
+ * docs/RESILIENCE.md). Strict: an
  * unknown flag or an out-of-range value prints usage and exits
  * non-zero instead of being silently ignored.
  */

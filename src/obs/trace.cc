@@ -334,10 +334,14 @@ void
 TraceSession::exportChromeTrace(const std::string &path) const
 {
     std::ofstream out(path, std::ios::binary);
-    fatal_if(!out, "obs: cannot open trace file '", path, "'");
+    if (!out)
+        throw TraceExportError("cannot open trace file '" + path
+                               + "'");
     exportChromeTrace(out);
     out.flush();
-    fatal_if(!out, "obs: failed writing trace file '", path, "'");
+    if (!out)
+        throw TraceExportError("failed writing trace file '" + path
+                               + "'");
 }
 
 } // namespace hpim::obs

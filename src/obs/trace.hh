@@ -40,11 +40,24 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
 namespace hpim::obs {
+
+/** A trace file that could not be opened or written. Typed (instead
+ *  of fatal) so the harness and serve layers can decide the policy:
+ *  a lost trace artifact warns, it never kills the run that produced
+ *  the actual results. */
+struct TraceExportError : std::runtime_error
+{
+    explicit TraceExportError(const std::string &message)
+        : std::runtime_error("obs: " + message)
+    {
+    }
+};
 
 /** Timeline row an event belongs to (a device, a vault, ...). */
 using TrackId = std::uint32_t;
@@ -163,7 +176,8 @@ class TraceSession
      */
     void exportChromeTrace(std::ostream &os) const;
 
-    /** exportChromeTrace to @p path; fatal() on I/O failure. */
+    /** exportChromeTrace to @p path; throws TraceExportError on an
+     *  unopenable path or a failed write. */
     void exportChromeTrace(const std::string &path) const;
 
     /** One thread's event storage (public for the TLS cache). */

@@ -11,6 +11,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/io_retry.hh"
+
 namespace hpim::serve {
 
 double
@@ -115,15 +117,15 @@ Client::sendFrame(const std::string &payload)
     while (off < frame.size()) {
         // MSG_NOSIGNAL: a daemon that hung up must surface as EPIPE,
         // not kill the client process with SIGPIPE.
-        ssize_t n = ::send(_fd, frame.data() + off,
-                           frame.size() - off, MSG_NOSIGNAL);
+        ssize_t n = retryIntr([&] {
+            return ::send(_fd, frame.data() + off,
+                          frame.size() - off, MSG_NOSIGNAL);
+        });
         if (n > 0) {
             off += static_cast<std::size_t>(n);
             continue;
         }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;
+        return false; // hard error, or the EINTR bound exhausted
     }
     return true;
 }
@@ -146,13 +148,12 @@ Client::receiveFrame(std::string &payload)
                 + " bytes exceeds the "
                 + std::to_string(_options.maxFrameBytes)
                 + "-byte client limit");
-        ssize_t n = ::read(_fd, chunk, sizeof chunk);
+        ssize_t n = retryIntr(
+            [&] { return ::read(_fd, chunk, sizeof chunk); });
         if (n > 0) {
             _rbuf.append(chunk, static_cast<std::size_t>(n));
             continue;
         }
-        if (n < 0 && errno == EINTR)
-            continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             throw ProtocolError(
                 "timed out waiting for a response on '"

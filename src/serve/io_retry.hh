@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared bounded-EINTR retry for the serve IO paths.
+ *
+ * Every syscall loop on the daemon and client side -- poll(2), send,
+ * recv -- restarts on EINTR through this one helper, so all of them
+ * behave identically: retry immediately up to a fixed bound, then
+ * surface the failure to the caller's normal error path. The bound
+ * exists for injected EINTR storms (harness/failpoint.hh,
+ * `serve.recv=every(1):eintr`): a real signal burst never comes close,
+ * while an unbounded loop would wedge the IO thread forever.
+ */
+
+#ifndef HPIM_SERVE_IO_RETRY_HH
+#define HPIM_SERVE_IO_RETRY_HH
+
+#include <cerrno>
+#include <cstdint>
+
+namespace hpim::serve {
+
+/** Consecutive EINTRs tolerated before the failure surfaces. */
+constexpr std::uint32_t eintrRetryLimit = 64;
+
+/**
+ * Invoke @p op (a callable returning a signed syscall result) until
+ * it stops failing with EINTR or the retry bound is exhausted.
+ * @return the final result; on exhaustion that is the last -1 with
+ *         errno still EINTR, which callers treat like any other hard
+ *         IO error (typed error / connection teardown, never abort).
+ */
+template <typename Op>
+auto
+retryIntr(Op &&op) -> decltype(op())
+{
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        auto result = op();
+        if (result >= 0 || errno != EINTR
+            || attempt >= eintrRetryLimit)
+            return result;
+    }
+}
+
+} // namespace hpim::serve
+
+#endif // HPIM_SERVE_IO_RETRY_HH

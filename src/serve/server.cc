@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include <fcntl.h>
@@ -13,8 +14,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "harness/failpoint.hh"
 #include "harness/json.hh"
 #include "harness/json_writer.hh"
+#include "serve/io_retry.hh"
 #include "serve/simulate.hh"
 #include "sim/deadline.hh"
 #include "sim/logging.hh"
@@ -24,7 +27,20 @@ namespace hpim::serve {
 
 using Clock = std::chrono::steady_clock;
 
+using hpim::harness::FailPoint;
+using hpim::harness::fpCheck;
+using hpim::harness::fpRecv;
+using hpim::harness::fpSend;
+
 namespace {
+
+// Daemon-side socket framing injection sites (docs/RESILIENCE.md,
+// "Host-IO fault injection"). Relaxed-load no-ops until armed.
+FailPoint fpServeSend("serve.send");
+FailPoint fpServeRecv("serve.recv");
+// The trace file is written by obs, which cannot name FailPoint
+// (link order); the site fires here at the call boundary.
+FailPoint fpServeTraceExport("serve.trace.export");
 
 double
 elapsedMs(Clock::time_point since)
@@ -108,6 +124,7 @@ Server::Server(ServerOptions options) : _options(std::move(options))
              "admission limit must be >= 1");
     fatal_if(_options.maxFrameBytes < 64,
              "max frame size too small to hold any request");
+    hpim::harness::configureFailPointsFromEnv();
 
     int pipe_fds[2];
     fatal_if(pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0,
@@ -154,10 +171,20 @@ Server::~Server()
         hpim::sim::disarmGlobalStop();
     if (_trace != nullptr) {
         _trace->detach();
-        _trace->exportChromeTrace(_options.traceFile);
-        std::fprintf(stderr, "[serve] wrote trace %s (%zu events)\n",
-                     _options.traceFile.c_str(),
-                     _trace->eventCount());
+        // The daemon already served its traffic; a trace that cannot
+        // be written costs an artifact, never the exit status.
+        try {
+            fpCheck(fpServeTraceExport, "write", _options.traceFile);
+            _trace->exportChromeTrace(_options.traceFile);
+            std::fprintf(stderr,
+                         "[serve] wrote trace %s (%zu events)\n",
+                         _options.traceFile.c_str(),
+                         _trace->eventCount());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "[serve] trace export of %s failed: %s\n",
+                         _options.traceFile.c_str(), e.what());
+        }
     }
 }
 
@@ -263,7 +290,16 @@ Server::readReady(Connection &conn)
     char chunk[65536];
     bool eof = false;
     while (true) {
-        ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+        ssize_t n;
+        try {
+            n = retryIntr([&] {
+                return fpRecv(fpServeRecv, conn.fd, chunk,
+                              sizeof chunk);
+            });
+        } catch (const std::bad_alloc &) {
+            eof = true; // injected alloc failure: one peer, not us
+            break;
+        }
         if (n > 0) {
             conn.rbuf.append(chunk, static_cast<std::size_t>(n));
             conn.lastProgress = Clock::now();
@@ -277,7 +313,10 @@ Server::readReady(Connection &conn)
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
-        eof = true; // ECONNRESET and friends
+        // ECONNRESET and friends -- or an EINTR storm that exhausted
+        // the retry bound. Either way this one connection is torn
+        // down; the daemon keeps serving.
+        eof = true;
         break;
     }
 
@@ -321,9 +360,18 @@ Server::writeReady(Connection &conn)
     while (conn.woff < conn.wbuf.size()) {
         // MSG_NOSIGNAL: a client that hung up must surface as EPIPE
         // here, not SIGPIPE the whole daemon.
-        ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
-                           conn.wbuf.size() - conn.woff,
-                           MSG_NOSIGNAL);
+        ssize_t n;
+        try {
+            n = retryIntr([&] {
+                return fpSend(fpServeSend, conn.fd,
+                              conn.wbuf.data() + conn.woff,
+                              conn.wbuf.size() - conn.woff,
+                              MSG_NOSIGNAL);
+            });
+        } catch (const std::bad_alloc &) {
+            closeConnection(conn.id);
+            return;
+        }
         if (n > 0) {
             conn.woff += static_cast<std::size_t>(n);
             conn.lastProgress = Clock::now();
@@ -331,7 +379,9 @@ Server::writeReady(Connection &conn)
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             return;
-        closeConnection(conn.id); // EPIPE and friends
+        // EPIPE and friends, or an exhausted EINTR retry bound:
+        // per-connection teardown, never daemon death.
+        closeConnection(conn.id);
         return;
     }
     conn.wbuf.clear();
@@ -698,11 +748,20 @@ Server::run()
             fd_conn_ids.push_back(id);
         }
 
-        int ready = ::poll(fds.data(), fds.size(), pollTimeoutMs());
+        int ready = retryIntr([&] {
+            return ::poll(fds.data(), fds.size(), pollTimeoutMs());
+        });
         if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            fatal("poll: ", std::strerror(errno));
+            // A serving daemon must never abort after startup. The
+            // plausible post-startup errno here is ENOMEM (EINTR is
+            // retried above, EBADF/EINVAL would be our own bug);
+            // back off briefly and re-enter the loop -- connection
+            // timeouts still advance, so a persistent condition
+            // degrades service instead of killing it.
+            warn("poll: ", std::strerror(errno), "; retrying");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            continue;
         }
 
         for (std::size_t i = 0; i < fds.size(); ++i) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/failpoint.hh"
 #include "harness/journal.hh"
 #include "harness/report_io.hh"
 #include "harness/sweep.hh"
@@ -310,4 +311,74 @@ TEST(CheckpointDeath, CorruptHeaderIsRejected)
     }
     EXPECT_EXIT(runSweep(journaledOptions(dir)),
                 testing::ExitedWithCode(1), "corrupt");
+}
+
+TEST(CheckpointFailPoints, InjectedDiskFullSealsAndExitsResumable)
+{
+    // A durable journal failure mid-sweep (disk full on the 4th
+    // append) must seal the log at the last good record and leave
+    // with the resumable exit code and the typed diagnostic --
+    // exactly the crash contract docs/RESILIENCE.md promises.
+    auto dir = tempJournalDir();
+    EXPECT_EXIT(
+        {
+            configureFailPoints(
+                "journal.append.write=after(3):enospc");
+            runSweep(journaledOptions(dir));
+        },
+        testing::ExitedWithCode(resumableExitCode),
+        "journal IO failure.*No space left");
+
+    // The sealed journal is a valid prefix: a clean rerun resumes
+    // the three durable points and reproduces the reference grid
+    // byte for byte.
+    SweepOptions plain;
+    plain.jobs = 1;
+    std::size_t resumed = 0;
+    EXPECT_EQ(runSweep(journaledOptions(dir), &resumed),
+              runSweep(plain));
+    EXPECT_EQ(resumed, 3u);
+}
+
+TEST(CheckpointFailPoints, HeaderPublishFailureIsResumable)
+{
+    // rename() of the header tmp file fails: the journal never comes
+    // into existence, the sweep leaves resumably, and a rerun starts
+    // from scratch without tripping over the unlinked tmp file.
+    auto dir = tempJournalDir();
+    EXPECT_EXIT(
+        {
+            configureFailPoints(
+                "journal.header.rename=after(0):rename");
+            runSweep(journaledOptions(dir));
+        },
+        testing::ExitedWithCode(resumableExitCode),
+        "journal IO failure");
+
+    SweepOptions plain;
+    plain.jobs = 1;
+    EXPECT_EQ(runSweep(journaledOptions(dir)), runSweep(plain));
+}
+
+TEST(CheckpointFailPoints, TransientFaultsAreAbsorbedByteIdentical)
+{
+    // EINTR storms and repeating short writes are retried inside
+    // fpWriteAll: the journaled run completes normally and its
+    // records match the uninjected reference byte for byte.
+    SweepOptions plain;
+    plain.jobs = 1;
+    auto reference = runSweep(plain);
+
+    auto dir = tempJournalDir();
+    configureFailPoints(
+        "journal.append.write=every(2):short(5);"
+        "journal.append.fsync=every(3):eintr");
+    auto injected = runSweep(journaledOptions(dir));
+    clearFailPoints();
+    EXPECT_EQ(injected, reference);
+
+    // And the journal those torn writes produced is fully durable.
+    std::size_t resumed = 0;
+    EXPECT_EQ(runSweep(journaledOptions(dir), &resumed), reference);
+    EXPECT_EQ(resumed, kPoints);
 }

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -24,6 +25,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "harness/failpoint.hh"
 #include "harness/json.hh"
 #include "harness/report_io.hh"
 #include "serve/client.hh"
@@ -469,11 +471,14 @@ TEST(ServeServer, OverloadRejectsTypedAndAnswersEverything)
 
     // Pipeline 6 requests at a 1-deep admission queue with 1 worker:
     // some complete, the spill gets typed `overloaded` -- and every
-    // single one is answered.
+    // single one is answered. The requests must be slow enough that
+    // the worker cannot drain the queue between two enqueues of the
+    // same pipelined burst (a fast model here makes the spill count
+    // a race), hence the big-model, many-step configuration.
     constexpr int kBurst = 6;
     for (int i = 0; i < kBurst; ++i)
         conn.sendFrame(serve::encodeRequest(
-            simulateRequest(100 + i, "alexnet", 4)));
+            simulateRequest(100 + i, "vgg19", 64)));
 
     int ok = 0, overloaded = 0;
     for (int i = 0; i < kBurst; ++i) {
@@ -720,6 +725,118 @@ TEST(ServeServer, ReplacesStaleSocketButRefusesLiveDaemon)
     ping.id = 1;
     ping.kind = serve::RequestKind::Ping;
     EXPECT_TRUE(client.call(ping).ok);
+}
+
+// ------------------------------------------------- host-IO fail points
+
+/** Arms a fail-point spec for one scope; always disarms on exit so a
+ *  failing EXPECT cannot leak a chaos program into later tests. */
+struct ArmedFailPoints
+{
+    explicit ArmedFailPoints(const std::string &spec)
+    {
+        harness::configureFailPoints(spec);
+    }
+
+    ~ArmedFailPoints() { harness::clearFailPoints(); }
+};
+
+TEST(ServeFailPoints, ServeSitesAreRegistered)
+{
+    // server.cc is linked into this binary, so its static sites are
+    // live: the daemon-side IO boundaries the chaos harness arms.
+    std::vector<std::string> sites = harness::failPointSites();
+    for (const char *expected :
+         {"serve.send", "serve.recv", "serve.trace.export"}) {
+        EXPECT_NE(std::find(sites.begin(), sites.end(), expected),
+                  sites.end())
+            << "site '" << expected << "' is not registered";
+    }
+}
+
+TEST(ServeFailPoints, EintrStormOnSocketIoIsInvisible)
+{
+    // Injected EINTR on every few send()/recv() calls must be
+    // absorbed by the daemon's bounded retry loop: every request is
+    // answered normally, no connection is torn.
+    TestServer server(smallServer("fp-eintr"));
+    serve::Client client = makeClient(server->socketPath());
+    ArmedFailPoints armed(
+        "serve.send=every(3):eintr;serve.recv=every(4):eintr");
+    for (int i = 0; i < 12; ++i) {
+        serve::Request ping;
+        ping.id = 100 + i;
+        ping.kind = serve::RequestKind::Ping;
+        EXPECT_TRUE(client.call(ping).ok) << "request " << i;
+    }
+}
+
+TEST(ServeFailPoints, ShortSendsReassembleByteIdentical)
+{
+    // Short socket writes fragment response frames; the daemon's
+    // write loop and the client's frame splitter must reassemble
+    // them with no byte lost. A simulate response is the probe: its
+    // embedded report must match an uninjected local run exactly.
+    TestServer server(smallServer("fp-short"));
+    serve::Client client = makeClient(server->socketPath());
+
+    serve::Request request;
+    request.id = 1;
+    request.kind = serve::RequestKind::Simulate;
+    request.sim.model = "alexnet";
+    request.sim.system = "hetero";
+    request.sim.steps = 1;
+    serve::Response clean = client.call(request);
+    ASSERT_TRUE(clean.ok);
+
+    ArmedFailPoints armed("serve.send=every(2):short(7)");
+    request.id = 2;
+    serve::Response fragmented = client.call(request);
+    ASSERT_TRUE(fragmented.ok);
+    EXPECT_EQ(harness::jsonString(fragmented.report),
+              harness::jsonString(clean.report));
+}
+
+TEST(ServeFailPoints, HardSendFaultTearsConnectionNotDaemon)
+{
+    // A hard EIO on a response send tears that one connection. The
+    // client reconnects and resends (idempotent request), the daemon
+    // keeps serving, and a clean probe afterwards succeeds.
+    TestServer server(smallServer("fp-eio"));
+    serve::Client client = makeClient(server->socketPath());
+    {
+        ArmedFailPoints armed("serve.send=after(1):eio");
+        for (int i = 0; i < 6; ++i) {
+            serve::Request ping;
+            ping.id = 200 + i;
+            ping.kind = serve::RequestKind::Ping;
+            EXPECT_TRUE(client.call(ping).ok) << "request " << i;
+        }
+    }
+    serve::Request ping;
+    ping.id = 300;
+    ping.kind = serve::RequestKind::Ping;
+    EXPECT_TRUE(client.call(ping).ok) << "daemon died in the storm";
+}
+
+TEST(ServeFailPoints, HardRecvFaultTearsConnectionNotDaemon)
+{
+    TestServer server(smallServer("fp-recv"));
+    {
+        ArmedFailPoints armed("serve.recv=after(1):eio");
+        serve::Client client = makeClient(server->socketPath());
+        for (int i = 0; i < 6; ++i) {
+            serve::Request ping;
+            ping.id = 400 + i;
+            ping.kind = serve::RequestKind::Ping;
+            EXPECT_TRUE(client.call(ping).ok) << "request " << i;
+        }
+    }
+    serve::Client probe = makeClient(server->socketPath());
+    serve::Request ping;
+    ping.id = 500;
+    ping.kind = serve::RequestKind::Ping;
+    EXPECT_TRUE(probe.call(ping).ok) << "daemon died in the storm";
 }
 
 } // namespace
