@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "baseline/presets.hh"
+#include "harness/graph_workloads.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
@@ -71,7 +72,9 @@ main(int argc, char **argv)
          "Hetero +RC", "Hetero +OP", "Hetero +RC+OP",
          "Fixed/no-RC-OP [1.07-1.3x]", "no-RC-OP/full [<=3.8x]"});
 
-    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    harness::SweepOptions options = harness::parseSweepArgs(argc, argv);
+    auto user_graphs = harness::loadGraphWorkloads(options.graphFiles);
+    harness::SweepRunner runner(std::move(options));
     auto models = nn::cnnModels();
     std::uint64_t grid_hash = harness::hashString(
         "fig13 models x variants v1", 0xcbf29ce484222325ULL);
@@ -106,6 +109,10 @@ main(int argc, char **argv)
                       fmtRatio(none.stepSec / both.stepSec)});
     }
     table.print(std::cout);
+    harness::runGraphAppendix(std::cout, runner, user_graphs,
+                              {SystemKind::ProgrPimOnly,
+                               SystemKind::FixedPimOnly,
+                               SystemKind::HeteroPim});
     harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

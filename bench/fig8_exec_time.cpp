@@ -11,6 +11,7 @@
 #include <map>
 
 #include "baseline/presets.hh"
+#include "harness/graph_workloads.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "nn/models.hh"
@@ -30,7 +31,9 @@ main(int argc, char **argv)
         SystemKind::CpuOnly, SystemKind::Gpu, SystemKind::ProgrPimOnly,
         SystemKind::FixedPimOnly, SystemKind::HeteroPim};
 
-    harness::SweepRunner runner(harness::parseSweepArgs(argc, argv));
+    harness::SweepOptions options = harness::parseSweepArgs(argc, argv);
+    auto user_graphs = harness::loadGraphWorkloads(options.graphFiles);
+    harness::SweepRunner runner(std::move(options));
     std::vector<harness::ExperimentPoint> points;
     for (nn::ModelId model : nn::cnnModels()) {
         for (SystemKind kind : systems)
@@ -80,6 +83,11 @@ main(int argc, char **argv)
              fmtRatio(r[SystemKind::Gpu].stepSec / hetero)});
     }
     ratios.print(std::cout);
+    harness::runGraphAppendix(std::cout, runner, user_graphs,
+                              {SystemKind::CpuOnly,
+                               SystemKind::ProgrPimOnly,
+                               SystemKind::FixedPimOnly,
+                               SystemKind::HeteroPim});
     harness::printSweepSummary(std::cout, runner.stats());
     return 0;
 }

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * User-workload sweep: run every `--graph FILE` workload (nn::GraphIo
+ * JSON, docs/GRAPHS.md) across the non-GPU system configurations and
+ * print the per-step breakdown. This is the `--graph` frontier's
+ * dedicated bench: unlike the figure benches (where user graphs are
+ * an appendix after the paper tables), graph_sweep runs *only* user
+ * graphs -- with no `--graph` flag it prints the usage and exits
+ * non-zero.
+ *
+ * Accepts every sweep-engine flag (parseSweepArgs): --jobs, --seed,
+ * --journal, --shard i/N, --trace, --failpoints. The journal grid
+ * hash folds each graph's structural signature, so resuming against
+ * an edited graph file is a typed refusal, not silent reuse.
+ */
+
+#include <iostream>
+
+#include "baseline/presets.hh"
+#include "harness/graph_workloads.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpim;
+    using baseline::SystemKind;
+
+    harness::SweepOptions options = harness::parseSweepArgs(argc, argv);
+    if (options.graphFiles.empty()) {
+        std::cerr << "graph_sweep: at least one --graph FILE is "
+                     "required (nn::GraphIo JSON, docs/GRAPHS.md)\n";
+        return 1;
+    }
+    auto user_graphs = harness::loadGraphWorkloads(options.graphFiles);
+    harness::SweepRunner runner(std::move(options));
+
+    harness::banner(std::cout,
+                    "User-graph sweep: systems x graphs (per step)");
+    harness::runGraphAppendix(std::cout, runner, user_graphs,
+                              {SystemKind::CpuOnly,
+                               SystemKind::ProgrPimOnly,
+                               SystemKind::FixedPimOnly,
+                               SystemKind::HeteroPim,
+                               SystemKind::Neurocube});
+    harness::printSweepSummary(std::cout, runner.stats());
+    return 0;
+}

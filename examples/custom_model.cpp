@@ -1,10 +1,11 @@
 /**
  * @file
  * Bring-your-own-model: assemble a training-step graph op by op with
- * the low-level Graph API (rather than CnnBuilder), drive the
- * extended-OpenCL layer directly -- four-binary compilation, command
- * queues, the Table-III low-level API -- and then let the runtime
- * schedule it.
+ * the public nn::Builder (docs/GRAPHS.md), round-trip it through the
+ * JSON graph format (nn/graph_io.hh) the way `hpim_cli --graph`
+ * would, drive the extended-OpenCL layer directly -- four-binary
+ * compilation, command queues, the Table-III low-level API -- and
+ * then let the runtime schedule it.
  *
  *   $ ./examples/custom_model
  */
@@ -17,7 +18,8 @@
 #include "cl/platform.hh"
 #include "harness/table_printer.hh"
 #include "mem/address_mapping.hh"
-#include "nn/graph.hh"
+#include "nn/graph_builder.hh"
+#include "nn/graph_io.hh"
 #include "pim/placement.hh"
 #include "rt/hetero_runtime.hh"
 
@@ -27,59 +29,50 @@ main()
     using namespace hpim;
     using harness::fmt;
 
-    // ---- 1. A two-tower recommendation-style model, by hand.
-    nn::Graph graph("two-tower");
+    // ---- 1. A two-tower recommendation-style model through the
+    //         op-by-op Builder: two dense towers over pre-gathered
+    //         embeddings, an elementwise interaction, and a softmax
+    //         loss. trainingStep() emits the backward pass and one
+    //         ApplyAdam per parameter tensor for us.
     const std::int64_t batch = 256, dim = 128;
-
-    auto user = graph.add(
-        nn::OpType::EmbeddingLookup, "user/Lookup",
-        nn::embeddingCost(nn::OpType::EmbeddingLookup, batch, dim),
-        nn::fixedParallelism(nn::OpType::EmbeddingLookup, 1, 0.0));
-    auto item = graph.add(
-        nn::OpType::EmbeddingLookup, "item/Lookup",
-        nn::embeddingCost(nn::OpType::EmbeddingLookup, batch, dim),
-        nn::fixedParallelism(nn::OpType::EmbeddingLookup, 1, 0.0));
-    auto user_mlp = graph.add(
-        nn::OpType::MatMul, "user/MatMul",
-        nn::matmulCost(batch, dim, 256),
-        nn::fixedParallelism(nn::OpType::MatMul, 64,
-                             double(batch * 256)),
-        {user});
-    auto item_mlp = graph.add(
-        nn::OpType::MatMul, "item/MatMul",
-        nn::matmulCost(batch, dim, 256),
-        nn::fixedParallelism(nn::OpType::MatMul, 64,
-                             double(batch * 256)),
-        {item});
-    auto score = graph.add(
-        nn::OpType::Mul, "score/Mul",
-        nn::elementwiseCost(nn::OpType::Mul,
-                            nn::TensorShape{batch, 256}),
-        nn::fixedParallelism(nn::OpType::Mul, 1, double(batch * 256)),
-        {user_mlp, item_mlp});
-    auto loss = graph.add(
-        nn::OpType::Softmax, "loss/Softmax",
-        nn::softmaxCost(nn::OpType::Softmax, batch, 256),
-        nn::fixedParallelism(nn::OpType::Softmax, 1, 0.0), {score});
-    auto grad_w = graph.add(
-        nn::OpType::MatMulGradWeights, "user/MatMul_grad",
-        nn::matmulCost(dim, batch, 256),
-        nn::fixedParallelism(nn::OpType::MatMulGradWeights, 64,
-                             double(dim * 256)),
-        {loss});
-    graph.add(nn::OpType::ApplyAdam, "user/ApplyAdam",
-              nn::applyAdamCost(dim * 256),
-              nn::fixedParallelism(nn::OpType::ApplyAdam, 1, 0.0),
-              {grad_w});
+    nn::Builder b("two-tower");
+    auto user = b.input(nn::TensorShape{batch, dim});
+    auto item = b.input(nn::TensorShape{batch, dim});
+    auto user_mlp = b.dense(user, 256);
+    auto item_mlp = b.dense(item, 256);
+    auto score = b.mul(user_mlp, item_mlp);
+    nn::Graph graph = b.trainingStep(score, nn::Optimizer::Adam);
 
     std::cout << "custom graph: " << graph.size() << " ops, "
               << fmt(graph.totalCost().flops() / 1e9, 3)
               << " GFLOP per step\n";
 
-    // ---- 2. Peek under the hood of the programming model: compile
+    // ---- 2. Round-trip through the versioned JSON graph format --
+    //         exactly what `hpim_cli --dump-graph` writes and
+    //         `hpim_cli --graph` / hpim_serve's "graph" payload load.
+    //         The loader replays the same add() sequence, so the
+    //         structural signature (the memo-cache/journal identity)
+    //         survives serialization.
+    std::string json = nn::graphToJson(graph);
+    nn::Graph reloaded = nn::loadGraph(json);
+    std::cout << "\nJSON round trip: " << json.size() << " bytes, "
+              << reloaded.size() << " ops, signatures "
+              << (reloaded.signature() == graph.signature()
+                      ? "identical"
+                      : "DIFFER (bug!)")
+              << "\n";
+
+    // ---- 3. Peek under the hood of the programming model: compile
     //          one op into its four binaries (paper Fig. 4).
+    nn::OpId grad_w = nn::invalidOp;
+    for (nn::OpId id = 0; id < graph.size(); ++id) {
+        if (graph.op(id).type == nn::OpType::MatMulGradWeights) {
+            grad_w = id;
+            break;
+        }
+    }
     cl::Kernel kernel;
-    kernel.name = "user/MatMul_grad";
+    kernel.name = graph.op(grad_w).label;
     kernel.opType = nn::OpType::MatMulGradWeights;
     kernel.cost = graph.op(grad_w).cost;
     kernel.parallelism = graph.op(grad_w).parallelism;
@@ -92,7 +85,7 @@ main()
                   << binary.recursiveCalls << " recursive calls)\n";
     }
 
-    // ---- 3. The Table-III low-level API: offload near the data.
+    // ---- 4. The Table-III low-level API: offload near the data.
     mem::AddressMapping mapping(32, 8, 16384, 256,
                                 mem::Interleave::RoBaVaCo);
     pim::StatusRegisterFile regs(
@@ -108,11 +101,12 @@ main()
               << regs.totalFreeUnits() << "/444 units still free\n";
     api.complete(handle);
 
-    // ---- 4. Full runtime scheduling of the custom step.
+    // ---- 5. Full runtime scheduling of the *reloaded* step: the
+    //         JSON copy schedules identically to the built one.
     auto config = baseline::makeConfig(baseline::SystemKind::HeteroPim);
     config.steps = 16;
     rt::HeteroRuntime runtime(config);
-    auto result = runtime.train(graph);
+    auto result = runtime.train(reloaded);
     std::cout << "\nscheduled step: "
               << fmt(result.execution.stepSec * 1e6, 1) << " us, "
               << fmt(result.execution.energyPerStepJ * 1e3, 2)

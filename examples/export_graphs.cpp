@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Author the two committed example workloads (examples/graphs/) with
+ * the op-by-op nn::Builder and export them through the versioned
+ * JSON graph format (docs/GRAPHS.md):
+ *
+ *  - transformer_train.json : one encoder block + classifier head,
+ *    closed as a full training step (backward pass + ApplyAdam per
+ *    parameter) -- the kind of attention-heavy workload the paper's
+ *    CNN/RNN model zoo does not cover.
+ *  - edge_cnn_infer.json    : a small batch-1 CNN closed forward-only
+ *    -- an inference (latency) workload in the spirit of the
+ *    PIM-inference line of work in PAPERS.md.
+ *
+ * CI re-runs this exporter and diffs the output against the committed
+ * files, so the committed graphs can never drift from the Builder.
+ *
+ *   $ ./examples/export_graphs [OUTPUT_DIR]   (default examples/graphs)
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "nn/graph_builder.hh"
+#include "nn/graph_io.hh"
+
+namespace {
+
+/**
+ * One pre-norm-free transformer encoder block + classifier head over
+ * 1024 tokens of model width 256 (batch x seq folded into the token
+ * axis, as the cost model sees only element counts).
+ */
+hpim::nn::Graph
+buildTransformerTrain()
+{
+    using namespace hpim::nn;
+    Builder b("transformer-train");
+    const std::int64_t tokens = 1024, width = 256;
+
+    auto x = b.input(TensorShape{tokens, width});
+
+    // Single-head self-attention: Q/K/V projections, scores, mix.
+    auto q = b.dense(x, width, /*relu=*/false);
+    auto k = b.dense(x, width, /*relu=*/false);
+    auto v = b.dense(x, width, /*relu=*/false);
+    auto scores = b.matmul(q, b.transpose(k)); // [tokens, tokens]
+    auto weights = b.softmax(scores);
+    auto mixed = b.matmul(weights, v);         // [tokens, width]
+    auto proj = b.dense(mixed, width, /*relu=*/false);
+    auto attn_out = b.layerNorm(b.add(proj, x));
+
+    // Position-wise feed-forward with a residual link.
+    auto ffn = b.dense(attn_out, 4 * width);
+    auto ffn_out = b.dense(ffn, width, /*relu=*/false);
+    auto block_out = b.layerNorm(b.add(ffn_out, attn_out));
+
+    // Classifier head; trainingStep adds the softmax loss, the
+    // backward pass, and one ApplyAdam per parameter tensor.
+    auto logits = b.dense(block_out, 1000, /*relu=*/false);
+    return b.trainingStep(logits, Optimizer::Adam);
+}
+
+/** A small batch-1 CNN closed forward-only (inference latency). */
+hpim::nn::Graph
+buildEdgeCnnInfer()
+{
+    using namespace hpim::nn;
+    Builder b("edge-cnn-infer");
+    auto x = b.input(TensorShape{1, 64, 64, 3});
+    x = b.conv2d(x, 3, 32, 1);
+    x = b.maxPool(x, 2, 2);
+    x = b.conv2d(x, 3, 64, 1);
+    x = b.maxPool(x, 2, 2);
+    x = b.conv2d(x, 3, 128, 2);
+    x = b.avgPool(x, 8, 8);
+    x = b.flatten(x);
+    x = b.dense(x, 256);
+    x = b.dense(x, 10, /*relu=*/false);
+    x = b.softmax(x);
+    return b.finishForward();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc > 1 ? argv[1] : "examples/graphs";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::cerr << "export_graphs: cannot create '" << dir
+                  << "': " << ec.message() << "\n";
+        return 1;
+    }
+
+    struct
+    {
+        const char *file;
+        hpim::nn::Graph graph;
+    } exports[] = {
+        {"transformer_train.json", buildTransformerTrain()},
+        {"edge_cnn_infer.json", buildEdgeCnnInfer()},
+    };
+
+    for (auto &entry : exports) {
+        std::string path = dir + "/" + entry.file;
+        try {
+            hpim::nn::saveGraphFile(path, entry.graph);
+        } catch (const hpim::nn::GraphParseError &e) {
+            std::cerr << "export_graphs: " << e.what() << "\n";
+            return 1;
+        }
+        std::cout << path << ": " << entry.graph.size() << " ops ("
+                  << entry.graph.name() << ")\n";
+    }
+    return 0;
+}

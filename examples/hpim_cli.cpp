@@ -3,11 +3,22 @@
  * hpim_cli -- argument-driven simulation runner.
  *
  * Usage:
- *   hpim_cli [--model NAME] [--system NAME] [--steps N]
+ *   hpim_cli [--model NAME | --graph FILE] [--system NAME] [--steps N]
  *            [--freq-scale F] [--progr-pims N] [--no-rc] [--no-op]
  *            [--fault-rate R] [--kill-banks N] [--fault-seed S]
  *            [--timeout-ms MS] [--connect SOCK] [--no-metrics]
  *            [--csv] [--json] [--summary] [--dot] [--trace FILE]
+ *            [--dump-graph FILE] [--dry-run]
+ *            [--list-models] [--list-graph-ops]
+ *
+ * --graph FILE runs a user workload: a versioned JSON graph document
+ * (docs/GRAPHS.md) built with nn::Builder / nn::GraphIo instead of a
+ * built-in --model. Parse/validation failures exit 1 with a typed
+ * "graph parse error" naming the offending field and line -- never a
+ * crash. --dump-graph FILE serializes the selected workload (either
+ * form) back to a graph document; with --model that is how built-ins
+ * are exported. --dry-run stops after loading/validating (and any
+ * --summary/--dot/--dump-graph output) without simulating.
  *
  * --trace FILE writes a Chrome/Perfetto timeline of the run
  * (docs/OBSERVABILITY.md). A MetricsRegistry is attached for every
@@ -47,7 +58,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <optional>
 #include <string>
 
@@ -55,6 +68,7 @@
 #include "harness/report_io.hh"
 #include "harness/table_printer.hh"
 #include "harness/thread_pool.hh"
+#include "nn/graph_io.hh"
 #include "nn/models.hh"
 #include "nn/summary.hh"
 #include "obs/metrics.hh"
@@ -74,12 +88,15 @@ using namespace hpim;
 constexpr int kDeadlineExitCode = 124;
 
 const char *const kUsage =
-    "usage: hpim_cli [--model NAME] [--system NAME]\n"
+    "usage: hpim_cli [--model NAME | --graph FILE] [--system NAME]\n"
     "  [--steps N] [--freq-scale F] [--progr-pims N]\n"
     "  [--no-rc] [--no-op] [--fault-rate R]\n"
     "  [--kill-banks N] [--fault-seed S]\n"
     "  [--timeout-ms MS] [--connect SOCK] [--no-metrics]\n"
     "  [--csv] [--json] [--summary] [--dot] [--trace FILE]\n"
+    "  [--dump-graph FILE] [--dry-run]\n"
+    "  [--list-models]      print the built-in model tokens\n"
+    "  [--list-graph-ops]   print the graph-document op types\n"
     "  [--failpoints SPEC]  arm deterministic host-IO fault\n"
     "                       injection (docs/RESILIENCE.md)";
 
@@ -121,6 +138,9 @@ cliSchema()
     sim::ConfigSchema schema;
     schema.keys = {
         {"model", ConfigType::String, true, 0.0, 0.0},
+        {"graph", ConfigType::String, true, 0.0, 0.0},
+        {"dump_graph", ConfigType::String, true, 0.0, 0.0},
+        {"dry_run", ConfigType::Bool, true, 0.0, 0.0},
         {"system", ConfigType::String, true, 0.0, 0.0},
         {"steps", ConfigType::Int, true, 1.0, 1e6},
         {"freq_scale", ConfigType::Double, true, 1.0 / 64, 128.0},
@@ -140,6 +160,39 @@ cliSchema()
         {"failpoints", ConfigType::String, true, 0.0, 0.0},
     };
     return schema;
+}
+
+/** Print the built-in model tokens, one per line. */
+void
+listModels()
+{
+    for (nn::ModelId model : nn::allModels()) {
+        std::cout << serve::modelToken(model) << "  "
+                  << nn::modelName(model) << " (default batch "
+                  << nn::defaultBatchSize(model) << ")\n";
+    }
+}
+
+/** Print every graph-document op type with its offload class. */
+void
+listGraphOps()
+{
+    auto className = [](nn::OffloadClass cls) {
+        switch (cls) {
+          case nn::OffloadClass::FixedFunction: return "fixed-function";
+          case nn::OffloadClass::Recursive: return "recursive";
+          case nn::OffloadClass::ProgrammableOnly:
+            return "programmable-only";
+          case nn::OffloadClass::DataMovement: return "data-movement";
+        }
+        return "unknown";
+    };
+    for (std::size_t i = 0; i < nn::numOpTypes; ++i) {
+        auto type = static_cast<nn::OpType>(i);
+        std::cout << nn::opName(type) << "  "
+                  << className(nn::opTraits(type).offloadClass)
+                  << "\n";
+    }
 }
 
 /** Print @p report the way the chosen output flags ask for. */
@@ -248,6 +301,9 @@ main(int argc, char **argv)
     // cliSchema() in one pass before anything simulates.
     sim::Config cli;
     cli.set("model", "alexnet");
+    cli.set("graph", "");      // empty = run the built-in model
+    cli.set("dump_graph", ""); // empty = no graph export
+    cli.set("dry_run", false);
     cli.set("system", "hetero");
     cli.set("steps", 4);
     cli.set("freq_scale", 1.0);
@@ -266,6 +322,7 @@ main(int argc, char **argv)
     cli.set("trace", "");      // empty = tracing off
     cli.set("failpoints", ""); // empty = no host-IO fault injection
     std::uint64_t fault_seed = hpim::sim::defaultSeed;
+    bool model_flag_set = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -274,7 +331,18 @@ main(int argc, char **argv)
                      kUsage);
             return argv[++i];
         };
-        if (arg == "--model") cli.set("model", next());
+        if (arg == "--model") {
+            cli.set("model", next());
+            model_flag_set = true;
+        }
+        else if (arg == "--graph") cli.set("graph", next());
+        else if (arg == "--dump-graph") cli.set("dump_graph", next());
+        else if (arg == "--dry-run") cli.set("dry_run", true);
+        else if (arg == "--list-models") { listModels(); return 0; }
+        else if (arg == "--list-graph-ops") {
+            listGraphOps();
+            return 0;
+        }
         else if (arg == "--system") cli.set("system", next());
         else if (arg == "--steps")
             cli.set("steps", static_cast<std::int64_t>(
@@ -326,6 +394,9 @@ main(int argc, char **argv)
 
     serve::SimulateSpec spec;
     spec.model = cli.requireString("model");
+    std::string graph_file = cli.requireString("graph");
+    std::string dump_graph = cli.requireString("dump_graph");
+    bool dry_run = cli.requireBool("dry_run");
     spec.system = cli.requireString("system");
     spec.steps =
         static_cast<std::uint32_t>(cli.requireInt("steps"));
@@ -349,28 +420,69 @@ main(int argc, char **argv)
 
     // Token validation up front (the same tables serve the daemon's
     // wire validation, so CLI and wire agree on the name space).
+    fatal_if(!graph_file.empty() && model_flag_set,
+             "--graph and --model are mutually exclusive; a graph "
+             "document is a complete workload\n", kUsage);
     std::optional<nn::ModelId> model = serve::modelFromToken(spec.model);
-    fatal_if(!model, "unknown model '", spec.model, "' (",
-             serve::modelTokenList(), ")\n", kUsage);
+    fatal_if(graph_file.empty() && !model, "unknown model '",
+             spec.model, "' (", serve::modelTokenList(),
+             "; or --graph FILE, see --list-models)\n", kUsage);
     fatal_if(!serve::systemFromToken(spec.system),
              "unknown system '", spec.system, "' (",
              serve::systemTokenList(), ")\n", kUsage);
+    fatal_if(!graph_file.empty() && spec.system == "gpu",
+             "the analytic GPU model needs per-model calibration and "
+             "cannot run --graph workloads");
 
     bool faults = spec.faultRate > 0.0 || spec.killBanks > 0;
     fatal_if(faults && spec.system == "gpu",
              "--fault-rate/--kill-banks need a simulated system; the "
              "analytic GPU model has no fault layer");
 
-    if (summary || dot) {
-        nn::Graph graph = nn::buildModel(*model);
-        if (summary)
-            nn::summarize(graph).print(std::cout);
-        if (dot) {
-            nn::exportDot(graph, std::cout);
-            if (!csv && !json && !summary)
-                return 0;
+    // Resolve the workload: a loaded user document or a built-in
+    // model. User-file problems are typed errors with a clean exit,
+    // never an abort -- the file is input, not program state.
+    std::optional<nn::Graph> user_graph;
+    if (!graph_file.empty()) {
+        std::ifstream in(graph_file, std::ios::binary);
+        if (!in) {
+            std::cerr << "hpim_cli: graph parse error: cannot open "
+                         "graph file '" << graph_file << "'\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec.graph = text.str();
+        try {
+            user_graph = nn::loadGraph(spec.graph);
+        } catch (const nn::GraphParseError &e) {
+            std::cerr << "hpim_cli: " << e.what() << " in '"
+                      << graph_file << "'\n";
+            return 1;
         }
     }
+
+    if (summary || dot || !dump_graph.empty()) {
+        nn::Graph graph = user_graph
+                              ? *user_graph
+                              : nn::buildModel(*model);
+        if (summary)
+            nn::summarize(graph).print(std::cout);
+        if (dot)
+            nn::exportDot(graph, std::cout);
+        if (!dump_graph.empty()) {
+            try {
+                nn::saveGraphFile(dump_graph, graph);
+            } catch (const nn::GraphParseError &e) {
+                std::cerr << "hpim_cli: " << e.what() << '\n';
+                return 1;
+            }
+        }
+        if (dot && !csv && !json && !summary && !dry_run)
+            return 0;
+    }
+    if (dry_run)
+        return 0;
 
     if (!connect.empty()) {
         // Thin-client mode: the daemon owns metrics and tracing.

@@ -252,4 +252,20 @@ runSystem(SystemKind kind, ModelId model, std::uint32_t steps,
     return runtime.train(graph).execution;
 }
 
+hpim::rt::ExecutionReport
+runSystemGraph(SystemKind kind, const hpim::nn::Graph &graph,
+               std::uint32_t steps, double freq_scale,
+               std::uint32_t progr_pims)
+{
+    fatal_if(kind == SystemKind::Gpu,
+             "the GPU system needs per-model calibration "
+             "(utilization, input volume) and cannot run "
+             "user-supplied graphs");
+    hpim::rt::SystemConfig config =
+        makeConfig(kind, freq_scale, progr_pims);
+    config.steps = steps;
+    hpim::rt::HeteroRuntime runtime(config);
+    return runtime.train(graph).execution;
+}
+
 } // namespace hpim::baseline

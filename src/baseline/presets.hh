@@ -88,6 +88,21 @@ hpim::rt::ExecutionReport runSystem(SystemKind kind,
                                     std::uint32_t progr_pims = 1,
                                     int batch = 0);
 
+/**
+ * Run a user-supplied graph (nn::Builder / nn::GraphIo) on @p kind.
+ *
+ * Same execution path as runSystem's non-GPU tail, so a user graph
+ * that reproduces a built-in model's op stream reports identical
+ * numbers. The GPU system is fatal here: its analytic model needs
+ * per-model calibration (utilization, input volume) that a user
+ * graph does not carry.
+ */
+hpim::rt::ExecutionReport runSystemGraph(SystemKind kind,
+                                         const hpim::nn::Graph &graph,
+                                         std::uint32_t steps = 4,
+                                         double freq_scale = 1.0,
+                                         std::uint32_t progr_pims = 1);
+
 } // namespace hpim::baseline
 
 #endif // HPIM_BASELINE_PRESETS_HH

@@ -1,0 +1,85 @@
+#include "harness/graph_workloads.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+#include "harness/table_printer.hh"
+#include "nn/graph_io.hh"
+#include "sim/hash.hh"
+
+namespace hpim::harness {
+
+std::vector<GraphWorkload>
+loadGraphWorkloads(const std::vector<std::string> &paths)
+{
+    std::vector<GraphWorkload> workloads;
+    workloads.reserve(paths.size());
+    for (const std::string &path : paths) {
+        try {
+            workloads.push_back(
+                {path, std::make_shared<const nn::Graph>(
+                           nn::loadGraphFile(path))});
+        } catch (const nn::GraphParseError &e) {
+            std::cerr << e.what() << "\n";
+            std::exit(1);
+        }
+    }
+    return workloads;
+}
+
+std::uint64_t
+graphGridHash(const std::vector<baseline::SystemKind> &systems,
+              const std::vector<GraphWorkload> &graphs,
+              std::uint32_t steps)
+{
+    std::uint64_t hash = hpim::sim::hashString(
+        "hpim GraphWorkload grid v1", 0xcbf29ce484222325ULL);
+    for (baseline::SystemKind kind : systems)
+        hash = hpim::sim::hashU64(static_cast<std::uint64_t>(kind),
+                                  hash);
+    for (const GraphWorkload &workload : graphs)
+        hash = hpim::sim::hashU64(workload.graph->signature(), hash);
+    return hpim::sim::hashU64(steps, hash);
+}
+
+void
+runGraphAppendix(std::ostream &os, SweepRunner &runner,
+                 const std::vector<GraphWorkload> &graphs,
+                 const std::vector<baseline::SystemKind> &systems,
+                 std::uint32_t steps)
+{
+    if (graphs.empty())
+        return;
+
+    const std::size_t count = graphs.size() * systems.size();
+    auto reports = runner.mapReports(
+        count, graphGridHash(systems, graphs, steps),
+        [&](std::size_t i, hpim::sim::Rng &) {
+            const GraphWorkload &workload = graphs[i / systems.size()];
+            baseline::SystemKind kind = systems[i % systems.size()];
+            return baseline::runSystemGraph(kind, *workload.graph,
+                                            steps);
+        });
+
+    banner(os, "User graphs (--graph)");
+    TablePrinter table({"graph", "config", "step (ms)", "op (ms)",
+                        "data mv (ms)", "sync (ms)", "energy/step (J)",
+                        "EDP"});
+    for (std::size_t i = 0; i < count; ++i) {
+        const GraphWorkload &workload = graphs[i / systems.size()];
+        baseline::SystemKind kind = systems[i % systems.size()];
+        const auto &report = reports[i];
+        table.addRow({workload.graph->name(),
+                      baseline::systemName(kind),
+                      fmt(report.stepSec * 1e3, 1),
+                      fmt(report.opSec * 1e3, 1),
+                      fmt(report.dataMovementSec * 1e3, 1),
+                      fmt(report.syncSec * 1e3, 1),
+                      fmt(report.energyPerStepJ, 2),
+                      fmt(report.edp, 4)});
+    }
+    table.print(os);
+}
+
+} // namespace hpim::harness

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * User-graph workloads for the bench binaries (docs/GRAPHS.md).
+ *
+ * Every sweep-driven bench accepts repeatable `--graph FILE` flags
+ * (harness/sweep.hh: SweepOptions::graphFiles) naming nn::GraphIo
+ * JSON documents. This helper loads them once -- a malformed file is
+ * a typed error on stderr and exit(1), never a crash -- and appends a
+ * "user graphs" table after the bench's built-in figures, running
+ * each graph on each requested system through the same SweepRunner
+ * (so `--jobs`, `--journal`, `--shard`, and `--trace` all apply).
+ *
+ * When no `--graph` flag was given the appendix prints nothing and
+ * runs nothing, which is what keeps the committed golden outputs of
+ * fig8/fig13 byte-identical.
+ */
+
+#ifndef HPIM_HARNESS_GRAPH_WORKLOADS_HH
+#define HPIM_HARNESS_GRAPH_WORKLOADS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.hh"
+#include "harness/sweep.hh"
+#include "nn/graph.hh"
+
+namespace hpim::harness {
+
+/** One `--graph FILE` workload, loaded and validated. */
+struct GraphWorkload
+{
+    std::string path;                       ///< file it came from
+    std::shared_ptr<const nn::Graph> graph; ///< parsed graph
+};
+
+/**
+ * Load every file in @p paths through nn::loadGraphFile.
+ *
+ * A file that cannot be opened or fails schema validation prints the
+ * typed GraphParseError (naming line and field) to stderr and exits
+ * with status 1 -- the bench never starts simulating a partial
+ * workload list.
+ */
+std::vector<GraphWorkload>
+loadGraphWorkloads(const std::vector<std::string> &paths);
+
+/**
+ * Journal identity of a systems x graphs appendix grid: folds each
+ * system kind, each graph's Graph::signature(), and @p steps, so a
+ * resumed `--journal` run refuses a journal written for different
+ * graphs or systems.
+ */
+std::uint64_t
+graphGridHash(const std::vector<baseline::SystemKind> &systems,
+              const std::vector<GraphWorkload> &graphs,
+              std::uint32_t steps);
+
+/**
+ * Run graphs x systems on @p runner and print the appendix table to
+ * @p os. No output and no simulation when @p graphs is empty. The
+ * GPU system cannot appear in @p systems (its analytic model needs
+ * per-model calibration; baseline::runSystemGraph is fatal on it).
+ */
+void runGraphAppendix(std::ostream &os, SweepRunner &runner,
+                      const std::vector<GraphWorkload> &graphs,
+                      const std::vector<baseline::SystemKind> &systems,
+                      std::uint32_t steps = 4);
+
+} // namespace hpim::harness
+
+#endif // HPIM_HARNESS_GRAPH_WORKLOADS_HH

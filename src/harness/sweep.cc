@@ -25,7 +25,7 @@ constexpr std::uint32_t kMaxShards = 4096;
 const char *const kUsage =
     "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
     "[--shard i/N] [--no-steal] [--trace FILE] [--no-sim-cache] "
-    "[--failpoints SPEC]\n"
+    "[--failpoints SPEC] [--graph FILE]...\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
     "  --seed S       base seed of the per-point rng streams\n"
@@ -39,7 +39,9 @@ const char *const kUsage =
     "  --no-sim-cache disable the cross-point memo cache "
     "(docs/PERFORMANCE.md)\n"
     "  --failpoints SPEC arm host-IO fail points, e.g. "
-    "'journal.append.write=after(3):enospc' (docs/RESILIENCE.md)";
+    "'journal.append.write=after(3):enospc' (docs/RESILIENCE.md)\n"
+    "  --graph FILE   also sweep a user graph (nn::GraphIo JSON; "
+    "repeatable, docs/GRAPHS.md)";
 
 std::uint32_t
 resolveJobs(std::uint32_t requested)
@@ -532,6 +534,10 @@ parseSweepArgs(int argc, char **argv)
             if (value.empty())
                 fatal("--trace needs a file path\n", kUsage);
             options.traceFile = value;
+        } else if (flagValue("--graph")) {
+            if (value.empty())
+                fatal("--graph needs a file path\n", kUsage);
+            options.graphFiles.push_back(value);
         } else if (flagValue("--failpoints")) {
             if (value.empty())
                 fatal("--failpoints needs a spec, e.g. "

@@ -104,6 +104,11 @@ struct SweepOptions
     /** Host-IO fail-point spec (`--failpoints`, harness/failpoint.hh);
      *  empty = nothing armed and every site is a relaxed-load no-op. */
     std::string failPoints;
+    /** User graph files (`--graph`, repeatable; nn::GraphIo JSON).
+     *  Benches that support user workloads run each file as an extra
+     *  appendix table (harness/graph_workloads.hh); empty = built-in
+     *  models only and the appendix prints nothing. */
+    std::vector<std::string> graphFiles;
 };
 
 /** One sweep point that threw instead of producing a result. */

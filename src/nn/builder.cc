@@ -1,80 +1,17 @@
 #include "nn/builder.hh"
 
-#include <algorithm>
-
-#include "sim/logging.hh"
-
 namespace hpim::nn {
 
-namespace {
-
-std::int64_t
-ceilDiv(std::int64_t a, std::int64_t b)
-{
-    return (a + b - 1) / b;
-}
-
-} // namespace
-
 CnnBuilder::CnnBuilder(std::string name, TensorShape input)
-    : _graph(std::move(name)), _shape(std::move(input))
+    : _b(std::move(name)), _cur(_b.input(std::move(input)))
 {
-}
-
-std::string
-CnnBuilder::layerLabel(const char *base)
-{
-    return std::string(base) + "_" + std::to_string(++_misc_index);
 }
 
 CnnBuilder &
 CnnBuilder::conv(std::int64_t k, std::int64_t c_out, std::int64_t stride,
                  bool relu)
 {
-    fatal_if(_shape.rank() != 4, "conv needs an NHWC activation");
-    LayerRecord rec;
-    rec.kind = LayerKind::Conv;
-    rec.inShape = _shape;
-    rec.k = k;
-    rec.stride = stride;
-    rec.cOut = c_out;
-    rec.relu = relu;
-    rec.label = "conv" + std::to_string(++_conv_index);
-    rec.params = k * k * _shape.dim(3) * c_out + c_out;
-
-    std::vector<OpId> deps;
-    if (_tail != invalidOp)
-        deps.push_back(_tail);
-
-    CostStructure cost = conv2dCost(_shape, k, c_out, stride);
-    std::int64_t reduction = k * k; // one spatial tap tree, paper-style
-    TensorShape out{_shape.dim(0), ceilDiv(_shape.dim(1), stride),
-                    ceilDiv(_shape.dim(2), stride), c_out};
-    double lanes = static_cast<double>(out.elems());
-    OpId conv_id = _graph.add(
-        OpType::Conv2D, rec.label + "/Conv2D", cost,
-        fixedParallelism(OpType::Conv2D, reduction, lanes), deps);
-
-    OpId bias_id = _graph.add(
-        OpType::BiasAdd, rec.label + "/BiasAdd",
-        biasAddCost(out, c_out),
-        fixedParallelism(OpType::BiasAdd, 1, double(out.elems())),
-        {conv_id});
-
-    rec.fwdOp = bias_id;
-    OpId act = bias_id;
-    if (relu) {
-        act = _graph.add(OpType::Relu, rec.label + "/Relu",
-                         activationCost(OpType::Relu, out),
-                         fixedParallelism(OpType::Relu, 1, 0.0),
-                         {bias_id});
-        rec.actOp = act;
-    }
-
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(act);
-    _layers.push_back(std::move(rec));
+    _cur = _b.conv2d(_cur, k, c_out, stride, relu);
     return *this;
 }
 
@@ -82,462 +19,85 @@ CnnBuilder &
 CnnBuilder::deconv(std::int64_t k, std::int64_t c_out, std::int64_t up,
                    bool relu)
 {
-    fatal_if(_shape.rank() != 4, "deconv needs an NHWC activation");
-    LayerRecord rec;
-    rec.kind = LayerKind::Deconv;
-    rec.inShape = _shape;
-    rec.k = k;
-    rec.stride = up;
-    rec.cOut = c_out;
-    rec.relu = relu;
-    rec.label = "deconv" + std::to_string(++_conv_index);
-    rec.params = k * k * _shape.dim(3) * c_out + c_out;
-
-    std::vector<OpId> deps;
-    if (_tail != invalidOp)
-        deps.push_back(_tail);
-
-    TensorShape out{_shape.dim(0), _shape.dim(1) * up, _shape.dim(2) * up,
-                    c_out};
-    // conv2d_transpose == Conv2DBackpropInput on the output geometry.
-    CostStructure cost = conv2dBackpropInputCost(out, k, _shape.dim(3), up);
-    OpId id = _graph.add(
-        OpType::Conv2DBackpropInput, rec.label + "/Conv2DBackpropInput",
-        cost,
-        fixedParallelism(OpType::Conv2DBackpropInput, k * k,
-                         double(out.elems())),
-        deps);
-
-    OpId bias_id = _graph.add(
-        OpType::BiasAdd, rec.label + "/BiasAdd", biasAddCost(out, c_out),
-        fixedParallelism(OpType::BiasAdd, 1, double(out.elems())), {id});
-
-    rec.fwdOp = bias_id;
-    OpId act = bias_id;
-    if (relu) {
-        act = _graph.add(OpType::Relu, rec.label + "/Relu",
-                         activationCost(OpType::Relu, out),
-                         fixedParallelism(OpType::Relu, 1, 0.0),
-                         {bias_id});
-        rec.actOp = act;
-    }
-
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(act);
-    _layers.push_back(std::move(rec));
+    _cur = _b.deconv2d(_cur, k, c_out, up, relu);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::maxPool(std::int64_t k, std::int64_t stride)
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::MaxPool;
-    rec.inShape = _shape;
-    rec.k = k;
-    rec.stride = stride;
-    rec.label = layerLabel("maxpool");
-
-    OpId id = _graph.add(OpType::MaxPool, rec.label + "/MaxPool",
-                         poolCost(OpType::MaxPool, _shape, k, stride),
-                         fixedParallelism(OpType::MaxPool, 1, 0.0),
-                         tailDeps());
-    rec.fwdOp = id;
-    TensorShape out{_shape.dim(0), ceilDiv(_shape.dim(1), stride),
-                    ceilDiv(_shape.dim(2), stride), _shape.dim(3)};
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.maxPool(_cur, k, stride);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::avgPool(std::int64_t k, std::int64_t stride)
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::AvgPool;
-    rec.inShape = _shape;
-    rec.k = k;
-    rec.stride = stride;
-    rec.label = layerLabel("avgpool");
-
-    OpId id = _graph.add(OpType::AvgPool, rec.label + "/AvgPool",
-                         poolCost(OpType::AvgPool, _shape, k, stride),
-                         fixedParallelism(OpType::AvgPool, 1, 0.0),
-                         tailDeps());
-    rec.fwdOp = id;
-    TensorShape out{_shape.dim(0), ceilDiv(_shape.dim(1), stride),
-                    ceilDiv(_shape.dim(2), stride), _shape.dim(3)};
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.avgPool(_cur, k, stride);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::batchNorm()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::BatchNorm;
-    rec.inShape = _shape;
-    rec.outShape = _shape;
-    rec.label = layerLabel("bn");
-    rec.params = 2 * _shape.dim(_shape.rank() - 1);
-
-    OpId id = _graph.add(
-        OpType::BatchNorm, rec.label + "/FusedBatchNorm",
-        batchNormCost(OpType::BatchNorm, _shape),
-        fixedParallelism(OpType::BatchNorm, 1, double(_shape.elems())),
-        tailDeps());
-    rec.fwdOp = id;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.batchNorm(_cur);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::dropout()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::Dropout;
-    rec.inShape = _shape;
-    rec.outShape = _shape;
-    rec.label = layerLabel("dropout");
-
-    OpId id = _graph.add(OpType::Dropout, rec.label + "/Dropout",
-                         dropoutCost(OpType::Dropout, _shape),
-                         fixedParallelism(OpType::Dropout, 1, 0.0),
-                         tailDeps());
-    rec.fwdOp = id;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.dropout(_cur);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::flatten()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::Flatten;
-    rec.inShape = _shape;
-    rec.label = layerLabel("flatten");
-
-    OpId id = _graph.add(
-        OpType::Reshape, rec.label + "/Reshape",
-        dataMovementCost(0.0), // metadata-only in TF
-        fixedParallelism(OpType::Reshape, 1, 0.0), tailDeps());
-    rec.fwdOp = id;
-    TensorShape out{_shape.dim(0), _shape.elems() / _shape.dim(0)};
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.flatten(_cur);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::fc(std::int64_t units, bool relu)
 {
-    if (_shape.rank() != 2)
-        flatten();
-
-    LayerRecord rec;
-    rec.kind = LayerKind::Fc;
-    rec.inShape = _shape;
-    rec.cOut = units;
-    rec.relu = relu;
-    rec.label = "fc" + std::to_string(++_fc_index);
-    std::int64_t in_dim = _shape.dim(1);
-    rec.params = in_dim * units + units;
-
-    OpId mm = _graph.add(
-        OpType::MatMul, rec.label + "/MatMul",
-        matmulCost(_shape.dim(0), in_dim, units),
-        fixedParallelism(OpType::MatMul, std::min<std::int64_t>(in_dim, 64),
-                         double(_shape.dim(0) * units)),
-        tailDeps());
-
-    TensorShape out{_shape.dim(0), units};
-    OpId bias_id = _graph.add(
-        OpType::BiasAdd, rec.label + "/BiasAdd", biasAddCost(out, units),
-        fixedParallelism(OpType::BiasAdd, 1, double(out.elems())), {mm});
-
-    rec.fwdOp = bias_id;
-    OpId act = bias_id;
-    if (relu) {
-        act = _graph.add(OpType::Relu, rec.label + "/Relu",
-                         activationCost(OpType::Relu, out),
-                         fixedParallelism(OpType::Relu, 1, 0.0),
-                         {bias_id});
-        rec.actOp = act;
-    }
-    rec.outShape = out;
-    _shape = out;
-    pushActivation(act);
-    _layers.push_back(std::move(rec));
+    if (_b.shape(_cur).rank() != 2)
+        _cur = _b.flatten(_cur);
+    _cur = _b.dense(_cur, units, relu);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::mul()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::Mul;
-    rec.inShape = _shape;
-    rec.outShape = _shape;
-    rec.label = layerLabel("mul");
-
-    OpId id = _graph.add(
-        OpType::Mul, rec.label + "/Mul",
-        elementwiseCost(OpType::Mul, _shape),
-        fixedParallelism(OpType::Mul, 1, double(_shape.elems())),
-        tailDeps());
-    rec.fwdOp = id;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.mulChain(_cur);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::slice()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::Slice;
-    rec.inShape = _shape;
-    rec.outShape = _shape;
-    rec.label = layerLabel("slice");
-
-    OpId id = _graph.add(
-        OpType::Slice, rec.label + "/Slice",
-        dataMovementCost(double(_shape.bytes())),
-        fixedParallelism(OpType::Slice, 1, 0.0),
-tailDeps());
-    rec.fwdOp = id;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.slice(_cur);
     return *this;
 }
 
 CnnBuilder &
 CnnBuilder::concat()
 {
-    LayerRecord rec;
-    rec.kind = LayerKind::Concat;
-    rec.inShape = _shape;
-    rec.outShape = _shape;
-    rec.label = layerLabel("concat");
-
-    OpId id = _graph.add(OpType::Concat, rec.label + "/Concat",
-                         dataMovementCost(double(_shape.bytes())),
-                         fixedParallelism(OpType::Concat, 1, 0.0),
-                         tailDeps());
-    rec.fwdOp = id;
-    pushActivation(id);
-    _layers.push_back(std::move(rec));
+    _cur = _b.concat(_cur);
     return *this;
 }
 
 Graph
 CnnBuilder::finishForwardOnly()
 {
-    return std::move(_graph);
+    return _b.finishForward();
 }
 
 Graph
 CnnBuilder::finish(std::size_t extra_loss_muls)
 {
-    fatal_if(_layers.empty(), "cannot finish an empty model");
-
-    // ---- Loss: softmax + grad over the final activation.
-    std::int64_t batch = _shape.dim(0);
-    std::int64_t classes = _shape.elems() / batch;
-    OpId loss = _graph.add(
-        OpType::Softmax, "loss/Softmax",
-        softmaxCost(OpType::Softmax, batch, classes),
-        fixedParallelism(OpType::Softmax, 1, 0.0), {_tail});
-
-    // GAN-style losses spray many small Mul ops around the loss.
-    OpId mul_tail = loss;
-    TensorShape loss_shape{batch, classes};
-    for (std::size_t i = 0; i < extra_loss_muls; ++i) {
-        mul_tail = _graph.add(
-            OpType::Mul, "loss/Mul_" + std::to_string(i),
-            elementwiseCost(OpType::Mul, loss_shape),
-            fixedParallelism(OpType::Mul, 1, double(loss_shape.elems())),
-            {mul_tail});
-    }
-
-    OpId grad = _graph.add(
-        OpType::SoftmaxGrad, "loss/SoftmaxGrad",
-        softmaxCost(OpType::SoftmaxGrad, batch, classes),
-        fixedParallelism(OpType::SoftmaxGrad, 1, 0.0), {mul_tail});
-
-    // ---- Backward pass, last layer to first.
-    std::vector<OpId> grad_ops; // parameter-gradient producers
-    std::vector<std::int64_t> grad_params;
-    std::vector<std::string> grad_labels;
-
-    for (auto it = _layers.rbegin(); it != _layers.rend(); ++it) {
-        const LayerRecord &rec = *it;
-        switch (rec.kind) {
-          case LayerKind::Conv:
-          case LayerKind::Deconv: {
-            if (rec.relu) {
-                grad = _graph.add(
-                    OpType::ReluGrad, rec.label + "/ReluGrad",
-                    activationCost(OpType::ReluGrad, rec.outShape),
-                    fixedParallelism(OpType::ReluGrad, 1, 0.0),
-                    {grad, rec.actOp});
-            }
-            OpId bias_grad = _graph.add(
-                OpType::BiasAddGrad, rec.label + "/BiasAddGrad",
-                biasAddGradCost(rec.outShape, rec.cOut),
-                fixedParallelism(OpType::BiasAddGrad, 8,
-                                 double(rec.cOut)),
-                {grad});
-            grad_ops.push_back(bias_grad);
-            grad_params.push_back(rec.cOut);
-            grad_labels.push_back(rec.label + "/bias");
-
-            OpId w_grad = _graph.add(
-                OpType::Conv2DBackpropFilter,
-                rec.label + "/Conv2DBackpropFilter",
-                conv2dBackpropFilterCost(rec.inShape, rec.k, rec.cOut,
-                                         rec.stride),
-                fixedParallelism(OpType::Conv2DBackpropFilter,
-                                 rec.k * rec.k,
-                                 double(rec.params)),
-                {grad, rec.fwdOp});
-            grad_ops.push_back(w_grad);
-            grad_params.push_back(rec.params - rec.cOut);
-            grad_labels.push_back(rec.label + "/kernel");
-
-            bool first_layer = (it + 1 == _layers.rend());
-            if (!first_layer) {
-                grad = _graph.add(
-                    OpType::Conv2DBackpropInput,
-                    rec.label + "/Conv2DBackpropInput",
-                    conv2dBackpropInputCost(rec.inShape, rec.k, rec.cOut,
-                                            rec.stride),
-                    fixedParallelism(OpType::Conv2DBackpropInput,
-                                     rec.k * rec.k,
-                                     double(rec.inShape.elems())),
-                    {grad});
-            }
-            break;
-          }
-          case LayerKind::Fc: {
-            if (rec.relu) {
-                grad = _graph.add(
-                    OpType::ReluGrad, rec.label + "/ReluGrad",
-                    activationCost(OpType::ReluGrad, rec.outShape),
-                    fixedParallelism(OpType::ReluGrad, 1, 0.0),
-                    {grad, rec.actOp});
-            }
-            OpId bias_grad = _graph.add(
-                OpType::BiasAddGrad, rec.label + "/BiasAddGrad",
-                biasAddGradCost(rec.outShape, rec.cOut),
-                fixedParallelism(OpType::BiasAddGrad, 8,
-                                 double(rec.cOut)),
-                {grad});
-            grad_ops.push_back(bias_grad);
-            grad_params.push_back(rec.cOut);
-            grad_labels.push_back(rec.label + "/bias");
-
-            std::int64_t in_dim = rec.inShape.dim(1);
-            std::int64_t b = rec.inShape.dim(0);
-            OpId w_grad = _graph.add(
-                OpType::MatMulGradWeights, rec.label + "/MatMul_grad_w",
-                matmulCost(in_dim, b, rec.cOut),
-                fixedParallelism(OpType::MatMulGradWeights,
-                                 std::min<std::int64_t>(b, 64),
-                                 double(in_dim * rec.cOut)),
-                {grad, rec.fwdOp});
-            grad_ops.push_back(w_grad);
-            grad_params.push_back(in_dim * rec.cOut);
-            grad_labels.push_back(rec.label + "/kernel");
-
-            bool first_layer = (it + 1 == _layers.rend());
-            if (!first_layer) {
-                grad = _graph.add(
-                    OpType::MatMulGradInputs,
-                    rec.label + "/MatMul_grad_x",
-                    matmulCost(b, rec.cOut, in_dim),
-                    fixedParallelism(OpType::MatMulGradInputs,
-                                     std::min<std::int64_t>(rec.cOut, 64),
-                                     double(b * in_dim)),
-                    {grad});
-            }
-            break;
-          }
-          case LayerKind::MaxPool:
-            grad = _graph.add(
-                OpType::MaxPoolGrad, rec.label + "/MaxPoolGrad",
-                poolCost(OpType::MaxPoolGrad, rec.inShape, rec.k,
-                         rec.stride),
-                fixedParallelism(OpType::MaxPoolGrad, 1, 0.0),
-                {grad, rec.fwdOp});
-            break;
-          case LayerKind::AvgPool:
-            grad = _graph.add(
-                OpType::AvgPoolGrad, rec.label + "/AvgPoolGrad",
-                poolCost(OpType::AvgPoolGrad, rec.inShape, rec.k,
-                         rec.stride),
-                fixedParallelism(OpType::AvgPoolGrad, 1, 0.0),
-                {grad});
-            break;
-          case LayerKind::BatchNorm: {
-            grad = _graph.add(
-                OpType::BatchNormGrad, rec.label + "/FusedBatchNormGrad",
-                batchNormCost(OpType::BatchNormGrad, rec.inShape),
-                fixedParallelism(OpType::BatchNormGrad, 1,
-                                 double(rec.inShape.elems())),
-                {grad, rec.fwdOp});
-            grad_ops.push_back(grad);
-            grad_params.push_back(rec.params);
-            grad_labels.push_back(rec.label + "/scale_offset");
-            break;
-          }
-          case LayerKind::Dropout:
-            grad = _graph.add(
-                OpType::DropoutGrad, rec.label + "/DropoutGrad",
-                dropoutCost(OpType::DropoutGrad, rec.inShape),
-                fixedParallelism(OpType::DropoutGrad, 1, 0.0),
-                {grad, rec.fwdOp});
-            break;
-          case LayerKind::Mul:
-            grad = _graph.add(
-                OpType::Mul, rec.label + "/MulGrad",
-                elementwiseCost(OpType::Mul, rec.inShape),
-                fixedParallelism(OpType::Mul, 1,
-                                 double(rec.inShape.elems())),
-                {grad});
-            break;
-          case LayerKind::Slice:
-          case LayerKind::Concat:
-            grad = _graph.add(
-                OpType::Slice, rec.label + "/SliceGrad",
-                dataMovementCost(double(rec.inShape.bytes())),
-                fixedParallelism(OpType::Slice, 1, 0.0), {grad});
-            break;
-          case LayerKind::Flatten:
-            // Reshape gradients are metadata-only.
-            break;
-        }
-    }
-
-    // ---- Optimizer: one ApplyAdam per parameter tensor.
-    for (std::size_t i = 0; i < grad_ops.size(); ++i) {
-        _graph.add(OpType::ApplyAdam, grad_labels[i] + "/ApplyAdam",
-                   applyAdamCost(grad_params[i]),
-                   fixedParallelism(OpType::ApplyAdam, 1, 0.0),
-                   {grad_ops[i]});
-    }
-
-    return std::move(_graph);
+    return _b.trainingStep(_cur, Optimizer::Adam, extra_loss_muls);
 }
 
 } // namespace hpim::nn

@@ -1,11 +1,16 @@
 /**
  * @file
- * Training-graph builder.
+ * Layer-level training-graph builder.
  *
- * Records forward layers fluently, then emits the TensorFlow-style
- * backward pass (Conv2DBackpropFilter/Input, MatMulGrad*, BiasAddGrad,
- * ReluGrad, MaxPoolGrad, ...) and one ApplyAdam per parameter tensor,
- * producing op mixes and invocation counts matching paper Table I.
+ * CnnBuilder is the fluent, single-activation-chain convenience shell
+ * over the op-by-op nn::Builder (nn/graph_builder.hh): it threads one
+ * running activation through conv/pool/fc/... layers and finishes with
+ * the TensorFlow-style backward pass (Conv2DBackpropFilter/Input,
+ * MatMulGrad*, BiasAddGrad, ReluGrad, MaxPoolGrad, ...) plus one
+ * ApplyAdam per parameter tensor, producing op mixes and invocation
+ * counts matching paper Table I. All op emission lives in Builder;
+ * CnnBuilder just forwards, so both produce byte-identical graphs for
+ * the chains CnnBuilder can express.
  */
 
 #ifndef HPIM_NN_BUILDER_HH
@@ -13,9 +18,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "nn/graph.hh"
+#include "nn/graph_builder.hh"
 #include "nn/tensor_shape.hh"
 
 namespace hpim::nn {
@@ -70,10 +75,10 @@ class CnnBuilder
     CnnBuilder &concat();
 
     /** @return current activation shape. */
-    const TensorShape &shape() const { return _shape; }
+    const TensorShape &shape() const { return _b.shape(_cur); }
 
     /** @return current activation op id (invalidOp before any layer). */
-    OpId tail() const { return _tail; }
+    OpId tail() const { return _b.producer(_cur); }
 
     /**
      * Finish the step: softmax loss over the last dim, full backward
@@ -87,45 +92,8 @@ class CnnBuilder
     Graph finishForwardOnly();
 
   private:
-    enum class LayerKind
-    {
-        Conv, Deconv, MaxPool, AvgPool, BatchNorm, Dropout, Fc,
-        Mul, Slice, Concat, Flatten
-    };
-
-    struct LayerRecord
-    {
-        LayerKind kind;
-        TensorShape inShape;
-        TensorShape outShape;
-        std::int64_t k = 0;       ///< kernel/window size
-        std::int64_t stride = 1;
-        std::int64_t cOut = 0;    ///< conv out channels / fc units
-        bool relu = false;
-        OpId fwdOp = invalidOp;   ///< main forward op
-        OpId actOp = invalidOp;   ///< relu op if any
-        std::int64_t params = 0;  ///< trainable parameter count
-        std::string label;
-    };
-
-    std::string layerLabel(const char *base);
-    void pushActivation(OpId id) { _tail = id; }
-
-    /** Dependence list on the current activation (empty at start). */
-    std::vector<OpId>
-    tailDeps() const
-    {
-        return _tail == invalidOp ? std::vector<OpId>{}
-                                  : std::vector<OpId>{_tail};
-    }
-
-    Graph _graph;
-    TensorShape _shape;
-    OpId _tail = invalidOp;
-    std::vector<LayerRecord> _layers;
-    std::size_t _conv_index = 0;
-    std::size_t _fc_index = 0;
-    std::size_t _misc_index = 0;
+    Builder _b;
+    TensorRef _cur;
 };
 
 } // namespace hpim::nn

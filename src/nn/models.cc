@@ -1,6 +1,7 @@
 #include "nn/models.hh"
 
 #include "nn/builder.hh"
+#include "nn/graph_builder.hh"
 #include "sim/logging.hh"
 
 namespace hpim::nn {
@@ -209,8 +210,8 @@ buildLstm(int batch)
     const std::int64_t seq = 35;
     const std::int64_t vocab = 10000;
 
-    Graph g("LSTM");
-    OpId prev = g.add(OpType::EmbeddingLookup, "embed/Lookup",
+    Builder b("LSTM");
+    OpId prev = b.rawOp(OpType::EmbeddingLookup, "embed/Lookup",
                       embeddingCost(OpType::EmbeddingLookup,
                                     batch * seq, hidden),
                       fixedParallelism(OpType::EmbeddingLookup, 1, 0.0));
@@ -221,7 +222,7 @@ buildLstm(int batch)
         for (int t = 0; t < seq; ++t) {
             std::string label = "lstm" + std::to_string(layer) + "/t"
                                 + std::to_string(t);
-            prev = g.add(OpType::LstmCell, label + "/LSTMCell",
+            prev = b.rawOp(OpType::LstmCell, label + "/LSTMCell",
                          lstmCellCost(OpType::LstmCell, batch, in_dim,
                                       hidden),
                          fixedParallelism(OpType::LstmCell, 64,
@@ -229,7 +230,7 @@ buildLstm(int batch)
                          {prev});
             cell_fwd.push_back(prev);
         }
-        prev = g.add(OpType::Dropout,
+        prev = b.rawOp(OpType::Dropout,
                      "lstm" + std::to_string(layer) + "/Dropout",
                      dropoutCost(OpType::Dropout,
                                  TensorShape{batch * seq, hidden}),
@@ -237,19 +238,19 @@ buildLstm(int batch)
     }
 
     // Output projection over the whole unrolled sequence.
-    OpId proj = g.add(OpType::MatMul, "proj/MatMul",
+    OpId proj = b.rawOp(OpType::MatMul, "proj/MatMul",
                       matmulCost(batch * seq, hidden, vocab),
                       fixedParallelism(OpType::MatMul, 64,
                                        double(batch * seq * vocab)),
                       {prev});
-    OpId soft = g.add(OpType::Softmax, "loss/Softmax",
+    OpId soft = b.rawOp(OpType::Softmax, "loss/Softmax",
                       softmaxCost(OpType::Softmax, batch * seq, vocab),
                       fixedParallelism(OpType::Softmax, 1, 0.0), {proj});
-    OpId grad = g.add(OpType::SoftmaxGrad, "loss/SoftmaxGrad",
+    OpId grad = b.rawOp(OpType::SoftmaxGrad, "loss/SoftmaxGrad",
                       softmaxCost(OpType::SoftmaxGrad, batch * seq, vocab),
                       fixedParallelism(OpType::SoftmaxGrad, 1, 0.0),
                       {soft});
-    grad = g.add(OpType::MatMulGradWeights, "proj/MatMul_grad_w",
+    grad = b.rawOp(OpType::MatMulGradWeights, "proj/MatMul_grad_w",
                  matmulCost(hidden, batch * seq, vocab),
                  fixedParallelism(OpType::MatMulGradWeights, 64,
                                   double(hidden * vocab)),
@@ -257,7 +258,7 @@ buildLstm(int batch)
 
     // Backward through time, newest step first.
     for (auto it = cell_fwd.rbegin(); it != cell_fwd.rend(); ++it) {
-        grad = g.add(OpType::LstmCellGrad, "bptt/LSTMCellGrad",
+        grad = b.rawOp(OpType::LstmCellGrad, "bptt/LSTMCellGrad",
                      lstmCellCost(OpType::LstmCellGrad, batch, hidden,
                                   hidden),
                      fixedParallelism(OpType::LstmCellGrad, 64,
@@ -265,7 +266,7 @@ buildLstm(int batch)
                      {grad, *it});
     }
 
-    OpId embed_grad = g.add(OpType::EmbeddingGrad, "embed/Grad",
+    OpId embed_grad = b.rawOp(OpType::EmbeddingGrad, "embed/Grad",
                             embeddingCost(OpType::EmbeddingGrad,
                                           batch * seq, hidden),
                             fixedParallelism(OpType::EmbeddingGrad, 1,
@@ -274,16 +275,16 @@ buildLstm(int batch)
 
     // Parameter updates: 2 layers of LSTM weights + projection + embed.
     std::int64_t lstm_params = 2 * (4 * (2 * hidden) * hidden);
-    g.add(OpType::ApplyAdam, "lstm/ApplyAdam",
+    b.rawOp(OpType::ApplyAdam, "lstm/ApplyAdam",
           applyAdamCost(lstm_params),
           fixedParallelism(OpType::ApplyAdam, 1, 0.0), {grad});
-    g.add(OpType::ApplyAdam, "proj/ApplyAdam",
+    b.rawOp(OpType::ApplyAdam, "proj/ApplyAdam",
           applyAdamCost(hidden * vocab),
           fixedParallelism(OpType::ApplyAdam, 1, 0.0), {grad});
-    g.add(OpType::ApplyAdam, "embed/ApplyAdam",
+    b.rawOp(OpType::ApplyAdam, "embed/ApplyAdam",
           applyAdamCost(vocab * hidden),
           fixedParallelism(OpType::ApplyAdam, 1, 0.0), {embed_grad});
-    return g;
+    return b.finishForward();
 }
 
 Graph
@@ -295,35 +296,35 @@ buildWord2vec(int batch)
     const std::int64_t vocab = 50000;
     const std::int64_t negatives = 64;
 
-    Graph g("Word2vec");
-    OpId in = g.add(OpType::EmbeddingLookup, "embed_in/Lookup",
+    Builder b("Word2vec");
+    OpId in = b.rawOp(OpType::EmbeddingLookup, "embed_in/Lookup",
                     embeddingCost(OpType::EmbeddingLookup, batch, dim),
                     fixedParallelism(OpType::EmbeddingLookup, 1, 0.0));
-    OpId out = g.add(OpType::EmbeddingLookup, "embed_out/Lookup",
+    OpId out = b.rawOp(OpType::EmbeddingLookup, "embed_out/Lookup",
                      embeddingCost(OpType::EmbeddingLookup,
                                    batch * (1 + negatives), dim),
                      fixedParallelism(OpType::EmbeddingLookup, 1, 0.0));
-    OpId loss = g.add(OpType::NceLoss, "loss/NceLoss",
+    OpId loss = b.rawOp(OpType::NceLoss, "loss/NceLoss",
                       nceLossCost(batch, negatives, dim),
                       fixedParallelism(OpType::NceLoss, 16,
                                        double(batch * (1 + negatives))),
                       {in, out});
-    OpId grad_in = g.add(OpType::EmbeddingGrad, "embed_in/Grad",
+    OpId grad_in = b.rawOp(OpType::EmbeddingGrad, "embed_in/Grad",
                          embeddingCost(OpType::EmbeddingGrad, batch, dim),
                          fixedParallelism(OpType::EmbeddingGrad, 1, 0.0),
                          {loss});
-    OpId grad_out = g.add(OpType::EmbeddingGrad, "embed_out/Grad",
+    OpId grad_out = b.rawOp(OpType::EmbeddingGrad, "embed_out/Grad",
                           embeddingCost(OpType::EmbeddingGrad,
                                         batch * (1 + negatives), dim),
                           fixedParallelism(OpType::EmbeddingGrad, 1, 0.0),
                           {loss});
-    g.add(OpType::ApplyAdam, "embed_in/ApplyAdam",
+    b.rawOp(OpType::ApplyAdam, "embed_in/ApplyAdam",
           applyAdamCost(vocab * dim / 100), // touched rows only
           fixedParallelism(OpType::ApplyAdam, 1, 0.0), {grad_in});
-    g.add(OpType::ApplyAdam, "embed_out/ApplyAdam",
+    b.rawOp(OpType::ApplyAdam, "embed_out/ApplyAdam",
           applyAdamCost(vocab * dim / 100),
           fixedParallelism(OpType::ApplyAdam, 1, 0.0), {grad_out});
-    return g;
+    return b.finishForward();
 }
 
 } // namespace hpim::nn

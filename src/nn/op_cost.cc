@@ -224,6 +224,40 @@ poolCost(OpType type, const TensorShape &input, std::int64_t k,
 }
 
 CostStructure
+poolCost2d(OpType type, const TensorShape &input, std::int64_t kh,
+           std::int64_t kw, std::int64_t sh, std::int64_t sw)
+{
+    fatal_if(input.rank() != 4, "pool input must be NHWC, got rank ",
+             input.rank());
+    double out = static_cast<double>(input.dim(0))
+                 * outDim(input.dim(1), sh) * outDim(input.dim(2), sw)
+                 * input.dim(3);
+    double window = static_cast<double>(kh * kw);
+    CostStructure c;
+    switch (type) {
+      case OpType::MaxPool:
+        c.specials = out * window; // compares
+        break;
+      case OpType::MaxPoolGrad:
+        c.specials = out * (window + 1.0); // argmax replay + scatter
+        break;
+      case OpType::AvgPool:
+        c.adds = out * window;
+        c.specials = out; // divide
+        break;
+      case OpType::AvgPoolGrad:
+        c.adds = out * window;
+        c.specials = out;
+        break;
+      default:
+        panic("poolCost2d: not a pooling op: ", opName(type));
+    }
+    c.bytesRead = static_cast<double>(input.bytes());
+    c.bytesWritten = out * elementBytes;
+    return c;
+}
+
+CostStructure
 softmaxCost(OpType type, std::int64_t batch, std::int64_t classes)
 {
     CostStructure c;
@@ -252,6 +286,23 @@ applyAdamCost(std::int64_t params)
     c.specials = 2.0 * n; // sqrt + divide
     c.bytesRead = 3.0 * n * elementBytes;  // param + m + v
     c.bytesWritten = 3.0 * n * elementBytes;
+    return c;
+}
+
+CostStructure
+applySgdCost(std::int64_t params)
+{
+    // One fused multiply-add per parameter; reads param + gradient,
+    // writes the param back. No moment state, so the memory footprint
+    // is a third of Adam's -- the contrast the GradPIM-style
+    // optimizer-heavy mixes are about.
+    CostStructure c;
+    double n = static_cast<double>(params);
+    c.muls = n;
+    c.adds = n;
+    c.specials = 0.2 * n; // learning-rate schedule + bounds checks
+    c.bytesRead = 2.0 * n * elementBytes; // param + grad
+    c.bytesWritten = n * elementBytes;
     return c;
 }
 

@@ -102,12 +102,21 @@ CostStructure activationCost(OpType type, const TensorShape &shape);
 CostStructure poolCost(OpType type, const TensorShape &input,
                        std::int64_t k, std::int64_t stride);
 
+/** Cost of pooling with a non-square window kh x kw, strides sh/sw.
+ *  For a square window this matches poolCost exactly. */
+CostStructure poolCost2d(OpType type, const TensorShape &input,
+                         std::int64_t kh, std::int64_t kw,
+                         std::int64_t sh, std::int64_t sw);
+
 /** Cost of softmax (+grad) over [batch, classes]. */
 CostStructure softmaxCost(OpType type, std::int64_t batch,
                           std::int64_t classes);
 
 /** Cost of the Adam update over @p params parameters. */
 CostStructure applyAdamCost(std::int64_t params);
+
+/** Cost of the plain SGD update (p -= lr * g) over @p params. */
+CostStructure applySgdCost(std::int64_t params);
 
 /** Cost of dropout (+grad) over @p shape. */
 CostStructure dropoutCost(OpType type, const TensorShape &shape);

@@ -50,6 +50,7 @@ constexpr std::array<OpTraits, numOpTypes> kTraits = {{
     {"Reshape",              OffloadClass::DataMovement,     1.00},
     {"Transpose",            OffloadClass::DataMovement,     1.00},
     {"Pad",                  OffloadClass::DataMovement,     1.00},
+    {"ApplySGD",             OffloadClass::ProgrammableOnly, 0.10},
 }};
 
 } // namespace
@@ -60,6 +61,16 @@ opTraits(OpType type)
     auto idx = static_cast<std::size_t>(type);
     panic_if(idx >= numOpTypes, "invalid op type ", idx);
     return kTraits[idx];
+}
+
+std::optional<OpType>
+opTypeFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < numOpTypes; ++i) {
+        if (name == kTraits[i].name)
+            return static_cast<OpType>(i);
+    }
+    return std::nullopt;
 }
 
 } // namespace hpim::nn

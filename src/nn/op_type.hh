@@ -16,7 +16,9 @@
 #define HPIM_NN_OP_TYPE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace hpim::nn {
 
@@ -63,6 +65,11 @@ enum class OpType : std::uint8_t
     Reshape,
     Transpose,
     Pad,
+    // Plain stochastic-gradient-descent update (GradPIM-style
+    // optimizer-heavy workloads). Appended at the end: signature()
+    // hashes the numeric enum value, so inserting mid-enum would
+    // silently re-key every memoized graph.
+    ApplySgd,
 
     NumOpTypes
 };
@@ -100,6 +107,10 @@ struct OpTraits
 
 /** @return the traits for @p type. */
 const OpTraits &opTraits(OpType type);
+
+/** @return the OpType whose wire/profiler name is @p name, or
+ *  nullopt for an unknown name (the GraphIo loader's reverse map). */
+std::optional<OpType> opTypeFromName(std::string_view name);
 
 /** @return the TensorFlow-style op name. */
 inline std::string

@@ -1169,7 +1169,15 @@ Executor::onOpComplete(const OpKey &key)
 
     panic_if(wl.remainingOps[key.step] == 0, "step op underflow");
     if (--wl.remainingOps[key.step] == 0) {
-        ++wl.completedSteps;
+        // completedSteps counts the fully-finished PREFIX of steps.
+        // With pipelining a later step can drain before an earlier one
+        // (placement divergence on wide DAGs), but the step-window
+        // contract (schedule_validator) admits step s+window only once
+        // step s itself has ended -- so gate on the prefix, not on a
+        // raw count of drained steps.
+        while (wl.completedSteps < wl.seededSteps
+               && wl.remainingOps[wl.completedSteps] == 0)
+            ++wl.completedSteps;
         // Admit the next step(s) within the pipeline window.
         while (wl.seededSteps < wl.spec.steps
                && wl.seededSteps < wl.completedSteps + stepWindow(wl)) {

@@ -5,6 +5,7 @@
 #include "harness/json.hh"
 #include "harness/json_writer.hh"
 #include "harness/report_io.hh"
+#include "nn/graph_io.hh"
 #include "sim/config.hh"
 
 namespace hpim::serve {
@@ -193,6 +194,7 @@ simSchema()
     sim::ConfigSchema schema;
     schema.keys = {
         {"model", ConfigType::String, false, 0.0, 0.0},
+        {"graph", ConfigType::String, false, 0.0, 0.0},
         {"system", ConfigType::String, false, 0.0, 0.0},
         {"steps", ConfigType::Int, false, 1.0, 1e6},
         {"freq_scale", ConfigType::Double, false, 1.0 / 64, 128.0},
@@ -261,6 +263,7 @@ parseSimulateSpec(const json::Value &object)
 
     SimulateSpec spec;
     spec.model = config.getString("model", spec.model);
+    spec.graph = config.getString("graph", spec.graph);
     spec.system = config.getString("system", spec.system);
     spec.steps = static_cast<std::uint32_t>(
         config.getInt("steps", spec.steps));
@@ -283,9 +286,28 @@ parseSimulateSpec(const json::Value &object)
         }
     }
 
-    if (!modelFromToken(spec.model))
+    if (!spec.graph.empty()) {
+        if (object.find("model") != nullptr)
+            throw ProtocolError("'graph' and 'model' are mutually "
+                                "exclusive; a graph document is a "
+                                "complete workload");
+        if (spec.batch != 0)
+            throw ProtocolError("'batch' does not apply to 'graph' "
+                                "workloads: a serialized graph bakes "
+                                "its batch into its op costs");
+        if (spec.system == "gpu")
+            throw ProtocolError("the analytic GPU model needs "
+                                "per-model calibration and cannot "
+                                "run 'graph' workloads");
+        try {
+            hpim::nn::loadGraph(spec.graph);
+        } catch (const hpim::nn::GraphParseError &e) {
+            throw ProtocolError(e.what());
+        }
+    } else if (!modelFromToken(spec.model)) {
         throw ProtocolError("unknown model '" + spec.model + "' ("
                             + modelTokenList() + ")");
+    }
     if (!systemFromToken(spec.system))
         throw ProtocolError("unknown system '" + spec.system + "' ("
                             + systemTokenList() + ")");
@@ -300,8 +322,15 @@ parseSimulateSpec(const json::Value &object)
 void
 appendSimFields(std::string &out, const SimulateSpec &sim)
 {
-    out += "\"sim\":{\"model\":\"";
-    json::escape(out, sim.model);
+    // A graph workload replaces the model field on the wire; the
+    // parser rejects requests carrying both.
+    if (!sim.graph.empty()) {
+        out += "\"sim\":{\"graph\":\"";
+        json::escape(out, sim.graph);
+    } else {
+        out += "\"sim\":{\"model\":\"";
+        json::escape(out, sim.model);
+    }
     out += "\",\"system\":\"";
     json::escape(out, sim.system);
     out += "\",\"steps\":" + std::to_string(sim.steps);

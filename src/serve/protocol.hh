@@ -125,6 +125,14 @@ const char *requestKindName(RequestKind kind);
 struct SimulateSpec
 {
     std::string model = "alexnet";
+    /**
+     * A complete nn::GraphIo JSON document (the *content* of a graph
+     * file, carried as a string field). Empty = run the built-in
+     * `model`. Mutually exclusive with an explicit `model`, with a
+     * non-zero `batch` (a serialized graph bakes its batch into its
+     * op costs), and with the analytic `gpu` system.
+     */
+    std::string graph;
     std::string system = "hetero";
     std::uint32_t steps = 4;
     double freqScale = 1.0;

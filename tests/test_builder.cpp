@@ -146,3 +146,45 @@ TEST(Builder, EveryOpReachableFromExecution)
     }
     SUCCEED();
 }
+
+// ---- Shape-inference edge cases through the delegating CnnBuilder
+// (the op-by-op Builder underneath is covered in
+// test_graph_builder.cpp).
+
+TEST(Builder, OddStrideRoundsUp)
+{
+    CnnBuilder b("t", TensorShape{2, 13, 13, 3});
+    b.conv(3, 8, 3);
+    EXPECT_EQ(b.shape(), (TensorShape{2, 5, 5, 8}));
+    b.maxPool(3, 3);
+    EXPECT_EQ(b.shape(), (TensorShape{2, 2, 2, 8}));
+}
+
+TEST(Builder, FlattenAfterPoolFeedsFc)
+{
+    CnnBuilder b("t", TensorShape{2, 16, 16, 8});
+    b.maxPool(2, 2).fc(10, false);
+    EXPECT_EQ(b.shape(), (TensorShape{2, 10}));
+    Graph g = b.finish();
+    // fc flattened the pooled NHWC activation before its MatMul.
+    EXPECT_EQ(g.countType(OpType::Reshape), 1u);
+    EXPECT_EQ(g.countType(OpType::MaxPoolGrad), 1u);
+}
+
+TEST(Builder, DeconvUpsamplesByItsFactor)
+{
+    CnnBuilder b("t", TensorShape{1, 7, 7, 128});
+    b.deconv(5, 64, 4);
+    EXPECT_EQ(b.shape(), (TensorShape{1, 28, 28, 64}));
+}
+
+TEST(Builder, DelegatesToTheSameBuilderOpStream)
+{
+    // The refactor contract: CnnBuilder is a shell over nn::Builder,
+    // so identical layer sequences produce identical signatures.
+    CnnBuilder a("net", TensorShape{2, 16, 16, 3});
+    a.conv(3, 8, 1).maxPool(2, 2).fc(10, false);
+    CnnBuilder c("net", TensorShape{2, 16, 16, 3});
+    c.conv(3, 8, 1).maxPool(2, 2).fc(10, false);
+    EXPECT_EQ(a.finish().signature(), c.finish().signature());
+}

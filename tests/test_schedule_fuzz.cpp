@@ -23,6 +23,7 @@
 
 #include "harness/sweep.hh"
 #include "nn/graph.hh"
+#include "nn/graph_builder.hh"
 #include "nn/op_cost.hh"
 #include "rt/executor.hh"
 #include "rt/schedule_validator.hh"
@@ -36,6 +37,7 @@ namespace {
 constexpr std::size_t numFuzzPoints = 200;
 constexpr std::uint64_t fuzzBaseSeed = 0xf022ed5eedULL;
 constexpr std::uint64_t faultFuzzBaseSeed = 0xfa17f022edULL;
+constexpr std::uint64_t builderFuzzBaseSeed = 0xb117de2f022ULL;
 
 /** Append one random op, depending on up to 3 earlier ops. */
 void
@@ -168,6 +170,91 @@ randomGraph(sim::Rng &rng, const std::string &name)
     for (std::uint32_t i = 0; i < ops; ++i)
         addRandomOp(graph, rng, i, batch);
     return graph;
+}
+
+/**
+ * A random but always shape-legal DAG through the public nn::Builder
+ * (docs/GRAPHS.md): an NHWC conv/pool/norm phase, flatten, then a
+ * rank-2 phase mixing dense layers, residual adds, and attention
+ * motifs (matmul over a transpose, softmax, mix), closed either as a
+ * training step (random optimizer, random extra loss Muls) or
+ * forward-only. Exercises the same autodiff/fan-out machinery user
+ * graphs go through before they reach the executor.
+ */
+nn::Graph
+randomBuilderGraph(sim::Rng &rng, const std::string &name)
+{
+    nn::Builder b(name);
+    std::int64_t batch = 1 << rng.inRange(0, 4); // 1..16
+    nn::TensorRef x = b.input(
+        nn::TensorShape{batch, 8 * rng.inRange(1, 4),
+                        8 * rng.inRange(1, 4), rng.inRange(1, 8)});
+
+    auto spatial_ops = static_cast<std::uint32_t>(rng.inRange(1, 5));
+    for (std::uint32_t i = 0; i < spatial_ops; ++i) {
+        std::int64_t h = b.shape(x).dim(1), w = b.shape(x).dim(2);
+        switch (rng.below(5)) {
+          case 0: {
+            std::int64_t k = 1 + 2 * rng.inRange(0, 2); // 1/3/5
+            if (k > std::min(h, w))
+                k = 1;
+            x = b.conv2d(x, k, rng.inRange(1, 16),
+                         rng.chance(0.3) ? 2 : 1, rng.chance(0.7));
+            break;
+          }
+          case 1:
+            if (h >= 2 && w >= 2) {
+                // Occasionally a non-square window/stride.
+                if (rng.chance(0.3) && h >= 3)
+                    x = b.maxPool(x, 3, 2, 3, 2);
+                else if (rng.chance(0.5))
+                    x = b.maxPool(x, 2, 2);
+                else
+                    x = b.avgPool(x, 2, 2);
+            }
+            break;
+          case 2: x = b.batchNorm(x); break;
+          case 3: x = b.dropout(x); break;
+          default: x = b.relu(x); break;
+        }
+    }
+    x = b.flatten(x);
+
+    auto flat_ops = static_cast<std::uint32_t>(rng.inRange(1, 6));
+    nn::TensorRef prev = x;
+    for (std::uint32_t i = 0; i < flat_ops; ++i) {
+        nn::TensorRef before = x;
+        switch (rng.below(7)) {
+          case 0: x = b.dense(x, rng.inRange(8, 64), rng.chance(0.5));
+                  break;
+          case 1: x = b.layerNorm(x); break;
+          case 2: x = b.dropout(x); break;
+          case 3: x = rng.chance(0.5) ? b.tanh(x) : b.sigmoid(x);
+                  break;
+          case 4: x = b.mulChain(x); break;
+          case 5: { // attention motif: x @ x^T, softmax, re-mix
+            if (b.shape(x).dim(0) <= 64) {
+                auto scores = b.matmul(x, b.transpose(x));
+                x = b.matmul(b.softmax(scores), x);
+            }
+            break;
+          }
+          default: // residual fan-out when the shape allows it
+            if (b.shape(x) == b.shape(prev))
+                x = rng.chance(0.5) ? b.add(x, prev) : b.mul(x, prev);
+            break;
+        }
+        prev = before;
+    }
+
+    auto logits = b.dense(x, rng.inRange(2, 32), false);
+    if (rng.chance(0.6)) {
+        return b.trainingStep(logits,
+                              rng.chance(0.5) ? nn::Optimizer::Adam
+                                              : nn::Optimizer::Sgd,
+                              rng.below(3));
+    }
+    return b.finishForward();
 }
 
 rt::SystemConfig
@@ -323,6 +410,35 @@ fuzzPoint(std::size_t index, sim::Rng &rng, bool with_faults = false)
     return outcome;
 }
 
+/** One random Builder-DAG point: build, execute, validate. */
+FuzzOutcome
+builderFuzzPoint(std::size_t index, sim::Rng &rng)
+{
+    FuzzOutcome outcome;
+    outcome.point = index;
+
+    rt::SystemConfig config = randomConfig(rng);
+    nn::Graph graph =
+        randomBuilderGraph(rng, "builder" + std::to_string(index));
+
+    std::vector<rt::WorkloadSpec> workloads;
+    rt::WorkloadSpec spec;
+    spec.graph = &graph;
+    spec.steps = static_cast<std::uint32_t>(rng.inRange(1, 3));
+    workloads.push_back(spec);
+
+    rt::Executor executor(config);
+    rt::ScheduleTrace trace;
+    executor.attachTrace(&trace);
+    executor.run(workloads);
+
+    auto validation = validateSchedule(trace, {&graph}, {spec.steps},
+                                       config);
+    for (const auto &violation : validation.violations)
+        outcome.violations.push_back(violation.what);
+    return outcome;
+}
+
 } // namespace
 
 TEST(ScheduleFuzz, RandomGraphsAndConfigsProduceLegalSchedules)
@@ -396,4 +512,45 @@ TEST(ScheduleFuzz, PointsAreReproducible)
         EXPECT_DOUBLE_EQ(ga.op(id).cost.flops(),
                          gb.op(id).cost.flops());
     }
+}
+
+TEST(ScheduleFuzz, RandomBuilderDagsProduceLegalSchedules)
+{
+    // 100 random user-style DAGs authored through the public
+    // nn::Builder -- autodiff, gradient fan-in Adds, both optimizers
+    // -- crossed with random SystemConfigs. Every schedule must pass
+    // validateSchedule with zero violations, the same bar the
+    // hand-rolled random graphs meet.
+    constexpr std::size_t numBuilderPoints = 100;
+    harness::SweepOptions options;
+    options.baseSeed = builderFuzzBaseSeed;
+    harness::SweepRunner runner(options);
+    auto outcomes = runner.map(
+        numBuilderPoints, [](std::size_t index, sim::Rng &rng) {
+            return builderFuzzPoint(index, rng);
+        });
+
+    std::size_t failing_points = 0;
+    for (const FuzzOutcome &outcome : outcomes) {
+        if (outcome.violations.empty())
+            continue;
+        ++failing_points;
+        for (const auto &what : outcome.violations) {
+            ADD_FAILURE() << "builder point " << outcome.point
+                          << " (stream seed "
+                          << sim::Rng::streamSeed(builderFuzzBaseSeed,
+                                                  outcome.point)
+                          << "): " << what;
+        }
+    }
+    EXPECT_EQ(failing_points, 0u);
+}
+
+TEST(ScheduleFuzz, BuilderPointsAreReproducible)
+{
+    sim::Rng a(sim::Rng::streamSeed(builderFuzzBaseSeed, 23));
+    sim::Rng b(sim::Rng::streamSeed(builderFuzzBaseSeed, 23));
+    nn::Graph ga = randomBuilderGraph(a, "g");
+    nn::Graph gb = randomBuilderGraph(b, "g");
+    EXPECT_EQ(ga.signature(), gb.signature());
 }
