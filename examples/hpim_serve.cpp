@@ -6,6 +6,7 @@
  *   hpim_serve --socket PATH [--workers N] [--admission-limit N]
  *              [--max-frame-bytes N] [--io-timeout-ms MS]
  *              [--drain-grace-ms MS] [--max-connections N]
+ *              [--sim-cache-max-entries N]
  *              [--trace FILE] [--failpoints SPEC]
  *
  * Listens on a Unix-domain socket for framed JSON requests (ping /
@@ -28,6 +29,7 @@
 #include "harness/failpoint.hh"
 #include "serve/server.hh"
 #include "sim/logging.hh"
+#include "sim/memo_cache.hh"
 
 namespace {
 
@@ -35,7 +37,10 @@ const char *const kUsage =
     "usage: hpim_serve --socket PATH [--workers N]\n"
     "  [--admission-limit N] [--max-frame-bytes N]\n"
     "  [--io-timeout-ms MS] [--drain-grace-ms MS]\n"
-    "  [--max-connections N] [--trace FILE] [--failpoints SPEC]\n"
+    "  [--max-connections N] [--sim-cache-max-entries N]\n"
+    "  [--trace FILE] [--failpoints SPEC]\n"
+    "  --sim-cache-max-entries caps the shared memo cache (oldest\n"
+    "  entries evicted first; 0 = unbounded; stats show evictions),\n"
     "  --failpoints arms deterministic host-IO fault injection,\n"
     "  e.g. 'serve.send=every(3):eintr' (docs/RESILIENCE.md)";
 
@@ -104,6 +109,9 @@ main(int argc, char **argv)
         else if (arg == "--max-connections")
             options.maxConnections =
                 static_cast<std::size_t>(parseU64(arg, next()));
+        else if (arg == "--sim-cache-max-entries")
+            hpim::sim::MemoCache::instance().setMaxEntries(
+                static_cast<std::size_t>(parseU64(arg, next())));
         else if (arg == "--trace") options.traceFile = next();
         else if (arg == "--failpoints") {
             try {

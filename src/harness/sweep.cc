@@ -25,6 +25,7 @@ constexpr std::uint32_t kMaxShards = 4096;
 const char *const kUsage =
     "usage: <binary> [--jobs N] [--seed S] [--journal DIR] "
     "[--shard i/N] [--no-steal] [--trace FILE] [--no-sim-cache] "
+    "[--sim-cache-max-entries N] "
     "[--failpoints SPEC] [--graph FILE]...\n"
     "  --jobs N       worker threads, 1..4096 (0 or absent: all "
     "hardware threads)\n"
@@ -38,6 +39,8 @@ const char *const kUsage =
     "(docs/OBSERVABILITY.md)\n"
     "  --no-sim-cache disable the cross-point memo cache "
     "(docs/PERFORMANCE.md)\n"
+    "  --sim-cache-max-entries N  cap the memo cache at N entries "
+    "(oldest evicted first; 0 = unbounded)\n"
     "  --failpoints SPEC arm host-IO fail points, e.g. "
     "'journal.append.write=after(3):enospc' (docs/RESILIENCE.md)\n"
     "  --graph FILE   also sweep a user graph (nn::GraphIo JSON; "
@@ -145,6 +148,8 @@ SweepRunner::SweepRunner(SweepOptions options)
         }
     }
     hpim::sim::MemoCache::setEnabled(_options.simCache);
+    hpim::sim::MemoCache::instance().setMaxEntries(
+        _options.simCacheMaxEntries);
     // Only journaled runs trade the default die-on-SIGINT for the
     // drain + flush + resumable-exit path.
     if (!_options.journalDir.empty())
@@ -560,6 +565,9 @@ parseSweepArgs(int argc, char **argv)
                       ", got ", value, "\n", kUsage);
             options.shardIndex = static_cast<std::uint32_t>(index);
             options.shardCount = static_cast<std::uint32_t>(count);
+        } else if (flagValue("--sim-cache-max-entries")) {
+            options.simCacheMaxEntries = static_cast<std::size_t>(
+                parseUint("--sim-cache-max-entries", value));
         } else if (arg == "--no-steal") {
             options.workSteal = false;
         } else if (arg == "--no-sim-cache") {
@@ -583,6 +591,19 @@ printSweepSummary(std::ostream &os, const SweepStats &stats)
        << fmt(stats.wallSec, 2) << " s, serial-equivalent "
        << fmt(stats.serialSec, 2) << " s, speedup "
        << fmtRatio(stats.speedup()) << "\n";
+    if (hpim::sim::MemoCache::enabled()) {
+        // Always-on atomics, readable without any obs attachment.
+        // CI byte-diffs strip [sweep] lines, so reporting cache
+        // efficacy here cannot perturb table identity.
+        auto cache = hpim::sim::MemoCache::instance().stats();
+        os << "[sweep] sim-cache: " << cache.hits << " hits, "
+           << cache.partialHits << " partial, " << cache.misses
+           << " misses, " << cache.insertions << " insertions, "
+           << cache.evictions << " evictions, " << cache.entries
+           << " entries\n";
+    } else {
+        os << "[sweep] sim-cache: disabled\n";
+    }
     if (stats.resumedPoints > 0) {
         os << "[sweep] " << stats.resumedPoints
            << (stats.resumedPoints == 1 ? " point" : " points")

@@ -92,6 +92,10 @@ struct SweepOptions
     /** Cross-point memo cache (sim::MemoCache); `--no-sim-cache`
      *  clears it. Cached and uncached runs are byte-identical. */
     bool simCache = true;
+    /** Entry cap for the memo cache (`--sim-cache-max-entries`);
+     *  0 = unbounded. Oldest-insertion-first eviction; affects hit
+     *  rate only, never results. */
+    std::size_t simCacheMaxEntries = 0;
     /** This process's 1-based shard (`--shard i/N`); 1/1 = unsharded.
      *  Sharding requires a journal directory. */
     std::uint32_t shardIndex = 1;

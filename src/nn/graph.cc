@@ -46,7 +46,36 @@ Graph::add(OpType type, std::string label, CostStructure cost,
         h = hashU64(in, h);
     _signature = h;
 
+    // Position-independent per-op digest: everything that determines
+    // the op's cost on any device model (type, cost fields, fixed
+    // parallelism) and nothing that merely locates or names it
+    // (label, id, inputs). Delta-evaluation keys on it (graph.hh).
+    std::uint64_t op_sig = hashU64(static_cast<std::uint64_t>(type));
+    op_sig = hashDouble(cost.muls, op_sig);
+    op_sig = hashDouble(cost.adds, op_sig);
+    op_sig = hashDouble(cost.specials, op_sig);
+    op_sig = hashDouble(cost.bytesRead, op_sig);
+    op_sig = hashDouble(cost.bytesWritten, op_sig);
+    op_sig = hashU64(parallelism.unitsPerLane, op_sig);
+    op_sig = hashDouble(parallelism.lanes, op_sig);
+    _op_signatures.push_back(op_sig);
+
+    // Input-cone digest: the op's own digest folded with each input's
+    // cone digest, in input order. Inputs precede their consumers, so
+    // one incremental pass suffices.
+    std::uint64_t sub_sig = hashU64(op_sig);
+    for (OpId in : op.inputs)
+        sub_sig = hashU64(_subtree_signatures[in], sub_sig);
+    _subtree_signatures.push_back(sub_sig);
+
     _ops.push_back(std::move(op));
+    return id;
+}
+
+std::size_t
+Graph::checkedIndex(OpId id) const
+{
+    panic_if(id >= _ops.size(), "op id ", id, " out of range");
     return id;
 }
 

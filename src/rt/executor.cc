@@ -169,7 +169,26 @@ Executor::obsCount(const char *name, std::uint64_t n)
 Executor::OpState &
 Executor::state(const OpKey &key)
 {
-    return _workloads[key.workload].steps[key.step][key.op];
+    return _workloads[key.workload].steps[key.step].ops[key.op];
+}
+
+Executor::StepState &
+Executor::stepState(const OpKey &key)
+{
+    return _workloads[key.workload].steps[key.step];
+}
+
+Executor::Join &
+Executor::makeJoin(const OpKey &key)
+{
+    StepState &st = stepState(key);
+    if (st.joins.empty()) {
+        st.joins.assign(st.ops.size(), Join{});
+        st.joinLive.assign(st.ops.size(), 0);
+    }
+    st.joins[key.op] = Join{};
+    st.joinLive[key.op] = 1;
+    return st.joins[key.op];
 }
 
 double
@@ -203,7 +222,7 @@ Executor::seedStep(std::uint32_t w, std::uint32_t step)
     ++wl.seededSteps;
 
     const Graph &graph = *wl.spec.graph;
-    auto &states = wl.steps[step];
+    auto &states = wl.steps[step].ops;
     states.assign(graph.size(), OpState{});
     wl.remainingOps[step] = static_cast<std::uint32_t>(graph.size());
     for (const Operation &o : graph.ops()) {
@@ -334,8 +353,11 @@ Executor::decidePlacement(const OpKey &key) const
 std::uint32_t
 Executor::degradeLevel(const OpKey &key) const
 {
-    auto it = _degraded.find(key.packed());
-    return it == _degraded.end() ? 0 : it->second;
+    // Sized lazily by failAttempt(); empty means no op in this step
+    // has ever degraded.
+    const std::vector<std::uint32_t> &degraded =
+        _workloads[key.workload].steps[key.step].degraded;
+    return degraded.empty() ? 0 : degraded[key.op];
 }
 
 std::optional<PlacedOn>
@@ -369,15 +391,28 @@ Executor::tryDispatch(const OpKey &key)
     s.running = true;
     // With faults on, the census counts where the op *completes*; a
     // faulted attempt must not leave a phantom tally behind.
-    if (faultsOn())
-        _running_placement[key.packed()] = *placement;
-    else
+    if (faultsOn()) {
+        StepState &st = stepState(key);
+        if (st.placement.empty()) {
+            st.placement.assign(st.ops.size(), PlacedOn::Cpu);
+            st.placementLive.assign(st.ops.size(), 0);
+        }
+        st.placement[key.op] = *placement;
+        st.placementLive[key.op] = 1;
+    } else {
         ++_report.opsByPlacement[*placement];
+    }
 
     if (_trace) {
-        _trace_tokens[key.packed()] =
+        StepState &st = stepState(key);
+        if (st.traceToken.empty()) {
+            st.traceToken.assign(st.ops.size(), 0);
+            st.traceLive.assign(st.ops.size(), 0);
+        }
+        st.traceToken[key.op] =
             _trace->begin(op(key).label, key.op, *placement,
                           key.workload, key.step, nowSec());
+        st.traceLive[key.op] = 1;
     }
 
     switch (*placement) {
@@ -594,12 +629,11 @@ Executor::startOnProgr(const OpKey &key, bool recursive)
         _op_accum += control;
     }
 
-    Join join;
+    Join &join = makeJoin(key);
     if (faulty) {
         join.faulty = true;
         join.failKind = FailKind::Transient;
     }
-    _joins[key.packed()] = join;
 
     double flops = o.cost.flops();
     double intensity =
@@ -698,12 +732,11 @@ Executor::startHostDriven(const OpKey &key)
     else
         _op_accum += timing.totalSec();
 
-    Join join;
+    Join &join = makeJoin(key);
     if (faulty) {
         join.faulty = true;
         join.failKind = FailKind::Transient;
     }
-    _joins[key.packed()] = join;
 
     double flops = std::max(o.cost.flops(), 1.0);
     double intensity =
@@ -896,16 +929,18 @@ Executor::onPoolEvent()
 void
 Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
 {
-    auto it = _joins.find(key.packed());
-    panic_if(it == _joins.end(), "join record missing for op");
+    StepState &st = stepState(key);
+    panic_if(st.joinLive.empty() || !st.joinLive[key.op],
+             "join record missing for op");
+    Join &join = st.joins[key.op];
     if (fixed_part)
-        it->second.fixedDone = true;
+        join.fixedDone = true;
     else
-        it->second.controlDone = true;
-    if (it->second.fixedDone && it->second.controlDone) {
-        bool faulty = it->second.faulty;
-        FailKind kind = it->second.failKind;
-        _joins.erase(it);
+        join.controlDone = true;
+    if (join.fixedDone && join.controlDone) {
+        bool faulty = join.faulty;
+        FailKind kind = join.failKind;
+        st.joinLive[key.op] = 0;
         if (faulty)
             failAttempt(key, kind);
         else
@@ -919,15 +954,13 @@ Executor::onJoinedPartDone(const OpKey &key, bool fixed_part)
 void
 Executor::failAttempt(const OpKey &key, FailKind kind)
 {
-    const std::uint64_t k = key.packed();
-    if (_trace) {
-        auto it = _trace_tokens.find(k);
-        if (it != _trace_tokens.end()) {
-            _trace->abort(it->second, nowSec());
-            _trace_tokens.erase(it);
-        }
+    StepState &stp = stepState(key);
+    if (_trace && !stp.traceLive.empty() && stp.traceLive[key.op]) {
+        _trace->abort(stp.traceToken[key.op], nowSec());
+        stp.traceLive[key.op] = 0;
     }
-    _running_placement.erase(k);
+    if (!stp.placementLive.empty())
+        stp.placementLive[key.op] = 0;
     const char *kind_name = nullptr;
     switch (kind) {
       case FailKind::Transient:
@@ -945,7 +978,11 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
     }
     ++_report.retries;
     obsCount("rt.retries");
-    std::uint32_t attempts = ++_attempts[k];
+    if (stp.attempts.empty()) {
+        stp.attempts.assign(stp.ops.size(), 0);
+        stp.degraded.assign(stp.ops.size(), 0);
+    }
+    std::uint32_t attempts = ++stp.attempts[key.op];
     if (obsActive()) {
         obsInstant("sched", kind_name,
                    {{"op", keyStr(key)},
@@ -955,15 +992,16 @@ Executor::failAttempt(const OpKey &key, FailKind kind)
         // Rung exhausted: drop one level on the degradation ladder
         // (fixed-function -> programmable PIM -> CPU) and start the
         // attempt budget over.
-        _attempts[k] = 0;
-        ++_degraded[k];
+        stp.attempts[key.op] = 0;
+        ++stp.degraded[key.op];
         ++_report.opsDegraded;
         obsCount("rt.ops_degraded");
         if (obsActive()) {
             obsInstant("sched", "degrade",
                        {{"op", keyStr(key)},
                         {"level",
-                         static_cast<std::int64_t>(_degraded[k])}});
+                         static_cast<std::int64_t>(
+                             stp.degraded[key.op])}});
         }
     }
     OpState &s = state(key);
@@ -1032,10 +1070,10 @@ Executor::evictDeadPoolPhases()
     victims.swap(_phases);
     for (const FixedPhase &phase : victims) {
         if (phase.joined) {
-            auto it = _joins.find(phase.key.packed());
-            if (it != _joins.end()) {
-                it->second.faulty = true;
-                it->second.failKind = FailKind::Evicted;
+            StepState &st = stepState(phase.key);
+            if (!st.joinLive.empty() && st.joinLive[phase.key.op]) {
+                st.joins[phase.key.op].faulty = true;
+                st.joins[phase.key.op].failKind = FailKind::Evicted;
                 onJoinedPartDone(phase.key, true);
             }
         } else {
@@ -1139,18 +1177,18 @@ Executor::onOpComplete(const OpKey &key)
     s.running = false;
 
     if (faultsOn()) {
-        auto it = _running_placement.find(key.packed());
-        panic_if(it == _running_placement.end(),
+        StepState &st = wl.steps[key.step];
+        panic_if(st.placementLive.empty() || !st.placementLive[key.op],
                  "op completed without a recorded placement");
-        ++_report.opsByPlacement[it->second];
-        _running_placement.erase(it);
+        ++_report.opsByPlacement[st.placement[key.op]];
+        st.placementLive[key.op] = 0;
     }
 
     if (_trace) {
-        auto it = _trace_tokens.find(key.packed());
-        if (it != _trace_tokens.end()) {
-            _trace->end(it->second, nowSec());
-            _trace_tokens.erase(it);
+        StepState &st = wl.steps[key.step];
+        if (!st.traceLive.empty() && st.traceLive[key.op]) {
+            _trace->end(st.traceToken[key.op], nowSec());
+            st.traceLive[key.op] = 0;
         }
     }
 
@@ -1158,7 +1196,7 @@ Executor::onOpComplete(const OpKey &key)
 
     const Graph &graph = *wl.spec.graph;
     for (OpId consumer : graph.consumers()[key.op]) {
-        OpState &cs = wl.steps[key.step][consumer];
+        OpState &cs = wl.steps[key.step].ops[consumer];
         panic_if(cs.remainingDeps == 0, "dependence underflow");
         if (--cs.remainingDeps == 0) {
             cs.ready = true;
@@ -1199,15 +1237,11 @@ Executor::run(const std::vector<WorkloadSpec> &workloads)
     _workloads.clear();
     _pending.clear();
     _phases.clear();
-    _joins.clear();
-    _attempts.clear();
-    _degraded.clear();
-    _running_placement.clear();
     _report = ExecutionReport{};
     _report.configName = _config.name;
 
-    // OpKey::packed() gives workloads 8 bits and steps 24; far beyond
-    // any study in the paper, but check rather than silently alias.
+    // Far beyond any study in the paper, but check rather than let a
+    // pathological spec allocate per-step state without bound.
     fatal_if(workloads.size() > 255, "too many workloads to pack");
     for (const WorkloadSpec &spec : workloads) {
         fatal_if(spec.graph == nullptr, "workload without a graph");

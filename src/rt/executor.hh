@@ -26,7 +26,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "nn/graph.hh"
@@ -91,18 +90,6 @@ class Executor
         std::uint32_t workload;
         std::uint32_t step;
         hpim::nn::OpId op;
-
-        /**
-         * Dense 64-bit identity used as the hash-map key on the hot
-         * path (no string building). run() checks the field bounds
-         * (workloads < 2^8, steps < 2^24) up front.
-         */
-        std::uint64_t
-        packed() const
-        {
-            return (std::uint64_t(workload) << 56)
-                   | (std::uint64_t(step) << 32) | std::uint64_t(op);
-        }
     };
 
     /**
@@ -130,6 +117,48 @@ class Executor
         bool done = false;
     };
 
+    /** How an offload attempt failed. */
+    enum class FailKind { Transient, Stall, Evicted };
+
+    // Joint completion of RC / host-driven ops (control part on the
+    // programmable PIM or CPU + fixed-pool part).
+    struct Join
+    {
+        bool controlDone = false;
+        bool fixedDone = false;
+        /** A fault poisoned either half: the joint completion becomes
+         *  a failed attempt of kind @ref failKind instead of done. */
+        bool faulty = false;
+        FailKind failKind = FailKind::Transient;
+    };
+
+    /**
+     * Dense per-step book-keeping, SoA indexed by op id. Replaces the
+     * packed-OpKey-keyed hash maps (joins, attempts, degradation
+     * levels, running placements, trace tokens) the hot paths used to
+     * probe: an op id is already a dense index, so each lookup becomes
+     * one vector access instead of a hash + probe chain, and a step's
+     * records die with the step instead of churning a process-wide
+     * table. Every side array is empty until its feature first writes
+     * it (joins: RC/host-driven ops; attempts/degraded/placement:
+     * faults; traceToken: attached ScheduleTrace), so fault-free
+     * untraced runs allocate only `ops`. The *Live bytes distinguish
+     * "slot exists" from a default value, standing in for the old
+     * maps' find()/erase().
+     */
+    struct StepState
+    {
+        std::vector<OpState> ops;
+        std::vector<Join> joins;
+        std::vector<std::uint8_t> joinLive;
+        std::vector<std::uint32_t> attempts;
+        std::vector<std::uint32_t> degraded;
+        std::vector<PlacedOn> placement;
+        std::vector<std::uint8_t> placementLive;
+        std::vector<std::size_t> traceToken;
+        std::vector<std::uint8_t> traceLive;
+    };
+
     struct FixedPhase
     {
         OpKey key;
@@ -152,7 +181,7 @@ class Executor
     {
         WorkloadSpec spec;
         std::vector<OpMeta> meta;                ///< [op]
-        std::vector<std::vector<OpState>> steps; ///< [step][op]
+        std::vector<StepState> steps;            ///< per step
         std::vector<std::uint32_t> remainingOps; ///< per step
         std::uint32_t completedSteps = 0;
         std::uint32_t seededSteps = 0;
@@ -176,8 +205,6 @@ class Executor
     // ---- Resilience (active only when _config.faults.enabled; every
     // hook below is a no-op / never reached with faults off, keeping
     // fault-free runs bit-identical -- see docs/RESILIENCE.md).
-    /** How an offload attempt failed. */
-    enum class FailKind { Transient, Stall, Evicted };
     bool faultsOn() const { return _fault_model != nullptr; }
     void setupFaultLayer();
     void scheduleHealthEvents();
@@ -202,6 +229,9 @@ class Executor
     // ---- Helpers.
     const hpim::nn::Operation &op(const OpKey &key) const;
     OpState &state(const OpKey &key);
+    StepState &stepState(const OpKey &key);
+    /** Fresh live join slot for @p key (sizes the arrays on demand). */
+    Join &makeJoin(const OpKey &key);
     std::uint32_t stepWindow(const WorkloadState &w) const;
     double nowSec() const;
     hpim::sim::Tick toTick(double seconds) const;
@@ -227,18 +257,6 @@ class Executor
     class PoolEvent;
     std::unique_ptr<PoolEvent> _pool_event;
 
-    // Joint completion of RC / host-driven ops (control part on the
-    // programmable PIM or CPU + fixed-pool part).
-    struct Join
-    {
-        bool controlDone = false;
-        bool fixedDone = false;
-        /** A fault poisoned either half: the joint completion becomes
-         *  a failed attempt of kind @ref failKind instead of done. */
-        bool faulty = false;
-        FailKind failKind = FailKind::Transient;
-    };
-    std::unordered_map<std::uint64_t, Join> _joins; // by OpKey::packed
     /** Human-readable "w:step:op" form, for trace/obs output only. */
     static std::string keyStr(const OpKey &key);
 
@@ -249,10 +267,8 @@ class Executor
     std::unique_ptr<hpim::pim::StatusRegisterFile> _regs;
     std::uint32_t _fixed_capacity = 0; ///< allocatable (Healthy) units
     std::uint32_t _fixed_alive = 0;    ///< non-Failed units
-    /// All three keyed by OpKey::packed().
-    std::unordered_map<std::uint64_t, std::uint32_t> _attempts;
-    std::unordered_map<std::uint64_t, std::uint32_t> _degraded;
-    std::unordered_map<std::uint64_t, PlacedOn> _running_placement;
+    // (Per-op attempt counts, degradation levels and running
+    // placements live in StepState's dense arrays.)
 
     // Accounting.
     ExecutionReport _report;
@@ -262,7 +278,6 @@ class Executor
 
     // Optional schedule recording.
     ScheduleTrace *_trace = nullptr;
-    std::unordered_map<std::uint64_t, std::size_t> _trace_tokens;
 
     // ---- Observability (obs/). Each hook is one atomic load when no
     // session/registry is attached, so untraced runs stay bit-identical.

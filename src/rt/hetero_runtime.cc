@@ -21,21 +21,15 @@ struct Prepared
 };
 
 /**
- * Canonical key over *every* input of the profile/selection pair:
- * the graph's structural signature, the CPU the profiler models
- * (field by field) and the coverage target. Exact match only, so a
- * memo hit is bit-identical to re-running the profiler
- * (sim/memo_cache.hh).
+ * Exact digest of every CpuParams field the profiler consumes -- the
+ * "everything but the graph" half of the profile keys below.
  */
 std::uint64_t
-prepareKey(const Graph &graph, const SystemConfig &config)
+cpuKey(const hpim::cpu::CpuParams &cpu)
 {
     using hpim::sim::hashDouble;
     using hpim::sim::hashU64;
-    std::uint64_t h = hashU64(graph.signature());
-    h = hashDouble(config.offloadCoveragePct, h);
-    const hpim::cpu::CpuParams &cpu = config.cpu;
-    h = hashDouble(cpu.frequencyHz, h);
+    std::uint64_t h = hashDouble(cpu.frequencyHz);
     h = hashU64(static_cast<std::uint64_t>(cpu.cores), h);
     h = hashDouble(cpu.flopsPerSec, h);
     h = hashDouble(cpu.specialsPerSec, h);
@@ -48,29 +42,60 @@ prepareKey(const Graph &graph, const SystemConfig &config)
 
 } // namespace
 
+/**
+ * Three memo tiers, coarse to fine, each exact-match on all of its
+ * inputs (delta-evaluation, docs/PERFORMANCE.md):
+ *
+ *  1. "rt.prepared"   (graph, cpu, coverage) -> profile + selection
+ *  2. "rt.profile"    (graph, cpu)           -> profile
+ *  3. "rt.profile.op" (op signature, cpu)    -> per-op {time, accesses}
+ *
+ * A sweep point that changes only coverage hits tier 2 and re-derives
+ * the (deterministic, cheap) selection; a point that changes the graph
+ * or sweeps an orthogonal knob still reuses every op it shares with
+ * any earlier point through tier 3. Every tier returns exactly what
+ * an identical computation produced, so all cache modes stay
+ * byte-identical.
+ */
 TrainingResult
 HeteroRuntime::prepare(const Graph &graph) const
 {
+    using hpim::sim::hashDouble;
+    using hpim::sim::hashU64;
+
     TrainingResult result;
-    if (_config.dynamicScheduling) {
-        auto &cache = hpim::sim::MemoCache::instance();
-        std::uint64_t key = prepareKey(graph, _config);
-        if (auto hit = cache.find<Prepared>(key, "rt.prepared")) {
-            result.profile = hit->profile;
-            result.selection = hit->selection;
-            return result;
-        }
-        // A memo hit above is free; only an actual profile pass is
+    if (!_config.dynamicScheduling)
+        return result;
+
+    auto &cache = hpim::sim::MemoCache::instance();
+    std::uint64_t cpu_key = cpuKey(_config.cpu);
+    std::uint64_t profile_key = hashU64(cpu_key,
+                                        hashU64(graph.signature()));
+    std::uint64_t key = hashDouble(_config.offloadCoveragePct,
+                                   profile_key);
+    if (auto hit = cache.find<Prepared>(key, "rt.prepared")) {
+        result.profile = hit->profile;
+        result.selection = hit->selection;
+        return result;
+    }
+
+    std::shared_ptr<const ProfileReport> profile =
+        cache.find<ProfileReport>(profile_key, "rt.profile");
+    if (profile == nullptr) {
+        // Memo hits above are free; only an actual profile pass is
         // worth a deadline phase boundary (docs/SERVING.md).
         hpim::sim::checkDeadline("profile");
         Profiler profiler{hpim::cpu::CpuModel(_config.cpu)};
-        result.profile = profiler.profile(graph);
-        result.selection = selectOffloadCandidates(
-            result.profile, _config.offloadCoveragePct);
-        auto made = std::make_shared<const Prepared>(
-            Prepared{result.profile, result.selection});
-        cache.put<Prepared>(key, "rt.prepared", std::move(made));
+        profile = std::make_shared<const ProfileReport>(
+            profiler.profileDelta(graph, cpu_key));
+        cache.put<ProfileReport>(profile_key, "rt.profile", profile);
     }
+    result.profile = *profile;
+    result.selection = selectOffloadCandidates(
+        result.profile, _config.offloadCoveragePct);
+    auto made = std::make_shared<const Prepared>(
+        Prepared{result.profile, result.selection});
+    cache.put<Prepared>(key, "rt.prepared", std::move(made));
     return result;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+
+#include "sim/memo_cache.hh"
 
 namespace hpim::rt {
 
@@ -31,20 +34,64 @@ ProfileReport::topByAccesses() const
     return sorted;
 }
 
+namespace {
+
+/** Per-op memo value: the two metrics a profile pass computes. */
+struct OpCostSample
+{
+    double timeSec = 0.0;
+    double mainMemoryAccesses = 0.0;
+};
+
+} // namespace
+
 ProfileReport
 Profiler::profile(const Graph &graph) const
 {
+    return profileImpl(graph, nullptr);
+}
+
+ProfileReport
+Profiler::profileDelta(const Graph &graph, std::uint64_t cpu_key) const
+{
+    return profileImpl(graph, &cpu_key);
+}
+
+ProfileReport
+Profiler::profileImpl(const Graph &graph,
+                      const std::uint64_t *cpu_key) const
+{
+    auto &cache = hpim::sim::MemoCache::instance();
     ProfileReport report;
     report.ops.reserve(graph.size());
 
     std::map<OpType, TypeProfile> agg;
     for (const Operation &op : graph.ops()) {
         OpProfile p;
+        // id/type/label locate the sample in *this* graph and are
+        // filled from the live op; only the position-independent
+        // metrics go through the cache.
         p.id = op.id;
         p.type = op.type;
         p.label = op.label;
-        p.timeSec = _cpu.opSeconds(op.cost);
-        p.mainMemoryAccesses = _cpu.mainMemoryAccesses(op.cost);
+        std::shared_ptr<const OpCostSample> sample;
+        if (cpu_key != nullptr) {
+            sample = cache.findPartial<OpCostSample>(
+                graph.opSignature(op.id), *cpu_key, "rt.profile.op");
+        }
+        if (sample != nullptr) {
+            p.timeSec = sample->timeSec;
+            p.mainMemoryAccesses = sample->mainMemoryAccesses;
+        } else {
+            p.timeSec = _cpu.opSeconds(op.cost);
+            p.mainMemoryAccesses = _cpu.mainMemoryAccesses(op.cost);
+            if (cpu_key != nullptr) {
+                cache.putPartial<OpCostSample>(
+                    graph.opSignature(op.id), *cpu_key, "rt.profile.op",
+                    std::make_shared<const OpCostSample>(OpCostSample{
+                        p.timeSec, p.mainMemoryAccesses}));
+            }
+        }
         report.totalTimeSec += p.timeSec;
         report.totalAccesses += p.mainMemoryAccesses;
 

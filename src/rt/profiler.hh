@@ -65,7 +65,23 @@ class Profiler
     /** Profile one training step of @p graph on the CPU. */
     ProfileReport profile(const hpim::nn::Graph &graph) const;
 
+    /**
+     * Like profile(), but reuses per-op samples through the
+     * sim::MemoCache partial tier (delta-evaluation,
+     * docs/PERFORMANCE.md): each op's {time, accesses} pair is keyed
+     * on its position-independent Graph::opSignature() plus
+     * @p cpu_key, the caller's exact digest of every CpuParams field.
+     * A partial hit returns the bit-identical pair an identical
+     * (cost, CPU) computation produced, so the report matches
+     * profile() byte for byte; only the work is saved.
+     */
+    ProfileReport profileDelta(const hpim::nn::Graph &graph,
+                               std::uint64_t cpu_key) const;
+
   private:
+    ProfileReport profileImpl(const hpim::nn::Graph &graph,
+                              const std::uint64_t *cpu_key) const;
+
     hpim::cpu::CpuModel _cpu;
 };
 

@@ -437,8 +437,14 @@ Server::statsObjectJson() const
            + counter(_ins->droppedResponses);
     out += ",\"memo\":{\"hits\":" + std::to_string(memo.hits)
            + ",\"misses\":" + std::to_string(memo.misses)
+           + ",\"partial_hits\":" + std::to_string(memo.partialHits)
            + ",\"insertions\":" + std::to_string(memo.insertions)
-           + ",\"entries\":" + std::to_string(memo.entries) + "}";
+           + ",\"evictions\":" + std::to_string(memo.evictions)
+           + ",\"entries\":" + std::to_string(memo.entries)
+           + ",\"max_entries\":"
+           + std::to_string(
+                 hpim::sim::MemoCache::instance().maxEntries())
+           + "}";
     out += "}";
     return out;
 }

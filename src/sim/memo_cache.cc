@@ -50,18 +50,24 @@ MemoCache::active()
 }
 
 std::shared_ptr<const void>
-MemoCache::lookup(std::uint64_t key)
+MemoCache::lookup(std::uint64_t key, bool partial)
 {
     if (!active())
         return nullptr;
-    std::lock_guard<std::mutex> lock(_mutex);
-    auto it = _entries.find(key);
-    if (it == _entries.end()) {
-        ++_misses;
-        return nullptr;
+    std::shared_ptr<const void> found;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _entries.find(key);
+        if (it != _entries.end())
+            found = it->second;
     }
-    ++_hits;
-    return it->second;
+    if (found == nullptr)
+        _misses.fetch_add(1, std::memory_order_relaxed);
+    else if (partial)
+        _partial_hits.fetch_add(1, std::memory_order_relaxed);
+    else
+        _hits.fetch_add(1, std::memory_order_relaxed);
+    return found;
 }
 
 void
@@ -69,19 +75,73 @@ MemoCache::insert(std::uint64_t key, std::shared_ptr<const void> value)
 {
     if (!active() || value == nullptr)
         return;
+    std::uint64_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        // First writer wins: with several sweep workers racing, every
+        // candidate value is the result of the identical computation,
+        // so which one sticks cannot matter.
+        if (!_entries.emplace(key, std::move(value)).second)
+            return;
+        if (_max_entries != 0) {
+            _insertion_order.push_back(key);
+            while (_entries.size() > _max_entries
+                   && !_insertion_order.empty()) {
+                _entries.erase(_insertion_order.front());
+                _insertion_order.pop_front();
+                ++evicted;
+            }
+        }
+    }
+    _insertions.fetch_add(1, std::memory_order_relaxed);
+    if (evicted != 0)
+        _evictions.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void
+MemoCache::setMaxEntries(std::size_t max)
+{
+    std::uint64_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _max_entries = max;
+        if (max == 0) {
+            _insertion_order.clear();
+        } else {
+            // Entries inserted while unbounded carry no order record;
+            // keep them (they can only serve hits) and start tracking
+            // order from here, trimming any tracked overflow.
+            while (_entries.size() > _max_entries
+                   && !_insertion_order.empty()) {
+                _entries.erase(_insertion_order.front());
+                _insertion_order.pop_front();
+                ++evicted;
+            }
+        }
+    }
+    if (evicted != 0)
+        _evictions.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+std::size_t
+MemoCache::maxEntries() const
+{
     std::lock_guard<std::mutex> lock(_mutex);
-    // First writer wins: with several sweep workers racing, every
-    // candidate value is the result of the identical computation, so
-    // which one sticks cannot matter.
-    if (_entries.emplace(key, std::move(value)).second)
-        ++_insertions;
+    return _max_entries;
 }
 
 MemoCache::Stats
 MemoCache::stats() const
 {
+    Stats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    s.partialHits = _partial_hits.load(std::memory_order_relaxed);
+    s.insertions = _insertions.load(std::memory_order_relaxed);
+    s.evictions = _evictions.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(_mutex);
-    return Stats{_hits, _misses, _insertions, _entries.size()};
+    s.entries = _entries.size();
+    return s;
 }
 
 void
@@ -89,9 +149,12 @@ MemoCache::clear()
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _entries.clear();
-    _hits = 0;
-    _misses = 0;
-    _insertions = 0;
+    _insertion_order.clear();
+    _hits.store(0, std::memory_order_relaxed);
+    _misses.store(0, std::memory_order_relaxed);
+    _partial_hits.store(0, std::memory_order_relaxed);
+    _insertions.store(0, std::memory_order_relaxed);
+    _evictions.store(0, std::memory_order_relaxed);
 }
 
 } // namespace hpim::sim

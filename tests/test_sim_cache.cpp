@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline/presets.hh"
+#include "harness/graph_workloads.hh"
 #include "harness/report_io.hh"
 #include "harness/sweep.hh"
+#include "nn/graph_builder.hh"
 #include "nn/models.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -32,6 +35,7 @@ class SimCacheTest : public ::testing::Test
     SetUp() override
     {
         MemoCache::setEnabled(true);
+        MemoCache::instance().setMaxEntries(0);
         MemoCache::instance().clear();
     }
 
@@ -39,6 +43,7 @@ class SimCacheTest : public ::testing::Test
     TearDown() override
     {
         MemoCache::setEnabled(true);
+        MemoCache::instance().setMaxEntries(0);
         MemoCache::instance().clear();
     }
 };
@@ -228,4 +233,186 @@ TEST_F(SimCacheTest, GraphSignatureDistinguishesStructure)
     hpim::nn::Graph c = hpim::nn::buildModel(ModelId::Vgg19);
     EXPECT_EQ(a.signature(), b.signature());
     EXPECT_NE(a.signature(), c.signature());
+}
+
+TEST_F(SimCacheTest, PartialTierKeysOnBothHalvesAndCountsApart)
+{
+    auto &cache = MemoCache::instance();
+    cache.putPartial<int>(21, 31, "test.partial",
+                          std::make_shared<const int>(5));
+    auto hit = cache.findPartial<int>(21, 31, "test.partial");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 5);
+    // Either half of the key changing is a miss.
+    EXPECT_EQ(cache.findPartial<int>(22, 31, "test.partial"), nullptr);
+    EXPECT_EQ(cache.findPartial<int>(21, 32, "test.partial"), nullptr);
+    // A partial hit counts as partialHits, never as hits.
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.partialHits, 1u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(SimCacheTest, MaxEntriesEvictsOldestInsertionFirst)
+{
+    auto &cache = MemoCache::instance();
+    cache.setMaxEntries(2);
+    cache.put<int>(1, "test.int", std::make_shared<const int>(1));
+    cache.put<int>(2, "test.int", std::make_shared<const int>(2));
+    cache.put<int>(3, "test.int", std::make_shared<const int>(3));
+    // Key 1 was inserted first, so it is the one evicted.
+    EXPECT_EQ(cache.find<int>(1, "test.int"), nullptr);
+    EXPECT_NE(cache.find<int>(2, "test.int"), nullptr);
+    EXPECT_NE(cache.find<int>(3, "test.int"), nullptr);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.insertions, 3u);
+}
+
+TEST_F(SimCacheTest, ZeroMaxEntriesMeansUnbounded)
+{
+    auto &cache = MemoCache::instance();
+    cache.setMaxEntries(1);
+    cache.setMaxEntries(0);
+    for (std::uint64_t key = 0; key < 16; ++key)
+        cache.put<int>(key, "test.int",
+                       std::make_shared<const int>(1));
+    EXPECT_EQ(cache.stats().entries, 16u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_F(SimCacheTest, OpSignatureIsPositionIndependent)
+{
+    using namespace hpim::nn;
+    CostStructure cost;
+    cost.muls = 1e6;
+    cost.adds = 1e6;
+    cost.bytesRead = 4096;
+    cost.bytesWritten = 2048;
+    FixedParallelism par{241, 64.0};
+    CostStructure pre_cost;
+    pre_cost.specials = 512;
+
+    // The same op (same costs, same parallelism) at op 0 of one graph
+    // and op 1 of another, under different labels and inputs.
+    Graph a("a");
+    OpId a0 = a.add(OpType::MatMul, "x/MatMul", cost, par);
+    Graph b("b");
+    OpId b0 = b.add(OpType::Relu, "pre/Relu", pre_cost, {});
+    OpId b1 = b.add(OpType::MatMul, "y/MatMul", cost, par, {b0});
+
+    EXPECT_EQ(a.opSignature(a0), b.opSignature(b1));
+    // The input cone differs, so the subtree signature must not.
+    EXPECT_NE(a.subtreeSignature(a0), b.subtreeSignature(b1));
+    // Position-independent != cost-independent: nudge one cost field
+    // (same type, shape of work, parallelism) and the digest moves.
+    CostStructure nudged = cost;
+    nudged.bytesWritten += 1.0;
+    OpId a1 = a.add(OpType::MatMul, "x/MatMul", nudged, par);
+    EXPECT_NE(a.opSignature(a0), a.opSignature(a1));
+}
+
+TEST_F(SimCacheTest, RepeatedBlocksShareSubtreeSignatures)
+{
+    using namespace hpim::nn;
+    CostStructure leaf_cost;
+    leaf_cost.specials = 128;
+    CostStructure mm_cost;
+    mm_cost.muls = 4096;
+    mm_cost.adds = 4096;
+    FixedParallelism par{31, 16.0};
+
+    // Two structurally identical towers in one graph: leaf -> matmul.
+    Graph g("towers");
+    OpId l0 = g.add(OpType::Relu, "t0/Relu", leaf_cost, {});
+    OpId l1 = g.add(OpType::Relu, "t1/Relu", leaf_cost, {});
+    OpId m0 = g.add(OpType::MatMul, "t0/MatMul", mm_cost, par, {l0});
+    OpId m1 = g.add(OpType::MatMul, "t1/MatMul", mm_cost, par, {l1});
+
+    // Labels and ids differ, but the repeated block hashes equal --
+    // what lets the delta tier profile a transformer layer once.
+    EXPECT_EQ(g.subtreeSignature(m0), g.subtreeSignature(m1));
+    EXPECT_EQ(g.opSignature(l0), g.opSignature(l1));
+    // And a consumer of a *different* cone does not alias.
+    OpId mx = g.add(OpType::MatMul, "tx/MatMul", mm_cost, par, {m0});
+    EXPECT_NE(g.subtreeSignature(mx), g.subtreeSignature(m0));
+}
+
+TEST_F(SimCacheTest, CappedCacheSweepIsByteIdentical)
+{
+    // A tiny cap forces constant eviction (the "partial cache" mode):
+    // some points hit, most miss, and nothing may change a byte.
+    const auto points = smallGrid();
+
+    hpim::harness::SweepOptions off;
+    off.jobs = 1;
+    off.simCache = false;
+    const auto reference =
+        serialize(hpim::harness::SweepRunner(off).run(points));
+
+    for (std::uint32_t jobs : {1u, 2u, 4u}) {
+        hpim::harness::SweepOptions capped;
+        capped.jobs = jobs;
+        capped.simCacheMaxEntries = 4;
+        MemoCache::instance().clear();
+        const auto got = serialize(
+            hpim::harness::SweepRunner(capped).run(points));
+        EXPECT_EQ(reference, got)
+            << "capped-cache sweep diverged at --jobs " << jobs;
+    }
+    EXPECT_GT(MemoCache::instance().stats().evictions, 0u);
+}
+
+TEST_F(SimCacheTest, UserGraphAppendixIdenticalAcrossCacheModes)
+{
+    using hpim::baseline::SystemKind;
+
+    // An in-memory user graph (the graph_sweep path without file IO).
+    hpim::nn::Builder builder("cache-test");
+    hpim::nn::TensorRef x =
+        builder.input(hpim::nn::TensorShape({8, 32}));
+    x = builder.dense(x, 32);
+    x = builder.layerNorm(x);
+    hpim::nn::TensorRef logits = builder.dense(x, 8, false);
+    auto graph = std::make_shared<const hpim::nn::Graph>(
+        builder.trainingStep(logits));
+    const std::vector<hpim::harness::GraphWorkload> workloads = {
+        {"inline:cache-test", graph}};
+    const std::vector<SystemKind> systems = {SystemKind::CpuOnly,
+                                             SystemKind::HeteroPim};
+
+    auto appendix = [&](hpim::harness::SweepOptions options) {
+        MemoCache::instance().clear();
+        hpim::harness::SweepRunner runner(std::move(options));
+        std::ostringstream os;
+        hpim::harness::runGraphAppendix(os, runner, workloads, systems,
+                                        /*steps=*/2);
+        return os.str();
+    };
+
+    hpim::harness::SweepOptions off;
+    off.jobs = 1;
+    off.simCache = false;
+    const std::string reference = appendix(off);
+    ASSERT_FALSE(reference.empty());
+
+    for (std::uint32_t jobs : {1u, 2u, 4u}) {
+        hpim::harness::SweepOptions full;
+        full.jobs = jobs;
+        EXPECT_EQ(reference, appendix(full))
+            << "full-cache appendix diverged at --jobs " << jobs;
+
+        hpim::harness::SweepOptions capped;
+        capped.jobs = jobs;
+        capped.simCacheMaxEntries = 4;
+        EXPECT_EQ(reference, appendix(capped))
+            << "capped-cache appendix diverged at --jobs " << jobs;
+
+        hpim::harness::SweepOptions none;
+        none.jobs = jobs;
+        none.simCache = false;
+        EXPECT_EQ(reference, appendix(none))
+            << "uncached appendix diverged at --jobs " << jobs;
+    }
 }
